@@ -1,0 +1,429 @@
+// Benchmarks regenerating every exhibit of the paper's evaluation (see
+// DESIGN.md §3). One benchmark per exhibit, plus micro-benchmarks for each
+// substrate the architecture depends on. Run:
+//
+//	go test -bench=. -benchmem
+package vada_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"vada"
+	"vada/internal/transducer"
+	"vada/internal/vadalog"
+)
+
+func scenarioCfg(n int) vada.ScenarioConfig {
+	cfg := vada.DefaultScenarioConfig()
+	cfg.NProperties = n
+	return cfg
+}
+
+// BenchmarkScenarioGeneration regenerates Figure 2's scenario (E-F2).
+func BenchmarkScenarioGeneration(b *testing.B) {
+	cfg := scenarioCfg(400)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sc := vada.GenerateScenario(cfg)
+		if sc.Truth.Cardinality() != 400 {
+			b.Fatal("bad scenario")
+		}
+	}
+}
+
+// BenchmarkReadinessEvaluation measures Table 1's mechanism (E-T1): deciding
+// which transducers are ready via Vadalog dependency queries over the KB.
+func BenchmarkReadinessEvaluation(b *testing.B) {
+	sc := vada.GenerateScenario(scenarioCfg(200))
+	w := vada.BuildScenarioWrangler(sc, vada.DefaultOptions())
+	if _, err := w.Run(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	w.AddDataContext(sc.AddressRef)
+	engine := vada.NewEngine()
+	deps := make([]vada.Dependency, 0)
+	for _, t := range w.Registry().All() {
+		deps = append(deps, t.Dependency())
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for _, d := range deps {
+			if _, err := d.Satisfied(w.KB, engine); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkBootstrap measures demonstration step 1 (E-F3): the fully
+// automatic pipeline from registered sources to a fused result.
+func BenchmarkBootstrap(b *testing.B) {
+	sc := vada.GenerateScenario(scenarioCfg(200))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w := vada.BuildScenarioWrangler(sc, vada.DefaultOptions())
+		if _, err := w.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if w.Result() == nil {
+			b.Fatal("no result")
+		}
+	}
+}
+
+// BenchmarkPayAsYouGoPipeline measures all four demonstration steps (E-F3).
+func BenchmarkPayAsYouGoPipeline(b *testing.B) {
+	cfg := vada.DefaultPayAsYouGoConfig()
+	cfg.Scenario = scenarioCfg(200)
+	cfg.FeedbackBudget = 80
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_, _, stages, err := vada.RunPayAsYouGo(context.Background(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(stages) != 4 {
+			b.Fatal("bad stages")
+		}
+	}
+}
+
+// BenchmarkOrchestrationReaction measures E-D1: how much work a context
+// change triggers (data context over a quiesced system).
+func BenchmarkOrchestrationReaction(b *testing.B) {
+	sc := vada.GenerateScenario(scenarioCfg(150))
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		w := vada.BuildScenarioWrangler(sc, vada.DefaultOptions())
+		if _, err := w.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		w.AddDataContext(sc.AddressRef)
+		if _, err := w.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkUserContextSwitch measures E-A2: re-selection under a new user
+// context on a quiesced system.
+func BenchmarkUserContextSwitch(b *testing.B) {
+	sc := vada.GenerateScenario(scenarioCfg(150))
+	w := vada.BuildScenarioWrangler(sc, vada.DefaultOptions())
+	w.AddDataContext(sc.AddressRef)
+	if _, err := w.Run(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	contexts := []*vada.UserContext{
+		vada.CrimeAnalysisUserContext(), vada.SizeAnalysisUserContext(),
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w.SetUserContext(contexts[i%2])
+		if _, err := w.Run(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOracleFeedback measures E-A1's inner loop: generating and
+// assimilating feedback.
+func BenchmarkOracleFeedback(b *testing.B) {
+	sc := vada.GenerateScenario(scenarioCfg(150))
+	w := vada.BuildScenarioWrangler(sc, vada.DefaultOptions())
+	w.AddDataContext(sc.AddressRef)
+	if _, err := w.Run(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	res := w.Result()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		items := vada.OracleFeedback(sc, res, 100, int64(i))
+		if len(items) == 0 {
+			b.Fatal("no feedback")
+		}
+	}
+}
+
+// --- substrate micro-benchmarks -------------------------------------------
+
+// BenchmarkVadalogFixpoint measures the reasoner: transitive closure over a
+// 150-edge chain (recursion + semi-naive evaluation).
+func BenchmarkVadalogFixpoint(b *testing.B) {
+	var edges []vada.Tuple
+	for i := 0; i < 150; i++ {
+		edges = append(edges, vada.NewTuple(i, i+1))
+	}
+	prog, err := vada.ParseVadalog(`
+reach(X, Y) :- edge(X, Y).
+reach(X, Z) :- reach(X, Y), edge(Y, Z).`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edb := vadalog.MapEDB{"edge": edges}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := vada.NewEngine().Run(prog, edb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Count("reach") != 150*151/2 {
+			b.Fatal("wrong closure")
+		}
+	}
+}
+
+// BenchmarkVadalogAggregation measures stratified aggregation.
+func BenchmarkVadalogAggregation(b *testing.B) {
+	var rows []vada.Tuple
+	for i := 0; i < 2000; i++ {
+		rows = append(rows, vada.NewTuple(fmt.Sprintf("d%d", i%20), i))
+	}
+	prog, err := vada.ParseVadalog(`total(D, sum(S)) :- fact(D, S).`)
+	if err != nil {
+		b.Fatal(err)
+	}
+	edb := vadalog.MapEDB{"fact": rows}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := vada.NewEngine().Run(prog, edb)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Count("total") != 20 {
+			b.Fatal("wrong groups")
+		}
+	}
+}
+
+// BenchmarkSchemaMatching measures name-based matching over the scenario
+// schemas.
+func BenchmarkSchemaMatching(b *testing.B) {
+	sc := vada.GenerateScenario(scenarioCfg(100))
+	target := vada.TargetSchema()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ms := vada.MatchSchemas(sc.OnTheMarket.Schema, target)
+		if len(ms) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkInstanceMatching measures instance-based matching against the
+// data context.
+func BenchmarkInstanceMatching(b *testing.B) {
+	sc := vada.GenerateScenario(scenarioCfg(300))
+	inst := map[string][]vada.Value{}
+	for _, attr := range []string{"street", "city", "postcode"} {
+		col, err := sc.AddressRef.Column(attr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inst[attr] = col
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ms := vada.MatchInstances(sc.OnTheMarket, inst)
+		if len(ms) == 0 {
+			b.Fatal("no matches")
+		}
+	}
+}
+
+// BenchmarkMappingGeneration measures candidate-mapping generation including
+// inclusion-dependency discovery.
+func BenchmarkMappingGeneration(b *testing.B) {
+	sc := vada.GenerateScenario(scenarioCfg(300))
+	target := vada.TargetSchema()
+	sources := []*vada.Relation{sc.Rightmove, sc.OnTheMarket, sc.Deprivation}
+	var matches []vada.Match
+	matches = append(matches, vada.MatchSchemas(sc.Rightmove.Schema, target)...)
+	matches = append(matches, vada.MatchSchemas(sc.OnTheMarket.Schema, target)...)
+	matches = append(matches, vada.MatchSchemas(sc.Deprivation.Schema, target)...)
+	opts := vada.DefaultOptions().GenOptions
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		maps := vada.GenerateMappings(target, sources, matches, opts)
+		if len(maps) == 0 {
+			b.Fatal("no mappings")
+		}
+	}
+}
+
+// BenchmarkMappingExecution measures executing a join mapping through the
+// Vadalog engine.
+func BenchmarkMappingExecution(b *testing.B) {
+	sc := vada.GenerateScenario(scenarioCfg(300))
+	target := vada.TargetSchema()
+	sources := []*vada.Relation{sc.Rightmove, sc.Deprivation}
+	matches := append(vada.MatchSchemas(sc.Rightmove.Schema, target),
+		vada.MatchSchemas(sc.Deprivation.Schema, target)...)
+	maps := vada.GenerateMappings(target, sources, matches, vada.DefaultOptions().GenOptions)
+	var join *vada.Mapping
+	for i := range maps {
+		if len(maps[i].JoinSources) > 0 {
+			join = &maps[i]
+		}
+	}
+	if join == nil {
+		b.Fatal("no join mapping")
+	}
+	srcMap := map[string]*vada.Relation{"rightmove": sc.Rightmove, "deprivation": sc.Deprivation}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := vada.ExecuteMapping(*join, srcMap, vada.NewEngine())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Cardinality() == 0 {
+			b.Fatal("empty mapping result")
+		}
+	}
+}
+
+// BenchmarkCFDMining measures CTANE-style mining on the reference data.
+func BenchmarkCFDMining(b *testing.B) {
+	sc := vada.GenerateScenario(scenarioCfg(500))
+	opts := vada.DefaultOptions().MineOptions
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfds := vada.MineCFDs(sc.AddressRef, opts)
+		if len(cfds) == 0 {
+			b.Fatal("no CFDs")
+		}
+	}
+}
+
+// BenchmarkRepair measures reference-based repair of a noisy result.
+func BenchmarkRepair(b *testing.B) {
+	sc := vada.GenerateScenario(scenarioCfg(300))
+	cfds := vada.MineCFDs(sc.AddressRef, vada.DefaultOptions().MineOptions)
+	res := vada.NewRelation(vada.NewSchema("result", "price", "street", "postcode", "bedrooms", "type", "description"))
+	for _, t := range sc.Rightmove.Tuples {
+		res.Tuples = append(res.Tuples, t.Clone())
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		repaired, _ := vada.RepairWithReference(res, sc.AddressRef, cfds, vada.DefaultRepairOptions())
+		if repaired.Cardinality() != res.Cardinality() {
+			b.Fatal("repair changed cardinality")
+		}
+	}
+}
+
+// BenchmarkFusion measures duplicate detection + fusion over the unioned
+// portals.
+func BenchmarkFusion(b *testing.B) {
+	sc := vada.GenerateScenario(scenarioCfg(400))
+	u := vada.NewRelation(vada.NewSchema("u", "street", "postcode", "bedrooms", "source"))
+	rmS := sc.Rightmove.Schema.AttrIndex("street")
+	rmP := sc.Rightmove.Schema.AttrIndex("postcode")
+	rmB := sc.Rightmove.Schema.AttrIndex("bedrooms")
+	for _, t := range sc.Rightmove.Tuples {
+		u.Tuples = append(u.Tuples, vada.Tuple{t[rmS], t[rmP], t[rmB], vada.StringValue("rightmove")})
+	}
+	otS := sc.OnTheMarket.Schema.AttrIndex("address_line")
+	otP := sc.OnTheMarket.Schema.AttrIndex("post_code")
+	otB := sc.OnTheMarket.Schema.AttrIndex("num_beds")
+	for _, t := range sc.OnTheMarket.Tuples {
+		u.Tuples = append(u.Tuples, vada.Tuple{t[otS], t[otP], t[otB], vada.StringValue("onthemarket")})
+	}
+	block := vada.BlockByAttr("postcode", vada.CanonicalPostcode)
+	scorer := vada.DefaultPairScorer("source")
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		clusters := vada.DetectDuplicates(u, block, scorer, 0.9)
+		fused := vada.Fuse(u, clusters, vada.FusionOptions{})
+		if fused.Cardinality() == 0 {
+			b.Fatal("empty fusion")
+		}
+	}
+}
+
+// BenchmarkMCDAWeights measures AHP weight derivation (user context).
+func BenchmarkMCDAWeights(b *testing.B) {
+	m := vada.CrimeAnalysisUserContext()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		w, _, err := m.Weights()
+		if err != nil || len(w) == 0 {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHTMLExtraction measures wrapper induction + extraction of a full
+// portal (the DIADEM-substitute path).
+func BenchmarkHTMLExtraction(b *testing.B) {
+	sc := vada.GenerateScenario(scenarioCfg(200))
+	tmpl := vada.RightmoveTemplate()
+	pages := vada.GeneratePages(tmpl, sc.Rightmove)
+	anns := vada.BootstrapAnnotations(sc.Rightmove, []int{0, 1, 2})
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		wr, err := vada.InduceWrapper(pages[0], anns)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel, _, err := wr.Extract(pages, sc.Rightmove.Schema)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rel.Cardinality() != sc.Rightmove.Cardinality() {
+			b.Fatal("extraction incomplete")
+		}
+	}
+}
+
+// BenchmarkKBAssertRetract measures the knowledge-base fact store.
+func BenchmarkKBAssertRetract(b *testing.B) {
+	k := vada.NewKB()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		t := vada.NewTuple(i%1000, "payload")
+		k.Assert("bench", t)
+		if i%2 == 1 {
+			k.Retract("bench", t)
+		}
+	}
+}
+
+// BenchmarkTraceRendering measures the browsable trace (§3).
+func BenchmarkTraceRendering(b *testing.B) {
+	sc := vada.GenerateScenario(scenarioCfg(100))
+	w := vada.BuildScenarioWrangler(sc, vada.DefaultOptions())
+	if _, err := w.Run(context.Background()); err != nil {
+		b.Fatal(err)
+	}
+	steps := w.Trace()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if transducer.TraceString(steps) == "" {
+			b.Fatal("empty trace")
+		}
+	}
+}

@@ -1,0 +1,261 @@
+// Command vada-server serves the web interface of the demonstration
+// (Figure 3 of the paper): four panels — target schema, data context,
+// results with feedback, user context — over a JSON API, plus the browsable
+// orchestration trace.
+//
+//	vada-server -addr :8080 -n 300
+//
+// The server hosts one wrangling session over the generated scenario.
+// Endpoints:
+//
+//	GET  /                  the single-page UI
+//	GET  /api/state         KB stats, selected mappings, stage scores
+//	POST /api/bootstrap     step 1: automatic bootstrapping
+//	POST /api/datacontext   step 2: associate reference data
+//	POST /api/feedback      step 3: oracle feedback (?budget=N) or JSON items
+//	POST /api/usercontext   step 4: ?model=crime|size
+//	GET  /api/result        current result rows (JSON)
+//	GET  /api/trace         orchestration trace (text)
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+	"sync"
+
+	"vada"
+)
+
+type server struct {
+	mu     sync.Mutex
+	w      *vada.Wrangler
+	sc     *vada.Scenario
+	stages []vada.StageScore
+	seed   int64
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	n := flag.Int("n", 300, "scenario size")
+	seed := flag.Int64("seed", 1, "scenario seed")
+	flag.Parse()
+
+	cfg := vada.DefaultScenarioConfig()
+	cfg.NProperties = *n
+	cfg.Seed = *seed
+	sc := vada.GenerateScenario(cfg)
+	s := &server{w: vada.BuildScenarioWrangler(sc, vada.DefaultOptions()), sc: sc, seed: *seed}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("GET /api/state", s.handleState)
+	mux.HandleFunc("POST /api/bootstrap", s.step("bootstrap", func() error { return nil }))
+	mux.HandleFunc("POST /api/datacontext", s.step("data-context", func() error {
+		s.w.AddDataContext(s.sc.AddressRef)
+		return nil
+	}))
+	mux.HandleFunc("POST /api/feedback", s.handleFeedback)
+	mux.HandleFunc("POST /api/usercontext", s.handleUserContext)
+	mux.HandleFunc("GET /api/result", s.handleResult)
+	mux.HandleFunc("GET /api/trace", s.handleTrace)
+
+	log.Printf("vada-server: scenario of %d properties; listening on %s", *n, *addr)
+	log.Fatal(http.ListenAndServe(*addr, mux))
+}
+
+// step wraps a context-adding action followed by a run-to-quiescence and
+// scoring, mirroring one demonstration step.
+func (s *server) step(name string, action func() error) http.HandlerFunc {
+	return func(rw http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if err := action(); err != nil {
+			http.Error(rw, err.Error(), http.StatusBadRequest)
+			return
+		}
+		steps, err := s.w.Run(r.Context())
+		if err != nil {
+			http.Error(rw, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		score := s.sc.Oracle.ScoreResult(s.w.ResultClean())
+		s.stages = append(s.stages, vada.StageScore{Stage: name, Steps: len(steps), Score: score})
+		writeJSON(rw, map[string]any{"stage": name, "steps": len(steps), "score": score})
+	}
+}
+
+func (s *server) handleFeedback(rw http.ResponseWriter, r *http.Request) {
+	budget := 100
+	if b := r.URL.Query().Get("budget"); b != "" {
+		if v, err := strconv.Atoi(b); err == nil {
+			budget = v
+		}
+	}
+	var items []vada.FeedbackItem
+	if r.Header.Get("Content-Type") == "application/json" {
+		if err := json.NewDecoder(r.Body).Decode(&items); err != nil {
+			http.Error(rw, "bad feedback JSON: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	s.step("feedback", func() error {
+		if len(items) == 0 {
+			items = vada.OracleFeedback(s.sc, s.w.Result(), budget, s.seed)
+		}
+		s.w.AddFeedback(items...)
+		return nil
+	})(rw, r)
+}
+
+func (s *server) handleUserContext(rw http.ResponseWriter, r *http.Request) {
+	model := r.URL.Query().Get("model")
+	var uc *vada.UserContext
+	switch model {
+	case "", "crime":
+		uc = vada.CrimeAnalysisUserContext()
+	case "size":
+		uc = vada.SizeAnalysisUserContext()
+	default:
+		http.Error(rw, "unknown model (want crime|size)", http.StatusBadRequest)
+		return
+	}
+	s.step("user-context", func() error {
+		s.w.SetUserContext(uc)
+		return nil
+	})(rw, r)
+}
+
+func (s *server) handleState(rw http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	stats := s.w.KB.Stats()
+	writeJSON(rw, map[string]any{
+		"kb":       stats,
+		"selected": s.w.SelectedMappings(),
+		"stages":   s.stages,
+		"target":   vada.TargetSchema().String(),
+		"quality":  s.w.SortedQualityFacts(),
+	})
+}
+
+func (s *server) handleResult(rw http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := s.w.Result()
+	if res == nil {
+		http.Error(rw, "no result yet: POST /api/bootstrap first", http.StatusNotFound)
+		return
+	}
+	limit := 100
+	if l := r.URL.Query().Get("limit"); l != "" {
+		if v, err := strconv.Atoi(l); err == nil && v > 0 {
+			limit = v
+		}
+	}
+	rows := make([]map[string]string, 0, limit)
+	for i, t := range res.Tuples {
+		if i >= limit {
+			break
+		}
+		row := map[string]string{}
+		for j, a := range res.Schema.Attrs {
+			row[a.Name] = t[j].String()
+		}
+		rows = append(rows, row)
+	}
+	writeJSON(rw, map[string]any{"total": res.Cardinality(), "rows": rows})
+}
+
+func (s *server) handleTrace(rw http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(rw, vada.TraceString(s.w.Trace()))
+}
+
+func (s *server) handleIndex(rw http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(rw, r)
+		return
+	}
+	rw.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(rw, indexHTML)
+}
+
+func writeJSON(rw http.ResponseWriter, v any) {
+	rw.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(rw)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("encoding response: %v", err)
+	}
+}
+
+// indexHTML is the single-page mirror of Figure 3: target schema and data
+// context on top, results with feedback below, user context on the right.
+const indexHTML = `<!DOCTYPE html>
+<html><head><title>VADA — pay-as-you-go data wrangling</title>
+<style>
+ body { font-family: system-ui, sans-serif; margin: 1.5em; max-width: 72em; }
+ h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.2em; }
+ button { margin-right: .5em; padding: .4em .8em; }
+ table { border-collapse: collapse; font-size: .85em; margin-top: .5em; }
+ td, th { border: 1px solid #ccc; padding: .2em .5em; text-align: left; }
+ pre { background: #f6f6f6; padding: .8em; overflow-x: auto; font-size: .8em; }
+ .row { display: flex; gap: 2em; flex-wrap: wrap; }
+ .col { flex: 1; min-width: 24em; }
+</style></head>
+<body>
+<h1>VADA — pay-as-you-go data wrangling (SIGMOD'17 demonstration)</h1>
+<p>Work through the four steps of the demonstration; each one adds information
+and re-triggers exactly the transducers whose input dependencies now hold.</p>
+<div>
+ <button onclick="step('bootstrap')">1&nbsp;Bootstrap</button>
+ <button onclick="step('datacontext')">2&nbsp;Add data context</button>
+ <button onclick="step('feedback?budget=100')">3&nbsp;Give feedback</button>
+ <button onclick="step('usercontext?model=crime')">4a&nbsp;Crime user context</button>
+ <button onclick="step('usercontext?model=size')">4b&nbsp;Size user context</button>
+</div>
+<div class="row">
+ <div class="col"><h2>Stages</h2><pre id="stages">(none yet)</pre>
+  <h2>Selected mappings</h2><pre id="selected"></pre></div>
+ <div class="col"><h2>Knowledge base</h2><pre id="kb"></pre></div>
+</div>
+<h2>Result (first rows)</h2>
+<div id="result">(bootstrap first)</div>
+<h2>Orchestration trace</h2>
+<pre id="trace"></pre>
+<script>
+async function refresh() {
+  const st = await (await fetch('/api/state')).json();
+  document.getElementById('kb').textContent = JSON.stringify(st.kb, null, 1);
+  document.getElementById('selected').textContent = (st.selected||[]).join('\n');
+  document.getElementById('stages').textContent = (st.stages||[]).map(s =>
+     s.Stage.padEnd(14) + ' F1=' + s.Score.F1.toFixed(3) +
+     ' val-acc=' + s.Score.ValueAccuracy.toFixed(3)).join('\n') || '(none yet)';
+  document.getElementById('trace').textContent = await (await fetch('/api/trace')).text();
+  const res = await fetch('/api/result?limit=25');
+  if (res.ok) {
+    const data = await res.json();
+    if (data.rows.length) {
+      const cols = Object.keys(data.rows[0]).sort();
+      let html = '<table><tr>' + cols.map(c => '<th>'+c+'</th>').join('') + '</tr>';
+      for (const r of data.rows)
+        html += '<tr>' + cols.map(c => '<td>'+(r[c]||'∅')+'</td>').join('') + '</tr>';
+      html += '</table><p>' + data.total + ' rows total</p>';
+      document.getElementById('result').innerHTML = html;
+    }
+  }
+}
+async function step(path) {
+  await fetch('/api/' + path, {method: 'POST'});
+  await refresh();
+}
+refresh();
+</script>
+</body></html>
+`

@@ -1,0 +1,173 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"vada"
+)
+
+func testServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	cfg := vada.DefaultScenarioConfig()
+	cfg.NProperties = 60
+	sc := vada.GenerateScenario(cfg)
+	s := &server{w: vada.BuildScenarioWrangler(sc, vada.DefaultOptions()), sc: sc, seed: 1}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("GET /api/state", s.handleState)
+	mux.HandleFunc("POST /api/bootstrap", s.step("bootstrap", func() error { return nil }))
+	mux.HandleFunc("POST /api/datacontext", s.step("data-context", func() error {
+		s.w.AddDataContext(s.sc.AddressRef)
+		return nil
+	}))
+	mux.HandleFunc("POST /api/feedback", s.handleFeedback)
+	mux.HandleFunc("POST /api/usercontext", s.handleUserContext)
+	mux.HandleFunc("GET /api/result", s.handleResult)
+	mux.HandleFunc("GET /api/trace", s.handleTrace)
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func post(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, err := http.Post(url, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s: %s", url, resp.Status)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func get(t *testing.T, url string) (*http.Response, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var b strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := resp.Body.Read(buf)
+		b.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return resp, b.String()
+}
+
+func TestServerFullDemonstration(t *testing.T) {
+	_, ts := testServer(t)
+
+	// The result endpoint 404s before bootstrap.
+	resp, _ := get(t, ts.URL+"/api/result")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("pre-bootstrap result: %s", resp.Status)
+	}
+
+	// Step 1: bootstrap.
+	out := post(t, ts.URL+"/api/bootstrap")
+	if out["stage"] != "bootstrap" {
+		t.Fatalf("bootstrap response: %v", out)
+	}
+	// Step 2: data context.
+	out = post(t, ts.URL+"/api/datacontext")
+	score := out["score"].(map[string]any)
+	if score["F1"].(float64) <= 0 {
+		t.Fatalf("data-context score: %v", score)
+	}
+	// Step 3: feedback.
+	post(t, ts.URL+"/api/feedback?budget=40")
+	// Step 4: user context, both models.
+	post(t, ts.URL+"/api/usercontext?model=crime")
+	post(t, ts.URL+"/api/usercontext?model=size")
+
+	// State lists all stages.
+	_, body := get(t, ts.URL+"/api/state")
+	var st map[string]any
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	stages := st["stages"].([]any)
+	if len(stages) != 5 {
+		t.Fatalf("stages = %d, want 5", len(stages))
+	}
+	if len(st["selected"].([]any)) == 0 {
+		t.Fatal("no selected mappings in state")
+	}
+
+	// Result rows with limit.
+	resp, body = get(t, ts.URL+"/api/result?limit=5")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("result: %s", resp.Status)
+	}
+	var res map[string]any
+	if err := json.Unmarshal([]byte(body), &res); err != nil {
+		t.Fatal(err)
+	}
+	if rows := res["rows"].([]any); len(rows) == 0 || len(rows) > 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+
+	// Trace is non-empty text.
+	resp, body = get(t, ts.URL+"/api/trace")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "web-extraction") {
+		t.Fatalf("trace: %s / %q...", resp.Status, body[:60])
+	}
+
+	// Index page serves the UI.
+	resp, body = get(t, ts.URL+"/")
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "pay-as-you-go") {
+		t.Fatal("index page broken")
+	}
+}
+
+func TestServerBadUserContextModel(t *testing.T) {
+	_, ts := testServer(t)
+	post(t, ts.URL+"/api/bootstrap")
+	resp, err := http.Post(ts.URL+"/api/usercontext?model=nonsense", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad model: %s", resp.Status)
+	}
+}
+
+func TestServerExplicitFeedbackJSON(t *testing.T) {
+	s, ts := testServer(t)
+	post(t, ts.URL+"/api/bootstrap")
+	res := s.w.Result()
+	si := res.Schema.AttrIndex("street")
+	pi := res.Schema.AttrIndex("postcode")
+	item := map[string]any{
+		"Street":   res.Tuples[0][si].String(),
+		"Postcode": res.Tuples[0][pi].String(),
+		"Attr":     "bedrooms",
+		"Correct":  true,
+	}
+	body, _ := json.Marshal([]map[string]any{item})
+	resp, err := http.Post(ts.URL+"/api/feedback", "application/json", strings.NewReader(string(body)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("explicit feedback: %s", resp.Status)
+	}
+}

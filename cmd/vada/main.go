@@ -1,0 +1,136 @@
+// Command vada runs the VADA wrangling pipeline from the command line.
+//
+//	vada -print-architecture      # the component graph of Figure 1
+//	vada -print-scenario          # the demonstration scenario of Figure 2
+//	vada -run [-trace] [-csv]     # the four pay-as-you-go steps of §3
+//	vada -query 'program' -ask '?- q(X).'  # ad-hoc Vadalog over CSV EDB
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"vada"
+)
+
+func main() {
+	printArch := flag.Bool("print-architecture", false, "print the architecture (Figure 1) and exit")
+	printScenario := flag.Bool("print-scenario", false, "print the demonstration scenario (Figure 2) and exit")
+	run := flag.Bool("run", false, "run the four pay-as-you-go steps on the scenario")
+	trace := flag.Bool("trace", false, "with -run: print the full orchestration trace")
+	csvOut := flag.Bool("csv", false, "with -run: print the final result as CSV")
+	n := flag.Int("n", 400, "scenario size (properties)")
+	seed := flag.Int64("seed", 1, "scenario seed")
+	budget := flag.Int("budget", 120, "feedback budget")
+	program := flag.String("query", "", "Vadalog program text (with -ask)")
+	ask := flag.String("ask", "", "Vadalog query to evaluate against -edb CSV files")
+	edb := flag.String("edb", "", "comma-separated pred=file.csv pairs for -ask")
+	flag.Parse()
+
+	switch {
+	case *printArch:
+		w := vada.New(vada.DefaultOptions())
+		fmt.Print(w.Architecture())
+	case *printScenario:
+		printScenarioTables(*n, *seed)
+	case *ask != "":
+		if err := runQuery(*program, *ask, *edb); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	case *run:
+		if err := runPipeline(*n, *seed, *budget, *trace, *csvOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+	}
+}
+
+func printScenarioTables(n int, seed int64) {
+	cfg := vada.DefaultScenarioConfig()
+	cfg.NProperties = n
+	cfg.Seed = seed
+	sc := vada.GenerateScenario(cfg)
+	fmt.Println("Sources (Figure 2a):")
+	fmt.Println(sc.Rightmove)
+	fmt.Println(sc.OnTheMarket)
+	fmt.Println(sc.Deprivation)
+	fmt.Println("Target schema (Figure 2b):")
+	fmt.Println("  " + vada.TargetSchema().String())
+	fmt.Println("\nData context (Figure 2c):")
+	fmt.Println(sc.AddressRef)
+	fmt.Println("User context (Figure 2d):")
+	for _, c := range vada.CrimeAnalysisUserContext().Comparisons() {
+		fmt.Println("  " + c.String())
+	}
+}
+
+func runPipeline(n int, seed int64, budget int, trace, csvOut bool) error {
+	cfg := vada.DefaultPayAsYouGoConfig()
+	cfg.Scenario.NProperties = n
+	cfg.Scenario.Seed = seed
+	cfg.FeedbackBudget = budget
+	w, _, stages, err := vada.RunPayAsYouGo(context.Background(), cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Print(vada.FormatStages(stages))
+	if trace {
+		fmt.Println("\norchestration trace:")
+		fmt.Print(vada.TraceString(w.Trace()))
+	}
+	if csvOut {
+		fmt.Println()
+		return w.ResultClean().WriteCSV(os.Stdout)
+	}
+	return nil
+}
+
+func runQuery(program, ask, edbSpec string) error {
+	edb := map[string][]vada.Tuple{}
+	if edbSpec != "" {
+		for _, pair := range strings.Split(edbSpec, ",") {
+			pred, file, ok := strings.Cut(pair, "=")
+			if !ok {
+				return fmt.Errorf("bad -edb entry %q (want pred=file.csv)", pair)
+			}
+			f, err := os.Open(file)
+			if err != nil {
+				return err
+			}
+			rel, err := vada.ReadCSV(pred, f, nil)
+			f.Close()
+			if err != nil {
+				return err
+			}
+			edb[pred] = rel.Tuples
+		}
+	}
+	mapEDB := make(map[string][]vada.Tuple, len(edb))
+	for k, v := range edb {
+		mapEDB[k] = v
+	}
+	bindings, err := vada.NewEngine().Query(program, ask, mapEDBAdapter(mapEDB))
+	if err != nil {
+		return err
+	}
+	for _, b := range bindings {
+		var parts []string
+		for k, v := range b {
+			parts = append(parts, fmt.Sprintf("%s=%v", k, v))
+		}
+		fmt.Println(strings.Join(parts, " "))
+	}
+	fmt.Printf("%d answers\n", len(bindings))
+	return nil
+}
+
+// mapEDBAdapter satisfies the reasoner's EDB interface from a plain map.
+type mapEDBAdapter map[string][]vada.Tuple
+
+func (m mapEDBAdapter) Facts(pred string) []vada.Tuple { return m[pred] }

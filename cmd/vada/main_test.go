@@ -1,0 +1,48 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunQueryOverCSV(t *testing.T) {
+	dir := t.TempDir()
+	file := filepath.Join(dir, "edge.csv")
+	if err := os.WriteFile(file, []byte("x,y\na,b\nb,c\nc,d\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := runQuery(
+		`path(X,Y) :- edge(X,Y). path(X,Z) :- path(X,Y), edge(Y,Z).`,
+		`?- path("a", Y).`,
+		"edge="+file,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunQueryErrors(t *testing.T) {
+	if err := runQuery(``, `?- p(X).`, "malformed-entry"); err == nil {
+		t.Fatal("bad -edb spec should fail")
+	}
+	if err := runQuery(``, `?- p(X).`, "p=/does/not/exist.csv"); err == nil {
+		t.Fatal("missing CSV should fail")
+	}
+	if err := runQuery(`p( :-`, `?- p(X).`, ""); err == nil {
+		t.Fatal("bad program should fail")
+	}
+}
+
+func TestRunPipelineSmall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline run in -short mode")
+	}
+	if err := runPipeline(60, 1, 30, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPrintScenarioTables(t *testing.T) {
+	printScenarioTables(30, 1) // must not panic
+}

@@ -1,0 +1,310 @@
+// Package cfd implements conditional functional dependencies: the data-
+// quality formalism the paper's CFD Learning transducer produces from
+// data-context instances (Table 1 row 5, §2.3) and that the quality and
+// repair transducers consume.
+//
+// A CFD (X → A, tp) embeds an FD X → A with a pattern tuple tp over X∪{A}
+// whose cells are constants or the wildcard '_'. Two classes are supported,
+// following CTANE:
+//
+//   - variable CFDs: all-wildcard patterns — ordinary FDs holding with high
+//     confidence on the mining data;
+//   - constant CFDs: constant LHS pattern and constant RHS — association-
+//     style rules ("postcode M1 1AA ⇒ city Manchester").
+package cfd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vada/internal/relation"
+)
+
+// PatternCell is one cell of a CFD pattern: a wildcard or a constant.
+type PatternCell struct {
+	// Any marks the wildcard '_'.
+	Any bool
+	// Value is the constant when Any is false.
+	Value relation.Value
+}
+
+// String renders the cell.
+func (p PatternCell) String() string {
+	if p.Any {
+		return "_"
+	}
+	return p.Value.String()
+}
+
+// CFD is a conditional functional dependency.
+type CFD struct {
+	// LHS is the determining attribute set, sorted.
+	LHS []string
+	// RHS is the determined attribute.
+	RHS string
+	// Pattern maps each attribute of LHS∪{RHS} to its pattern cell.
+	Pattern map[string]PatternCell
+	// Support is the fraction of mining tuples matching the LHS pattern
+	// with no nulls in LHS∪{RHS}.
+	Support float64
+	// Confidence is the fraction of matching tuples consistent with the
+	// dependency (1.0 means exact).
+	Confidence float64
+}
+
+// IsConstant reports whether the CFD is a constant CFD (every pattern cell
+// constant).
+func (c CFD) IsConstant() bool {
+	for _, cell := range c.Pattern {
+		if cell.Any {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the CFD in the customary notation.
+func (c CFD) String() string {
+	lhsCells := make([]string, len(c.LHS))
+	for i, a := range c.LHS {
+		lhsCells[i] = c.Pattern[a].String()
+	}
+	return fmt.Sprintf("(%s -> %s, (%s || %s)) [supp=%.2f conf=%.2f]",
+		strings.Join(c.LHS, ","), c.RHS,
+		strings.Join(lhsCells, ","), c.Pattern[c.RHS].String(),
+		c.Support, c.Confidence)
+}
+
+// Key identifies the dependency shape (for dedup across mining runs).
+func (c CFD) Key() string {
+	cells := make([]string, 0, len(c.LHS)+1)
+	for _, a := range c.LHS {
+		cells = append(cells, a+"="+c.Pattern[a].String())
+	}
+	cells = append(cells, c.RHS+"="+c.Pattern[c.RHS].String())
+	return strings.Join(cells, "|")
+}
+
+// MineOptions controls CFD mining.
+type MineOptions struct {
+	// MaxLHS bounds the size of left-hand sides (levelwise search depth).
+	MaxLHS int
+	// MinSupport is the minimal fraction of usable tuples an FD must cover.
+	MinSupport float64
+	// MinConfidence is the minimal confidence for variable CFDs.
+	MinConfidence float64
+	// MinConstantSupport is the minimal absolute tuple count for a constant
+	// CFD's LHS pattern.
+	MinConstantSupport int
+	// MaxConstantCFDs caps emitted constant CFDs (most-supported first).
+	MaxConstantCFDs int
+}
+
+// DefaultMineOptions are tuned for reference tables of a few thousand rows.
+func DefaultMineOptions() MineOptions {
+	return MineOptions{
+		MaxLHS:             2,
+		MinSupport:         0.5,
+		MinConfidence:      0.98,
+		MinConstantSupport: 3,
+		MaxConstantCFDs:    200,
+	}
+}
+
+// Mine learns CFDs from clean (reference/master) data, levelwise over LHS
+// size. Variable CFDs are pruned: once X → A holds exactly, supersets of X
+// for A are skipped (they are implied).
+func Mine(rel *relation.Relation, opts MineOptions) []CFD {
+	attrs := rel.Schema.AttrNames()
+	var out []CFD
+	exact := map[string]bool{} // "A" -> some X→A with conf 1 already found at lower level
+
+	subsetsDone := map[string]bool{}
+	var lhsSets [][]string
+	var build func(start int, cur []string)
+	build = func(start int, cur []string) {
+		if len(cur) > 0 && len(cur) <= opts.MaxLHS {
+			lhsSets = append(lhsSets, append([]string(nil), cur...))
+		}
+		if len(cur) == opts.MaxLHS {
+			return
+		}
+		for i := start; i < len(attrs); i++ {
+			build(i+1, append(cur, attrs[i]))
+		}
+	}
+	build(0, nil)
+	// Levelwise order: smaller LHS first.
+	sort.SliceStable(lhsSets, func(i, j int) bool { return len(lhsSets[i]) < len(lhsSets[j]) })
+
+	var constants []CFD
+	for _, lhs := range lhsSets {
+		for _, rhs := range attrs {
+			if contains(lhs, rhs) {
+				continue
+			}
+			// Prune: an exact smaller FD for rhs whose LHS ⊆ lhs implies this.
+			if prunedBy(exact, lhs, rhs) {
+				continue
+			}
+			stats := partitionStats(rel, lhs, rhs)
+			if stats.usable == 0 {
+				continue
+			}
+			support := float64(stats.usable) / float64(rel.Cardinality())
+			confidence := float64(stats.consistent) / float64(stats.usable)
+			if support >= opts.MinSupport && confidence >= opts.MinConfidence {
+				pattern := map[string]PatternCell{rhs: {Any: true}}
+				for _, a := range lhs {
+					pattern[a] = PatternCell{Any: true}
+				}
+				out = append(out, CFD{
+					LHS: append([]string(nil), lhs...), RHS: rhs,
+					Pattern: pattern, Support: support, Confidence: confidence,
+				})
+				if confidence == 1 {
+					exact[fdKey(lhs, rhs)] = true
+				}
+			}
+			// Constant CFDs from pure groups.
+			for _, g := range stats.pureGroups {
+				if g.count < opts.MinConstantSupport {
+					continue
+				}
+				pattern := map[string]PatternCell{rhs: {Value: g.rhsValue}}
+				for i, a := range lhs {
+					pattern[a] = PatternCell{Value: g.lhsValues[i]}
+				}
+				constants = append(constants, CFD{
+					LHS: append([]string(nil), lhs...), RHS: rhs,
+					Pattern:    pattern,
+					Support:    float64(g.count) / float64(rel.Cardinality()),
+					Confidence: 1,
+				})
+			}
+		}
+	}
+	_ = subsetsDone
+
+	sort.SliceStable(constants, func(i, j int) bool {
+		if constants[i].Support != constants[j].Support {
+			return constants[i].Support > constants[j].Support
+		}
+		return constants[i].Key() < constants[j].Key()
+	})
+	if len(constants) > opts.MaxConstantCFDs {
+		constants = constants[:opts.MaxConstantCFDs]
+	}
+	out = append(out, constants...)
+	return out
+}
+
+func contains(set []string, x string) bool {
+	for _, s := range set {
+		if s == x {
+			return true
+		}
+	}
+	return false
+}
+
+func fdKey(lhs []string, rhs string) string {
+	s := append([]string(nil), lhs...)
+	sort.Strings(s)
+	return strings.Join(s, ",") + "->" + rhs
+}
+
+// prunedBy reports whether some exact FD Y→rhs with Y ⊂ lhs exists.
+func prunedBy(exact map[string]bool, lhs []string, rhs string) bool {
+	if len(lhs) < 2 {
+		return false
+	}
+	for skip := range lhs {
+		sub := make([]string, 0, len(lhs)-1)
+		for i, a := range lhs {
+			if i != skip {
+				sub = append(sub, a)
+			}
+		}
+		if exact[fdKey(sub, rhs)] {
+			return true
+		}
+	}
+	return false
+}
+
+type pureGroup struct {
+	lhsValues []relation.Value
+	rhsValue  relation.Value
+	count     int
+}
+
+type stats struct {
+	usable     int // tuples with no nulls in LHS∪{RHS}
+	consistent int // tuples in their group's majority RHS value
+	pureGroups []pureGroup
+}
+
+func partitionStats(rel *relation.Relation, lhs []string, rhs string) stats {
+	li := make([]int, len(lhs))
+	for i, a := range lhs {
+		li[i] = rel.Schema.AttrIndex(a)
+	}
+	ri := rel.Schema.AttrIndex(rhs)
+
+	type group struct {
+		lhsValues []relation.Value
+		counts    map[string]int
+		rhsSample map[string]relation.Value
+		total     int
+	}
+	groups := map[string]*group{}
+	var order []string
+	st := stats{}
+	for _, t := range rel.Tuples {
+		skip := t[ri].IsNull()
+		var kb strings.Builder
+		vals := make([]relation.Value, len(li))
+		for i, idx := range li {
+			if t[idx].IsNull() {
+				skip = true
+				break
+			}
+			vals[i] = t[idx]
+			kb.WriteString(t[idx].Key())
+			kb.WriteByte('\x1f')
+		}
+		if skip {
+			continue
+		}
+		st.usable++
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{lhsValues: vals, counts: map[string]int{}, rhsSample: map[string]relation.Value{}}
+			groups[k] = g
+			order = append(order, k)
+		}
+		rk := t[ri].Key()
+		g.counts[rk]++
+		g.rhsSample[rk] = t[ri]
+		g.total++
+	}
+	for _, k := range order {
+		g := groups[k]
+		best, bestKey := 0, ""
+		for rk, c := range g.counts {
+			if c > best || (c == best && rk < bestKey) {
+				best, bestKey = c, rk
+			}
+		}
+		st.consistent += best
+		if len(g.counts) == 1 {
+			st.pureGroups = append(st.pureGroups, pureGroup{
+				lhsValues: g.lhsValues, rhsValue: g.rhsSample[bestKey], count: g.total,
+			})
+		}
+	}
+	return st
+}

@@ -1,0 +1,115 @@
+package cfd
+
+import (
+	"strings"
+
+	"vada/internal/relation"
+)
+
+// Violation records a CFD violation in a relation.
+type Violation struct {
+	// CFD is the violated dependency.
+	CFD CFD
+	// Rows are the offending tuple indices: one row for constant-CFD
+	// violations, the rows of a disagreeing group for variable CFDs.
+	Rows []int
+	// Attr is the attribute in violation (the CFD's RHS).
+	Attr string
+}
+
+// Violations finds all violations of the dependency in rel. Attributes the
+// relation lacks make the CFD inapplicable (no violations). Tuples with
+// nulls in LHS∪{RHS} are skipped: missing data is an incompleteness issue,
+// not an inconsistency.
+func Violations(rel *relation.Relation, c CFD) []Violation {
+	li := make([]int, len(c.LHS))
+	for i, a := range c.LHS {
+		li[i] = rel.Schema.AttrIndex(a)
+		if li[i] < 0 {
+			return nil
+		}
+	}
+	ri := rel.Schema.AttrIndex(c.RHS)
+	if ri < 0 {
+		return nil
+	}
+
+	matches := func(t relation.Tuple) bool {
+		for i, a := range c.LHS {
+			cell := c.Pattern[a]
+			if t[li[i]].IsNull() {
+				return false
+			}
+			if !cell.Any && !cell.Value.Equal(t[li[i]]) {
+				return false
+			}
+		}
+		return !t[ri].IsNull()
+	}
+
+	var out []Violation
+	if c.IsConstant() {
+		for rowIdx, t := range rel.Tuples {
+			if !matches(t) {
+				continue
+			}
+			if !c.Pattern[c.RHS].Value.Equal(t[ri]) {
+				out = append(out, Violation{CFD: c, Rows: []int{rowIdx}, Attr: c.RHS})
+			}
+		}
+		return out
+	}
+
+	// Variable CFD: group matching tuples by LHS; groups with >1 distinct
+	// RHS value violate.
+	type group struct {
+		rows []int
+		rhs  map[string]bool
+	}
+	groups := map[string]*group{}
+	var order []string
+	for rowIdx, t := range rel.Tuples {
+		if !matches(t) {
+			continue
+		}
+		var kb strings.Builder
+		for _, idx := range li {
+			kb.WriteString(t[idx].Key())
+			kb.WriteByte('\x1f')
+		}
+		k := kb.String()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{rhs: map[string]bool{}}
+			groups[k] = g
+			order = append(order, k)
+		}
+		g.rows = append(g.rows, rowIdx)
+		g.rhs[t[ri].Key()] = true
+	}
+	for _, k := range order {
+		g := groups[k]
+		if len(g.rhs) > 1 {
+			out = append(out, Violation{CFD: c, Rows: append([]int(nil), g.rows...), Attr: c.RHS})
+		}
+	}
+	return out
+}
+
+// ConsistencyRate measures 1 − (fraction of tuples involved in at least one
+// violation of any of the given CFDs). An empty relation or empty CFD set is
+// perfectly consistent.
+func ConsistencyRate(rel *relation.Relation, cfds []CFD) float64 {
+	if rel.Cardinality() == 0 || len(cfds) == 0 {
+		return 1
+	}
+	bad := map[int]bool{}
+	for _, c := range cfds {
+		for _, v := range Violations(rel, c) {
+			for _, r := range v.Rows {
+				bad[r] = true
+			}
+		}
+	}
+	return 1 - float64(len(bad))/float64(rel.Cardinality())
+}

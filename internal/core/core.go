@@ -1,0 +1,422 @@
+// Package core assembles the VADA architecture (Figure 1): a knowledge
+// base, the Vadalog reasoner, a registry of transducers for every wrangling
+// activity, and a network transducer orchestrating them — exposed through
+// the pay-as-you-go API of the demonstration (§3):
+//
+//	w := core.NewWrangler(core.DefaultOptions())
+//	w.RegisterWebSource(...)            // sources
+//	w.SetTargetSchema(target)           // user context: target schema
+//	w.Run(ctx)                          // step 1: automatic bootstrapping
+//	w.AddDataContext("address", ref)    // step 2: data context
+//	w.Run(ctx)
+//	w.AddFeedback(items...)             // step 3: feedback
+//	w.Run(ctx)
+//	w.SetUserContext(model)             // step 4: user context priorities
+//	w.Run(ctx)
+//	result := w.Result()
+//
+// Every Run drives the orchestrator to quiescence; each context addition
+// re-enables exactly the transducers whose declared input dependencies now
+// hold, which is the paper's "dynamic orchestration" claim made executable.
+package core
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"strings"
+	"sync"
+
+	"vada/internal/cfd"
+	"vada/internal/extract"
+	"vada/internal/feedback"
+	"vada/internal/kb"
+	"vada/internal/mapping"
+	"vada/internal/match"
+	"vada/internal/mcda"
+	"vada/internal/relation"
+	"vada/internal/transducer"
+	"vada/internal/vadalog"
+)
+
+// Fact predicates of the standard transducer suite. Names follow the
+// knowledge-base namespaces (kb.NS*).
+const (
+	PredSourceRegistered = "src_registered"   // src_registered(name)
+	PredSourceExtracted  = "src_extracted"    // src_extracted(name)
+	PredSourceSchema     = "src_schema"       // src_schema(name)
+	PredSourceInstances  = "src_instances"    // src_instances(name)
+	PredTargetSchema     = "uc_target_schema" // uc_target_schema(name)
+	PredPriority         = "uc_priority"      // uc_priority(moreM, moreT, lessM, lessT, strength)
+	PredReference        = "dc_reference"     // dc_reference(name)
+	PredDCInstances      = "dc_instances"     // dc_instances(name)
+	PredMatch            = "md_match"         // md_match(src, sattr, tattr, score, method)
+	PredMapping          = "md_mapping"       // md_mapping(id, base)
+	PredMapped           = "md_mapped"        // md_mapped(id, rows)
+	PredCFD              = "md_cfd"           // md_cfd(key, support, confidence)
+	PredQuality          = "md_quality"       // md_quality(object, metric, target, value)
+	PredSelected         = "md_selected"      // md_selected(id, rank)
+	PredResult           = "md_result"        // md_result(rows)
+	PredAccuracy         = "md_accuracy"      // md_accuracy(source, attr, accuracy)
+	PredFeedback         = "fb_item"          // fb_item(street, postcode, attr, correct)
+)
+
+// Relation-name prefixes in the knowledge base.
+const (
+	RelSourcePrefix  = "src_" // extracted source relations
+	RelContextPrefix = "dc_"  // data-context relations
+	RelResultPrefix  = "res_" // per-mapping results
+	RelResult        = "result"
+)
+
+// Options configures a Wrangler.
+type Options struct {
+	// MatchThreshold filters matches for mapping generation.
+	MatchThreshold float64
+	// FusionThreshold is the duplicate-detection similarity threshold.
+	FusionThreshold float64
+	// MineOptions controls CFD learning.
+	MineOptions cfd.MineOptions
+	// GenOptions controls mapping generation.
+	GenOptions mapping.GenOptions
+	// RangeRuleSupport is the minimal feedback support for plausibility
+	// rules.
+	RangeRuleSupport int
+	// MaxSteps bounds one orchestration run.
+	MaxSteps int
+	// Network overrides the network transducer (nil = generic).
+	Network transducer.NetworkTransducer
+	// FusionBlockAttr is the result attribute duplicate detection blocks
+	// on; tuples lacking it are never considered duplicates.
+	FusionBlockAttr string
+	// FusionIdentityAttr is the result attribute whose normalised equality
+	// identifies duplicates within a block.
+	FusionIdentityAttr string
+}
+
+// DefaultOptions returns production defaults.
+func DefaultOptions() Options {
+	return Options{
+		MatchThreshold:     0.6,
+		FusionThreshold:    0.90,
+		MineOptions:        cfd.DefaultMineOptions(),
+		GenOptions:         mapping.DefaultGenOptions(),
+		RangeRuleSupport:   3,
+		MaxSteps:           500,
+		FusionBlockAttr:    "postcode",
+		FusionIdentityAttr: "street",
+	}
+}
+
+// webSource is a registered deep-web source awaiting extraction.
+type webSource struct {
+	template extract.SiteTemplate
+	pages    []extract.Page
+	schema   relation.Schema
+	examples []extract.Annotation
+}
+
+// Wrangler is the VADA system facade.
+type Wrangler struct {
+	// KB is the shared knowledge base (exported for inspection and the web
+	// UI; treat as read-mostly from outside).
+	KB *kb.KB
+
+	opts   Options
+	engine *vadalog.Engine
+	orch   *transducer.Orchestrator
+	reg    *transducer.Registry
+
+	mu            sync.Mutex
+	target        relation.Schema
+	hasTarget     bool
+	webSources    map[string]webSource
+	directSources map[string]*relation.Relation
+	nameMatches   []match.Match
+	instMatches   []match.Match
+	mappings      map[string]mapping.Mapping
+	cfds          []cfd.CFD
+	refNames      []string
+	fb            *feedback.Store
+	rangeRules    []feedback.RangeRule
+	accBySource   map[string]map[string]float64
+	userModel     *mcda.Model
+	lastExecHash  map[string]uint64
+	lastFusedHash uint64
+	wrappers      map[string]*extract.Wrapper
+}
+
+// NewWrangler builds a Wrangler with the standard transducer suite
+// registered.
+func NewWrangler(opts Options) *Wrangler {
+	w := &Wrangler{
+		KB:            kb.New(),
+		opts:          opts,
+		engine:        vadalog.NewEngine(),
+		reg:           transducer.NewRegistry(),
+		webSources:    map[string]webSource{},
+		directSources: map[string]*relation.Relation{},
+		mappings:      map[string]mapping.Mapping{},
+		fb:            feedback.NewStore(),
+		accBySource:   map[string]map[string]float64{},
+		lastExecHash:  map[string]uint64{},
+		wrappers:      map[string]*extract.Wrapper{},
+	}
+	w.registerStandardSuite()
+	orchOpts := []func(*transducer.Orchestrator){transducer.WithMaxSteps(opts.MaxSteps)}
+	if opts.Network != nil {
+		orchOpts = append(orchOpts, transducer.WithNetwork(opts.Network))
+	}
+	w.orch = transducer.NewOrchestrator(w.KB, w.reg, orchOpts...)
+	return w
+}
+
+// Registry exposes the transducer registry so developers can contribute
+// additional transducers (§4: "developers can contribute to data wrangling
+// by adding in new components as transducers").
+func (w *Wrangler) Registry() *transducer.Registry { return w.reg }
+
+// RegisterWebSource registers a deep-web source: pages rendered by the given
+// template plus a few annotated example values for wrapper induction. The
+// extraction transducer becomes ready immediately.
+func (w *Wrangler) RegisterWebSource(tmpl extract.SiteTemplate, schema relation.Schema, pages []extract.Page, examples []extract.Annotation) {
+	w.mu.Lock()
+	w.webSources[schema.Name] = webSource{template: tmpl, pages: pages, schema: schema, examples: examples}
+	w.mu.Unlock()
+	w.KB.Assert(PredSourceRegistered, relation.NewTuple(schema.Name))
+}
+
+// RegisterSource registers an already-extracted source relation (e.g. an
+// open-government CSV download).
+func (w *Wrangler) RegisterSource(rel *relation.Relation) {
+	name := rel.Schema.Name
+	w.mu.Lock()
+	w.directSources[name] = rel.Clone()
+	w.mu.Unlock()
+	w.KB.Assert(PredSourceRegistered, relation.NewTuple(name))
+}
+
+// SetTargetSchema supplies the user-context target schema (§2.2).
+func (w *Wrangler) SetTargetSchema(s relation.Schema) {
+	w.mu.Lock()
+	w.target = s
+	w.hasTarget = true
+	w.mu.Unlock()
+	w.KB.Assert(PredTargetSchema, relation.NewTuple(s.Name))
+}
+
+// AddDataContext associates the target schema with reference/master/example
+// data (§2.2, Figure 2(c)); alias maps context attribute names onto target
+// attribute names when they differ.
+func (w *Wrangler) AddDataContext(rel *relation.Relation) {
+	name := rel.Schema.Name
+	w.KB.PutRelation(RelContextPrefix+name, rel)
+	w.mu.Lock()
+	found := false
+	for _, n := range w.refNames {
+		if n == name {
+			found = true
+		}
+	}
+	if !found {
+		w.refNames = append(w.refNames, name)
+	}
+	w.mu.Unlock()
+	w.KB.Assert(PredReference, relation.NewTuple(name))
+	w.KB.Assert(PredDCInstances, relation.NewTuple(name))
+}
+
+// AddFeedback records user feedback (§2.3, step 3 of the demonstration).
+func (w *Wrangler) AddFeedback(items ...feedback.Item) {
+	w.fb.Add(items...)
+	for _, it := range items {
+		w.KB.Assert(PredFeedback, relation.NewTuple(it.Street, it.Postcode, it.Attr, it.Correct))
+	}
+}
+
+// SetUserContext installs the pairwise priorities of §2.2 / Figure 2(d).
+func (w *Wrangler) SetUserContext(m *mcda.Model) {
+	w.mu.Lock()
+	w.userModel = m
+	w.mu.Unlock()
+	for _, c := range m.Comparisons() {
+		w.KB.Assert(PredPriority, relation.NewTuple(
+			c.More.Metric, c.More.Target, c.Less.Metric, c.Less.Target, int(c.Strength)))
+	}
+}
+
+// Run drives orchestration to quiescence and returns the steps taken.
+func (w *Wrangler) Run(ctx context.Context) ([]transducer.Step, error) {
+	return w.orch.RunToQuiescence(ctx)
+}
+
+// Trace returns all orchestration steps so far.
+func (w *Wrangler) Trace() []transducer.Step { return w.orch.Trace() }
+
+// Result returns the current wrangling result including the provenance
+// column, or nil before the first fusion.
+func (w *Wrangler) Result() *relation.Relation { return w.KB.Relation(RelResult) }
+
+// ResultClean returns the result without the provenance column.
+func (w *Wrangler) ResultClean() *relation.Relation {
+	res := w.Result()
+	if res == nil {
+		return nil
+	}
+	var keep []string
+	for _, a := range res.Schema.Attrs {
+		if a.Name != mapping.ProvenanceAttr {
+			keep = append(keep, a.Name)
+		}
+	}
+	out, err := res.Project(keep...)
+	if err != nil {
+		return res
+	}
+	return out
+}
+
+// Mappings returns the current candidate mappings, sorted by ID.
+func (w *Wrangler) Mappings() []mapping.Mapping {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := make([]mapping.Mapping, 0, len(w.mappings))
+	for _, m := range w.mappings {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// CFDs returns the learned CFDs.
+func (w *Wrangler) CFDs() []cfd.CFD {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return append([]cfd.CFD(nil), w.cfds...)
+}
+
+// Matches returns the current combined, feedback-revised matches.
+func (w *Wrangler) Matches() []match.Match {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.combinedMatchesLocked()
+}
+
+// SelectedMappings returns the IDs chosen by mapping selection, by rank.
+func (w *Wrangler) SelectedMappings() []string {
+	facts := w.KB.Facts(PredSelected)
+	sort.Slice(facts, func(i, j int) bool { return facts[i][1].IntVal() < facts[j][1].IntVal() })
+	out := make([]string, len(facts))
+	for i, f := range facts {
+		out[i] = f[0].Str()
+	}
+	return out
+}
+
+// userWeights derives the current criterion weights (nil when no user
+// context has been provided).
+func (w *Wrangler) userWeights() map[mcda.Criterion]float64 {
+	w.mu.Lock()
+	m := w.userModel
+	w.mu.Unlock()
+	if m == nil {
+		return nil
+	}
+	weights, _, err := m.Weights()
+	if err != nil {
+		return nil
+	}
+	return weights
+}
+
+// combinedMatchesLocked merges name and instance matches and applies
+// feedback revision. Callers hold w.mu.
+func (w *Wrangler) combinedMatchesLocked() []match.Match {
+	combined := match.Combine(w.nameMatches, w.instMatches)
+	return feedback.ReviseMatchScores(combined, w.accBySource)
+}
+
+// Architecture renders the component graph of Figure 1 as wired in this
+// instance: experiment E-F1's artefact.
+func (w *Wrangler) Architecture() string {
+	var b strings.Builder
+	b.WriteString("VADA architecture (Figure 1)\n")
+	b.WriteString("  User Interface / API ── user context, data context, feedback ──▶ Knowledge Base\n")
+	b.WriteString("  Knowledge Base ◀── facts, metrics, matches, mappings ── Transducers\n")
+	b.WriteString("  Vadalog Reasoner ── dependency queries, mappings ── Knowledge Base\n")
+	b.WriteString("  Network transducer: " + w.orchNetworkName() + "\n")
+	b.WriteString("  Transducers:\n")
+	for _, t := range w.reg.All() {
+		d := t.Dependency()
+		q := d.Query
+		if q == "" {
+			q = "(always)"
+		}
+		fmt.Fprintf(&b, "    %-24s [%-12s] needs %s\n", t.Name(), t.Activity(), q)
+	}
+	return b.String()
+}
+
+func (w *Wrangler) orchNetworkName() string {
+	if w.opts.Network != nil {
+		return w.opts.Network.Name()
+	}
+	return "generic-network"
+}
+
+// --- knowledge-base helpers ----------------------------------------------
+
+// hashRelation fingerprints a relation's schema and content.
+func hashRelation(r *relation.Relation) uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(r.Schema.String()))
+	for _, t := range r.Tuples {
+		_, _ = h.Write([]byte(t.Key()))
+		_, _ = h.Write([]byte{0x1e})
+	}
+	return h.Sum64()
+}
+
+// replaceFacts swaps the facts of pred matching keep==nil (all) for the new
+// set, but only when the sets differ — preserving orchestration quiescence.
+// It returns (asserted, retracted).
+func replaceFacts(k *kb.KB, pred string, filter func(relation.Tuple) bool, next []relation.Tuple) (int, int) {
+	var current []relation.Tuple
+	if filter == nil {
+		current = k.Facts(pred)
+	} else {
+		current = k.FactsWhere(pred, filter)
+	}
+	curSet := make(map[string]bool, len(current))
+	for _, t := range current {
+		curSet[t.Key()] = true
+	}
+	nextSet := make(map[string]bool, len(next))
+	same := len(current) == len(next)
+	for _, t := range next {
+		key := t.Key()
+		nextSet[key] = true
+		if !curSet[key] {
+			same = false
+		}
+	}
+	if same {
+		return 0, 0
+	}
+	retracted := 0
+	for _, t := range current {
+		if !nextSet[t.Key()] {
+			if k.Retract(pred, t) {
+				retracted++
+			}
+		}
+	}
+	asserted := 0
+	for _, t := range next {
+		if k.Assert(pred, t) {
+			asserted++
+		}
+	}
+	return asserted, retracted
+}

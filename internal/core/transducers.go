@@ -1,0 +1,678 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"vada/internal/cfd"
+	"vada/internal/datagen"
+	"vada/internal/extract"
+	"vada/internal/feedback"
+	"vada/internal/fusion"
+	"vada/internal/kb"
+	"vada/internal/mapping"
+	"vada/internal/match"
+	"vada/internal/quality"
+	"vada/internal/relation"
+	"vada/internal/transducer"
+)
+
+// registerStandardSuite wires the standard transducers. Their declared input
+// dependencies implement Table 1 of the paper plus the §2.3 walk-throughs;
+// all bodies are idempotent (replace-if-changed), which is what lets the
+// orchestrator quiesce.
+func (w *Wrangler) registerStandardSuite() {
+	w.reg.MustRegister(
+		w.extractionTransducer(),
+		w.feedbackTransducer(),
+		w.schemaMatchingTransducer(),
+		w.instanceMatchingTransducer(),
+		w.cfdLearningTransducer(),
+		w.mappingGenerationTransducer(),
+		w.mappingExecutionTransducer(),
+		w.repairTransducer(),
+		w.qualityTransducer(),
+		w.selectionTransducer(),
+		w.fusionTransducer(),
+	)
+}
+
+// sourceRelations returns the current extracted source relations by name.
+func (w *Wrangler) sourceRelations(k *kb.KB) map[string]*relation.Relation {
+	out := map[string]*relation.Relation{}
+	for _, name := range k.RelationNames(RelSourcePrefix) {
+		rel := k.Relation(name)
+		if rel != nil {
+			out[strings.TrimPrefix(name, RelSourcePrefix)] = rel
+		}
+	}
+	return out
+}
+
+// primaryReference returns the first data-context relation, or nil.
+func (w *Wrangler) primaryReference(k *kb.KB) *relation.Relation {
+	w.mu.Lock()
+	names := append([]string(nil), w.refNames...)
+	w.mu.Unlock()
+	if len(names) == 0 {
+		return nil
+	}
+	return k.Relation(RelContextPrefix + names[0])
+}
+
+// extractionTransducer extracts registered-but-unextracted sources: web
+// sources via wrapper induction over their pages, direct sources by copying.
+func (w *Wrangler) extractionTransducer() transducer.Transducer {
+	return &transducer.Func{
+		TName:     "web-extraction",
+		TActivity: "extraction",
+		Dep:       transducer.Dependency{Query: "?- src_registered(S), not src_extracted(S)."},
+		RunFn: func(_ context.Context, k *kb.KB) (transducer.Report, error) {
+			rep := transducer.Report{}
+			for _, f := range k.Facts(PredSourceRegistered) {
+				name := f[0].Str()
+				if k.Has(PredSourceExtracted, relation.NewTuple(name)) {
+					continue
+				}
+				w.mu.Lock()
+				ws, isWeb := w.webSources[name]
+				direct := w.directSources[name]
+				w.mu.Unlock()
+
+				var rel *relation.Relation
+				switch {
+				case isWeb:
+					wr, err := extract.InduceWrapper(ws.pages[0], ws.examples)
+					if err != nil {
+						return rep, fmt.Errorf("extracting %s: %w", name, err)
+					}
+					extracted, _, err := wr.Extract(ws.pages, ws.schema)
+					if err != nil {
+						return rep, fmt.Errorf("extracting %s: %w", name, err)
+					}
+					rel = extracted
+					w.mu.Lock()
+					w.wrappers[name] = wr
+					w.mu.Unlock()
+					rep.Notes = append(rep.Notes, fmt.Sprintf("induced %s", wr))
+				case direct != nil:
+					rel = direct
+				default:
+					continue
+				}
+				k.PutRelation(RelSourcePrefix+name, rel)
+				rep.RelationsWritten = append(rep.RelationsWritten, RelSourcePrefix+name)
+				for _, pred := range []string{PredSourceExtracted, PredSourceSchema, PredSourceInstances} {
+					if k.Assert(pred, relation.NewTuple(name)) {
+						rep.FactsAsserted++
+					}
+				}
+				rep.Notes = append(rep.Notes, fmt.Sprintf("%s: %d tuples", name, rel.Cardinality()))
+			}
+			return rep, nil
+		},
+	}
+}
+
+// feedbackTransducer assimilates feedback: per-source accuracy (the paper's
+// mapping-evaluation step that revises match scores), plausibility range
+// rules, and accuracy facts for the quality transducer.
+func (w *Wrangler) feedbackTransducer() transducer.Transducer {
+	return &transducer.Func{
+		TName:     "feedback-assimilation",
+		TActivity: "feedback",
+		Dep: transducer.Dependency{
+			Query: "?- fb_item(S, P, A, C).",
+			Guard: func(k *kb.KB) bool { return k.HasRelation(RelResult) },
+		},
+		RunFn: func(_ context.Context, k *kb.KB) (transducer.Report, error) {
+			rep := transducer.Report{}
+			res := k.Relation(RelResult)
+			items := w.fb.Items()
+
+			acc := feedback.AccuracyBySource(items, res, mapping.ProvenanceAttr, nil)
+			rules := feedback.LearnRangeRules(items, res, w.opts.RangeRuleSupport, nil)
+			w.mu.Lock()
+			w.accBySource = acc
+			w.rangeRules = rules
+			matches := w.combinedMatchesLocked()
+			w.mu.Unlock()
+
+			var accFacts []relation.Tuple
+			for src, byAttr := range acc {
+				for attr, a := range byAttr {
+					accFacts = append(accFacts, relation.NewTuple(src, attr, a))
+				}
+			}
+			a, r := replaceFacts(k, PredAccuracy, nil, accFacts)
+			rep.FactsAsserted += a
+			rep.FactsRetracted += r
+
+			// Republish revised matches so mapping generation re-fires when
+			// scores changed (the §2.3 feedback walk-through).
+			a, r = replaceFacts(k, PredMatch, nil, matchFacts(matches))
+			rep.FactsAsserted += a
+			rep.FactsRetracted += r
+
+			for _, rule := range rules {
+				rep.Notes = append(rep.Notes, "learned "+rule.String())
+			}
+			rep.Notes = append(rep.Notes, fmt.Sprintf("%d feedback items assimilated", len(items)))
+			return rep, nil
+		},
+	}
+}
+
+func matchFacts(ms []match.Match) []relation.Tuple {
+	out := make([]relation.Tuple, 0, len(ms))
+	for _, m := range ms {
+		out = append(out, relation.NewTuple(m.SourceRel, m.SourceAttr, m.TargetAttr, m.Score, m.Method))
+	}
+	return out
+}
+
+// schemaMatchingTransducer matches source schemas against the target schema
+// by name (Table 1: needs source and target schemas).
+func (w *Wrangler) schemaMatchingTransducer() transducer.Transducer {
+	return &transducer.Func{
+		TName:     "schema-matching",
+		TActivity: "matching",
+		Dep:       transducer.Dependency{Query: "?- src_schema(S), uc_target_schema(T)."},
+		RunFn: func(_ context.Context, k *kb.KB) (transducer.Report, error) {
+			rep := transducer.Report{}
+			w.mu.Lock()
+			target, ok := w.target, w.hasTarget
+			w.mu.Unlock()
+			if !ok {
+				return rep, fmt.Errorf("schema matching: target schema missing")
+			}
+			var all []match.Match
+			srcs := w.sourceRelations(k)
+			names := sortedKeys(srcs)
+			for _, name := range names {
+				all = append(all, match.MatchSchemas(srcs[name].Schema, target)...)
+			}
+			w.mu.Lock()
+			w.nameMatches = all
+			facts := matchFacts(w.combinedMatchesLocked())
+			w.mu.Unlock()
+			a, r := replaceFacts(k, PredMatch, nil, facts)
+			rep.FactsAsserted += a
+			rep.FactsRetracted += r
+			rep.Notes = append(rep.Notes, fmt.Sprintf("%d name-based match hypotheses over %d sources", len(all), len(names)))
+			return rep, nil
+		},
+	}
+}
+
+// instanceMatchingTransducer matches source instances against data-context
+// instances (Table 1: needs source and target instances).
+func (w *Wrangler) instanceMatchingTransducer() transducer.Transducer {
+	return &transducer.Func{
+		TName:     "instance-matching",
+		TActivity: "matching",
+		Dep:       transducer.Dependency{Query: "?- src_instances(S), dc_instances(D)."},
+		RunFn: func(_ context.Context, k *kb.KB) (transducer.Report, error) {
+			rep := transducer.Report{}
+			instances := map[string][]relation.Value{}
+			w.mu.Lock()
+			refNames := append([]string(nil), w.refNames...)
+			w.mu.Unlock()
+			for _, name := range refNames {
+				ref := k.Relation(RelContextPrefix + name)
+				if ref == nil {
+					continue
+				}
+				for attr, vals := range match.TargetInstancesFromRelation(ref, nil) {
+					instances[attr] = append(instances[attr], vals...)
+				}
+			}
+			if len(instances) == 0 {
+				return rep, nil
+			}
+			var all []match.Match
+			srcs := w.sourceRelations(k)
+			for _, name := range sortedKeys(srcs) {
+				all = append(all, match.MatchInstances(srcs[name], instances)...)
+			}
+			w.mu.Lock()
+			w.instMatches = all
+			facts := matchFacts(w.combinedMatchesLocked())
+			w.mu.Unlock()
+			a, r := replaceFacts(k, PredMatch, nil, facts)
+			rep.FactsAsserted += a
+			rep.FactsRetracted += r
+			rep.Notes = append(rep.Notes, fmt.Sprintf("%d instance-based match hypotheses", len(all)))
+			return rep, nil
+		},
+	}
+}
+
+// cfdLearningTransducer mines CFDs from the data context (Table 1: needs
+// data examples).
+func (w *Wrangler) cfdLearningTransducer() transducer.Transducer {
+	return &transducer.Func{
+		TName:     "cfd-learning",
+		TActivity: "quality-rules",
+		Dep:       transducer.Dependency{Query: "?- dc_reference(R)."},
+		RunFn: func(_ context.Context, k *kb.KB) (transducer.Report, error) {
+			rep := transducer.Report{}
+			w.mu.Lock()
+			refNames := append([]string(nil), w.refNames...)
+			w.mu.Unlock()
+			var mined []cfd.CFD
+			seen := map[string]bool{}
+			for _, name := range refNames {
+				ref := k.Relation(RelContextPrefix + name)
+				if ref == nil {
+					continue
+				}
+				for _, c := range cfd.Mine(ref, w.opts.MineOptions) {
+					if !seen[c.Key()] {
+						seen[c.Key()] = true
+						mined = append(mined, c)
+					}
+				}
+			}
+			w.mu.Lock()
+			w.cfds = mined
+			w.mu.Unlock()
+			var facts []relation.Tuple
+			for _, c := range mined {
+				facts = append(facts, relation.NewTuple(c.Key(), c.Support, c.Confidence))
+			}
+			a, r := replaceFacts(k, PredCFD, nil, facts)
+			rep.FactsAsserted += a
+			rep.FactsRetracted += r
+			rep.Notes = append(rep.Notes, fmt.Sprintf("%d CFDs learned from data context", len(mined)))
+			return rep, nil
+		},
+	}
+}
+
+// mappingGenerationTransducer generates candidate mappings from matches
+// (Table 1: needs matches — "may start to evaluate when matches have been
+// created").
+func (w *Wrangler) mappingGenerationTransducer() transducer.Transducer {
+	return &transducer.Func{
+		TName:     "mapping-generation",
+		TActivity: "mapping",
+		Dep:       transducer.Dependency{Query: "?- md_match(S, A, T, Sc, M)."},
+		RunFn: func(_ context.Context, k *kb.KB) (transducer.Report, error) {
+			rep := transducer.Report{}
+			w.mu.Lock()
+			target := w.target
+			matches := w.combinedMatchesLocked()
+			w.mu.Unlock()
+			srcs := w.sourceRelations(k)
+			rels := make([]*relation.Relation, 0, len(srcs))
+			for _, name := range sortedKeys(srcs) {
+				rels = append(rels, srcs[name])
+			}
+			gen := mapping.Generate(target, rels, matches, w.opts.GenOptions)
+			w.mu.Lock()
+			w.mappings = map[string]mapping.Mapping{}
+			for _, m := range gen {
+				w.mappings[m.ID] = m
+			}
+			w.mu.Unlock()
+			var facts []relation.Tuple
+			for _, m := range gen {
+				facts = append(facts, relation.NewTuple(m.ID, m.BaseSource))
+			}
+			a, r := replaceFacts(k, PredMapping, nil, facts)
+			rep.FactsAsserted += a
+			rep.FactsRetracted += r
+			for _, m := range gen {
+				rep.Notes = append(rep.Notes, m.String())
+			}
+			return rep, nil
+		},
+	}
+}
+
+// mappingExecutionTransducer executes candidate mappings over the current
+// sources. It writes res_<id> only when *its own* output changed, so repairs
+// applied downstream survive re-runs with unchanged sources.
+func (w *Wrangler) mappingExecutionTransducer() transducer.Transducer {
+	return &transducer.Func{
+		TName:     "mapping-execution",
+		TActivity: "execution",
+		Dep:       transducer.Dependency{Query: "?- md_mapping(Id, B)."},
+		RunFn: func(_ context.Context, k *kb.KB) (transducer.Report, error) {
+			rep := transducer.Report{}
+			w.mu.Lock()
+			maps := make([]mapping.Mapping, 0, len(w.mappings))
+			for _, m := range w.mappings {
+				maps = append(maps, m)
+			}
+			w.mu.Unlock()
+			sort.Slice(maps, func(i, j int) bool { return maps[i].ID < maps[j].ID })
+			srcs := w.sourceRelations(k)
+
+			live := map[string]bool{}
+			var mappedFacts []relation.Tuple
+			for _, m := range maps {
+				res, err := mapping.Execute(m, srcs, w.engine)
+				if err != nil {
+					return rep, err
+				}
+				live[m.ID] = true
+				mappedFacts = append(mappedFacts, relation.NewTuple(m.ID, res.Cardinality()))
+				h := hashRelation(res)
+				w.mu.Lock()
+				prev, had := w.lastExecHash[m.ID]
+				w.lastExecHash[m.ID] = h
+				w.mu.Unlock()
+				if had && prev == h && k.HasRelation(RelResultPrefix+m.ID) {
+					continue // same output as last time: leave repairs intact
+				}
+				k.PutRelation(RelResultPrefix+m.ID, res)
+				rep.RelationsWritten = append(rep.RelationsWritten, RelResultPrefix+m.ID)
+			}
+			// Drop results of mappings that no longer exist.
+			for _, name := range k.RelationNames(RelResultPrefix) {
+				id := strings.TrimPrefix(name, RelResultPrefix)
+				if !live[id] {
+					k.DropRelation(name)
+					rep.RelationsWritten = append(rep.RelationsWritten, name+" (dropped)")
+					w.mu.Lock()
+					delete(w.lastExecHash, id)
+					w.mu.Unlock()
+				}
+			}
+			a, r := replaceFacts(k, PredMapped, nil, mappedFacts)
+			rep.FactsAsserted += a
+			rep.FactsRetracted += r
+			return rep, nil
+		},
+	}
+}
+
+// repairTransducer repairs mapping results against the data context using
+// the learned CFDs (§2.3 and demonstration step 2).
+func (w *Wrangler) repairTransducer() transducer.Transducer {
+	return &transducer.Func{
+		TName:     "cfd-repair",
+		TActivity: "repair",
+		Dep:       transducer.Dependency{Query: "?- md_cfd(K, S, C), md_mapped(Id, R)."},
+		RunFn: func(_ context.Context, k *kb.KB) (transducer.Report, error) {
+			rep := transducer.Report{}
+			ref := w.primaryReference(k)
+			if ref == nil {
+				return rep, nil
+			}
+			w.mu.Lock()
+			cfds := append([]cfd.CFD(nil), w.cfds...)
+			w.mu.Unlock()
+			opts := cfd.DefaultRepairOptions()
+			for _, name := range k.RelationNames(RelResultPrefix) {
+				res := k.Relation(name)
+				if res == nil {
+					continue
+				}
+				repaired, actions := cfd.RepairWithReference(res, ref, cfds, opts)
+				// Postcode canonicalisation rides along with repair: the
+				// reference's postcodes are clean, result postcodes may
+				// carry format noise.
+				actions = append(actions, canonicalisePostcodes(repaired)...)
+				if len(actions) == 0 {
+					continue
+				}
+				k.PutRelation(name, repaired)
+				rep.RelationsWritten = append(rep.RelationsWritten, name)
+				rep.Notes = append(rep.Notes, fmt.Sprintf("%s: %d repairs", name, len(actions)))
+			}
+			return rep, nil
+		},
+	}
+}
+
+// canonicalisePostcodes rewrites postcode cells into canonical form,
+// reporting the changes as repair actions.
+func canonicalisePostcodes(res *relation.Relation) []cfd.RepairAction {
+	pi := res.Schema.AttrIndex("postcode")
+	if pi < 0 {
+		return nil
+	}
+	var actions []cfd.RepairAction
+	for row := range res.Tuples {
+		v := res.Tuples[row][pi]
+		if v.IsNull() {
+			continue
+		}
+		canon := datagen.CanonicalPostcode(v.String())
+		if canon != v.String() {
+			nv := relation.String(canon)
+			actions = append(actions, cfd.RepairAction{Row: row, Attr: "postcode", Old: v, New: nv, Reason: "postcode canonicalisation"})
+			res.Tuples[row][pi] = nv
+		}
+	}
+	return actions
+}
+
+// qualityTransducer assesses every mapping result, asserting metric facts
+// (§2.3: "a Quality Metric transducer becomes able to run, adding quality
+// metrics on sources and mappings to the knowledge base").
+func (w *Wrangler) qualityTransducer() transducer.Transducer {
+	return &transducer.Func{
+		TName:     "quality-assessment",
+		TActivity: "quality",
+		Dep:       transducer.Dependency{Query: "?- md_mapped(Id, R)."},
+		RunFn: func(_ context.Context, k *kb.KB) (transducer.Report, error) {
+			rep := transducer.Report{}
+			w.mu.Lock()
+			cfds := append([]cfd.CFD(nil), w.cfds...)
+			acc := w.accBySource
+			mappingsByID := w.mappings
+			w.mu.Unlock()
+
+			var facts []relation.Tuple
+			for _, name := range k.RelationNames(RelResultPrefix) {
+				res := k.Relation(name)
+				if res == nil {
+					continue
+				}
+				id := strings.TrimPrefix(name, RelResultPrefix)
+				var attrAcc map[string]float64
+				if m, ok := mappingsByID[id]; ok {
+					attrAcc = acc[m.BaseSource]
+				}
+				report := quality.Assess(res, cfds, attrAcc)
+				for attr, v := range report.Completeness {
+					if attr == mapping.ProvenanceAttr {
+						continue
+					}
+					facts = append(facts, relation.NewTuple(id, "completeness", attr, round4(v)))
+				}
+				facts = append(facts, relation.NewTuple(id, "consistency", res.Schema.Name, round4(report.Consistency)))
+				for attr, v := range report.Accuracy {
+					facts = append(facts, relation.NewTuple(id, "accuracy", attr, round4(v)))
+				}
+			}
+			a, r := replaceFacts(k, PredQuality, nil, facts)
+			rep.FactsAsserted += a
+			rep.FactsRetracted += r
+			return rep, nil
+		},
+	}
+}
+
+// round4 stabilises floats stored as facts so replace-if-changed is not
+// defeated by noise in the last bits.
+func round4(f float64) float64 {
+	return float64(int64(f*10000+0.5)) / 10000
+}
+
+// selectionTransducer selects the best mapping per base source using the
+// user-context weights (Table 1: needs quality metrics; §2.2).
+func (w *Wrangler) selectionTransducer() transducer.Transducer {
+	return &transducer.Func{
+		TName:     "mapping-selection",
+		TActivity: "selection",
+		Dep:       transducer.Dependency{Query: "?- md_quality(O, M, T, V)."},
+		RunFn: func(_ context.Context, k *kb.KB) (transducer.Report, error) {
+			rep := transducer.Report{}
+			w.mu.Lock()
+			cfds := append([]cfd.CFD(nil), w.cfds...)
+			acc := w.accBySource
+			maps := make([]mapping.Mapping, 0, len(w.mappings))
+			for _, m := range w.mappings {
+				maps = append(maps, m)
+			}
+			w.mu.Unlock()
+			sort.Slice(maps, func(i, j int) bool { return maps[i].ID < maps[j].ID })
+
+			var cands []mapping.Candidate
+			for _, m := range maps {
+				res := k.Relation(RelResultPrefix + m.ID)
+				if res == nil {
+					continue
+				}
+				cands = append(cands, mapping.Candidate{
+					Mapping: m,
+					Report:  quality.Assess(res, cfds, acc[m.BaseSource]),
+				})
+			}
+			ranked := mapping.SelectByUserContext(cands, w.userWeights(), 0)
+
+			// Keep the best mapping per base source.
+			chosen := map[string]bool{}
+			var facts []relation.Tuple
+			rank := 0
+			for _, c := range ranked {
+				if chosen[c.Mapping.BaseSource] {
+					continue
+				}
+				chosen[c.Mapping.BaseSource] = true
+				rank++
+				facts = append(facts, relation.NewTuple(c.Mapping.ID, rank))
+				rep.Notes = append(rep.Notes, fmt.Sprintf("rank %d: %s", rank, c.Mapping.ID))
+			}
+			a, r := replaceFacts(k, PredSelected, nil, facts)
+			rep.FactsAsserted += a
+			rep.FactsRetracted += r
+			return rep, nil
+		},
+	}
+}
+
+// fusionTransducer unions the selected mapping results, applies feedback
+// corrections and learned plausibility rules, detects duplicates across
+// sources and fuses them into the final result.
+func (w *Wrangler) fusionTransducer() transducer.Transducer {
+	return &transducer.Func{
+		TName:     "duplicate-fusion",
+		TActivity: "fusion",
+		Dep:       transducer.Dependency{Query: "?- md_selected(Id, R)."},
+		RunFn: func(_ context.Context, k *kb.KB) (transducer.Report, error) {
+			rep := transducer.Report{}
+			w.mu.Lock()
+			rules := append([]feedback.RangeRule(nil), w.rangeRules...)
+			acc := w.accBySource
+			w.mu.Unlock()
+
+			var union *relation.Relation
+			for _, f := range k.Facts(PredSelected) {
+				res := k.Relation(RelResultPrefix + f[0].Str())
+				if res == nil {
+					continue
+				}
+				if union == nil {
+					union = res
+					continue
+				}
+				u, err := union.Union(res)
+				if err != nil {
+					return rep, err
+				}
+				union = u
+			}
+			if union == nil {
+				return rep, nil
+			}
+
+			// Feedback: direct corrections, then learned plausibility rules.
+			patched, nCorr := feedback.Apply(union, w.fb.Items(), nil)
+			patched, nSupp := feedback.ApplyRangeRules(patched, rules)
+
+			// Duplicate detection across portals, then fusion: identity is
+			// the configured key pair (default: same canonical postcode
+			// block, same normalised street) — attribute conflicts like the
+			// bedroom error must not prevent two listings of the same
+			// property from merging, they are exactly what fusion is there
+			// to resolve. Trust comes from feedback-estimated per-source
+			// accuracy when available.
+			norm := func(s string) string { return datagen.CanonicalPostcode(s) }
+			clusters := fusion.DetectDuplicates(patched,
+				fusion.BlockByAttr(w.opts.FusionBlockAttr, norm),
+				identityScorer(w.opts.FusionIdentityAttr),
+				w.opts.FusionThreshold)
+			strategy := fusion.Voting
+			trust := feedback.TrustFromAccuracy(acc)
+			if len(trust) > 0 {
+				strategy = fusion.TrustWeighted
+			}
+			fused := fusion.Fuse(patched, clusters, fusion.Options{
+				Strategy:       strategy,
+				ProvenanceAttr: mapping.ProvenanceAttr,
+				Trust:          trust,
+			}).Distinct()
+			fused.Schema.Name = w.targetName()
+
+			h := hashRelation(fused)
+			w.mu.Lock()
+			prev := w.lastFusedHash
+			w.lastFusedHash = h
+			w.mu.Unlock()
+			if prev != h || !k.HasRelation(RelResult) {
+				k.PutRelation(RelResult, fused)
+				rep.RelationsWritten = append(rep.RelationsWritten, RelResult)
+				a, r := replaceFacts(k, PredResult, nil, []relation.Tuple{relation.NewTuple(fused.Cardinality())})
+				rep.FactsAsserted += a
+				rep.FactsRetracted += r
+			}
+			rep.Notes = append(rep.Notes, fmt.Sprintf(
+				"union %d → %d fused tuples (%d clusters, %d corrections, %d suppressed)",
+				union.Cardinality(), fused.Cardinality(), len(clusters), nCorr, nSupp))
+			return rep, nil
+		},
+	}
+}
+
+// identityScorer scores two result tuples 1.0 when the named attribute is
+// equal after case/space normalisation, else 0. For addresses, house
+// numbers make street strings near-identical for *different* properties
+// under string-similarity scorers, so equality is both safer and cheaper.
+func identityScorer(attr string) fusion.PairScorer {
+	return func(a, b relation.Tuple, schema relation.Schema) float64 {
+		si := schema.AttrIndex(attr)
+		if si < 0 || a[si].IsNull() || b[si].IsNull() {
+			return 0
+		}
+		if strings.EqualFold(strings.TrimSpace(a[si].String()), strings.TrimSpace(b[si].String())) {
+			return 1
+		}
+		return 0
+	}
+}
+
+func (w *Wrangler) targetName() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.hasTarget {
+		return w.target.Name
+	}
+	return "result"
+}
+
+func sortedKeys(m map[string]*relation.Relation) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,193 @@
+package datagen
+
+import (
+	"strings"
+
+	"vada/internal/relation"
+)
+
+// Oracle answers ground-truth questions about the generated scenario. It
+// stands in for the human user of the demonstration: experiments use it to
+// produce feedback annotations and to score results, exactly as the paper's
+// demo relied on the audience recognising wrong bedroom counts.
+type Oracle struct {
+	byAddr map[string]oracleRow
+}
+
+type oracleRow struct {
+	ptype     string
+	desc      string
+	street    string
+	city      string
+	postcode  string
+	bedrooms  int
+	price     float64
+	crimerank int
+}
+
+// addrKey canonicalises (street, postcode) into a lookup key robust to the
+// generator's case and spacing noise (but not to typos; typo'd streets are
+// genuinely unresolvable without repair, as in reality).
+func addrKey(street, postcode string) string {
+	return strings.ToLower(strings.TrimSpace(street)) + "|" + CanonicalPostcode(postcode)
+}
+
+func newOracle(props []property) *Oracle {
+	o := &Oracle{byAddr: make(map[string]oracleRow, len(props))}
+	for _, p := range props {
+		o.byAddr[addrKey(p.street, p.postcode)] = oracleRow{
+			ptype: p.ptype, desc: p.desc, street: p.street, city: p.city,
+			postcode: p.postcode, bedrooms: p.bedrooms, price: p.price,
+			crimerank: p.crimerank,
+		}
+	}
+	return o
+}
+
+// Size returns the number of ground-truth properties.
+func (o *Oracle) Size() int { return len(o.byAddr) }
+
+// Lookup finds the ground-truth values for an address. ok is false when the
+// address does not identify a real property (e.g. typo'd street).
+func (o *Oracle) Lookup(street, postcode string) (map[string]relation.Value, bool) {
+	row, ok := o.byAddr[addrKey(street, postcode)]
+	if !ok {
+		return nil, false
+	}
+	return map[string]relation.Value{
+		"type":        relation.String(row.ptype),
+		"description": relation.String(row.desc),
+		"street":      relation.String(row.street),
+		"city":        relation.String(row.city),
+		"postcode":    relation.String(row.postcode),
+		"bedrooms":    relation.Int(int64(row.bedrooms)),
+		"price":       relation.Float(row.price),
+		"crimerank":   relation.Int(int64(row.crimerank)),
+	}, true
+}
+
+// CellCorrect checks a result cell against ground truth. Unknown addresses
+// and unknown attributes report false. Values are compared after
+// canonicalisation (postcode spacing, type synonyms, price formats).
+func (o *Oracle) CellCorrect(street, postcode, attr string, v relation.Value) bool {
+	truth, ok := o.Lookup(street, postcode)
+	if !ok {
+		return false
+	}
+	want, ok := truth[attr]
+	if !ok {
+		return false
+	}
+	if v.IsNull() {
+		return false
+	}
+	switch attr {
+	case "postcode":
+		return CanonicalPostcode(v.String()) == want.Str()
+	case "type":
+		return CanonicalType(v.String()) == want.Str()
+	case "price":
+		f, ok := ParsePrice(v)
+		return ok && f == want.FloatVal()
+	case "street":
+		return strings.EqualFold(strings.TrimSpace(v.String()), want.Str())
+	default:
+		if cv, ok := relation.Coerce(v, want.Kind()); ok {
+			return cv.Equal(want)
+		}
+		return v.Equal(want)
+	}
+}
+
+// Score measures a target-shaped result relation against the ground truth.
+type Score struct {
+	// Rows is the number of result tuples.
+	Rows int
+	// AddressablePrecision is the fraction of result tuples whose
+	// (street, postcode) identifies a real property.
+	AddressablePrecision float64
+	// Recall is the fraction of ground-truth properties represented by at
+	// least one addressable result tuple.
+	Recall float64
+	// F1 combines AddressablePrecision and Recall.
+	F1 float64
+	// CellAccuracy is the fraction of correct cells among addressable
+	// tuples over the scored attributes; null cells count as incorrect
+	// (they conflate correctness with completeness — see ValueAccuracy).
+	CellAccuracy float64
+	// ValueAccuracy is the fraction of correct cells among the *non-null*
+	// cells of addressable tuples: pure correctness of what is asserted.
+	ValueAccuracy float64
+	// Completeness maps each scored attribute to its non-null fraction.
+	Completeness map[string]float64
+}
+
+// ScoredAttributes are the target attributes the oracle scores cell-wise.
+var ScoredAttributes = []string{"type", "street", "postcode", "bedrooms", "price", "crimerank"}
+
+// ScoreResult compares a result relation (any schema containing street and
+// postcode) against the ground truth.
+func (o *Oracle) ScoreResult(res *relation.Relation) Score {
+	s := Score{Rows: res.Cardinality(), Completeness: map[string]float64{}}
+	si := res.Schema.AttrIndex("street")
+	pi := res.Schema.AttrIndex("postcode")
+	if si < 0 || pi < 0 || res.Cardinality() == 0 {
+		return s
+	}
+	found := map[string]bool{}
+	addressable := 0
+	cellsTotal, cellsRight := 0, 0
+	valueTotal, valueRight := 0, 0
+	nonNull := map[string]int{}
+	present := map[string]int{}
+
+	for _, t := range res.Tuples {
+		street, postcode := t[si].String(), t[pi].String()
+		key := addrKey(street, postcode)
+		_, known := o.byAddr[key]
+		if known {
+			addressable++
+			found[key] = true
+		}
+		for _, attr := range ScoredAttributes {
+			ai := res.Schema.AttrIndex(attr)
+			if ai < 0 {
+				continue
+			}
+			present[attr]++
+			if !t[ai].IsNull() {
+				nonNull[attr]++
+			}
+			if known {
+				cellsTotal++
+				correct := o.CellCorrect(street, postcode, attr, t[ai])
+				if correct {
+					cellsRight++
+				}
+				if !t[ai].IsNull() {
+					valueTotal++
+					if correct {
+						valueRight++
+					}
+				}
+			}
+		}
+	}
+	s.AddressablePrecision = float64(addressable) / float64(res.Cardinality())
+	s.Recall = float64(len(found)) / float64(len(o.byAddr))
+	if s.AddressablePrecision+s.Recall > 0 {
+		s.F1 = 2 * s.AddressablePrecision * s.Recall / (s.AddressablePrecision + s.Recall)
+	}
+	if cellsTotal > 0 {
+		s.CellAccuracy = float64(cellsRight) / float64(cellsTotal)
+	}
+	if valueTotal > 0 {
+		s.ValueAccuracy = float64(valueRight) / float64(valueTotal)
+	}
+	for attr, n := range present {
+		if n > 0 {
+			s.Completeness[attr] = float64(nonNull[attr]) / float64(n)
+		}
+	}
+	return s
+}

@@ -1,0 +1,123 @@
+package extract
+
+import (
+	"fmt"
+	"strings"
+
+	"vada/internal/relation"
+)
+
+// Page is one generated deep-web result page.
+type Page struct {
+	// URL is a synthetic identifier for provenance.
+	URL string
+	// HTML is the page markup.
+	HTML string
+}
+
+// SiteTemplate describes how a portal renders listings: each field of the
+// source schema is wrapped in an element with a distinctive class, inside a
+// repeated record container — the structure wrapper induction must recover.
+type SiteTemplate struct {
+	// Name identifies the portal (used in URLs).
+	Name string
+	// RecordTag and RecordClass wrap each listing.
+	RecordTag, RecordClass string
+	// FieldTag and FieldClass give per-attribute wrappers, keyed by the
+	// source schema's attribute names.
+	FieldTag   map[string]string
+	FieldClass map[string]string
+	// PageSize is the number of listings per page.
+	PageSize int
+	// Chrome adds non-record noise (nav bars, adverts) around results.
+	Chrome bool
+}
+
+// RightmoveTemplate renders the Rightmove-style card layout.
+func RightmoveTemplate() SiteTemplate {
+	return SiteTemplate{
+		Name:        "rightmove",
+		RecordTag:   "div",
+		RecordClass: "property-card",
+		FieldTag: map[string]string{
+			"price": "span", "street": "address", "postcode": "span",
+			"bedrooms": "span", "type": "span", "description": "p",
+		},
+		FieldClass: map[string]string{
+			"price": "price", "street": "street", "postcode": "postcode",
+			"bedrooms": "beds", "type": "ptype", "description": "summary",
+		},
+		PageSize: 25,
+		Chrome:   true,
+	}
+}
+
+// OnTheMarketTemplate renders the Onthemarket-style list layout.
+func OnTheMarketTemplate() SiteTemplate {
+	return SiteTemplate{
+		Name:        "onthemarket",
+		RecordTag:   "li",
+		RecordClass: "result",
+		FieldTag: map[string]string{
+			"asking_price": "strong", "address_line": "h2", "post_code": "em",
+			"num_beds": "span", "property_type": "span", "details": "div",
+		},
+		FieldClass: map[string]string{
+			"asking_price": "otm-price", "address_line": "otm-addr", "post_code": "otm-pc",
+			"num_beds": "otm-beds", "property_type": "otm-type", "details": "otm-desc",
+		},
+		PageSize: 20,
+		Chrome:   true,
+	}
+}
+
+// GeneratePages renders a source relation into paginated HTML result pages
+// following the template. Null cells render as absent elements, exactly as
+// portals omit missing fields.
+func GeneratePages(tmpl SiteTemplate, src *relation.Relation) []Page {
+	var pages []Page
+	total := src.Cardinality()
+	for start := 0; start < total; start += tmpl.PageSize {
+		end := start + tmpl.PageSize
+		if end > total {
+			end = total
+		}
+		var b strings.Builder
+		b.WriteString("<!DOCTYPE html>\n<html><head><title>")
+		b.WriteString(tmpl.Name)
+		b.WriteString(" search results</title></head><body>\n")
+		if tmpl.Chrome {
+			b.WriteString(`<nav class="topnav"><a href="/">Home</a><a href="/search">Search</a><span class="user">Sign in</span></nav>` + "\n")
+			b.WriteString(`<div class="advert"><p>Advertise your property with us today!</p></div>` + "\n")
+		}
+		fmt.Fprintf(&b, `<ul class="results" data-page="%d">`+"\n", start/tmpl.PageSize+1)
+		for r := start; r < end; r++ {
+			fmt.Fprintf(&b, `<%s class="%s" data-idx="%d">`, tmpl.RecordTag, tmpl.RecordClass, r)
+			for ai, attr := range src.Schema.AttrNames() {
+				v := src.Tuples[r][ai]
+				if v.IsNull() {
+					continue
+				}
+				tag, class := tmpl.FieldTag[attr], tmpl.FieldClass[attr]
+				fmt.Fprintf(&b, `<%s class="%s">%s</%s>`, tag, class, EscapeHTML(v.String()), tag)
+			}
+			fmt.Fprintf(&b, "</%s>\n", tmpl.RecordTag)
+		}
+		b.WriteString("</ul>\n")
+		if tmpl.Chrome {
+			b.WriteString(`<footer class="pagefoot"><p>© portal example</p></footer>` + "\n")
+		}
+		b.WriteString("</body></html>\n")
+		pages = append(pages, Page{
+			URL:  fmt.Sprintf("https://%s.example/search?page=%d", tmpl.Name, start/tmpl.PageSize+1),
+			HTML: b.String(),
+		})
+	}
+	if len(pages) == 0 { // always at least one (empty) page
+		pages = append(pages, Page{
+			URL:  fmt.Sprintf("https://%s.example/search?page=1", tmpl.Name),
+			HTML: "<!DOCTYPE html>\n<html><body><ul class=\"results\"></ul></body></html>",
+		})
+	}
+	return pages
+}

@@ -1,0 +1,447 @@
+// Package feedback implements VADA's feedback loop (§2.3, demonstration
+// step 3): users annotate result tuples or cells as correct/incorrect
+// (optionally supplying the right value); the feedback is assimilated into
+//
+//   - direct corrections applied to the result,
+//   - per-source, per-attribute accuracy estimates (quality metrics),
+//   - learned plausibility ranges that catch systematic extraction errors
+//     (the paper's master-bedroom-area-as-bedroom-count example), and
+//   - revised match scores, the "mapping evaluation transducer may identify
+//     a problem with a specific match used within the mapping" walk-through.
+package feedback
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"vada/internal/match"
+	"vada/internal/relation"
+)
+
+// Item is one feedback annotation. Tuples are identified by their
+// (street, postcode) key, the natural key of the demonstration's target.
+type Item struct {
+	// Street and Postcode identify the annotated result tuple.
+	Street, Postcode string
+	// Attr is the annotated attribute; empty for tuple-level feedback.
+	Attr string
+	// Correct is the user's verdict.
+	Correct bool
+	// Corrected optionally carries the right value (only meaningful when
+	// Correct is false and Attr is set).
+	Corrected relation.Value
+	// HasCorrection distinguishes "wrong, here's the fix" from "wrong".
+	HasCorrection bool
+	// Observed is the value the user actually judged, captured at
+	// annotation time. Feedback outlives result revisions, so learning
+	// from Observed (rather than re-reading the evolving result) keeps
+	// assimilation stable.
+	Observed relation.Value
+	// HasObserved marks whether Observed was captured.
+	HasObserved bool
+}
+
+// String renders the item.
+func (it Item) String() string {
+	verdict := "correct"
+	if !it.Correct {
+		verdict = "incorrect"
+		if it.HasCorrection {
+			verdict += fmt.Sprintf(" (should be %v)", it.Corrected)
+		}
+	}
+	scope := it.Attr
+	if scope == "" {
+		scope = "tuple"
+	}
+	return fmt.Sprintf("[%s | %s] %s: %s", it.Street, it.Postcode, scope, verdict)
+}
+
+// Store accumulates feedback items; it is safe for concurrent use.
+type Store struct {
+	mu    sync.Mutex
+	items []Item
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store { return &Store{} }
+
+// Add appends items.
+func (s *Store) Add(items ...Item) {
+	s.mu.Lock()
+	s.items = append(s.items, items...)
+	s.mu.Unlock()
+}
+
+// Items returns a copy of all feedback.
+func (s *Store) Items() []Item {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Item(nil), s.items...)
+}
+
+// Len returns the number of items.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.items)
+}
+
+// KeyNorm normalises tuple keys for matching feedback to result rows.
+type KeyNorm func(street, postcode string) string
+
+// DefaultKeyNorm lower-cases, trims and strips postcode spacing.
+func DefaultKeyNorm(street, postcode string) string {
+	return strings.ToLower(strings.TrimSpace(street)) + "|" +
+		strings.ToLower(strings.ReplaceAll(strings.TrimSpace(postcode), " ", ""))
+}
+
+// rowKey computes the key of a result row, ok=false when street/postcode
+// are unavailable.
+func rowKey(res *relation.Relation, row int, norm KeyNorm) (string, bool) {
+	si := res.Schema.AttrIndex("street")
+	pi := res.Schema.AttrIndex("postcode")
+	if si < 0 || pi < 0 {
+		return "", false
+	}
+	s, p := res.Tuples[row][si], res.Tuples[row][pi]
+	if s.IsNull() && p.IsNull() {
+		return "", false
+	}
+	return norm(s.String(), p.String()), true
+}
+
+// Apply patches the result with attribute-level corrections: cells the user
+// corrected get the corrected value; cells marked incorrect without a
+// correction are nulled (better absent than wrong — they become repairable
+// or fusible later). The input is not modified. Returns the patched copy and
+// the number of cells changed.
+func Apply(res *relation.Relation, items []Item, norm KeyNorm) (*relation.Relation, int) {
+	if norm == nil {
+		norm = DefaultKeyNorm
+	}
+	byKey := map[string][]Item{}
+	for _, it := range items {
+		if it.Attr == "" || it.Correct {
+			continue
+		}
+		byKey[norm(it.Street, it.Postcode)] = append(byKey[norm(it.Street, it.Postcode)], it)
+	}
+	out := res.Clone()
+	changed := 0
+	for row := range out.Tuples {
+		key, ok := rowKey(out, row, norm)
+		if !ok {
+			continue
+		}
+		for _, it := range byKey[key] {
+			ai := out.Schema.AttrIndex(it.Attr)
+			if ai < 0 {
+				continue
+			}
+			var newV relation.Value
+			if it.HasCorrection {
+				newV = it.Corrected
+			} else {
+				newV = relation.Null()
+			}
+			if !out.Tuples[row][ai].Equal(newV) {
+				out.Tuples[row][ai] = newV
+				changed++
+			}
+		}
+	}
+	return out, changed
+}
+
+// AccuracyByAttr estimates per-attribute accuracy from attribute-level
+// feedback: correct / (correct + incorrect). Attributes without feedback are
+// absent from the map.
+func AccuracyByAttr(items []Item) map[string]float64 {
+	pos, neg := map[string]int{}, map[string]int{}
+	for _, it := range items {
+		if it.Attr == "" {
+			continue
+		}
+		if it.Correct {
+			pos[it.Attr]++
+		} else {
+			neg[it.Attr]++
+		}
+	}
+	out := map[string]float64{}
+	for attr := range pos {
+		out[attr] = float64(pos[attr]) / float64(pos[attr]+neg[attr])
+	}
+	for attr := range neg {
+		if _, ok := out[attr]; !ok {
+			out[attr] = 0
+		}
+	}
+	return out
+}
+
+// AccuracyBySource estimates accuracy per (source, attribute) by joining
+// feedback items to result rows via the key and reading the row's provenance
+// column. This is what lets feedback localise blame to one source's match
+// even when several sources populate the same target attribute.
+func AccuracyBySource(items []Item, res *relation.Relation, provAttr string, norm KeyNorm) map[string]map[string]float64 {
+	if norm == nil {
+		norm = DefaultKeyNorm
+	}
+	pi := res.Schema.AttrIndex(provAttr)
+	if pi < 0 {
+		return nil
+	}
+	type rowRef struct {
+		src string
+		row int
+	}
+	srcOf := map[string][]rowRef{}
+	for row := range res.Tuples {
+		key, ok := rowKey(res, row, norm)
+		if !ok || res.Tuples[row][pi].IsNull() {
+			continue
+		}
+		srcOf[key] = append(srcOf[key], rowRef{src: res.Tuples[row][pi].String(), row: row})
+	}
+	pos := map[string]map[string]int{}
+	neg := map[string]map[string]int{}
+	bump := func(m map[string]map[string]int, src, attr string) {
+		if m[src] == nil {
+			m[src] = map[string]int{}
+		}
+		m[src][attr]++
+	}
+	for _, it := range items {
+		if it.Attr == "" {
+			continue
+		}
+		ai := res.Schema.AttrIndex(it.Attr)
+		for _, ref := range srcOf[norm(it.Street, it.Postcode)] {
+			// With a captured observation, only blame/credit rows actually
+			// holding the judged value (duplicate keys otherwise smear
+			// feedback across sources).
+			if it.HasObserved && ai >= 0 && !res.Tuples[ref.row][ai].Equal(it.Observed) {
+				continue
+			}
+			// A "+"-joined provenance (base+enrichment) attributes blame to
+			// the base source.
+			base := ref.src
+			if i := strings.IndexByte(base, '+'); i > 0 {
+				base = base[:i]
+			}
+			if it.Correct {
+				bump(pos, base, it.Attr)
+			} else {
+				bump(neg, base, it.Attr)
+			}
+		}
+	}
+	out := map[string]map[string]float64{}
+	srcs := map[string]bool{}
+	for s := range pos {
+		srcs[s] = true
+	}
+	for s := range neg {
+		srcs[s] = true
+	}
+	for s := range srcs {
+		out[s] = map[string]float64{}
+		attrs := map[string]bool{}
+		for a := range pos[s] {
+			attrs[a] = true
+		}
+		for a := range neg[s] {
+			attrs[a] = true
+		}
+		for a := range attrs {
+			p, n := pos[s][a], neg[s][a]
+			out[s][a] = float64(p) / float64(p+n)
+		}
+	}
+	return out
+}
+
+// RangeRule is a learned numeric plausibility interval for an attribute.
+type RangeRule struct {
+	// Attr is the constrained attribute.
+	Attr string
+	// Min and Max bound plausible values (inclusive).
+	Min, Max float64
+	// Support is the number of confirmed-correct examples behind the rule.
+	Support int
+}
+
+// String renders the rule.
+func (r RangeRule) String() string {
+	return fmt.Sprintf("%s ∈ [%g, %g] (support %d)", r.Attr, r.Min, r.Max, r.Support)
+}
+
+// LearnRangeRules derives plausibility intervals per numeric attribute from
+// feedback: the interval spans the values confirmed correct, and a bound is
+// only emitted on a side where (a) at least minSupport confirmations exist
+// and (b) at least one value marked incorrect falls beyond it — i.e. the
+// rule would actually have caught a known error. The unconstrained side is
+// left open (±MaxFloat), so a rule learned from high outliers (the paper's
+// master-bedroom-area error) never suppresses legitimately small values the
+// sample happened to miss.
+//
+// Values are read from Item.Observed when captured, falling back to the
+// current result otherwise; learning from observations keeps rules stable
+// as the result evolves.
+func LearnRangeRules(items []Item, res *relation.Relation, minSupport int, norm KeyNorm) []RangeRule {
+	if norm == nil {
+		norm = DefaultKeyNorm
+	}
+	type span struct {
+		lo, hi  float64
+		support int
+	}
+	good := map[string]*span{}
+	var badVals = map[string][]float64{}
+
+	valueAt := func(it Item) (float64, bool) {
+		if it.HasObserved {
+			return it.Observed.AsFloat()
+		}
+		ai := res.Schema.AttrIndex(it.Attr)
+		if ai < 0 {
+			return 0, false
+		}
+		for row := range res.Tuples {
+			key, ok := rowKey(res, row, norm)
+			if !ok || key != norm(it.Street, it.Postcode) {
+				continue
+			}
+			if f, ok := res.Tuples[row][ai].AsFloat(); ok {
+				return f, true
+			}
+		}
+		return 0, false
+	}
+
+	for _, it := range items {
+		if it.Attr == "" {
+			continue
+		}
+		f, ok := valueAt(it)
+		if !ok {
+			continue
+		}
+		if it.Correct {
+			s := good[it.Attr]
+			if s == nil {
+				s = &span{lo: f, hi: f}
+				good[it.Attr] = s
+			}
+			if f < s.lo {
+				s.lo = f
+			}
+			if f > s.hi {
+				s.hi = f
+			}
+			s.support++
+		} else {
+			badVals[it.Attr] = append(badVals[it.Attr], f)
+		}
+	}
+
+	const open = math.MaxFloat64
+	var out []RangeRule
+	attrs := make([]string, 0, len(good))
+	for a := range good {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		s := good[a]
+		if s.support < minSupport {
+			continue
+		}
+		caughtBelow, caughtAbove := false, false
+		for _, b := range badVals[a] {
+			if b < s.lo {
+				caughtBelow = true
+			}
+			if b > s.hi {
+				caughtAbove = true
+			}
+		}
+		if !caughtBelow && !caughtAbove {
+			continue
+		}
+		rule := RangeRule{Attr: a, Min: -open, Max: open, Support: s.support}
+		if caughtBelow {
+			rule.Min = s.lo
+		}
+		if caughtAbove {
+			rule.Max = s.hi
+		}
+		out = append(out, rule)
+	}
+	return out
+}
+
+// ApplyRangeRules nulls cells falling outside learned plausibility ranges,
+// returning the patched copy and the count of suppressed cells. Nulled cells
+// become targets for repair and fusion instead of silently wrong values.
+func ApplyRangeRules(res *relation.Relation, rules []RangeRule) (*relation.Relation, int) {
+	out := res.Clone()
+	suppressed := 0
+	for _, r := range rules {
+		ai := out.Schema.AttrIndex(r.Attr)
+		if ai < 0 {
+			continue
+		}
+		for row := range out.Tuples {
+			f, ok := out.Tuples[row][ai].AsFloat()
+			if !ok {
+				continue
+			}
+			if f < r.Min || f > r.Max {
+				out.Tuples[row][ai] = relation.Null()
+				suppressed++
+			}
+		}
+	}
+	return out, suppressed
+}
+
+// ReviseMatchScores implements the paper's mapping-evaluation step: matches
+// whose target attribute has a low estimated accuracy for their source get
+// their score multiplied by that accuracy. Matches without evidence are
+// unchanged.
+func ReviseMatchScores(matches []match.Match, accBySource map[string]map[string]float64) []match.Match {
+	out := make([]match.Match, len(matches))
+	copy(out, matches)
+	for i, m := range out {
+		if byAttr, ok := accBySource[m.SourceRel]; ok {
+			if acc, ok := byAttr[m.TargetAttr]; ok {
+				out[i].Score = m.Score * acc
+				out[i].Method = m.Method + "+feedback"
+			}
+		}
+	}
+	return out
+}
+
+// TrustFromAccuracy summarises per-source accuracy into a scalar trust
+// weight per source (mean across attributes), for trust-weighted fusion.
+func TrustFromAccuracy(accBySource map[string]map[string]float64) map[string]float64 {
+	out := map[string]float64{}
+	for src, byAttr := range accBySource {
+		sum, n := 0.0, 0
+		for _, a := range byAttr {
+			sum += a
+			n++
+		}
+		if n > 0 {
+			out[src] = sum / float64(n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,239 @@
+package feedback
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"vada/internal/match"
+	"vada/internal/relation"
+)
+
+func resultFixture() *relation.Relation {
+	r := relation.New(relation.NewSchema("target",
+		"street", "postcode", "bedrooms:int", "price:float", "_src"))
+	r.MustAppend("1 High St", "M1 1AA", 3, 250000.0, "rightmove")
+	r.MustAppend("2 Low Rd", "M1 1AB", 14, 180000.0, "rightmove") // bad beds
+	r.MustAppend("3 Mid Ln", "M2 2BB", 2, 210000.0, "onthemarket")
+	r.MustAppend("4 Oak Av", "M2 2BC", 22, 330000.0, "onthemarket") // bad beds
+	r.MustAppend("5 Elm Dr", "M3 3CC", 4, 410000.0, "rightmove+deprivation")
+	return r
+}
+
+func TestStoreConcurrent(t *testing.T) {
+	s := NewStore()
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				s.Add(Item{Street: "x", Postcode: "y", Attr: "bedrooms", Correct: true})
+			}
+		}()
+	}
+	wg.Wait()
+	if s.Len() != 500 {
+		t.Fatalf("len = %d", s.Len())
+	}
+	if len(s.Items()) != 500 {
+		t.Fatal("Items() length wrong")
+	}
+}
+
+func TestApplyCorrections(t *testing.T) {
+	res := resultFixture()
+	items := []Item{
+		{Street: "2 Low Rd", Postcode: "M1 1AB", Attr: "bedrooms", Correct: false,
+			Corrected: relation.Int(2), HasCorrection: true},
+		{Street: "4 Oak Av", Postcode: "M2 2BC", Attr: "bedrooms", Correct: false}, // null it
+		{Street: "1 High St", Postcode: "M1 1AA", Attr: "bedrooms", Correct: true}, // no-op
+	}
+	patched, changed := Apply(res, items, nil)
+	if changed != 2 {
+		t.Fatalf("changed = %d, want 2", changed)
+	}
+	v, _ := patched.Value(1, "bedrooms")
+	if !v.Equal(relation.Int(2)) {
+		t.Fatalf("correction not applied: %v", v)
+	}
+	v, _ = patched.Value(3, "bedrooms")
+	if !v.IsNull() {
+		t.Fatalf("incorrect-without-fix should null: %v", v)
+	}
+	// Original untouched.
+	v, _ = res.Value(1, "bedrooms")
+	if v.IntVal() != 14 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestApplyKeyNormalisation(t *testing.T) {
+	res := resultFixture()
+	items := []Item{{Street: "  2 LOW RD ", Postcode: "m11ab", Attr: "bedrooms",
+		Correct: false, Corrected: relation.Int(2), HasCorrection: true}}
+	patched, changed := Apply(res, items, nil)
+	if changed != 1 {
+		t.Fatalf("case/space-noisy key should still match: changed=%d", changed)
+	}
+	v, _ := patched.Value(1, "bedrooms")
+	if !v.Equal(relation.Int(2)) {
+		t.Fatal("not applied")
+	}
+}
+
+func TestAccuracyByAttr(t *testing.T) {
+	items := []Item{
+		{Attr: "bedrooms", Correct: true},
+		{Attr: "bedrooms", Correct: false},
+		{Attr: "bedrooms", Correct: false},
+		{Attr: "price", Correct: true},
+		{Correct: false}, // tuple-level: ignored
+	}
+	acc := AccuracyByAttr(items)
+	if math.Abs(acc["bedrooms"]-1.0/3) > 1e-9 {
+		t.Fatalf("bedrooms accuracy = %v", acc["bedrooms"])
+	}
+	if acc["price"] != 1 {
+		t.Fatalf("price accuracy = %v", acc["price"])
+	}
+	if _, ok := acc["street"]; ok {
+		t.Fatal("no feedback → no estimate")
+	}
+}
+
+func TestAccuracyBySourceLocalisesBlame(t *testing.T) {
+	res := resultFixture()
+	items := []Item{
+		{Street: "1 High St", Postcode: "M1 1AA", Attr: "bedrooms", Correct: true},
+		{Street: "2 Low Rd", Postcode: "M1 1AB", Attr: "bedrooms", Correct: false},
+		{Street: "3 Mid Ln", Postcode: "M2 2BB", Attr: "bedrooms", Correct: true},
+		{Street: "5 Elm Dr", Postcode: "M3 3CC", Attr: "bedrooms", Correct: true}, // joined prov
+	}
+	acc := AccuracyBySource(items, res, "_src", nil)
+	if math.Abs(acc["rightmove"]["bedrooms"]-2.0/3) > 1e-9 {
+		t.Fatalf("rightmove bedrooms = %v (want 2/3, incl. joined provenance)", acc["rightmove"]["bedrooms"])
+	}
+	if acc["onthemarket"]["bedrooms"] != 1 {
+		t.Fatalf("onthemarket bedrooms = %v", acc["onthemarket"]["bedrooms"])
+	}
+	if AccuracyBySource(items, res, "missing_col", nil) != nil {
+		t.Fatal("missing provenance column → nil")
+	}
+}
+
+func TestLearnRangeRulesCatchesBedroomError(t *testing.T) {
+	res := resultFixture()
+	items := []Item{
+		{Street: "1 High St", Postcode: "M1 1AA", Attr: "bedrooms", Correct: true}, // 3
+		{Street: "3 Mid Ln", Postcode: "M2 2BB", Attr: "bedrooms", Correct: true},  // 2
+		{Street: "5 Elm Dr", Postcode: "M3 3CC", Attr: "bedrooms", Correct: true},  // 4
+		{Street: "2 Low Rd", Postcode: "M1 1AB", Attr: "bedrooms", Correct: false}, // 14
+		{Street: "1 High St", Postcode: "M1 1AA", Attr: "price", Correct: true},    // no bad price
+	}
+	rules := LearnRangeRules(items, res, 3, nil)
+	if len(rules) != 1 {
+		t.Fatalf("rules = %v (want only bedrooms: price has no caught error)", rules)
+	}
+	r := rules[0]
+	if r.Attr != "bedrooms" || r.Max != 4 || r.Support != 3 {
+		t.Fatalf("rule = %+v", r)
+	}
+	// The error was above the confirmed span, so only the upper bound is
+	// constrained; the lower side stays open.
+	if r.Min != -math.MaxFloat64 {
+		t.Fatalf("lower bound should be open: %+v", r)
+	}
+}
+
+func TestLearnRangeRulesFromObservedValues(t *testing.T) {
+	// Observed values decouple learning from the evolving result: even when
+	// the result no longer holds the judged values, rules still emerge.
+	empty := relation.New(relation.NewSchema("target", "street", "postcode", "bedrooms:int"))
+	items := []Item{
+		{Street: "a", Postcode: "p", Attr: "bedrooms", Correct: true, Observed: relation.Int(2), HasObserved: true},
+		{Street: "b", Postcode: "p", Attr: "bedrooms", Correct: true, Observed: relation.Int(3), HasObserved: true},
+		{Street: "c", Postcode: "p", Attr: "bedrooms", Correct: true, Observed: relation.Int(4), HasObserved: true},
+		{Street: "d", Postcode: "p", Attr: "bedrooms", Correct: false, Observed: relation.Int(17), HasObserved: true},
+	}
+	rules := LearnRangeRules(items, empty, 3, nil)
+	if len(rules) != 1 || rules[0].Max != 4 {
+		t.Fatalf("rules = %v", rules)
+	}
+}
+
+func TestLearnRangeRulesNeedsSupport(t *testing.T) {
+	res := resultFixture()
+	items := []Item{
+		{Street: "1 High St", Postcode: "M1 1AA", Attr: "bedrooms", Correct: true},
+		{Street: "2 Low Rd", Postcode: "M1 1AB", Attr: "bedrooms", Correct: false},
+	}
+	if rules := LearnRangeRules(items, res, 3, nil); len(rules) != 0 {
+		t.Fatalf("insufficient support should learn nothing: %v", rules)
+	}
+}
+
+func TestApplyRangeRules(t *testing.T) {
+	res := resultFixture()
+	rules := []RangeRule{{Attr: "bedrooms", Min: 1, Max: 5, Support: 3}}
+	patched, suppressed := ApplyRangeRules(res, rules)
+	if suppressed != 2 {
+		t.Fatalf("suppressed = %d, want 2 (rows with 14 and 22)", suppressed)
+	}
+	v, _ := patched.Value(1, "bedrooms")
+	if !v.IsNull() {
+		t.Fatal("14 bedrooms should be suppressed")
+	}
+	v, _ = patched.Value(0, "bedrooms")
+	if v.IntVal() != 3 {
+		t.Fatal("in-range value must survive")
+	}
+	// Unknown attribute rules are no-ops.
+	_, s := ApplyRangeRules(res, []RangeRule{{Attr: "ghost", Min: 0, Max: 1}})
+	if s != 0 {
+		t.Fatal("unknown attr should suppress nothing")
+	}
+}
+
+func TestReviseMatchScores(t *testing.T) {
+	ms := []match.Match{
+		{SourceRel: "rightmove", SourceAttr: "bedrooms", TargetAttr: "bedrooms", Score: 1.0, Method: "name"},
+		{SourceRel: "rightmove", SourceAttr: "price", TargetAttr: "price", Score: 0.9, Method: "name"},
+		{SourceRel: "onthemarket", SourceAttr: "num_beds", TargetAttr: "bedrooms", Score: 0.8, Method: "name"},
+	}
+	acc := map[string]map[string]float64{"rightmove": {"bedrooms": 0.5}}
+	revised := ReviseMatchScores(ms, acc)
+	if revised[0].Score != 0.5 || revised[0].Method != "name+feedback" {
+		t.Fatalf("revision wrong: %+v", revised[0])
+	}
+	if revised[1].Score != 0.9 || revised[2].Score != 0.8 {
+		t.Fatal("unrelated matches must be untouched")
+	}
+	// Input unchanged.
+	if ms[0].Score != 1.0 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestTrustFromAccuracy(t *testing.T) {
+	acc := map[string]map[string]float64{
+		"rightmove":   {"bedrooms": 0.5, "price": 1.0},
+		"onthemarket": {"bedrooms": 1.0},
+	}
+	trust := TrustFromAccuracy(acc)
+	if math.Abs(trust["rightmove"]-0.75) > 1e-9 || trust["onthemarket"] != 1 {
+		t.Fatalf("trust = %v", trust)
+	}
+}
+
+func TestItemString(t *testing.T) {
+	it := Item{Street: "1 A", Postcode: "M1", Attr: "bedrooms", Correct: false,
+		Corrected: relation.Int(2), HasCorrection: true}
+	if s := it.String(); s == "" {
+		t.Fatal("empty render")
+	}
+	tupleLevel := Item{Street: "1 A", Postcode: "M1", Correct: true}
+	if s := tupleLevel.String(); s == "" {
+		t.Fatal("empty render")
+	}
+}

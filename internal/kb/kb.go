@@ -1,0 +1,416 @@
+// Package kb implements the VADA knowledge base: the shared repository
+// through which every transducer communicates (Figure 1 of the paper).
+//
+// The knowledge base stores two kinds of state:
+//
+//   - facts: predicate-named tuples with set semantics, used for metadata
+//     (schemas, matches, mappings, quality metrics, feedback, user and data
+//     context). Transducer input dependencies are Vadalog queries over
+//     these facts.
+//   - relations: bulk extensional data (source tables, reference tables,
+//     wrangling results), stored as named relations. The paper keeps most
+//     extensional data in external stores; here the KB holds the handles
+//     and the data itself, which is equivalent at laptop scale.
+//
+// The KB is safe for concurrent use, versions every change, and supports
+// watchers so the orchestrator can react to new information — the mechanism
+// behind the paper's "a transducer becomes available for execution when the
+// data it needs is available in the knowledge base".
+package kb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"vada/internal/relation"
+)
+
+// Namespace prefixes for fact predicates, mirroring the paper's partitioning
+// of the knowledge base (§2: user context, data context, transducer
+// metadata, feedback).
+const (
+	// NSUserContext prefixes user-context facts (priorities, target schema).
+	NSUserContext = "uc"
+	// NSDataContext prefixes data-context facts (reference/master/example data descriptors).
+	NSDataContext = "dc"
+	// NSMetadata prefixes metadata produced by transducers (matches, mappings, metrics).
+	NSMetadata = "md"
+	// NSFeedback prefixes user feedback facts.
+	NSFeedback = "fb"
+	// NSSource prefixes source registration facts.
+	NSSource = "src"
+)
+
+// Qualify joins a namespace and a local predicate name: Qualify("md",
+// "match") = "md_match". Underscore (not '/') keeps predicates valid
+// Vadalog identifiers.
+func Qualify(ns, name string) string { return ns + "_" + name }
+
+// Op describes a change applied to the knowledge base.
+type Op int
+
+const (
+	// OpAssert records a fact or relation being added.
+	OpAssert Op = iota
+	// OpRetract records a fact or relation being removed.
+	OpRetract
+)
+
+// Event describes one change to the knowledge base, delivered to watchers.
+type Event struct {
+	// Version is the KB version after the change.
+	Version uint64
+	// Op is the kind of change.
+	Op Op
+	// Predicate is the fact predicate or relation name affected.
+	Predicate string
+	// Tuple is the affected tuple; nil for whole-relation events.
+	Tuple relation.Tuple
+}
+
+// KB is the knowledge base. The zero value is not usable; call New.
+type KB struct {
+	mu        sync.RWMutex
+	facts     map[string]*factSet
+	relations map[string]*relation.Relation
+	version   uint64
+	watchers  map[int]chan Event
+	nextWatch int
+}
+
+type factSet struct {
+	keys   map[string]int // tuple key -> index into tuples
+	tuples []relation.Tuple
+}
+
+// New creates an empty knowledge base.
+func New() *KB {
+	return &KB{
+		facts:     make(map[string]*factSet),
+		relations: make(map[string]*relation.Relation),
+		watchers:  make(map[int]chan Event),
+	}
+}
+
+// Version returns the current version counter. It increases by one for every
+// successful change, so orchestration can detect quiescence cheaply.
+func (k *KB) Version() uint64 {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.version
+}
+
+// Assert adds a fact. It returns true if the fact was new.
+func (k *KB) Assert(pred string, t relation.Tuple) bool {
+	k.mu.Lock()
+	fs, ok := k.facts[pred]
+	if !ok {
+		fs = &factSet{keys: make(map[string]int)}
+		k.facts[pred] = fs
+	}
+	key := t.Key()
+	if _, dup := fs.keys[key]; dup {
+		k.mu.Unlock()
+		return false
+	}
+	fs.keys[key] = len(fs.tuples)
+	fs.tuples = append(fs.tuples, t.Clone())
+	k.version++
+	ev := Event{Version: k.version, Op: OpAssert, Predicate: pred, Tuple: t.Clone()}
+	k.notifyLocked(ev)
+	k.mu.Unlock()
+	return true
+}
+
+// AssertAll adds many facts to one predicate, returning how many were new.
+func (k *KB) AssertAll(pred string, ts []relation.Tuple) int {
+	n := 0
+	for _, t := range ts {
+		if k.Assert(pred, t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Retract removes a fact. It returns true if the fact was present.
+func (k *KB) Retract(pred string, t relation.Tuple) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	fs, ok := k.facts[pred]
+	if !ok {
+		return false
+	}
+	key := t.Key()
+	idx, present := fs.keys[key]
+	if !present {
+		return false
+	}
+	last := len(fs.tuples) - 1
+	if idx != last {
+		fs.tuples[idx] = fs.tuples[last]
+		fs.keys[fs.tuples[idx].Key()] = idx
+	}
+	fs.tuples = fs.tuples[:last]
+	delete(fs.keys, key)
+	k.version++
+	k.notifyLocked(Event{Version: k.version, Op: OpRetract, Predicate: pred, Tuple: t.Clone()})
+	return true
+}
+
+// RetractPredicate removes every fact of a predicate, returning the count.
+func (k *KB) RetractPredicate(pred string) int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	fs, ok := k.facts[pred]
+	if !ok || len(fs.tuples) == 0 {
+		return 0
+	}
+	n := len(fs.tuples)
+	delete(k.facts, pred)
+	k.version++
+	k.notifyLocked(Event{Version: k.version, Op: OpRetract, Predicate: pred})
+	return n
+}
+
+// RetractWhere removes facts of pred for which the predicate function holds,
+// returning the count removed.
+func (k *KB) RetractWhere(pred string, match func(relation.Tuple) bool) int {
+	k.mu.Lock()
+	fs, ok := k.facts[pred]
+	if !ok {
+		k.mu.Unlock()
+		return 0
+	}
+	var doomed []relation.Tuple
+	for _, t := range fs.tuples {
+		if match(t) {
+			doomed = append(doomed, t.Clone())
+		}
+	}
+	k.mu.Unlock()
+	n := 0
+	for _, t := range doomed {
+		if k.Retract(pred, t) {
+			n++
+		}
+	}
+	return n
+}
+
+// Has reports whether the exact fact is present.
+func (k *KB) Has(pred string, t relation.Tuple) bool {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	fs, ok := k.facts[pred]
+	if !ok {
+		return false
+	}
+	_, present := fs.keys[t.Key()]
+	return present
+}
+
+// Count returns the number of facts for a predicate.
+func (k *KB) Count(pred string) int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	fs, ok := k.facts[pred]
+	if !ok {
+		return 0
+	}
+	return len(fs.tuples)
+}
+
+// Facts returns a copy of all tuples of a predicate.
+func (k *KB) Facts(pred string) []relation.Tuple {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	fs, ok := k.facts[pred]
+	if !ok {
+		return nil
+	}
+	out := make([]relation.Tuple, len(fs.tuples))
+	for i, t := range fs.tuples {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+// FactsWhere returns copies of the tuples of pred satisfying match.
+func (k *KB) FactsWhere(pred string, match func(relation.Tuple) bool) []relation.Tuple {
+	var out []relation.Tuple
+	for _, t := range k.Facts(pred) {
+		if match(t) {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Predicates lists all fact predicates with at least one tuple, sorted.
+func (k *KB) Predicates() []string {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	out := make([]string, 0, len(k.facts))
+	for p, fs := range k.facts {
+		if len(fs.tuples) > 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PutRelation stores (or replaces) a named bulk relation. The stored value
+// is a deep copy, so callers may keep mutating theirs.
+func (k *KB) PutRelation(name string, r *relation.Relation) {
+	k.mu.Lock()
+	k.relations[name] = r.Clone()
+	k.version++
+	k.notifyLocked(Event{Version: k.version, Op: OpAssert, Predicate: name})
+	k.mu.Unlock()
+}
+
+// Relation returns a deep copy of a named bulk relation, or nil if absent.
+func (k *KB) Relation(name string) *relation.Relation {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	r, ok := k.relations[name]
+	if !ok {
+		return nil
+	}
+	return r.Clone()
+}
+
+// HasRelation reports whether a named bulk relation exists.
+func (k *KB) HasRelation(name string) bool {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	_, ok := k.relations[name]
+	return ok
+}
+
+// DropRelation removes a named bulk relation, reporting whether it existed.
+func (k *KB) DropRelation(name string) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if _, ok := k.relations[name]; !ok {
+		return false
+	}
+	delete(k.relations, name)
+	k.version++
+	k.notifyLocked(Event{Version: k.version, Op: OpRetract, Predicate: name})
+	return true
+}
+
+// RelationNames lists stored bulk relations, sorted; if prefix is non-empty
+// only names with that prefix are returned.
+func (k *KB) RelationNames(prefix string) []string {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	var out []string
+	for n := range k.relations {
+		if prefix == "" || strings.HasPrefix(n, prefix) {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Watch registers a watcher. Events are delivered best-effort on a buffered
+// channel; if the watcher falls behind, events are dropped rather than
+// blocking writers (watchers poll Version to resynchronise). Call the
+// returned cancel function to unregister.
+func (k *KB) Watch(buffer int) (<-chan Event, func()) {
+	if buffer < 1 {
+		buffer = 64
+	}
+	ch := make(chan Event, buffer)
+	k.mu.Lock()
+	id := k.nextWatch
+	k.nextWatch++
+	k.watchers[id] = ch
+	k.mu.Unlock()
+	cancel := func() {
+		k.mu.Lock()
+		if c, ok := k.watchers[id]; ok {
+			delete(k.watchers, id)
+			close(c)
+		}
+		k.mu.Unlock()
+	}
+	return ch, cancel
+}
+
+func (k *KB) notifyLocked(ev Event) {
+	for _, ch := range k.watchers {
+		select {
+		case ch <- ev:
+		default: // drop rather than block a writer
+		}
+	}
+}
+
+// Snapshot returns a deep copy of the knowledge base: facts, relations and
+// version. Watchers are not copied. Snapshots give transducer runs a
+// consistent view and make experiments repeatable.
+func (k *KB) Snapshot() *KB {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	out := New()
+	out.version = k.version
+	for pred, fs := range k.facts {
+		nfs := &factSet{keys: make(map[string]int, len(fs.keys))}
+		for i, t := range fs.tuples {
+			nfs.tuples = append(nfs.tuples, t.Clone())
+			nfs.keys[t.Key()] = i
+		}
+		out.facts[pred] = nfs
+	}
+	for name, r := range k.relations {
+		out.relations[name] = r.Clone()
+	}
+	return out
+}
+
+// Stats summarises KB contents for traces and the web UI.
+type Stats struct {
+	// Version is the current KB version.
+	Version uint64
+	// FactPredicates is the number of non-empty fact predicates.
+	FactPredicates int
+	// Facts is the total number of stored facts.
+	Facts int
+	// Relations is the number of bulk relations.
+	Relations int
+	// Tuples is the total number of tuples across bulk relations.
+	Tuples int
+}
+
+// Stats returns summary statistics.
+func (k *KB) Stats() Stats {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	s := Stats{Version: k.version}
+	for _, fs := range k.facts {
+		if len(fs.tuples) > 0 {
+			s.FactPredicates++
+			s.Facts += len(fs.tuples)
+		}
+	}
+	s.Relations = len(k.relations)
+	for _, r := range k.relations {
+		s.Tuples += r.Cardinality()
+	}
+	return s
+}
+
+// String renders a compact description of the KB for traces.
+func (k *KB) String() string {
+	s := k.Stats()
+	return fmt.Sprintf("kb{v%d: %d facts in %d predicates, %d relations / %d tuples}",
+		s.Version, s.Facts, s.FactPredicates, s.Relations, s.Tuples)
+}

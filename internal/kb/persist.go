@@ -1,0 +1,81 @@
+package kb
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"vada/internal/relation"
+)
+
+// snapshotJSON is the wire form of a knowledge-base snapshot. The paper
+// keeps most extensional data in external stores; WriteSnapshot/ReadSnapshot
+// give sessions durable state (e.g. pausing a pay-as-you-go wrangle and
+// resuming later).
+type snapshotJSON struct {
+	Version   uint64                        `json:"version"`
+	Facts     map[string][]relation.Tuple   `json:"facts"`
+	Relations map[string]*relation.Relation `json:"relations"`
+}
+
+// WriteSnapshot serialises the knowledge base (facts, relations, version)
+// as JSON.
+func (k *KB) WriteSnapshot(w io.Writer) error {
+	k.mu.RLock()
+	snap := snapshotJSON{
+		Version:   k.version,
+		Facts:     map[string][]relation.Tuple{},
+		Relations: map[string]*relation.Relation{},
+	}
+	for pred, fs := range k.facts {
+		if len(fs.tuples) == 0 {
+			continue
+		}
+		tuples := make([]relation.Tuple, len(fs.tuples))
+		for i, t := range fs.tuples {
+			tuples[i] = t.Clone()
+		}
+		// Deterministic output order for diffs and tests.
+		sort.Slice(tuples, func(i, j int) bool { return tuples[i].Key() < tuples[j].Key() })
+		snap.Facts[pred] = tuples
+	}
+	for name, rel := range k.relations {
+		snap.Relations[name] = rel.Clone()
+	}
+	k.mu.RUnlock()
+
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(snap); err != nil {
+		return fmt.Errorf("kb: writing snapshot: %w", err)
+	}
+	return nil
+}
+
+// ReadSnapshot restores a knowledge base from a snapshot written by
+// WriteSnapshot. It returns a fresh KB; watchers are not part of snapshots.
+func ReadSnapshot(r io.Reader) (*KB, error) {
+	var snap snapshotJSON
+	if err := json.NewDecoder(r).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("kb: reading snapshot: %w", err)
+	}
+	k := New()
+	for pred, tuples := range snap.Facts {
+		for _, t := range tuples {
+			k.Assert(pred, t)
+		}
+	}
+	for name, rel := range snap.Relations {
+		if rel != nil {
+			k.PutRelation(name, rel)
+		}
+	}
+	// Restore the version counter so orchestration eligibility carries over
+	// (it must be at least the number of changes we just replayed).
+	k.mu.Lock()
+	if snap.Version > k.version {
+		k.version = snap.Version
+	}
+	k.mu.Unlock()
+	return k, nil
+}

@@ -1,0 +1,91 @@
+package kb
+
+import (
+	"strings"
+	"testing"
+
+	"vada/internal/relation"
+)
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	k := New()
+	k.Assert("md_match", tup("rightmove", "price", "price", 0.97))
+	k.Assert("md_match", tup("rightmove", "street", "street", 1.0))
+	k.Assert("fb_item", tup("1 High St", "M1 1AA", "bedrooms", false))
+	rel := relation.New(relation.NewSchema("result", "street", "bedrooms:int", "price:float", "ok:bool"))
+	rel.MustAppend("1 High St", 3, 250000.0, true)
+	rel.MustAppend(nil, nil, nil, nil)
+	k.PutRelation("result", rel)
+
+	var buf strings.Builder
+	if err := k.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.Count("md_match") != 2 || restored.Count("fb_item") != 1 {
+		t.Fatalf("facts lost: %v", restored.Predicates())
+	}
+	if !restored.Has("md_match", tup("rightmove", "price", "price", 0.97)) {
+		t.Fatal("typed fact tuple lost")
+	}
+	r2 := restored.Relation("result")
+	if r2 == nil || r2.Cardinality() != 2 {
+		t.Fatalf("relation lost: %v", r2)
+	}
+	if !r2.Schema.Equal(rel.Schema) {
+		t.Fatalf("schema changed: %v vs %v", r2.Schema, rel.Schema)
+	}
+	// Types survive: int stays int, null stays null (not "").
+	v, _ := r2.Value(0, "bedrooms")
+	if v.Kind() != relation.KindInt || v.IntVal() != 3 {
+		t.Fatalf("bedrooms round trip = %v (%v)", v, v.Kind())
+	}
+	v, _ = r2.Value(1, "street")
+	if !v.IsNull() {
+		t.Fatalf("null round trip = %v", v)
+	}
+	if restored.Version() < k.Version() {
+		t.Fatalf("version regressed: %d < %d", restored.Version(), k.Version())
+	}
+}
+
+func TestSnapshotEmptyKB(t *testing.T) {
+	var buf strings.Builder
+	if err := New().WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ReadSnapshot(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.Predicates()) != 0 || len(restored.RelationNames("")) != 0 {
+		t.Fatal("empty KB should restore empty")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	build := func() string {
+		k := New()
+		k.Assert("p", tup("b"))
+		k.Assert("p", tup("a"))
+		k.Assert("q", tup(2))
+		var buf strings.Builder
+		if err := k.WriteSnapshot(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	if build() != build() {
+		t.Fatal("snapshots should be deterministic")
+	}
+}
+
+func TestReadSnapshotGarbage(t *testing.T) {
+	if _, err := ReadSnapshot(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage should fail")
+	}
+}

@@ -1,0 +1,104 @@
+package mapping
+
+import (
+	"testing"
+
+	"vada/internal/mcda"
+	"vada/internal/quality"
+)
+
+func sourceCands() []SourceCandidate {
+	return []SourceCandidate{
+		{Source: "rightmove", Report: quality.Report{
+			Relation:     "rightmove",
+			Completeness: map[string]float64{"bedrooms": 0.9, "price": 0.95},
+			Consistency:  0.9,
+		}},
+		{Source: "onthemarket", Report: quality.Report{
+			Relation:     "onthemarket",
+			Completeness: map[string]float64{"bedrooms": 0.6, "price": 0.9},
+			Consistency:  0.95,
+		}},
+		{Source: "scrapeddump", Report: quality.Report{
+			Relation:     "scrapeddump",
+			Completeness: map[string]float64{"bedrooms": 0.1, "price": 0.2},
+			Consistency:  0.3,
+		}},
+	}
+}
+
+func TestSelectSourcesDefaultScore(t *testing.T) {
+	ranked := SelectSources(sourceCands(), nil, 0)
+	if len(ranked) != 3 || ranked[0].Source != "rightmove" || ranked[2].Source != "scrapeddump" {
+		t.Fatalf("ranked = %v", names(ranked))
+	}
+}
+
+func TestSelectSourcesThresholdDropsJunk(t *testing.T) {
+	ranked := SelectSources(sourceCands(), nil, 0.5)
+	if len(ranked) != 2 {
+		t.Fatalf("threshold should drop the junk source: %v", names(ranked))
+	}
+}
+
+func TestSelectSourcesUserContext(t *testing.T) {
+	// A user who only cares about bedrooms completeness.
+	m := mcda.NewModel()
+	bed := mcda.Criterion{Metric: "completeness", Target: "bedrooms"}
+	price := mcda.Criterion{Metric: "completeness", Target: "price"}
+	if err := m.AddComparison(bed, price, mcda.Extremely); err != nil {
+		t.Fatal(err)
+	}
+	weights, _, err := m.Weights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := SelectSources(sourceCands(), weights, 0)
+	if ranked[0].Source != "rightmove" {
+		t.Fatalf("bedrooms-driven context should pick rightmove: %v", names(ranked))
+	}
+	// A consistency-dominated context flips the top two.
+	m2 := mcda.NewModel()
+	consRM := mcda.Criterion{Metric: "consistency", Target: "rightmove"}
+	consOM := mcda.Criterion{Metric: "consistency", Target: "onthemarket"}
+	m2.AddCriterion(consRM)
+	m2.AddCriterion(consOM)
+	weights2, _, err := m2.Weights()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked = SelectSources(sourceCands(), weights2, 0)
+	if ranked[0].Source != "onthemarket" {
+		t.Fatalf("consistency context should pick onthemarket: %v", names(ranked))
+	}
+}
+
+func TestTopKSources(t *testing.T) {
+	top := TopKSources(sourceCands(), nil, 2)
+	if len(top) != 2 || top[0].Source != "rightmove" {
+		t.Fatalf("top-2 = %v", names(top))
+	}
+	all := TopKSources(sourceCands(), nil, 10)
+	if len(all) != 3 {
+		t.Fatalf("k > n keeps all: %v", names(all))
+	}
+}
+
+func TestSelectSourcesDeterministicTies(t *testing.T) {
+	cands := []SourceCandidate{
+		{Source: "b", Report: quality.Report{Completeness: map[string]float64{"x": 0.5}, Consistency: 1}},
+		{Source: "a", Report: quality.Report{Completeness: map[string]float64{"x": 0.5}, Consistency: 1}},
+	}
+	ranked := SelectSources(cands, nil, 0)
+	if ranked[0].Source != "a" {
+		t.Fatalf("ties break lexicographically: %v", names(ranked))
+	}
+}
+
+func names(cs []SourceCandidate) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.Source
+	}
+	return out
+}

@@ -1,0 +1,184 @@
+// Package quality implements VADA's quality-metric transducer (§2.3): it
+// estimates completeness, consistency, density and reference coverage for
+// relations, producing the metric vectors that source and mapping selection
+// score against the user context.
+package quality
+
+import (
+	"fmt"
+	"strings"
+
+	"vada/internal/cfd"
+	"vada/internal/mcda"
+	"vada/internal/relation"
+)
+
+// Completeness returns the fraction of non-null values in the named
+// attribute (the paper's example: completeness of crimerank as the fraction
+// of non-null values).
+func Completeness(rel *relation.Relation, attr string) (float64, error) {
+	col, err := rel.Column(attr)
+	if err != nil {
+		return 0, err
+	}
+	if len(col) == 0 {
+		return 0, nil
+	}
+	n := 0
+	for _, v := range col {
+		if !v.IsNull() {
+			n++
+		}
+	}
+	return float64(n) / float64(len(col)), nil
+}
+
+// CompletenessAll returns per-attribute completeness for the relation.
+func CompletenessAll(rel *relation.Relation) map[string]float64 {
+	out := make(map[string]float64, rel.Schema.Arity())
+	for _, a := range rel.Schema.Attrs {
+		c, err := Completeness(rel, a.Name)
+		if err == nil {
+			out[a.Name] = c
+		}
+	}
+	return out
+}
+
+// Density is the overall fraction of non-null cells.
+func Density(rel *relation.Relation) float64 {
+	if rel.Cardinality() == 0 || rel.Schema.Arity() == 0 {
+		return 0
+	}
+	n := 0
+	for _, t := range rel.Tuples {
+		for _, v := range t {
+			if !v.IsNull() {
+				n++
+			}
+		}
+	}
+	return float64(n) / float64(rel.Cardinality()*rel.Schema.Arity())
+}
+
+// Consistency measures 1 − violation rate against the given CFDs. With no
+// CFDs available it is 1 by convention (no evidence of inconsistency) —
+// which is exactly why the paper's §2.3 notes that determining consistency
+// *needs* the data context.
+func Consistency(rel *relation.Relation, cfds []cfd.CFD) float64 {
+	return cfd.ConsistencyRate(rel, cfds)
+}
+
+// Coverage is the fraction of reference keys that appear in the relation:
+// an estimate of completeness *with respect to reference data* rather than
+// nulls. Keys are compared after normalisation.
+func Coverage(rel *relation.Relation, keyAttrs []string, ref *relation.Relation, refKeyAttrs []string, norm func(string) string) (float64, error) {
+	if len(keyAttrs) != len(refKeyAttrs) || len(keyAttrs) == 0 {
+		return 0, fmt.Errorf("quality: key attribute lists must be parallel and non-empty")
+	}
+	if norm == nil {
+		norm = func(s string) string { return strings.ToLower(strings.TrimSpace(s)) }
+	}
+	keyOf := func(t relation.Tuple, idxs []int) (string, bool) {
+		var b strings.Builder
+		for _, i := range idxs {
+			if t[i].IsNull() {
+				return "", false
+			}
+			b.WriteString(norm(t[i].String()))
+			b.WriteByte('\x1f')
+		}
+		return b.String(), true
+	}
+	ri := make([]int, len(refKeyAttrs))
+	for i, a := range refKeyAttrs {
+		ri[i] = ref.Schema.AttrIndex(a)
+		if ri[i] < 0 {
+			return 0, fmt.Errorf("quality: reference lacks attribute %q", a)
+		}
+	}
+	li := make([]int, len(keyAttrs))
+	for i, a := range keyAttrs {
+		li[i] = rel.Schema.AttrIndex(a)
+		if li[i] < 0 {
+			return 0, fmt.Errorf("quality: relation lacks attribute %q", a)
+		}
+	}
+	have := map[string]bool{}
+	for _, t := range rel.Tuples {
+		if k, ok := keyOf(t, li); ok {
+			have[k] = true
+		}
+	}
+	refKeys := map[string]bool{}
+	for _, t := range ref.Tuples {
+		if k, ok := keyOf(t, ri); ok {
+			refKeys[k] = true
+		}
+	}
+	if len(refKeys) == 0 {
+		return 0, nil
+	}
+	n := 0
+	for k := range refKeys {
+		if have[k] {
+			n++
+		}
+	}
+	return float64(n) / float64(len(refKeys)), nil
+}
+
+// Report is the metric vector for one relation (source, mapping result or
+// final result), as asserted into the knowledge base by the quality
+// transducer.
+type Report struct {
+	// Relation names the assessed relation.
+	Relation string
+	// Rows is its cardinality.
+	Rows int
+	// Completeness maps attribute → non-null fraction.
+	Completeness map[string]float64
+	// Density is the overall non-null cell fraction.
+	Density float64
+	// Consistency is 1 − CFD violation rate (1 when no CFDs known).
+	Consistency float64
+	// Accuracy maps attribute → estimated correctness (from feedback);
+	// empty until feedback exists.
+	Accuracy map[string]float64
+}
+
+// Assess computes a Report. cfds and accuracy may be nil.
+func Assess(rel *relation.Relation, cfds []cfd.CFD, accuracy map[string]float64) Report {
+	r := Report{
+		Relation:     rel.Schema.Name,
+		Rows:         rel.Cardinality(),
+		Completeness: CompletenessAll(rel),
+		Density:      Density(rel),
+		Consistency:  Consistency(rel, cfds),
+		Accuracy:     map[string]float64{},
+	}
+	for k, v := range accuracy {
+		r.Accuracy[k] = v
+	}
+	return r
+}
+
+// Criteria flattens the report into an mcda criterion vector:
+// completeness(attr) per attribute, consistency(relation) and
+// accuracy(relation.attr) per known accuracy, so the user context's pairwise
+// priorities can score it directly.
+func (r Report) Criteria() map[mcda.Criterion]float64 {
+	out := map[mcda.Criterion]float64{}
+	for attr, v := range r.Completeness {
+		out[mcda.Criterion{Metric: "completeness", Target: attr}] = v
+	}
+	out[mcda.Criterion{Metric: "consistency", Target: r.Relation}] = r.Consistency
+	for attr, v := range r.Accuracy {
+		out[mcda.Criterion{Metric: "accuracy", Target: r.Relation + "." + attr}] = v
+		// Also expose the unqualified form so user contexts written against
+		// the target schema ("accuracy(property.type)" vs "accuracy(type)")
+		// can resolve either way.
+		out[mcda.Criterion{Metric: "accuracy", Target: attr}] = v
+	}
+	return out
+}

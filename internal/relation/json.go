@@ -1,0 +1,106 @@
+package relation
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// valueJSON is the wire form of a Value: kind-tagged so that null, "1" and
+// 1 survive round trips.
+type valueJSON struct {
+	K string  `json:"k"`
+	S string  `json:"s,omitempty"`
+	I int64   `json:"i,omitempty"`
+	F float64 `json:"f,omitempty"`
+	B bool    `json:"b,omitempty"`
+}
+
+// MarshalJSON implements json.Marshaler with an explicit kind tag.
+func (v Value) MarshalJSON() ([]byte, error) {
+	out := valueJSON{K: v.kind.String()}
+	switch v.kind {
+	case KindString:
+		out.S = v.s
+	case KindInt:
+		out.I = v.i
+	case KindFloat:
+		out.F = v.f
+	case KindBool:
+		out.B = v.b
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (v *Value) UnmarshalJSON(data []byte) error {
+	var in valueJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	kind, err := KindFromString(in.K)
+	if err != nil {
+		return fmt.Errorf("relation: decoding value: %w", err)
+	}
+	switch kind {
+	case KindNull:
+		*v = Null()
+	case KindString:
+		*v = String(in.S)
+	case KindInt:
+		*v = Int(in.I)
+	case KindFloat:
+		*v = Float(in.F)
+	case KindBool:
+		*v = Bool(in.B)
+	}
+	return nil
+}
+
+// relationJSON is the wire form of a Relation.
+type relationJSON struct {
+	Name  string     `json:"name"`
+	Attrs []attrJSON `json:"attrs"`
+	Rows  [][]Value  `json:"rows"`
+}
+
+type attrJSON struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+}
+
+// MarshalJSON implements json.Marshaler for whole relations.
+func (r *Relation) MarshalJSON() ([]byte, error) {
+	out := relationJSON{Name: r.Schema.Name}
+	for _, a := range r.Schema.Attrs {
+		out.Attrs = append(out.Attrs, attrJSON{Name: a.Name, Type: a.Type.String()})
+	}
+	for _, t := range r.Tuples {
+		out.Rows = append(out.Rows, t)
+	}
+	return json.Marshal(out)
+}
+
+// UnmarshalJSON implements json.Unmarshaler for whole relations.
+func (r *Relation) UnmarshalJSON(data []byte) error {
+	var in relationJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return err
+	}
+	schema := Schema{Name: in.Name}
+	for _, a := range in.Attrs {
+		kind, err := KindFromString(a.Type)
+		if err != nil {
+			return fmt.Errorf("relation: decoding schema: %w", err)
+		}
+		schema.Attrs = append(schema.Attrs, Attribute{Name: a.Name, Type: kind})
+	}
+	r.Schema = schema
+	r.Tuples = nil
+	for _, row := range in.Rows {
+		if len(row) != schema.Arity() {
+			return fmt.Errorf("relation: decoding %s: row arity %d, want %d", in.Name, len(row), schema.Arity())
+		}
+		r.Tuples = append(r.Tuples, Tuple(row))
+	}
+	return nil
+}

@@ -1,0 +1,355 @@
+// Package relation provides the relational substrate used throughout VADA:
+// typed values, schemas, tuples, relations, a small relational algebra and
+// CSV import/export. Every artefact exchanged between transducers through
+// the knowledge base — source tables, data-context reference tables, target
+// results, metadata — is represented with the types in this package.
+package relation
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Kind enumerates the value types supported by the VADA relational model.
+type Kind int
+
+const (
+	// KindNull is the type of the null (missing) value.
+	KindNull Kind = iota
+	// KindString is a UTF-8 string.
+	KindString
+	// KindInt is a 64-bit signed integer.
+	KindInt
+	// KindFloat is a 64-bit IEEE float.
+	KindFloat
+	// KindBool is a boolean.
+	KindBool
+)
+
+// String returns the lower-case name of the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNull:
+		return "null"
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// KindFromString parses a kind name as produced by Kind.String.
+func KindFromString(s string) (Kind, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "null":
+		return KindNull, nil
+	case "string", "str", "text":
+		return KindString, nil
+	case "int", "integer":
+		return KindInt, nil
+	case "float", "double", "real":
+		return KindFloat, nil
+	case "bool", "boolean":
+		return KindBool, nil
+	default:
+		return KindNull, fmt.Errorf("relation: unknown kind %q", s)
+	}
+}
+
+// Value is an immutable typed scalar. The zero Value is null.
+//
+// Value is a small value type (no pointers beyond the string) and is intended
+// to be passed and stored by value.
+type Value struct {
+	kind Kind
+	s    string
+	i    int64
+	f    float64
+	b    bool
+}
+
+// Null returns the null value.
+func Null() Value { return Value{} }
+
+// String returns a string value.
+func String(s string) Value { return Value{kind: KindString, s: s} }
+
+// Int returns an integer value.
+func Int(i int64) Value { return Value{kind: KindInt, i: i} }
+
+// Float returns a float value.
+func Float(f float64) Value { return Value{kind: KindFloat, f: f} }
+
+// Bool returns a boolean value.
+func Bool(b bool) Value { return Value{kind: KindBool, b: b} }
+
+// Kind reports the kind of v.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsNull reports whether v is the null value.
+func (v Value) IsNull() bool { return v.kind == KindNull }
+
+// Str returns the string payload; it is only meaningful for KindString.
+func (v Value) Str() string { return v.s }
+
+// IntVal returns the integer payload; it is only meaningful for KindInt.
+func (v Value) IntVal() int64 { return v.i }
+
+// FloatVal returns the float payload; it is only meaningful for KindFloat.
+func (v Value) FloatVal() float64 { return v.f }
+
+// BoolVal returns the boolean payload; it is only meaningful for KindBool.
+func (v Value) BoolVal() bool { return v.b }
+
+// AsFloat converts numeric values to float64. ok is false for non-numeric
+// values (including null).
+func (v Value) AsFloat() (f float64, ok bool) {
+	switch v.kind {
+	case KindInt:
+		return float64(v.i), true
+	case KindFloat:
+		return v.f, true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the value for display. Null renders as the empty string so
+// that CSV round-trips preserve missing values.
+func (v Value) String() string {
+	switch v.kind {
+	case KindNull:
+		return ""
+	case KindString:
+		return v.s
+	case KindInt:
+		return strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		return strconv.FormatBool(v.b)
+	default:
+		return ""
+	}
+}
+
+// Key returns a canonical representation usable as a map key. Unlike String,
+// Key distinguishes null from the empty string and 1 (int) from "1".
+func (v Value) Key() string {
+	switch v.kind {
+	case KindNull:
+		return "\x00N"
+	case KindString:
+		return "\x00S" + v.s
+	case KindInt:
+		return "\x00I" + strconv.FormatInt(v.i, 10)
+	case KindFloat:
+		return "\x00F" + strconv.FormatFloat(v.f, 'g', -1, 64)
+	case KindBool:
+		if v.b {
+			return "\x00Bt"
+		}
+		return "\x00Bf"
+	default:
+		return "\x00?"
+	}
+}
+
+// Hash returns a 64-bit FNV-1a hash of the canonical key.
+func (v Value) Hash() uint64 {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(v.Key()))
+	return h.Sum64()
+}
+
+// Equal reports whether two values are identical (same kind, same payload).
+// Numeric values of different kinds are compared numerically, so
+// Int(2).Equal(Float(2)) is true; null equals only null.
+func (v Value) Equal(o Value) bool {
+	if v.kind == o.kind {
+		switch v.kind {
+		case KindNull:
+			return true
+		case KindString:
+			return v.s == o.s
+		case KindInt:
+			return v.i == o.i
+		case KindFloat:
+			return v.f == o.f
+		case KindBool:
+			return v.b == o.b
+		}
+	}
+	if vf, ok := v.AsFloat(); ok {
+		if of, ok2 := o.AsFloat(); ok2 {
+			return vf == of
+		}
+	}
+	return false
+}
+
+// Compare orders values: null < bool < numeric < string; within a kind the
+// natural order applies, and ints compare with floats numerically. It returns
+// -1, 0 or +1.
+func (v Value) Compare(o Value) int {
+	ra, rb := v.rank(), o.rank()
+	if ra != rb {
+		return sign(ra - rb)
+	}
+	switch {
+	case v.kind == KindNull:
+		return 0
+	case v.kind == KindBool:
+		return boolCompare(v.b, o.b)
+	case ra == 2: // numeric
+		vf, _ := v.AsFloat()
+		of, _ := o.AsFloat()
+		switch {
+		case vf < of:
+			return -1
+		case vf > of:
+			return 1
+		default:
+			return 0
+		}
+	default:
+		return strings.Compare(v.s, o.s)
+	}
+}
+
+func (v Value) rank() int {
+	switch v.kind {
+	case KindNull:
+		return 0
+	case KindBool:
+		return 1
+	case KindInt, KindFloat:
+		return 2
+	default:
+		return 3
+	}
+}
+
+func sign(i int) int {
+	switch {
+	case i < 0:
+		return -1
+	case i > 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func boolCompare(a, b bool) int {
+	switch {
+	case a == b:
+		return 0
+	case !a:
+		return -1
+	default:
+		return 1
+	}
+}
+
+// Parse converts a textual field into a Value of the given kind. Empty text
+// always parses to null, matching the CSV convention used by Relation I/O.
+func Parse(text string, kind Kind) (Value, error) {
+	if text == "" {
+		return Null(), nil
+	}
+	switch kind {
+	case KindNull:
+		return Null(), nil
+	case KindString:
+		return String(text), nil
+	case KindInt:
+		i, err := strconv.ParseInt(strings.TrimSpace(text), 10, 64)
+		if err != nil {
+			return Null(), fmt.Errorf("relation: parsing %q as int: %w", text, err)
+		}
+		return Int(i), nil
+	case KindFloat:
+		f, err := strconv.ParseFloat(strings.TrimSpace(text), 64)
+		if err != nil {
+			return Null(), fmt.Errorf("relation: parsing %q as float: %w", text, err)
+		}
+		return Float(f), nil
+	case KindBool:
+		b, err := strconv.ParseBool(strings.TrimSpace(text))
+		if err != nil {
+			return Null(), fmt.Errorf("relation: parsing %q as bool: %w", text, err)
+		}
+		return Bool(b), nil
+	default:
+		return Null(), fmt.Errorf("relation: unknown kind %v", kind)
+	}
+}
+
+// Infer guesses the most specific kind able to represent text: int, then
+// float, then bool, then string. Empty text infers null.
+func Infer(text string) Value {
+	if text == "" {
+		return Null()
+	}
+	t := strings.TrimSpace(text)
+	if i, err := strconv.ParseInt(t, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(t, 64); err == nil && !math.IsInf(f, 0) {
+		return Float(f)
+	}
+	if t == "true" || t == "false" {
+		return Bool(t == "true")
+	}
+	return String(text)
+}
+
+// Coerce attempts to convert v to the requested kind, e.g. String("3") to
+// Int(3). Null coerces to null of any kind. ok is false if conversion is
+// impossible without loss of meaning.
+func Coerce(v Value, kind Kind) (Value, bool) {
+	if v.kind == kind || v.IsNull() {
+		return v, true
+	}
+	switch kind {
+	case KindString:
+		return String(v.String()), true
+	case KindInt:
+		switch v.kind {
+		case KindFloat:
+			if v.f == math.Trunc(v.f) && !math.IsInf(v.f, 0) {
+				return Int(int64(v.f)), true
+			}
+		case KindString:
+			if i, err := strconv.ParseInt(strings.TrimSpace(v.s), 10, 64); err == nil {
+				return Int(i), true
+			}
+		}
+	case KindFloat:
+		switch v.kind {
+		case KindInt:
+			return Float(float64(v.i)), true
+		case KindString:
+			if f, err := strconv.ParseFloat(strings.TrimSpace(v.s), 64); err == nil {
+				return Float(f), true
+			}
+		}
+	case KindBool:
+		if v.kind == KindString {
+			if b, err := strconv.ParseBool(strings.TrimSpace(v.s)); err == nil {
+				return Bool(b), true
+			}
+		}
+	}
+	return Null(), false
+}

@@ -1,0 +1,391 @@
+package transducer
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"vada/internal/kb"
+	"vada/internal/relation"
+	"vada/internal/vadalog"
+)
+
+func tup(vals ...any) relation.Tuple { return relation.NewTuple(vals...) }
+
+// counterTransducer asserts out(N) facts when in(_) facts exist, once per
+// new KB version.
+func counterTransducer(name, activity, inPred, outPred string) *Func {
+	return &Func{
+		TName:     name,
+		TActivity: activity,
+		Dep:       Dependency{Query: "?- " + inPred + "(X)."},
+		RunFn: func(_ context.Context, k *kb.KB) (Report, error) {
+			// Idempotent: derive out facts from in facts.
+			rep := Report{}
+			for _, t := range k.Facts(inPred) {
+				if k.Assert(outPred, t) {
+					rep.FactsAsserted++
+				}
+			}
+			return rep, nil
+		},
+	}
+}
+
+func TestDependencySatisfied(t *testing.T) {
+	k := kb.New()
+	eng := vadalog.NewEngine()
+	d := Dependency{Query: "?- p(X)."}
+	ok, err := d.Satisfied(k, eng)
+	if err != nil || ok {
+		t.Fatalf("empty KB: %v %v", ok, err)
+	}
+	k.Assert("p", tup(1))
+	ok, err = d.Satisfied(k, eng)
+	if err != nil || !ok {
+		t.Fatalf("after assert: %v %v", ok, err)
+	}
+}
+
+func TestDependencyWithProgramAndGuard(t *testing.T) {
+	k := kb.New()
+	eng := vadalog.NewEngine()
+	d := Dependency{
+		Program: "both(X) :- a(X), b(X).",
+		Query:   "?- both(X).",
+		Guard:   func(k *kb.KB) bool { return k.HasRelation("bulk") },
+	}
+	k.Assert("a", tup("v"))
+	if ok, _ := d.Satisfied(k, eng); ok {
+		t.Fatal("b missing: unsatisfied")
+	}
+	k.Assert("b", tup("v"))
+	if ok, _ := d.Satisfied(k, eng); ok {
+		t.Fatal("guard fails: unsatisfied")
+	}
+	k.PutRelation("bulk", relation.New(relation.NewSchema("bulk", "x")))
+	if ok, _ := d.Satisfied(k, eng); !ok {
+		t.Fatal("all conditions hold: satisfied")
+	}
+}
+
+func TestDependencyNegation(t *testing.T) {
+	// Table-1 style: ready when sources registered but not yet processed.
+	k := kb.New()
+	eng := vadalog.NewEngine()
+	d := Dependency{Query: "?- registered(S), not processed(S)."}
+	k.Assert("registered", tup("s1"))
+	if ok, _ := d.Satisfied(k, eng); !ok {
+		t.Fatal("unprocessed source: ready")
+	}
+	k.Assert("processed", tup("s1"))
+	if ok, _ := d.Satisfied(k, eng); ok {
+		t.Fatal("all processed: not ready")
+	}
+}
+
+func TestEmptyQueryAlwaysSatisfied(t *testing.T) {
+	d := Dependency{}
+	if ok, _ := d.Satisfied(kb.New(), vadalog.NewEngine()); !ok {
+		t.Fatal("empty dependency should be satisfied")
+	}
+}
+
+func TestRegistryDuplicateRejected(t *testing.T) {
+	r := NewRegistry()
+	a := counterTransducer("t1", "x", "in", "out")
+	if err := r.Register(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(counterTransducer("t1", "x", "in", "out")); err == nil {
+		t.Fatal("duplicate should fail")
+	}
+	if r.Get("t1") != a || r.Get("ghost") != nil {
+		t.Fatal("Get wrong")
+	}
+	if len(r.All()) != 1 {
+		t.Fatal("All wrong")
+	}
+}
+
+func TestOrchestratorPipelineRunsToQuiescence(t *testing.T) {
+	k := kb.New()
+	reg := NewRegistry()
+	reg.MustRegister(
+		counterTransducer("stage2", "mapping", "mid", "final"),
+		counterTransducer("stage1", "matching", "seed", "mid"),
+	)
+	k.Assert("seed", tup("a"))
+	k.Assert("seed", tup("b"))
+
+	o := NewOrchestrator(k, reg)
+	steps, err := o.RunToQuiescence(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k.Count("final") != 2 {
+		t.Fatalf("final facts = %d, want 2", k.Count("final"))
+	}
+	// Data flow, not registration order: stage1 must run before stage2
+	// produces anything (activity ranking puts matching before mapping).
+	if steps[0].Transducer != "stage1" {
+		t.Fatalf("first step = %s", steps[0].Transducer)
+	}
+	// Quiescent now: another run does nothing.
+	more, err := o.RunToQuiescence(context.Background())
+	if err != nil || len(more) != 0 {
+		t.Fatalf("quiescent system ran %d more steps (%v)", len(more), err)
+	}
+}
+
+func TestOrchestratorReactsToNewInformation(t *testing.T) {
+	k := kb.New()
+	reg := NewRegistry()
+	reg.MustRegister(counterTransducer("t", "matching", "seed", "out"))
+	o := NewOrchestrator(k, reg)
+
+	steps, _ := o.RunToQuiescence(context.Background())
+	if len(steps) != 0 {
+		t.Fatal("nothing to do yet")
+	}
+	k.Assert("seed", tup("x"))
+	steps, _ = o.RunToQuiescence(context.Background())
+	if len(steps) == 0 || k.Count("out") != 1 {
+		t.Fatal("new fact should trigger the transducer")
+	}
+	// New context information re-triggers (the §3 demonstration flow).
+	k.Assert("seed", tup("y"))
+	steps, _ = o.RunToQuiescence(context.Background())
+	if k.Count("out") != 2 {
+		t.Fatal("second fact should re-trigger")
+	}
+	if len(o.Trace()) < 2 {
+		t.Fatal("trace should accumulate across calls")
+	}
+}
+
+func TestOrchestratorErrorRecorded(t *testing.T) {
+	k := kb.New()
+	reg := NewRegistry()
+	boom := errors.New("boom")
+	reg.MustRegister(&Func{
+		TName: "bad", TActivity: "matching",
+		Dep: Dependency{Query: "?- seed(X)."},
+		RunFn: func(_ context.Context, _ *kb.KB) (Report, error) {
+			return Report{}, boom
+		},
+	})
+	k.Assert("seed", tup(1))
+	o := NewOrchestrator(k, reg)
+	steps, err := o.RunToQuiescence(context.Background())
+	if err != nil {
+		t.Fatalf("orchestration should survive transducer failure: %v", err)
+	}
+	if len(steps) != 1 || !errors.Is(steps[0].Err, boom) {
+		t.Fatalf("steps = %+v", steps)
+	}
+	// Failed transducer is not retried until new information arrives.
+	more, _ := o.RunToQuiescence(context.Background())
+	if len(more) != 0 {
+		t.Fatal("failure must not livelock")
+	}
+}
+
+func TestOrchestratorSelfWritesDoNotRetrigger(t *testing.T) {
+	// A transducer's own assertions must not re-trigger it: lastRun records
+	// the post-run version, so a self-asserting transducer quiesces.
+	k := kb.New()
+	reg := NewRegistry()
+	n := 0
+	reg.MustRegister(&Func{
+		TName: "selfwriter", TActivity: "matching",
+		Dep: Dependency{Query: "?- seed(X)."},
+		RunFn: func(_ context.Context, k *kb.KB) (Report, error) {
+			n++
+			k.Assert("seed", tup(n))
+			return Report{FactsAsserted: 1}, nil
+		},
+	})
+	k.Assert("seed", tup(0))
+	o := NewOrchestrator(k, reg, WithMaxSteps(10))
+	steps, err := o.RunToQuiescence(context.Background())
+	if err != nil || len(steps) != 1 {
+		t.Fatalf("self-writer should run exactly once: %d steps, %v", len(steps), err)
+	}
+}
+
+func TestOrchestratorMaxStepsGuard(t *testing.T) {
+	// Two mutually-triggering transducers livelock; MaxSteps must trip.
+	k := kb.New()
+	reg := NewRegistry()
+	na, nb := 0, 0
+	reg.MustRegister(
+		&Func{
+			TName: "ping", TActivity: "matching",
+			Dep: Dependency{Query: "?- a(X)."},
+			RunFn: func(_ context.Context, k *kb.KB) (Report, error) {
+				na++
+				k.Assert("b", tup(na))
+				return Report{FactsAsserted: 1}, nil
+			},
+		},
+		&Func{
+			TName: "pong", TActivity: "matching",
+			Dep: Dependency{Query: "?- b(X)."},
+			RunFn: func(_ context.Context, k *kb.KB) (Report, error) {
+				nb++
+				k.Assert("a", tup(nb+1_000_000))
+				return Report{FactsAsserted: 1}, nil
+			},
+		},
+	)
+	k.Assert("a", tup(0))
+	o := NewOrchestrator(k, reg, WithMaxSteps(10))
+	if _, err := o.RunToQuiescence(context.Background()); err == nil {
+		t.Fatal("mutual livelock must trip MaxSteps")
+	}
+}
+
+func TestOrchestratorContextCancel(t *testing.T) {
+	k := kb.New()
+	reg := NewRegistry()
+	reg.MustRegister(counterTransducer("t", "matching", "seed", "out"))
+	k.Assert("seed", tup(1))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := NewOrchestrator(k, reg)
+	if _, err := o.RunToQuiescence(ctx); err == nil {
+		t.Fatal("cancelled context should abort")
+	}
+}
+
+func TestGenericNetworkPhaseOrdering(t *testing.T) {
+	g := NewGenericNetwork()
+	ext := counterTransducer("e", "extraction", "a", "b")
+	mapg := counterTransducer("m", "mapping", "a", "b")
+	sel := g.Select([]Transducer{mapg, ext}, nil, nil)
+	if sel != ext {
+		t.Fatal("extraction should outrank mapping")
+	}
+	unknown := counterTransducer("u", "weird-activity", "a", "b")
+	sel = g.Select([]Transducer{unknown, mapg}, nil, nil)
+	if sel != mapg {
+		t.Fatal("unknown activities rank last")
+	}
+	if g.Select(nil, nil, nil) != nil {
+		t.Fatal("no ready = nil")
+	}
+}
+
+func TestPreferNetwork(t *testing.T) {
+	inner := NewGenericNetwork()
+	p := &PreferNetwork{Inner: inner, Prefixes: []string{"instance-"}}
+	schemaM := counterTransducer("schema-matcher", "matching", "a", "b")
+	instM := counterTransducer("instance-matcher", "matching", "a", "b")
+	if p.Select([]Transducer{schemaM, instM}, nil, nil) != instM {
+		t.Fatal("prefix preference should win")
+	}
+	if p.Select([]Transducer{schemaM}, nil, nil) != schemaM {
+		t.Fatal("fallback to inner policy")
+	}
+	if p.Name() == "" || inner.Name() == "" {
+		t.Fatal("names must render")
+	}
+}
+
+func TestResetEligibility(t *testing.T) {
+	k := kb.New()
+	reg := NewRegistry()
+	runs := 0
+	reg.MustRegister(&Func{
+		TName: "idem", TActivity: "matching",
+		Dep: Dependency{Query: "?- seed(X)."},
+		RunFn: func(_ context.Context, _ *kb.KB) (Report, error) {
+			runs++
+			return Report{}, nil
+		},
+	})
+	k.Assert("seed", tup(1))
+	o := NewOrchestrator(k, reg)
+	_, _ = o.RunToQuiescence(context.Background())
+	if runs != 1 {
+		t.Fatalf("runs = %d", runs)
+	}
+	o.ResetEligibility()
+	_, _ = o.RunToQuiescence(context.Background())
+	if runs != 2 {
+		t.Fatalf("reset should re-run: %d", runs)
+	}
+}
+
+func TestTraceRendering(t *testing.T) {
+	k := kb.New()
+	reg := NewRegistry()
+	reg.MustRegister(counterTransducer("stage1", "matching", "seed", "out"))
+	k.Assert("seed", tup("a"))
+	o := NewOrchestrator(k, reg)
+	steps, _ := o.RunToQuiescence(context.Background())
+	text := TraceString(steps)
+	if !strings.Contains(text, "stage1") || !strings.Contains(text, "matching") {
+		t.Fatalf("trace missing content:\n%s", text)
+	}
+	if !strings.Contains(text, "ready:") {
+		t.Fatal("trace should list ready transducers")
+	}
+}
+
+func TestTableOneInputDependencies(t *testing.T) {
+	// Encodes Table 1 of the paper: each activity's transducer with its
+	// input dependency, verified to become ready exactly when the
+	// dependency's facts arrive. This is experiment E-T1's core assertion.
+	k := kb.New()
+	eng := vadalog.NewEngine()
+
+	deps := map[string]Dependency{
+		"Schema Matching":    {Query: "?- src_schema(S), uc_target_schema(T)."},
+		"Instance Matching":  {Query: "?- src_instances(S), dc_instances(T)."},
+		"Mapping Generation": {Query: "?- md_match(S, A, T2)."},
+		"Mapping Selection":  {Query: "?- md_quality(M, Q, V)."},
+		"CFD Learning":       {Query: "?- dc_reference(R)."},
+	}
+	// Nothing ready on the empty KB.
+	for name, d := range deps {
+		if ok, err := d.Satisfied(k, eng); err != nil || ok {
+			t.Fatalf("%s ready on empty KB (%v)", name, err)
+		}
+	}
+	// Assert inputs one activity at a time and check exactly the right
+	// transducers become ready.
+	k.Assert("src_schema", tup("rightmove"))
+	if ok, _ := deps["Schema Matching"].Satisfied(k, eng); ok {
+		t.Fatal("schema matching needs both schemas")
+	}
+	k.Assert("uc_target_schema", tup("target"))
+	if ok, _ := deps["Schema Matching"].Satisfied(k, eng); !ok {
+		t.Fatal("schema matching should be ready")
+	}
+	if ok, _ := deps["Instance Matching"].Satisfied(k, eng); ok {
+		t.Fatal("instance matching needs instances")
+	}
+	k.Assert("src_instances", tup("rightmove"))
+	k.Assert("dc_instances", tup("address"))
+	if ok, _ := deps["Instance Matching"].Satisfied(k, eng); !ok {
+		t.Fatal("instance matching should be ready")
+	}
+	k.Assert("md_match", tup("rightmove", "price", "price"))
+	if ok, _ := deps["Mapping Generation"].Satisfied(k, eng); !ok {
+		t.Fatal("mapping generation should be ready")
+	}
+	k.Assert("dc_reference", tup("address"))
+	if ok, _ := deps["CFD Learning"].Satisfied(k, eng); !ok {
+		t.Fatal("CFD learning should be ready")
+	}
+	if ok, _ := deps["Mapping Selection"].Satisfied(k, eng); ok {
+		t.Fatal("mapping selection needs quality metrics")
+	}
+	k.Assert("md_quality", tup("m_rightmove", "completeness", 0.8))
+	if ok, _ := deps["Mapping Selection"].Satisfied(k, eng); !ok {
+		t.Fatal("mapping selection should be ready")
+	}
+}

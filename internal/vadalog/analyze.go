@@ -1,0 +1,237 @@
+package vadalog
+
+import (
+	"fmt"
+)
+
+// Analysis is the result of static analysis of a program: a safety-checked,
+// stratified execution plan.
+type Analysis struct {
+	// Strata lists predicate strata in evaluation order; stratum i may be
+	// evaluated once strata < i are complete.
+	Strata [][]string
+	// StratumOf maps each head predicate to its stratum index.
+	StratumOf map[string]int
+	// Order[ri] is the literal evaluation order for rule ri of the program,
+	// chosen so negation, comparisons and assignments see bound variables.
+	Order [][]int
+}
+
+// Analyze performs the static checks required before evaluation:
+//
+//   - safety/orderability: every rule body can be ordered so that negated
+//     atoms and comparisons are evaluated with their variables bound
+//     (OpEq comparisons may bind a fresh variable from a bound expression);
+//   - aggregate sanity: aggregated variables must be body-bound, aggregate
+//     rules must not mix aggregates with existentials;
+//   - stratification: no recursion through negation or aggregation.
+func Analyze(prog *Program) (*Analysis, error) {
+	a := &Analysis{StratumOf: map[string]int{}}
+
+	// Per-rule safety and literal ordering.
+	for ri, r := range prog.Rules {
+		order, err := orderBody(r)
+		if err != nil {
+			return nil, fmt.Errorf("vadalog: rule %d (%s): %w", ri, r.String(), err)
+		}
+		a.Order = append(a.Order, order)
+		if r.HasAggregation() {
+			if err := checkAggRule(r); err != nil {
+				return nil, fmt.Errorf("vadalog: rule %d (%s): %w", ri, r.String(), err)
+			}
+		}
+	}
+
+	// Stratification over head predicates. EDB-only predicates live in
+	// stratum 0 implicitly.
+	heads := map[string]bool{}
+	for _, r := range prog.Rules {
+		heads[r.Head.Pred] = true
+	}
+	stratum := map[string]int{}
+	for p := range heads {
+		stratum[p] = 0
+	}
+	// Relax strata: positive dependency -> >=, negative/agg -> >= +1.
+	// A program with n head predicates stratifies within n rounds; more
+	// means a negative cycle.
+	n := len(heads)
+	for round := 0; ; round++ {
+		changed := false
+		for _, r := range prog.Rules {
+			h := r.Head.Pred
+			for _, l := range r.Body {
+				if l.Atom == nil {
+					continue
+				}
+				b := l.Atom.Pred
+				if !heads[b] {
+					continue // EDB predicate: stratum 0
+				}
+				need := stratum[b]
+				if l.Negated || r.HasAggregation() {
+					need++
+				}
+				if stratum[h] < need {
+					stratum[h] = need
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			break
+		}
+		if round > n+1 {
+			return nil, fmt.Errorf("vadalog: program is not stratifiable (recursion through negation or aggregation)")
+		}
+	}
+
+	maxS := 0
+	for _, s := range stratum {
+		if s > maxS {
+			maxS = s
+		}
+	}
+	a.Strata = make([][]string, maxS+1)
+	for p, s := range stratum {
+		a.Strata[s] = append(a.Strata[s], p)
+		a.StratumOf[p] = s
+	}
+	for _, layer := range a.Strata {
+		sortStrings(layer)
+	}
+	return a, nil
+}
+
+func checkAggRule(r Rule) error {
+	bound := r.bodyVars()
+	aggs := 0
+	for _, t := range r.Head.Args {
+		switch x := t.(type) {
+		case Agg:
+			aggs++
+			if !bound[x.Arg.Name] {
+				return fmt.Errorf("aggregated variable %s is not bound in the body", x.Arg.Name)
+			}
+		case Var:
+			if !bound[x.Name] {
+				return fmt.Errorf("aggregate rules cannot have existential variable %s", x.Name)
+			}
+		}
+	}
+	if aggs > 1 {
+		return fmt.Errorf("at most one aggregate term per head is supported")
+	}
+	return nil
+}
+
+// orderBody picks an evaluation order for the body literals such that each
+// literal is evaluable when reached:
+//
+//   - positive atoms are always evaluable and bind their variables;
+//   - negated atoms require all their variables bound;
+//   - comparisons require all variables bound, except OpEq with exactly one
+//     unbound variable on one side, which acts as an assignment.
+//
+// It returns indices into r.Body, or an error naming the stuck literals.
+func orderBody(r Rule) ([]int, error) {
+	n := len(r.Body)
+	used := make([]bool, n)
+	bound := map[string]bool{}
+	order := make([]int, 0, n)
+
+	evaluable := func(l Literal) (binds []string, ok bool) {
+		if l.Atom != nil && !l.Negated {
+			for _, v := range literalVars(l) {
+				if !bound[v] {
+					binds = append(binds, v)
+				}
+			}
+			return binds, true
+		}
+		if l.Atom != nil && l.Negated {
+			for _, v := range literalVars(l) {
+				if !bound[v] {
+					return nil, false
+				}
+			}
+			return nil, true
+		}
+		// Comparison.
+		lv := map[string]bool{}
+		collectExprVars(l.Cmp.L, lv)
+		rv := map[string]bool{}
+		collectExprVars(l.Cmp.R, rv)
+		unboundL, unboundR := unboundOf(lv, bound), unboundOf(rv, bound)
+		if len(unboundL)+len(unboundR) == 0 {
+			return nil, true
+		}
+		if l.Cmp.Op == OpEq {
+			// Assignment: single unbound var alone on one side, other
+			// side fully bound.
+			if len(unboundR) == 0 && len(unboundL) == 1 {
+				if te, isTerm := l.Cmp.L.(TermExpr); isTerm {
+					if v, isVar := te.T.(Var); isVar {
+						return []string{v.Name}, true
+					}
+				}
+			}
+			if len(unboundL) == 0 && len(unboundR) == 1 {
+				if te, isTerm := l.Cmp.R.(TermExpr); isTerm {
+					if v, isVar := te.T.(Var); isVar {
+						return []string{v.Name}, true
+					}
+				}
+			}
+		}
+		return nil, false
+	}
+
+	for len(order) < n {
+		progressed := false
+		// Prefer positive atoms first among evaluable literals to maximise
+		// early binding, then cheap comparisons.
+		for pass := 0; pass < 2 && !progressed; pass++ {
+			for i := 0; i < n && !progressed; i++ {
+				if used[i] {
+					continue
+				}
+				l := r.Body[i]
+				isPositiveAtom := l.Atom != nil && !l.Negated
+				if pass == 0 && !isPositiveAtom {
+					continue
+				}
+				binds, ok := evaluable(l)
+				if !ok {
+					continue
+				}
+				for _, v := range binds {
+					bound[v] = true
+				}
+				used[i] = true
+				order = append(order, i)
+				progressed = true
+			}
+		}
+		if !progressed {
+			var stuck []string
+			for i := 0; i < n; i++ {
+				if !used[i] {
+					stuck = append(stuck, r.Body[i].String())
+				}
+			}
+			return nil, fmt.Errorf("unsafe rule: cannot bind %v", stuck)
+		}
+	}
+	return order, nil
+}
+
+func unboundOf(vars map[string]bool, bound map[string]bool) []string {
+	var out []string
+	for v := range vars {
+		if !bound[v] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,829 @@
+package vadalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vada/internal/relation"
+)
+
+// EDB supplies extensional facts to the evaluator. *kb.KB satisfies EDB
+// directly, as does MapEDB.
+type EDB interface {
+	// Facts returns the tuples of the named predicate.
+	Facts(pred string) []relation.Tuple
+}
+
+// MapEDB is an in-memory EDB backed by a map.
+type MapEDB map[string][]relation.Tuple
+
+// Facts implements EDB.
+func (m MapEDB) Facts(pred string) []relation.Tuple { return m[pred] }
+
+// NullPrefix marks labelled nulls produced for Datalog± existentials. A
+// labelled null is represented as a string value "⊥<id>"; IsLabelledNull
+// recognises them.
+const NullPrefix = "⊥"
+
+// IsLabelledNull reports whether a value is a labelled null created by the
+// chase.
+func IsLabelledNull(v relation.Value) bool {
+	return v.Kind() == relation.KindString && strings.HasPrefix(v.Str(), NullPrefix)
+}
+
+// Engine evaluates Vadalog programs. The zero value is not ready; use
+// NewEngine.
+type Engine struct {
+	// MaxNullDepth bounds the restricted chase: a rule firing whose frontier
+	// carries a labelled null of this depth will not create deeper nulls.
+	// This guarantees termination for arbitrary existential programs at the
+	// cost of completeness beyond the bound (see DESIGN.md §5.3).
+	MaxNullDepth int
+	// MaxIterations bounds semi-naive rounds per stratum as a runaway guard.
+	MaxIterations int
+	// MaxFacts bounds the total number of derived facts as a runaway guard.
+	MaxFacts int
+}
+
+// NewEngine returns an Engine with production defaults.
+func NewEngine() *Engine {
+	return &Engine{MaxNullDepth: 3, MaxIterations: 10_000, MaxFacts: 5_000_000}
+}
+
+// Result holds the facts derived by a program run (IDB ∪ referenced EDB).
+type Result struct {
+	store map[string]*tupleSet
+}
+
+type tupleSet struct {
+	keys   map[string]bool
+	tuples []relation.Tuple
+}
+
+func newTupleSet() *tupleSet { return &tupleSet{keys: map[string]bool{}} }
+
+func (s *tupleSet) add(t relation.Tuple) bool {
+	k := t.Key()
+	if s.keys[k] {
+		return false
+	}
+	s.keys[k] = true
+	s.tuples = append(s.tuples, t)
+	return true
+}
+
+// Facts returns the tuples derived for pred (shared slices; treat as
+// read-only).
+func (r *Result) Facts(pred string) []relation.Tuple {
+	s, ok := r.store[pred]
+	if !ok {
+		return nil
+	}
+	return s.tuples
+}
+
+// Count returns the number of facts for pred.
+func (r *Result) Count(pred string) int { return len(r.Facts(pred)) }
+
+// Has reports whether the exact fact was derived.
+func (r *Result) Has(pred string, t relation.Tuple) bool {
+	s, ok := r.store[pred]
+	if !ok {
+		return false
+	}
+	return s.keys[t.Key()]
+}
+
+// Predicates lists predicates with at least one fact, sorted.
+func (r *Result) Predicates() []string {
+	var out []string
+	for p, s := range r.store {
+		if len(s.tuples) > 0 {
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Binding maps query variable names to values.
+type Binding map[string]relation.Value
+
+// evaluator carries the mutable state of one Run.
+type evaluator struct {
+	eng       *Engine
+	prog      *Program
+	analysis  *Analysis
+	facts     map[string]*tupleSet
+	nullDepth map[string]int // labelled null name -> depth
+	nullSeq   int
+	skolem    map[string]relation.Value // rule+frontier key -> null
+	total     int
+}
+
+// Run evaluates the program against the EDB and returns all facts.
+func (e *Engine) Run(prog *Program, edb EDB) (*Result, error) {
+	analysis, err := Analyze(prog)
+	if err != nil {
+		return nil, err
+	}
+	ev := &evaluator{
+		eng:       e,
+		prog:      prog,
+		analysis:  analysis,
+		facts:     map[string]*tupleSet{},
+		nullDepth: map[string]int{},
+		skolem:    map[string]relation.Value{},
+	}
+
+	// Seed every referenced predicate from the EDB.
+	seed := func(pred string) {
+		if _, ok := ev.facts[pred]; ok {
+			return
+		}
+		set := newTupleSet()
+		ev.facts[pred] = set
+		for _, t := range edb.Facts(pred) {
+			if set.add(t.Clone()) {
+				ev.total++
+			}
+		}
+	}
+	for _, p := range prog.BodyPredicates() {
+		seed(p)
+	}
+	for _, p := range prog.HeadPredicates() {
+		seed(p)
+	}
+
+	// Program facts.
+	for _, r := range prog.Rules {
+		if r.IsFact() {
+			t := make(relation.Tuple, len(r.Head.Args))
+			for i, a := range r.Head.Args {
+				t[i] = a.(Const).Val
+			}
+			if ev.facts[r.Head.Pred].add(t) {
+				ev.total++
+			}
+		}
+	}
+
+	for s := range analysis.Strata {
+		if err := ev.runStratum(s); err != nil {
+			return nil, err
+		}
+	}
+	return &Result{store: ev.facts}, nil
+}
+
+// runStratum evaluates one stratum: aggregate rules once (their bodies are
+// strictly lower), then the remaining rules to a semi-naive fixpoint.
+func (ev *evaluator) runStratum(s int) error {
+	inStratum := map[string]bool{}
+	for _, p := range ev.analysis.Strata[s] {
+		inStratum[p] = true
+	}
+	var aggRules, rules []int
+	for ri, r := range ev.prog.Rules {
+		if r.IsFact() || !inStratum[r.Head.Pred] {
+			continue
+		}
+		if r.HasAggregation() {
+			aggRules = append(aggRules, ri)
+		} else if len(r.Body) > 0 {
+			rules = append(rules, ri)
+		}
+	}
+
+	for _, ri := range aggRules {
+		derived, err := ev.evalAggRule(ri)
+		if err != nil {
+			return err
+		}
+		for _, t := range derived {
+			if ev.facts[ev.prog.Rules[ri].Head.Pred].add(t) {
+				ev.total++
+			}
+		}
+	}
+	if err := ev.checkBudget(); err != nil {
+		return err
+	}
+	if len(rules) == 0 {
+		return nil
+	}
+
+	// Initial naive round over full relations.
+	delta := map[string]*tupleSet{}
+	for _, p := range ev.analysis.Strata[s] {
+		delta[p] = newTupleSet()
+	}
+	for _, ri := range rules {
+		derived, err := ev.evalRule(ri, nil, nil)
+		if err != nil {
+			return err
+		}
+		ev.absorb(ri, derived, delta)
+	}
+
+	// Semi-naive rounds: recursive literals restricted to the delta.
+	for iter := 0; ; iter++ {
+		if iter > ev.eng.MaxIterations {
+			return fmt.Errorf("vadalog: stratum %d exceeded %d iterations", s, ev.eng.MaxIterations)
+		}
+		if err := ev.checkBudget(); err != nil {
+			return err
+		}
+		empty := true
+		for _, d := range delta {
+			if len(d.tuples) > 0 {
+				empty = false
+				break
+			}
+		}
+		if empty {
+			return nil
+		}
+		next := map[string]*tupleSet{}
+		for _, p := range ev.analysis.Strata[s] {
+			next[p] = newTupleSet()
+		}
+		for _, ri := range rules {
+			r := ev.prog.Rules[ri]
+			// Positions of positive body literals over predicates in this
+			// stratum (the recursive literals).
+			var recPos []int
+			for li, l := range r.Body {
+				if l.Atom != nil && !l.Negated && inStratum[l.Atom.Pred] {
+					recPos = append(recPos, li)
+				}
+			}
+			if len(recPos) == 0 {
+				continue // non-recursive: fully handled in the initial round
+			}
+			for _, li := range recPos {
+				derived, err := ev.evalRule(ri, delta, &li)
+				if err != nil {
+					return err
+				}
+				ev.absorb(ri, derived, next)
+			}
+		}
+		delta = next
+	}
+}
+
+// absorb inserts derived tuples into the global store and the delta set.
+func (ev *evaluator) absorb(ri int, derived []relation.Tuple, delta map[string]*tupleSet) {
+	pred := ev.prog.Rules[ri].Head.Pred
+	for _, t := range derived {
+		if ev.facts[pred].add(t) {
+			ev.total++
+			if d, ok := delta[pred]; ok {
+				d.add(t)
+			}
+		}
+	}
+}
+
+func (ev *evaluator) checkBudget() error {
+	if ev.total > ev.eng.MaxFacts {
+		return fmt.Errorf("vadalog: derived more than %d facts; aborting (MaxFacts)", ev.eng.MaxFacts)
+	}
+	return nil
+}
+
+// evalRule computes the head instantiations of rule ri. If deltaAt is
+// non-nil, the body literal at *deltaAt reads from delta instead of the full
+// store (semi-naive restriction).
+func (ev *evaluator) evalRule(ri int, delta map[string]*tupleSet, deltaAt *int) ([]relation.Tuple, error) {
+	r := ev.prog.Rules[ri]
+	order := ev.analysis.Order[ri]
+	var out []relation.Tuple
+	var walk func(step int, b Binding) error
+	walk = func(step int, b Binding) error {
+		if step == len(order) {
+			t, ok, err := ev.instantiateHead(ri, b)
+			if err != nil {
+				return err
+			}
+			if ok {
+				out = append(out, t)
+			}
+			return nil
+		}
+		li := order[step]
+		l := r.Body[li]
+		switch {
+		case l.Cmp != nil:
+			nb, ok, err := ev.evalComparison(l.Cmp, b)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			return walk(step+1, nb)
+		case l.Negated:
+			match, err := ev.atomHasMatch(l.Atom, b)
+			if err != nil {
+				return err
+			}
+			if match {
+				return nil
+			}
+			return walk(step+1, b)
+		default:
+			src := ev.facts[l.Atom.Pred]
+			if deltaAt != nil && li == *deltaAt {
+				src = delta[l.Atom.Pred]
+			}
+			if src == nil {
+				return nil
+			}
+			for _, t := range src.tuples {
+				nb, ok := unify(l.Atom, t, b)
+				if !ok {
+					continue
+				}
+				if err := walk(step+1, nb); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	if err := walk(0, Binding{}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// unify matches an atom against a tuple under binding b, returning the
+// extended binding. Constants must equal the tuple values; bound variables
+// must agree; unbound variables are bound.
+func unify(a *Atom, t relation.Tuple, b Binding) (Binding, bool) {
+	if len(a.Args) != len(t) {
+		return nil, false
+	}
+	nb := b
+	copied := false
+	for i, arg := range a.Args {
+		switch x := arg.(type) {
+		case Const:
+			if !x.Val.Equal(t[i]) {
+				return nil, false
+			}
+		case Var:
+			if v, ok := nb[x.Name]; ok {
+				if !v.Equal(t[i]) {
+					return nil, false
+				}
+				continue
+			}
+			if !copied {
+				cp := make(Binding, len(nb)+1)
+				for k, vv := range nb {
+					cp[k] = vv
+				}
+				nb = cp
+				copied = true
+			}
+			nb[x.Name] = t[i]
+		default:
+			return nil, false // Agg cannot occur in bodies
+		}
+	}
+	return nb, true
+}
+
+// atomHasMatch reports whether any stored fact matches the (fully bound)
+// atom.
+func (ev *evaluator) atomHasMatch(a *Atom, b Binding) (bool, error) {
+	src := ev.facts[a.Pred]
+	if src == nil {
+		return false, nil
+	}
+	// Fully ground atom: direct key lookup.
+	ground := make(relation.Tuple, len(a.Args))
+	allGround := true
+	for i, arg := range a.Args {
+		switch x := arg.(type) {
+		case Const:
+			ground[i] = x.Val
+		case Var:
+			v, ok := b[x.Name]
+			if !ok {
+				allGround = false
+			} else {
+				ground[i] = v
+			}
+		}
+	}
+	if allGround {
+		return src.keys[ground.Key()], nil
+	}
+	for _, t := range src.tuples {
+		if _, ok := unify(a, t, b); ok {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// evalComparison evaluates a comparison literal under b. For OpEq with a
+// single unbound variable it binds that variable (assignment). ok=false
+// means the literal failed (not an error).
+func (ev *evaluator) evalComparison(c *Comparison, b Binding) (Binding, bool, error) {
+	lv, lok := evalExpr(c.L, b)
+	rv, rok := evalExpr(c.R, b)
+	if c.Op == OpEq {
+		if lok && !rok {
+			if v, isVar := singleVar(c.R); isVar {
+				nb := cloneBinding(b)
+				nb[v] = lv
+				return nb, true, nil
+			}
+		}
+		if rok && !lok {
+			if v, isVar := singleVar(c.L); isVar {
+				nb := cloneBinding(b)
+				nb[v] = rv
+				return nb, true, nil
+			}
+		}
+	}
+	if !lok || !rok {
+		// Analysis guarantees orderability, so an unevaluable side here
+		// means an arithmetic failure (e.g. division by zero or non-numeric
+		// operand): the literal simply fails.
+		return b, false, nil
+	}
+	return b, satisfies(c.Op, lv, rv), nil
+}
+
+func singleVar(e Expr) (string, bool) {
+	te, ok := e.(TermExpr)
+	if !ok {
+		return "", false
+	}
+	v, ok := te.T.(Var)
+	return v.Name, ok
+}
+
+func cloneBinding(b Binding) Binding {
+	nb := make(Binding, len(b)+1)
+	for k, v := range b {
+		nb[k] = v
+	}
+	return nb
+}
+
+// satisfies applies a comparison operator to two values. Order comparisons
+// involving null are false; equality uses Value.Equal.
+func satisfies(op CmpOp, l, r relation.Value) bool {
+	switch op {
+	case OpEq:
+		return l.Equal(r)
+	case OpNe:
+		return !l.Equal(r)
+	}
+	if l.IsNull() || r.IsNull() {
+		return false
+	}
+	c := l.Compare(r)
+	switch op {
+	case OpLt:
+		return c < 0
+	case OpLe:
+		return c <= 0
+	case OpGt:
+		return c > 0
+	case OpGe:
+		return c >= 0
+	default:
+		return false
+	}
+}
+
+// evalExpr evaluates an arithmetic expression; ok=false if any variable is
+// unbound or an operation is inapplicable.
+func evalExpr(e Expr, b Binding) (relation.Value, bool) {
+	switch x := e.(type) {
+	case TermExpr:
+		switch t := x.T.(type) {
+		case Const:
+			return t.Val, true
+		case Var:
+			v, ok := b[t.Name]
+			return v, ok
+		default:
+			return relation.Null(), false
+		}
+	case BinExpr:
+		l, lok := evalExpr(x.L, b)
+		r, rok := evalExpr(x.R, b)
+		if !lok || !rok {
+			return relation.Null(), false
+		}
+		return applyArith(x.Op, l, r)
+	default:
+		return relation.Null(), false
+	}
+}
+
+func applyArith(op ArithOp, l, r relation.Value) (relation.Value, bool) {
+	// String concatenation with '+'.
+	if op == OpAdd && l.Kind() == relation.KindString && r.Kind() == relation.KindString {
+		return relation.String(l.Str() + r.Str()), true
+	}
+	lf, lok := l.AsFloat()
+	rf, rok := r.AsFloat()
+	if !lok || !rok {
+		return relation.Null(), false
+	}
+	bothInt := l.Kind() == relation.KindInt && r.Kind() == relation.KindInt
+	switch op {
+	case OpAdd:
+		if bothInt {
+			return relation.Int(l.IntVal() + r.IntVal()), true
+		}
+		return relation.Float(lf + rf), true
+	case OpSub:
+		if bothInt {
+			return relation.Int(l.IntVal() - r.IntVal()), true
+		}
+		return relation.Float(lf - rf), true
+	case OpMul:
+		if bothInt {
+			return relation.Int(l.IntVal() * r.IntVal()), true
+		}
+		return relation.Float(lf * rf), true
+	case OpDiv:
+		if rf == 0 {
+			return relation.Null(), false
+		}
+		return relation.Float(lf / rf), true
+	default:
+		return relation.Null(), false
+	}
+}
+
+// instantiateHead builds the head tuple for a binding, creating labelled
+// nulls for existential variables via skolemisation: the same rule firing on
+// the same frontier values reuses the same null. Firings whose frontier
+// carries a null at MaxNullDepth are suppressed (bounded chase).
+func (ev *evaluator) instantiateHead(ri int, b Binding) (relation.Tuple, bool, error) {
+	r := ev.prog.Rules[ri]
+	exVars := r.ExistentialVars()
+	if len(exVars) == 0 {
+		t := make(relation.Tuple, len(r.Head.Args))
+		for i, arg := range r.Head.Args {
+			switch x := arg.(type) {
+			case Const:
+				t[i] = x.Val
+			case Var:
+				v, ok := b[x.Name]
+				if !ok {
+					return nil, false, fmt.Errorf("vadalog: internal: head var %s unbound in rule %d", x.Name, ri)
+				}
+				t[i] = v
+			default:
+				return nil, false, fmt.Errorf("vadalog: internal: aggregate in non-aggregate rule %d", ri)
+			}
+		}
+		return t, true, nil
+	}
+
+	// Existential rule: compute frontier key and depth.
+	depth := 0
+	var frontier strings.Builder
+	frontier.WriteString(fmt.Sprintf("r%d|", ri))
+	for _, arg := range r.Head.Args {
+		if v, ok := arg.(Var); ok {
+			if val, bound := b[v.Name]; bound {
+				frontier.WriteString(val.Key())
+				frontier.WriteByte('\x1f')
+				if IsLabelledNull(val) {
+					if d := ev.nullDepth[val.Str()]; d > depth {
+						depth = d
+					}
+				}
+			}
+		}
+	}
+	if depth >= ev.eng.MaxNullDepth {
+		return nil, false, nil // chase bound reached: suppress firing
+	}
+	fkey := frontier.String()
+
+	nulls := map[string]relation.Value{}
+	for i, x := range exVars {
+		skey := fmt.Sprintf("%s#%d", fkey, i)
+		nv, ok := ev.skolem[skey]
+		if !ok {
+			ev.nullSeq++
+			name := fmt.Sprintf("%sn%d", NullPrefix, ev.nullSeq)
+			nv = relation.String(name)
+			ev.skolem[skey] = nv
+			ev.nullDepth[name] = depth + 1
+		}
+		nulls[x] = nv
+	}
+
+	t := make(relation.Tuple, len(r.Head.Args))
+	for i, arg := range r.Head.Args {
+		switch x := arg.(type) {
+		case Const:
+			t[i] = x.Val
+		case Var:
+			if v, ok := b[x.Name]; ok {
+				t[i] = v
+			} else {
+				t[i] = nulls[x.Name]
+			}
+		}
+	}
+	return t, true, nil
+}
+
+// evalAggRule evaluates an aggregate rule: body bindings are grouped by the
+// non-aggregate head terms and the aggregate is computed per group over the
+// deduplicated bindings of the body variables.
+func (ev *evaluator) evalAggRule(ri int) ([]relation.Tuple, error) {
+	r := ev.prog.Rules[ri]
+	order := ev.analysis.Order[ri]
+
+	// Collect body variable names in deterministic order for dedup keys.
+	bodyVarSet := r.bodyVars()
+	bodyVars := make([]string, 0, len(bodyVarSet))
+	for v := range bodyVarSet {
+		bodyVars = append(bodyVars, v)
+	}
+	sort.Strings(bodyVars)
+
+	type group struct {
+		key  relation.Tuple // values of group-by head terms
+		vals []relation.Value
+	}
+	groups := map[string]*group{}
+	var orderKeys []string
+	seen := map[string]bool{}
+
+	var aggVar string
+	var aggFn AggFn
+	for _, arg := range r.Head.Args {
+		if a, ok := arg.(Agg); ok {
+			aggVar, aggFn = a.Arg.Name, a.Fn
+		}
+	}
+
+	var walk func(step int, b Binding) error
+	walk = func(step int, b Binding) error {
+		if step < len(order) {
+			li := order[step]
+			l := r.Body[li]
+			switch {
+			case l.Cmp != nil:
+				nb, ok, err := ev.evalComparison(l.Cmp, b)
+				if err != nil {
+					return err
+				}
+				if !ok {
+					return nil
+				}
+				return walk(step+1, nb)
+			case l.Negated:
+				match, err := ev.atomHasMatch(l.Atom, b)
+				if err != nil {
+					return err
+				}
+				if match {
+					return nil
+				}
+				return walk(step+1, b)
+			default:
+				src := ev.facts[l.Atom.Pred]
+				if src == nil {
+					return nil
+				}
+				for _, t := range src.tuples {
+					nb, ok := unify(l.Atom, t, b)
+					if !ok {
+						continue
+					}
+					if err := walk(step+1, nb); err != nil {
+						return err
+					}
+				}
+				return nil
+			}
+		}
+		// Dedup on the full body binding (set semantics).
+		var dk strings.Builder
+		for _, v := range bodyVars {
+			dk.WriteString(b[v].Key())
+			dk.WriteByte('\x1f')
+		}
+		if seen[dk.String()] {
+			return nil
+		}
+		seen[dk.String()] = true
+
+		gkey := make(relation.Tuple, 0, len(r.Head.Args))
+		for _, arg := range r.Head.Args {
+			switch x := arg.(type) {
+			case Const:
+				gkey = append(gkey, x.Val)
+			case Var:
+				gkey = append(gkey, b[x.Name])
+			}
+		}
+		k := gkey.Key()
+		g, ok := groups[k]
+		if !ok {
+			g = &group{key: gkey}
+			groups[k] = g
+			orderKeys = append(orderKeys, k)
+		}
+		g.vals = append(g.vals, b[aggVar])
+		return nil
+	}
+	if err := walk(0, Binding{}); err != nil {
+		return nil, err
+	}
+
+	var out []relation.Tuple
+	for _, k := range orderKeys {
+		g := groups[k]
+		av := aggregate(aggFn, g.vals)
+		// g.key holds only the non-aggregate head values, in head order.
+		t := make(relation.Tuple, 0, len(r.Head.Args))
+		gi := 0
+		for _, arg := range r.Head.Args {
+			if _, isAgg := arg.(Agg); isAgg {
+				t = append(t, av)
+				continue
+			}
+			t = append(t, g.key[gi])
+			gi++
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// aggregate applies fn to the collected values. Nulls are skipped for
+// sum/min/max/avg; count counts all bindings.
+func aggregate(fn AggFn, vals []relation.Value) relation.Value {
+	switch fn {
+	case AggCount:
+		return relation.Int(int64(len(vals)))
+	case AggSum, AggAvg:
+		sum, n := 0.0, 0
+		allInt := true
+		for _, v := range vals {
+			if f, ok := v.AsFloat(); ok {
+				sum += f
+				n++
+				if v.Kind() != relation.KindInt {
+					allInt = false
+				}
+			}
+		}
+		if n == 0 {
+			return relation.Null()
+		}
+		if fn == AggAvg {
+			return relation.Float(sum / float64(n))
+		}
+		if allInt {
+			return relation.Int(int64(sum))
+		}
+		return relation.Float(sum)
+	case AggMin, AggMax:
+		var best relation.Value
+		first := true
+		for _, v := range vals {
+			if v.IsNull() {
+				continue
+			}
+			if first {
+				best, first = v, false
+				continue
+			}
+			c := v.Compare(best)
+			if (fn == AggMin && c < 0) || (fn == AggMax && c > 0) {
+				best = v
+			}
+		}
+		if first {
+			return relation.Null()
+		}
+		return best
+	default:
+		return relation.Null()
+	}
+}

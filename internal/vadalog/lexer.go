@@ -1,0 +1,210 @@
+package vadalog
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind enumerates lexical token classes.
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokVar
+	tokString
+	tokNumber
+	tokPunct // ( ) , . :- ?- operators
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+	col  int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer turns Vadalog source into tokens. Comments start with '%' or "//"
+// and run to end of line.
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	col  int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1, col: 1} }
+
+// lexError is a positioned lexical error.
+type lexError struct {
+	line, col int
+	msg       string
+}
+
+func (e *lexError) Error() string {
+	return fmt.Sprintf("vadalog: %d:%d: %s", e.line, e.col, e.msg)
+}
+
+func (l *lexer) errorf(format string, args ...any) error {
+	return &lexError{line: l.line, col: l.col, msg: fmt.Sprintf(format, args...)}
+}
+
+func (l *lexer) peek() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	r, _ := utf8.DecodeRuneInString(l.src[l.pos:])
+	return r
+}
+
+func (l *lexer) advance() rune {
+	if l.pos >= len(l.src) {
+		return 0
+	}
+	r, w := utf8.DecodeRuneInString(l.src[l.pos:])
+	l.pos += w
+	if r == '\n' {
+		l.line++
+		l.col = 1
+	} else {
+		l.col++
+	}
+	return r
+}
+
+func (l *lexer) skipSpaceAndComments() {
+	for {
+		r := l.peek()
+		switch {
+		case r == 0:
+			return
+		case unicode.IsSpace(r):
+			l.advance()
+		case r == '%':
+			for l.peek() != '\n' && l.peek() != 0 {
+				l.advance()
+			}
+		case r == '/' && strings.HasPrefix(l.src[l.pos:], "//"):
+			for l.peek() != '\n' && l.peek() != 0 {
+				l.advance()
+			}
+		default:
+			return
+		}
+	}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpaceAndComments()
+	line, col := l.line, l.col
+	r := l.peek()
+	switch {
+	case r == 0:
+		return token{kind: tokEOF, line: line, col: col}, nil
+
+	case r == '"':
+		l.advance()
+		var b strings.Builder
+		for {
+			c := l.advance()
+			if c == 0 {
+				return token{}, l.errorf("unterminated string literal")
+			}
+			if c == '"' {
+				break
+			}
+			if c == '\\' {
+				esc := l.advance()
+				switch esc {
+				case 'n':
+					b.WriteByte('\n')
+				case 't':
+					b.WriteByte('\t')
+				case '\\', '"':
+					b.WriteRune(esc)
+				default:
+					return token{}, l.errorf("unknown escape \\%c", esc)
+				}
+				continue
+			}
+			b.WriteRune(c)
+		}
+		return token{kind: tokString, text: b.String(), line: line, col: col}, nil
+
+	case unicode.IsDigit(r):
+		start := l.pos
+		for unicode.IsDigit(l.peek()) {
+			l.advance()
+		}
+		if l.peek() == '.' && l.pos+1 < len(l.src) && unicode.IsDigit(rune(l.src[l.pos+1])) {
+			l.advance()
+			for unicode.IsDigit(l.peek()) {
+				l.advance()
+			}
+		}
+		return token{kind: tokNumber, text: l.src[start:l.pos], line: line, col: col}, nil
+
+	case r == '_' || unicode.IsLetter(r):
+		start := l.pos
+		for {
+			c := l.peek()
+			if c == '_' || unicode.IsLetter(c) || unicode.IsDigit(c) {
+				l.advance()
+				continue
+			}
+			break
+		}
+		text := l.src[start:l.pos]
+		first, _ := utf8.DecodeRuneInString(text)
+		kind := tokIdent
+		if first == '_' || unicode.IsUpper(first) {
+			kind = tokVar
+		}
+		return token{kind: kind, text: text, line: line, col: col}, nil
+
+	default:
+		// punctuation / operators, longest match first
+		two := ""
+		if l.pos+1 < len(l.src) {
+			two = l.src[l.pos : l.pos+2]
+		}
+		switch two {
+		case ":-", "?-", "!=", "<=", ">=":
+			l.advance()
+			l.advance()
+			return token{kind: tokPunct, text: two, line: line, col: col}, nil
+		}
+		switch r {
+		case '(', ')', ',', '.', '=', '<', '>', '+', '-', '*', '/', '!':
+			l.advance()
+			return token{kind: tokPunct, text: string(r), line: line, col: col}, nil
+		}
+		return token{}, l.errorf("unexpected character %q", r)
+	}
+}
+
+// tokenize lexes the whole input.
+func tokenize(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

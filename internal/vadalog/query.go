@@ -1,0 +1,157 @@
+package vadalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vada/internal/relation"
+)
+
+// QueryResult returns the bindings of q's variables over an already-computed
+// Result. Bindings are deduplicated and returned in derivation order.
+func (r *Result) QueryResult(q *Query) ([]Binding, error) {
+	rule := Rule{Head: Atom{Pred: "__query__"}, Body: q.Body}
+	order, err := orderBody(rule)
+	if err != nil {
+		return nil, fmt.Errorf("vadalog: query %s: %w", q.String(), err)
+	}
+	ev := &evaluator{
+		eng:       NewEngine(),
+		facts:     r.store,
+		nullDepth: map[string]int{},
+		skolem:    map[string]relation.Value{},
+	}
+
+	var out []Binding
+	seen := map[string]bool{}
+	var walk func(step int, b Binding) error
+	walk = func(step int, b Binding) error {
+		if step == len(order) {
+			ans := make(Binding, len(q.Vars))
+			var key strings.Builder
+			for _, v := range q.Vars {
+				val, ok := b[v]
+				if !ok {
+					val = relation.Null()
+				}
+				ans[v] = val
+				key.WriteString(val.Key())
+				key.WriteByte('\x1f')
+			}
+			if !seen[key.String()] {
+				seen[key.String()] = true
+				out = append(out, ans)
+			}
+			return nil
+		}
+		li := order[step]
+		l := q.Body[li]
+		switch {
+		case l.Cmp != nil:
+			nb, ok, err := ev.evalComparison(l.Cmp, b)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				return nil
+			}
+			return walk(step+1, nb)
+		case l.Negated:
+			match, err := ev.atomHasMatch(l.Atom, b)
+			if err != nil {
+				return err
+			}
+			if match {
+				return nil
+			}
+			return walk(step+1, b)
+		default:
+			src := ev.facts[l.Atom.Pred]
+			if src == nil {
+				return nil
+			}
+			for _, t := range src.tuples {
+				nb, ok := unify(l.Atom, t, b)
+				if !ok {
+					continue
+				}
+				if err := walk(step+1, nb); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+	}
+	if err := walk(0, Binding{}); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Query runs program rules over the EDB and then evaluates the query against
+// the combined result. An empty program string may be passed when the query
+// only references EDB predicates.
+func (e *Engine) Query(programSrc, querySrc string, edb EDB) ([]Binding, error) {
+	prog, err := Parse(programSrc)
+	if err != nil {
+		return nil, err
+	}
+	q, err := ParseQuery(querySrc)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.Run(prog, edb)
+	if err != nil {
+		return nil, err
+	}
+	// Make sure query-only EDB predicates are loaded too.
+	for _, l := range q.Body {
+		if l.Atom != nil {
+			if _, ok := res.store[l.Atom.Pred]; !ok {
+				set := newTupleSet()
+				for _, t := range edb.Facts(l.Atom.Pred) {
+					set.add(t.Clone())
+				}
+				res.store[l.Atom.Pred] = set
+			}
+		}
+	}
+	return res.QueryResult(q)
+}
+
+// Ask reports whether the query has at least one answer over the EDB after
+// applying the program. It is the primitive used for transducer input
+// dependencies: "the dependency holds" means "the query is non-empty".
+func (e *Engine) Ask(programSrc, querySrc string, edb EDB) (bool, error) {
+	bindings, err := e.Query(programSrc, querySrc, edb)
+	if err != nil {
+		return false, err
+	}
+	return len(bindings) > 0, nil
+}
+
+// BindingsToRelation converts query bindings into a relation whose columns
+// are the given variables (or all binding variables, sorted, when vars is
+// empty).
+func BindingsToRelation(name string, bindings []Binding, vars []string) *relation.Relation {
+	if len(vars) == 0 && len(bindings) > 0 {
+		for v := range bindings[0] {
+			vars = append(vars, v)
+		}
+		sort.Strings(vars)
+	}
+	attrs := make([]relation.Attribute, len(vars))
+	for i, v := range vars {
+		attrs[i] = relation.Attribute{Name: v, Type: relation.KindString}
+	}
+	rel := relation.New(relation.Schema{Name: name, Attrs: attrs})
+	for _, b := range bindings {
+		t := make(relation.Tuple, len(vars))
+		for i, v := range vars {
+			t[i] = b[v]
+		}
+		rel.Tuples = append(rel.Tuples, t)
+	}
+	return rel
+}

@@ -1,0 +1,262 @@
+// Package vada is a from-scratch reproduction of "The VADA Architecture for
+// Cost-Effective Data Wrangling" (Konstantinou et al., SIGMOD 2017): an
+// end-to-end, dynamically orchestrated data-wrangling system.
+//
+// The architecture (Figure 1 of the paper) consists of a knowledge base, a
+// Vadalog (Datalog±) reasoner, and a collection of transducers — wrangling
+// components whose input dependencies are declared as Vadalog queries over
+// the knowledge base — coordinated by a network transducer. Wrangling is
+// pay-as-you-go: a fully automatic bootstrap produces an initial result,
+// which improves as the user supplies data context (reference data),
+// feedback (correctness annotations) and user context (pairwise priorities
+// over quality criteria).
+//
+// # Quickstart
+//
+//	w := vada.New(vada.DefaultOptions())
+//	w.RegisterSource(myRelation)           // or RegisterWebSource(...)
+//	w.SetTargetSchema(myTargetSchema)
+//	if _, err := w.Run(ctx); err != nil {  // step 1: automatic bootstrap
+//		...
+//	}
+//	result := w.ResultClean()
+//
+// Then pay as you go:
+//
+//	w.AddDataContext(referenceData)        // step 2: data context
+//	w.Run(ctx)
+//	w.AddFeedback(items...)                // step 3: feedback
+//	w.Run(ctx)
+//	w.SetUserContext(priorities)           // step 4: user context
+//	w.Run(ctx)
+//
+// The exported identifiers are aliases of the internal implementation
+// packages, so the full functionality is reachable through this single
+// import.
+package vada
+
+import (
+	"vada/internal/cfd"
+	"vada/internal/core"
+	"vada/internal/datagen"
+	"vada/internal/extract"
+	"vada/internal/feedback"
+	"vada/internal/fusion"
+	"vada/internal/kb"
+	"vada/internal/mapping"
+	"vada/internal/match"
+	"vada/internal/mcda"
+	"vada/internal/quality"
+	"vada/internal/relation"
+	"vada/internal/transducer"
+	"vada/internal/vadalog"
+)
+
+// ---- the system ----------------------------------------------------------
+
+// Wrangler is the VADA system: knowledge base, reasoner, transducer
+// registry and orchestrator behind the pay-as-you-go API.
+type Wrangler = core.Wrangler
+
+// Options configures a Wrangler.
+type Options = core.Options
+
+// New creates a Wrangler with the standard transducer suite.
+func New(opts Options) *Wrangler { return core.NewWrangler(opts) }
+
+// DefaultOptions returns production defaults.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// ---- relational model -----------------------------------------------------
+
+// Value is a typed scalar; Schema, Tuple and Relation form the relational
+// substrate all transducers exchange.
+type (
+	Value    = relation.Value
+	Kind     = relation.Kind
+	Schema   = relation.Schema
+	Tuple    = relation.Tuple
+	Relation = relation.Relation
+)
+
+// Value constructors and schema helpers.
+var (
+	NewSchema   = relation.NewSchema
+	NewRelation = relation.New
+	NewTuple    = relation.NewTuple
+	NullValue   = relation.Null
+	StringValue = relation.String
+	IntValue    = relation.Int
+	FloatValue  = relation.Float
+	BoolValue   = relation.Bool
+	ReadCSV     = relation.ReadCSV
+)
+
+// ---- knowledge base and reasoner -------------------------------------------
+
+// KB is the knowledge base; Engine is the Vadalog reasoner.
+type (
+	KB      = kb.KB
+	Engine  = vadalog.Engine
+	Program = vadalog.Program
+	Query   = vadalog.Query
+	Binding = vadalog.Binding
+)
+
+// Reasoner construction, parsing and KB persistence.
+var (
+	NewKB          = kb.New
+	NewEngine      = vadalog.NewEngine
+	ParseVadalog   = vadalog.Parse
+	ParseQuery     = vadalog.ParseQuery
+	IsLabelledNull = vadalog.IsLabelledNull
+	ReadSnapshot   = kb.ReadSnapshot
+)
+
+// ---- transducer framework ---------------------------------------------------
+
+// Transducer, Dependency and the orchestration types let applications extend
+// the wrangling process with their own components (§4 of the paper).
+type (
+	Transducer        = transducer.Transducer
+	TransducerFunc    = transducer.Func
+	Dependency        = transducer.Dependency
+	Report            = transducer.Report
+	Step              = transducer.Step
+	NetworkTransducer = transducer.NetworkTransducer
+	GenericNetwork    = transducer.GenericNetwork
+	PreferNetwork     = transducer.PreferNetwork
+)
+
+// Network-transducer construction and trace rendering.
+var (
+	NewGenericNetwork = transducer.NewGenericNetwork
+	TraceString       = transducer.TraceString
+)
+
+// ---- matching, mapping, quality, fusion -------------------------------------
+
+// Component-level types for applications driving the substrates directly.
+type (
+	Match          = match.Match
+	Mapping        = mapping.Mapping
+	InclusionDep   = mapping.InclusionDep
+	CFD            = cfd.CFD
+	CFDMineOptions = cfd.MineOptions
+	RepairAction   = cfd.RepairAction
+	RepairOptions  = cfd.RepairOptions
+	QualityReport  = quality.Report
+	FusionOptions  = fusion.Options
+	BlockingKey    = fusion.BlockingKey
+	PairScorer     = fusion.PairScorer
+)
+
+// SourceCandidate pairs a source with its quality report for source
+// selection (§2.3).
+type SourceCandidate = mapping.SourceCandidate
+
+// Component-level entry points.
+var (
+	MatchSchemas          = match.MatchSchemas
+	MatchInstances        = match.MatchInstances
+	GenerateMappings      = mapping.Generate
+	ExecuteMapping        = mapping.Execute
+	SelectSources         = mapping.SelectSources
+	TopKSources           = mapping.TopKSources
+	DiscoverInclusionDeps = mapping.DiscoverInclusionDeps
+	MineCFDs              = cfd.Mine
+	DefaultMineOptions    = cfd.DefaultMineOptions
+	RepairWithReference   = cfd.RepairWithReference
+	DefaultRepairOptions  = cfd.DefaultRepairOptions
+	AssessQuality         = quality.Assess
+	DetectDuplicates      = fusion.DetectDuplicates
+	Fuse                  = fusion.Fuse
+	BlockByAttr           = fusion.BlockByAttr
+	DefaultPairScorer     = fusion.DefaultScorer
+)
+
+// ---- user context (MCDA) ----------------------------------------------------
+
+// UserContext carries pairwise priorities; Criterion identifies a quality
+// feature of the result.
+type (
+	UserContext = mcda.Model
+	Criterion   = mcda.Criterion
+	Strength    = mcda.Strength
+	Comparison  = mcda.Comparison
+)
+
+// Verbal importance scale of the paper (Figure 2(d)).
+const (
+	Equal        = mcda.Equal
+	Moderately   = mcda.Moderately
+	Strongly     = mcda.Strongly
+	VeryStrongly = mcda.VeryStrongly
+	Extremely    = mcda.Extremely
+)
+
+// User-context construction.
+var (
+	NewUserContext = mcda.NewModel
+	ParseStrength  = mcda.ParseStrength
+)
+
+// ---- feedback ----------------------------------------------------------------
+
+// FeedbackItem is one correctness annotation (§2.3).
+type FeedbackItem = feedback.Item
+
+// ---- web extraction ------------------------------------------------------------
+
+// Extraction types for registering deep-web sources.
+type (
+	SiteTemplate = extract.SiteTemplate
+	Page         = extract.Page
+	Annotation   = extract.Annotation
+	Wrapper      = extract.Wrapper
+)
+
+// Extraction entry points, including the demonstration portal templates.
+var (
+	ParseHTML            = extract.ParseHTML
+	GeneratePages        = extract.GeneratePages
+	InduceWrapper        = extract.InduceWrapper
+	BootstrapAnnotations = extract.BootstrapAnnotations
+	RightmoveTemplate    = extract.RightmoveTemplate
+	OnTheMarketTemplate  = extract.OnTheMarketTemplate
+)
+
+// CanonicalPostcode normalises UK-style postcodes (case and spacing).
+var CanonicalPostcode = datagen.CanonicalPostcode
+
+// ---- demonstration scenario ------------------------------------------------------
+
+// Scenario bundles the paper's real-estate demonstration data with ground
+// truth; ScenarioConfig controls generation.
+type (
+	Scenario       = datagen.Scenario
+	ScenarioConfig = datagen.Config
+	Oracle         = datagen.Oracle
+	ResultScore    = datagen.Score
+)
+
+// Scenario generation and the pay-as-you-go experiment harness (§3).
+var (
+	GenerateScenario         = datagen.Generate
+	DefaultScenarioConfig    = datagen.DefaultConfig
+	TargetSchema             = datagen.TargetSchema
+	BuildScenarioWrangler    = core.BuildScenarioWrangler
+	CrimeAnalysisUserContext = core.CrimeAnalysisUserContext
+	SizeAnalysisUserContext  = core.SizeAnalysisUserContext
+	OracleFeedback           = core.OracleFeedback
+	RunPayAsYouGo            = core.RunPayAsYouGo
+	DefaultPayAsYouGoConfig  = core.DefaultPayAsYouGoConfig
+	FormatStages             = core.FormatStages
+)
+
+// PayAsYouGoConfig and StageScore parameterise and report the four-step
+// demonstration.
+type (
+	PayAsYouGoConfig = core.PayAsYouGoConfig
+	StageScore       = core.StageScore
+)
