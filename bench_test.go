@@ -37,7 +37,7 @@ func BenchmarkScenarioGeneration(b *testing.B) {
 // which transducers are ready via Vadalog dependency queries over the KB.
 func BenchmarkReadinessEvaluation(b *testing.B) {
 	sc := vada.GenerateScenario(scenarioCfg(200))
-	w := vada.BuildScenarioWrangler(sc, vada.DefaultOptions())
+	w := vada.BuildScenarioWrangler(sc)
 	if _, err := w.Run(context.Background()); err != nil {
 		b.Fatal(err)
 	}
@@ -65,7 +65,7 @@ func BenchmarkBootstrap(b *testing.B) {
 	b.ResetTimer()
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		w := vada.BuildScenarioWrangler(sc, vada.DefaultOptions())
+		w := vada.BuildScenarioWrangler(sc)
 		if _, err := w.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
@@ -101,7 +101,7 @@ func BenchmarkOrchestrationReaction(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		b.StopTimer()
-		w := vada.BuildScenarioWrangler(sc, vada.DefaultOptions())
+		w := vada.BuildScenarioWrangler(sc)
 		if _, err := w.Run(context.Background()); err != nil {
 			b.Fatal(err)
 		}
@@ -117,7 +117,7 @@ func BenchmarkOrchestrationReaction(b *testing.B) {
 // context on a quiesced system.
 func BenchmarkUserContextSwitch(b *testing.B) {
 	sc := vada.GenerateScenario(scenarioCfg(150))
-	w := vada.BuildScenarioWrangler(sc, vada.DefaultOptions())
+	w := vada.BuildScenarioWrangler(sc)
 	w.AddDataContext(sc.AddressRef)
 	if _, err := w.Run(context.Background()); err != nil {
 		b.Fatal(err)
@@ -139,7 +139,7 @@ func BenchmarkUserContextSwitch(b *testing.B) {
 // assimilating feedback.
 func BenchmarkOracleFeedback(b *testing.B) {
 	sc := vada.GenerateScenario(scenarioCfg(150))
-	w := vada.BuildScenarioWrangler(sc, vada.DefaultOptions())
+	w := vada.BuildScenarioWrangler(sc)
 	w.AddDataContext(sc.AddressRef)
 	if _, err := w.Run(context.Background()); err != nil {
 		b.Fatal(err)
@@ -414,7 +414,7 @@ func BenchmarkKBAssertRetract(b *testing.B) {
 // BenchmarkTraceRendering measures the browsable trace (§3).
 func BenchmarkTraceRendering(b *testing.B) {
 	sc := vada.GenerateScenario(scenarioCfg(100))
-	w := vada.BuildScenarioWrangler(sc, vada.DefaultOptions())
+	w := vada.BuildScenarioWrangler(sc)
 	if _, err := w.Run(context.Background()); err != nil {
 		b.Fatal(err)
 	}

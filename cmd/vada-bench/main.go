@@ -92,7 +92,7 @@ func runPayg(n int, seed int64, budget int) error {
 func runTable1(n int, seed int64, _ int) error {
 	fmt.Println("E-T1  transducer input dependencies (paper Table 1)")
 	fmt.Println()
-	w := vada.New(vada.DefaultOptions())
+	w := vada.New()
 	fmt.Printf("%-14s %-24s %s\n", "activity", "transducer", "input dependency (Vadalog query)")
 	for _, t := range w.Registry().All() {
 		q := t.Dependency().Query
@@ -104,7 +104,7 @@ func runTable1(n int, seed int64, _ int) error {
 
 	fmt.Println("\nreadiness progression on the scenario (eligible transducers per stage):")
 	sc := vada.GenerateScenario(scenarioConfig(n, seed))
-	w2 := vada.BuildScenarioWrangler(sc, vada.DefaultOptions())
+	w2 := vada.BuildScenarioWrangler(sc)
 	ctx := context.Background()
 
 	report := func(stage string) {
@@ -140,7 +140,7 @@ func runOrchestration(n int, seed int64, budget int) error {
 	fmt.Println("E-D1  dynamic orchestration (paper §3 goal iii)")
 	fmt.Println()
 	sc := vada.GenerateScenario(scenarioConfig(n, seed))
-	w := vada.BuildScenarioWrangler(sc, vada.DefaultOptions())
+	w := vada.BuildScenarioWrangler(sc)
 	ctx := context.Background()
 
 	stageSummary := func(stage string, steps []vada.Step) {
@@ -228,7 +228,7 @@ func runUserContext(n int, seed int64, _ int) error {
 		{"crime analysis (Fig 2d)", vada.CrimeAnalysisUserContext()},
 		{"size analysis (§2.2 variant)", vada.SizeAnalysisUserContext()},
 	} {
-		w := vada.BuildScenarioWrangler(sc, vada.DefaultOptions())
+		w := vada.BuildScenarioWrangler(sc)
 		w.AddDataContext(sc.AddressRef)
 		if _, err := w.Run(ctx); err != nil {
 			return err

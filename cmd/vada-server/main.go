@@ -1,180 +1,275 @@
-// Command vada-server serves the web interface of the demonstration
-// (Figure 3 of the paper): four panels — target schema, data context,
-// results with feedback, user context — over a JSON API, plus the browsable
-// orchestration trace.
+// Command vada-server is the multi-tenant wrangling service: any number of
+// concurrent pay-as-you-go sessions (each the four-panel demonstration of
+// Figure 3) behind a versioned JSON API, plus the single-page UI and the
+// browsable orchestration trace.
 //
-//	vada-server -addr :8080 -n 300
+//	vada-server -addr :8080 -max-sessions 64 -idle-timeout 30m
 //
-// The server hosts one wrangling session over the generated scenario.
 // Endpoints:
 //
-//	GET  /                  the single-page UI
-//	GET  /api/state         KB stats, selected mappings, stage scores
-//	POST /api/bootstrap     step 1: automatic bootstrapping
-//	POST /api/datacontext   step 2: associate reference data
-//	POST /api/feedback      step 3: oracle feedback (?budget=N) or JSON items
-//	POST /api/usercontext   step 4: ?model=crime|size
-//	GET  /api/result        current result rows (JSON)
-//	GET  /api/trace         orchestration trace (text)
+//	GET    /                                   the single-page UI
+//	POST   /api/v1/sessions                    create a session {"name","n","seed"}
+//	GET    /api/v1/sessions                    list session states
+//	GET    /api/v1/sessions/{id}               session state
+//	DELETE /api/v1/sessions/{id}               close the session
+//	POST   /api/v1/sessions/{id}/bootstrap     step 1: automatic bootstrapping
+//	POST   /api/v1/sessions/{id}/datacontext   step 2: associate reference data
+//	POST   /api/v1/sessions/{id}/feedback      step 3: oracle feedback (?budget=N) or JSON items
+//	POST   /api/v1/sessions/{id}/usercontext   step 4: ?model=crime|size
+//	GET    /api/v1/sessions/{id}/result        result rows (?limit=&offset=, paginated)
+//	GET    /api/v1/sessions/{id}/trace         orchestration trace (text)
+//	GET    /api/v1/sessions/{id}/state         session state (alias)
+//
+// Sessions are independent: each wraps its own Wrangler and scenario, holds
+// its own lock, and wrangles fully in parallel with every other session.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"mime"
 	"net/http"
 	"strconv"
-	"sync"
+	"time"
 
 	"vada"
 )
 
+// maxResultPageSize bounds one result page; larger limits are clamped.
+const maxResultPageSize = 1000
+
+// server holds the session manager and the per-session scenario defaults.
 type server struct {
-	mu     sync.Mutex
-	w      *vada.Wrangler
-	sc     *vada.Scenario
-	stages []vada.StageScore
-	seed   int64
+	mgr         *vada.SessionManager
+	defaultN    int
+	defaultSeed int64
+	maxN        int
 }
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	n := flag.Int("n", 300, "scenario size")
-	seed := flag.Int64("seed", 1, "scenario seed")
+	n := flag.Int("n", 300, "default scenario size for new sessions")
+	maxN := flag.Int("max-n", 2000, "largest scenario size a client may request")
+	seed := flag.Int64("seed", 1, "default scenario seed for new sessions")
+	maxSessions := flag.Int("max-sessions", 64, "live session cap (0 = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 30*time.Minute, "evict sessions idle this long (0 = never)")
 	flag.Parse()
 
-	cfg := vada.DefaultScenarioConfig()
-	cfg.NProperties = *n
-	cfg.Seed = *seed
-	sc := vada.GenerateScenario(cfg)
-	s := &server{w: vada.BuildScenarioWrangler(sc, vada.DefaultOptions()), sc: sc, seed: *seed}
+	s := &server{
+		mgr: vada.NewSessionManager(
+			vada.WithMaxSessions(*maxSessions),
+			vada.WithEvictHook(func(sess *vada.Session) {
+				log.Printf("vada-server: session %s closed", sess.ID())
+			}),
+		),
+		defaultN:    *n,
+		defaultSeed: *seed,
+		maxN:        *maxN,
+	}
+	if *idleTimeout > 0 {
+		go func() {
+			for range time.Tick(*idleTimeout / 4) {
+				for _, id := range s.mgr.EvictIdle(*idleTimeout) {
+					log.Printf("vada-server: session %s evicted (idle)", id)
+				}
+			}
+		}()
+	}
 
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /", s.handleIndex)
-	mux.HandleFunc("GET /api/state", s.handleState)
-	mux.HandleFunc("POST /api/bootstrap", s.step("bootstrap", func() error { return nil }))
-	mux.HandleFunc("POST /api/datacontext", s.step("data-context", func() error {
-		s.w.AddDataContext(s.sc.AddressRef)
-		return nil
-	}))
-	mux.HandleFunc("POST /api/feedback", s.handleFeedback)
-	mux.HandleFunc("POST /api/usercontext", s.handleUserContext)
-	mux.HandleFunc("GET /api/result", s.handleResult)
-	mux.HandleFunc("GET /api/trace", s.handleTrace)
-
-	log.Printf("vada-server: scenario of %d properties; listening on %s", *n, *addr)
-	log.Fatal(http.ListenAndServe(*addr, mux))
+	log.Printf("vada-server: serving /api/v1/sessions on %s (cap %d)", *addr, *maxSessions)
+	log.Fatal(http.ListenAndServe(*addr, s.routes()))
 }
 
-// step wraps a context-adding action followed by a run-to-quiescence and
-// scoring, mirroring one demonstration step.
-func (s *server) step(name string, action func() error) http.HandlerFunc {
-	return func(rw http.ResponseWriter, r *http.Request) {
-		s.mu.Lock()
-		defer s.mu.Unlock()
-		if err := action(); err != nil {
-			http.Error(rw, err.Error(), http.StatusBadRequest)
+// routes wires the versioned API.
+func (s *server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("POST /api/v1/sessions", s.handleCreate)
+	mux.HandleFunc("GET /api/v1/sessions", s.handleList)
+	mux.HandleFunc("GET /api/v1/sessions/{id}", s.handleState)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/state", s.handleState)
+	mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.handleClose)
+	mux.HandleFunc("POST /api/v1/sessions/{id}/bootstrap", s.handleBootstrap)
+	mux.HandleFunc("POST /api/v1/sessions/{id}/datacontext", s.handleDataContext)
+	mux.HandleFunc("POST /api/v1/sessions/{id}/feedback", s.handleFeedback)
+	mux.HandleFunc("POST /api/v1/sessions/{id}/usercontext", s.handleUserContext)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/result", s.handleResult)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/trace", s.handleTrace)
+	return mux
+}
+
+// createRequest is the POST /api/v1/sessions body; zero values take the
+// server defaults.
+type createRequest struct {
+	Name string `json:"name"`
+	N    int    `json:"n"`
+	Seed int64  `json:"seed"`
+}
+
+func (s *server) handleCreate(rw http.ResponseWriter, r *http.Request) {
+	req := createRequest{N: s.defaultN, Seed: s.defaultSeed}
+	if r.Body != nil && r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(rw, "bad session config JSON: "+err.Error(), http.StatusBadRequest)
 			return
 		}
-		steps, err := s.w.Run(r.Context())
-		if err != nil {
-			http.Error(rw, err.Error(), http.StatusInternalServerError)
-			return
-		}
-		score := s.sc.Oracle.ScoreResult(s.w.ResultClean())
-		s.stages = append(s.stages, vada.StageScore{Stage: name, Steps: len(steps), Score: score})
-		writeJSON(rw, map[string]any{"stage": name, "steps": len(steps), "score": score})
 	}
+	if req.N <= 0 {
+		req.N = s.defaultN
+	}
+	if s.maxN > 0 && req.N > s.maxN {
+		http.Error(rw, fmt.Sprintf("scenario size %d exceeds the server limit %d", req.N, s.maxN),
+			http.StatusBadRequest)
+		return
+	}
+	// Cheap pre-check so a full server rejects before scenario generation;
+	// Create remains the authoritative (race-free) gate.
+	if s.mgr.AtCap() {
+		writeError(rw, vada.ErrSessionLimit)
+		return
+	}
+	cfg := vada.DefaultScenarioConfig()
+	cfg.NProperties = req.N
+	cfg.Seed = req.Seed
+	sc := vada.GenerateScenario(cfg)
+	sess, err := s.mgr.Create(vada.BuildScenarioWrangler(sc),
+		vada.WithSessionName(req.Name), vada.WithScenario(sc, req.Seed))
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	writeJSONStatus(rw, http.StatusCreated, sess.State())
+}
+
+func (s *server) handleList(rw http.ResponseWriter, _ *http.Request) {
+	sessions := s.mgr.List()
+	states := make([]vada.SessionState, len(sessions))
+	for i, sess := range sessions {
+		states[i] = sess.State()
+	}
+	writeJSON(rw, map[string]any{"total": len(states), "sessions": states})
+}
+
+func (s *server) handleState(rw http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	writeJSON(rw, sess.State())
+}
+
+func (s *server) handleClose(rw http.ResponseWriter, r *http.Request) {
+	if err := s.mgr.Close(r.PathValue("id")); err != nil {
+		writeError(rw, err)
+		return
+	}
+	rw.WriteHeader(http.StatusNoContent)
+}
+
+func (s *server) handleBootstrap(rw http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	ev, err := sess.Bootstrap(r.Context())
+	writeEvent(rw, ev, err)
+}
+
+func (s *server) handleDataContext(rw http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	// nil relation: the session defaults to its scenario's reference data.
+	ev, err := sess.AddDataContext(r.Context(), nil)
+	writeEvent(rw, ev, err)
 }
 
 func (s *server) handleFeedback(rw http.ResponseWriter, r *http.Request) {
-	budget := 100
-	if b := r.URL.Query().Get("budget"); b != "" {
-		if v, err := strconv.Atoi(b); err == nil {
-			budget = v
-		}
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(rw, err)
+		return
 	}
+	budget := intQuery(r, "budget", 100)
 	var items []vada.FeedbackItem
-	if r.Header.Get("Content-Type") == "application/json" {
+	if mt, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type")); mt == "application/json" {
 		if err := json.NewDecoder(r.Body).Decode(&items); err != nil {
 			http.Error(rw, "bad feedback JSON: "+err.Error(), http.StatusBadRequest)
 			return
 		}
 	}
-	s.step("feedback", func() error {
-		if len(items) == 0 {
-			items = vada.OracleFeedback(s.sc, s.w.Result(), budget, s.seed)
-		}
-		s.w.AddFeedback(items...)
-		return nil
-	})(rw, r)
+	ev, err := sess.AddFeedback(r.Context(), items, budget)
+	writeEvent(rw, ev, err)
 }
 
 func (s *server) handleUserContext(rw http.ResponseWriter, r *http.Request) {
-	model := r.URL.Query().Get("model")
-	var uc *vada.UserContext
-	switch model {
-	case "", "crime":
-		uc = vada.CrimeAnalysisUserContext()
-	case "size":
-		uc = vada.SizeAnalysisUserContext()
-	default:
-		http.Error(rw, "unknown model (want crime|size)", http.StatusBadRequest)
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(rw, err)
 		return
 	}
-	s.step("user-context", func() error {
-		s.w.SetUserContext(uc)
-		return nil
-	})(rw, r)
-}
-
-func (s *server) handleState(rw http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	stats := s.w.KB.Stats()
-	writeJSON(rw, map[string]any{
-		"kb":       stats,
-		"selected": s.w.SelectedMappings(),
-		"stages":   s.stages,
-		"target":   vada.TargetSchema().String(),
-		"quality":  s.w.SortedQualityFacts(),
-	})
+	uc, err := vada.UserContextByName(r.URL.Query().Get("model"))
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	ev, err := sess.SetUserContext(r.Context(), uc)
+	writeEvent(rw, ev, err)
 }
 
 func (s *server) handleResult(rw http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	res := s.w.Result()
-	if res == nil {
-		http.Error(rw, "no result yet: POST /api/bootstrap first", http.StatusNotFound)
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(rw, err)
 		return
 	}
-	limit := 100
-	if l := r.URL.Query().Get("limit"); l != "" {
-		if v, err := strconv.Atoi(l); err == nil && v > 0 {
-			limit = v
-		}
+	res, err := sess.Result()
+	if err != nil {
+		writeError(rw, err)
+		return
 	}
-	rows := make([]map[string]string, 0, limit)
-	for i, t := range res.Tuples {
-		if i >= limit {
-			break
-		}
+	limit := intQuery(r, "limit", 100)
+	offset := intQuery(r, "offset", 0)
+	if limit <= 0 {
+		limit = 100
+	}
+	if limit > maxResultPageSize {
+		limit = maxResultPageSize
+	}
+	if offset < 0 {
+		offset = 0
+	}
+	total := res.Cardinality()
+	rows := make([]map[string]string, 0, min(limit, max(0, total-offset)))
+	for i := offset; i < total && len(rows) < limit; i++ {
 		row := map[string]string{}
 		for j, a := range res.Schema.Attrs {
-			row[a.Name] = t[j].String()
+			row[a.Name] = res.Tuples[i][j].String()
 		}
 		rows = append(rows, row)
 	}
-	writeJSON(rw, map[string]any{"total": res.Cardinality(), "rows": rows})
+	out := map[string]any{"total": total, "offset": offset, "limit": limit, "rows": rows}
+	if next := offset + len(rows); next < total {
+		out["next_offset"] = next
+	}
+	writeJSON(rw, out)
 }
 
-func (s *server) handleTrace(rw http.ResponseWriter, _ *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+func (s *server) handleTrace(rw http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
 	rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(rw, vada.TraceString(s.w.Trace()))
+	fmt.Fprint(rw, vada.TraceString(sess.Trace()))
 }
 
 func (s *server) handleIndex(rw http.ResponseWriter, r *http.Request) {
@@ -186,8 +281,47 @@ func (s *server) handleIndex(rw http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(rw, indexHTML)
 }
 
+// writeEvent renders a stage outcome or maps its error onto a status code.
+func writeEvent(rw http.ResponseWriter, ev vada.SessionEvent, err error) {
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	writeJSON(rw, ev)
+}
+
+// writeError maps the API's sentinel errors onto HTTP status codes.
+func writeError(rw http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, vada.ErrSessionNotFound), errors.Is(err, vada.ErrNoResult):
+		status = http.StatusNotFound
+	case errors.Is(err, vada.ErrUnknownUserContext), errors.Is(err, vada.ErrNoDataContext):
+		status = http.StatusBadRequest
+	case errors.Is(err, vada.ErrSessionLimit):
+		status = http.StatusTooManyRequests
+	case errors.Is(err, vada.ErrSessionClosed):
+		status = http.StatusGone
+	}
+	http.Error(rw, err.Error(), status)
+}
+
+func intQuery(r *http.Request, key string, def int) int {
+	if v := r.URL.Query().Get(key); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			return n
+		}
+	}
+	return def
+}
+
 func writeJSON(rw http.ResponseWriter, v any) {
+	writeJSONStatus(rw, http.StatusOK, v)
+}
+
+func writeJSONStatus(rw http.ResponseWriter, status int, v any) {
 	rw.Header().Set("Content-Type", "application/json")
+	rw.WriteHeader(status)
 	enc := json.NewEncoder(rw)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
@@ -195,8 +329,8 @@ func writeJSON(rw http.ResponseWriter, v any) {
 	}
 }
 
-// indexHTML is the single-page mirror of Figure 3: target schema and data
-// context on top, results with feedback below, user context on the right.
+// indexHTML is the single-page mirror of Figure 3, now session-aware: it
+// creates (or reuses) a session via /api/v1 and drives the four steps.
 const indexHTML = `<!DOCTYPE html>
 <html><head><title>VADA — pay-as-you-go data wrangling</title>
 <style>
@@ -208,37 +342,55 @@ const indexHTML = `<!DOCTYPE html>
  pre { background: #f6f6f6; padding: .8em; overflow-x: auto; font-size: .8em; }
  .row { display: flex; gap: 2em; flex-wrap: wrap; }
  .col { flex: 1; min-width: 24em; }
+ #sid { color: #666; font-size: .85em; }
 </style></head>
 <body>
 <h1>VADA — pay-as-you-go data wrangling (SIGMOD'17 demonstration)</h1>
 <p>Work through the four steps of the demonstration; each one adds information
-and re-triggers exactly the transducers whose input dependencies now hold.</p>
+and re-triggers exactly the transducers whose input dependencies now hold.
+Every browser tab gets its own wrangling session.</p>
+<p id="sid">(creating session…)</p>
 <div>
  <button onclick="step('bootstrap')">1&nbsp;Bootstrap</button>
  <button onclick="step('datacontext')">2&nbsp;Add data context</button>
  <button onclick="step('feedback?budget=100')">3&nbsp;Give feedback</button>
  <button onclick="step('usercontext?model=crime')">4a&nbsp;Crime user context</button>
  <button onclick="step('usercontext?model=size')">4b&nbsp;Size user context</button>
+ <button onclick="closeSession()">Close session</button>
 </div>
 <div class="row">
  <div class="col"><h2>Stages</h2><pre id="stages">(none yet)</pre>
   <h2>Selected mappings</h2><pre id="selected"></pre></div>
- <div class="col"><h2>Knowledge base</h2><pre id="kb"></pre></div>
+ <div class="col"><h2>Sessions on this server</h2><pre id="sessions"></pre></div>
 </div>
 <h2>Result (first rows)</h2>
 <div id="result">(bootstrap first)</div>
 <h2>Orchestration trace</h2>
 <pre id="trace"></pre>
 <script>
+let sid = null;
+const api = p => '/api/v1/sessions' + p;
+async function ensureSession() {
+  if (sid) return sid;
+  const resp = await fetch(api(''), {method: 'POST', headers: {'Content-Type': 'application/json'},
+    body: JSON.stringify({name: 'ui'})});
+  sid = (await resp.json()).id;
+  document.getElementById('sid').textContent = 'session ' + sid;
+  return sid;
+}
 async function refresh() {
-  const st = await (await fetch('/api/state')).json();
-  document.getElementById('kb').textContent = JSON.stringify(st.kb, null, 1);
-  document.getElementById('selected').textContent = (st.selected||[]).join('\n');
-  document.getElementById('stages').textContent = (st.stages||[]).map(s =>
-     s.Stage.padEnd(14) + ' F1=' + s.Score.F1.toFixed(3) +
-     ' val-acc=' + s.Score.ValueAccuracy.toFixed(3)).join('\n') || '(none yet)';
-  document.getElementById('trace').textContent = await (await fetch('/api/trace')).text();
-  const res = await fetch('/api/result?limit=25');
+  if (!sid) return;
+  const st = await (await fetch(api('/' + sid))).json();
+  document.getElementById('selected').textContent = (st.selected_mappings||[]).join('\n');
+  document.getElementById('stages').textContent = (st.events||[]).map(e =>
+     e.stage.padEnd(14) + (e.score ? ' F1=' + e.score.F1.toFixed(3) +
+     ' val-acc=' + e.score.ValueAccuracy.toFixed(3) : '')).join('\n') || '(none yet)';
+  document.getElementById('trace').textContent = await (await fetch(api('/' + sid + '/trace'))).text();
+  const all = await (await fetch(api(''))).json();
+  document.getElementById('sessions').textContent = (all.sessions||[]).map(s =>
+     s.id + (s.name ? ' (' + s.name + ')' : '') + ' — ' + (s.events||[]).length + ' stages, ' +
+     s.result_rows + ' rows').join('\n');
+  const res = await fetch(api('/' + sid + '/result?limit=25'));
   if (res.ok) {
     const data = await res.json();
     if (data.rows.length) {
@@ -252,10 +404,17 @@ async function refresh() {
   }
 }
 async function step(path) {
-  await fetch('/api/' + path, {method: 'POST'});
+  await ensureSession();
+  await fetch(api('/' + sid + '/' + path), {method: 'POST'});
   await refresh();
 }
-refresh();
+async function closeSession() {
+  if (!sid) return;
+  await fetch(api('/' + sid), {method: 'DELETE'});
+  sid = null;
+  document.getElementById('sid').textContent = '(session closed — reload to start another)';
+}
+ensureSession().then(refresh);
 </script>
 </body></html>
 `

@@ -2,36 +2,45 @@ package main
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 
 	"vada"
 )
 
-func testServer(t *testing.T) (*server, *httptest.Server) {
+func testServer(t *testing.T, opts ...vada.ManagerOption) (*server, *httptest.Server) {
 	t.Helper()
-	cfg := vada.DefaultScenarioConfig()
-	cfg.NProperties = 60
-	sc := vada.GenerateScenario(cfg)
-	s := &server{w: vada.BuildScenarioWrangler(sc, vada.DefaultOptions()), sc: sc, seed: 1}
-
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /", s.handleIndex)
-	mux.HandleFunc("GET /api/state", s.handleState)
-	mux.HandleFunc("POST /api/bootstrap", s.step("bootstrap", func() error { return nil }))
-	mux.HandleFunc("POST /api/datacontext", s.step("data-context", func() error {
-		s.w.AddDataContext(s.sc.AddressRef)
-		return nil
-	}))
-	mux.HandleFunc("POST /api/feedback", s.handleFeedback)
-	mux.HandleFunc("POST /api/usercontext", s.handleUserContext)
-	mux.HandleFunc("GET /api/result", s.handleResult)
-	mux.HandleFunc("GET /api/trace", s.handleTrace)
-	ts := httptest.NewServer(mux)
+	s := &server{mgr: vada.NewSessionManager(opts...), defaultN: 60, defaultSeed: 1}
+	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
 	return s, ts
+}
+
+// createSession POSTs /api/v1/sessions and returns the new session's ID.
+func createSession(t *testing.T, ts *httptest.Server, body string) string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/api/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create session: %s", resp.Status)
+	}
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	id, _ := st["id"].(string)
+	if id == "" {
+		t.Fatalf("create session: no id in %v", st)
+	}
+	return id
 }
 
 func post(t *testing.T, url string) map[string]any {
@@ -58,60 +67,56 @@ func get(t *testing.T, url string) (*http.Response, string) {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var b strings.Builder
-	buf := make([]byte, 4096)
-	for {
-		n, err := resp.Body.Read(buf)
-		b.Write(buf[:n])
-		if err != nil {
-			break
-		}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
 	}
-	return resp, b.String()
+	return resp, string(b)
 }
 
-func TestServerFullDemonstration(t *testing.T) {
+func TestSessionLifecycle(t *testing.T) {
 	_, ts := testServer(t)
+	id := createSession(t, ts, `{"name":"demo"}`)
+	base := ts.URL + "/api/v1/sessions/" + id
 
 	// The result endpoint 404s before bootstrap.
-	resp, _ := get(t, ts.URL+"/api/result")
+	resp, _ := get(t, base+"/result")
 	if resp.StatusCode != http.StatusNotFound {
 		t.Fatalf("pre-bootstrap result: %s", resp.Status)
 	}
 
 	// Step 1: bootstrap.
-	out := post(t, ts.URL+"/api/bootstrap")
+	out := post(t, base+"/bootstrap")
 	if out["stage"] != "bootstrap" {
 		t.Fatalf("bootstrap response: %v", out)
 	}
-	// Step 2: data context.
-	out = post(t, ts.URL+"/api/datacontext")
+	// Step 2: data context (defaults to the scenario's reference data).
+	out = post(t, base+"/datacontext")
 	score := out["score"].(map[string]any)
 	if score["F1"].(float64) <= 0 {
 		t.Fatalf("data-context score: %v", score)
 	}
 	// Step 3: feedback.
-	post(t, ts.URL+"/api/feedback?budget=40")
+	post(t, base+"/feedback?budget=40")
 	// Step 4: user context, both models.
-	post(t, ts.URL+"/api/usercontext?model=crime")
-	post(t, ts.URL+"/api/usercontext?model=size")
+	post(t, base+"/usercontext?model=crime")
+	post(t, base+"/usercontext?model=size")
 
-	// State lists all stages.
-	_, body := get(t, ts.URL+"/api/state")
+	// State lists all stage events.
+	_, body := get(t, base)
 	var st map[string]any
 	if err := json.Unmarshal([]byte(body), &st); err != nil {
 		t.Fatal(err)
 	}
-	stages := st["stages"].([]any)
-	if len(stages) != 5 {
-		t.Fatalf("stages = %d, want 5", len(stages))
+	if events := st["events"].([]any); len(events) != 5 {
+		t.Fatalf("events = %d, want 5", len(events))
 	}
-	if len(st["selected"].([]any)) == 0 {
+	if len(st["selected_mappings"].([]any)) == 0 {
 		t.Fatal("no selected mappings in state")
 	}
 
-	// Result rows with limit.
-	resp, body = get(t, ts.URL+"/api/result?limit=5")
+	// Paginated result rows.
+	resp, body = get(t, base+"/result?limit=5")
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("result: %s", resp.Status)
 	}
@@ -122,37 +127,198 @@ func TestServerFullDemonstration(t *testing.T) {
 	if rows := res["rows"].([]any); len(rows) == 0 || len(rows) > 5 {
 		t.Fatalf("rows = %d", len(rows))
 	}
+	next := int(res["next_offset"].(float64))
+	_, body = get(t, fmt.Sprintf("%s/result?limit=5&offset=%d", base, next))
+	var page2 map[string]any
+	if err := json.Unmarshal([]byte(body), &page2); err != nil {
+		t.Fatal(err)
+	}
+	if page2["offset"].(float64) != float64(next) {
+		t.Fatalf("page 2 offset = %v, want %d", page2["offset"], next)
+	}
+	if fmt.Sprint(page2["rows"].([]any)[0]) == fmt.Sprint(res["rows"].([]any)[0]) {
+		t.Fatal("page 2 repeats page 1")
+	}
 
 	// Trace is non-empty text.
-	resp, body = get(t, ts.URL+"/api/trace")
+	resp, body = get(t, base+"/trace")
 	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "web-extraction") {
 		t.Fatalf("trace: %s / %q...", resp.Status, body[:60])
 	}
 
-	// Index page serves the UI.
+	// The listing shows the session.
+	_, body = get(t, ts.URL+"/api/v1/sessions")
+	var list map[string]any
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list["total"].(float64) != 1 {
+		t.Fatalf("session list: %v", list)
+	}
+
+	// Close the session; it is gone afterwards.
+	req, _ := http.NewRequest(http.MethodDelete, base, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("delete: %s", dresp.Status)
+	}
+	resp, _ = get(t, base)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("state after delete: %s", resp.Status)
+	}
+
+	// Index page serves the session-aware UI.
 	resp, body = get(t, ts.URL+"/")
-	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "pay-as-you-go") {
+	if resp.StatusCode != http.StatusOK || !strings.Contains(body, "/api/v1/sessions") {
 		t.Fatal("index page broken")
 	}
 }
 
-func TestServerBadUserContextModel(t *testing.T) {
+// TestConcurrentSessions drives two sessions through all four pay-as-you-go
+// steps in parallel — the multi-tenant claim, checked under -race.
+func TestConcurrentSessions(t *testing.T) {
 	_, ts := testServer(t)
-	post(t, ts.URL+"/api/bootstrap")
-	resp, err := http.Post(ts.URL+"/api/usercontext?model=nonsense", "", nil)
+	ids := []string{
+		createSession(t, ts, `{"name":"a","n":50,"seed":1}`),
+		createSession(t, ts, `{"name":"b","n":50,"seed":2}`),
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(ids))
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			base := ts.URL + "/api/v1/sessions/" + id
+			for _, step := range []string{"bootstrap", "datacontext", "feedback?budget=20", "usercontext?model=crime"} {
+				resp, err := http.Post(base+"/"+step, "", nil)
+				if err != nil {
+					errs <- err
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs <- fmt.Errorf("session %s step %s: %s", id, step, resp.Status)
+					return
+				}
+			}
+		}(id)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for _, id := range ids {
+		_, body := get(t, ts.URL+"/api/v1/sessions/"+id)
+		var st map[string]any
+		if err := json.Unmarshal([]byte(body), &st); err != nil {
+			t.Fatal(err)
+		}
+		if events := st["events"].([]any); len(events) != 4 {
+			t.Fatalf("session %s: %d events, want 4", id, len(events))
+		}
+		if st["result_rows"].(float64) <= 0 {
+			t.Fatalf("session %s: empty result", id)
+		}
+	}
+}
+
+func TestErrorPaths(t *testing.T) {
+	_, ts := testServer(t)
+
+	// Unknown session IDs 404 everywhere.
+	resp, _ := get(t, ts.URL+"/api/v1/sessions/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id state: %s", resp.Status)
+	}
+	presp, err := http.Post(ts.URL+"/api/v1/sessions/nope/bootstrap", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	presp.Body.Close()
+	if presp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown id bootstrap: %s", presp.Status)
+	}
+
+	// Malformed create config is a 400.
+	cresp, err := http.Post(ts.URL+"/api/v1/sessions", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad create JSON: %s", cresp.Status)
+	}
+
+	// Unknown user-context model is a 400.
+	id := createSession(t, ts, "")
+	uresp, err := http.Post(ts.URL+"/api/v1/sessions/"+id+"/usercontext?model=nonsense", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uresp.Body.Close()
+	if uresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad model: %s", uresp.Status)
+	}
+
+	// Malformed feedback JSON is a 400.
+	fresp, err := http.Post(ts.URL+"/api/v1/sessions/"+id+"/feedback", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresp.Body.Close()
+	if fresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad feedback JSON: %s", fresp.Status)
+	}
+
+	// Deleting twice: second delete 404s.
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/api/v1/sessions/"+id, nil)
+	d1, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Body.Close()
+	d2, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2.Body.Close()
+	if d2.StatusCode != http.StatusNotFound {
+		t.Fatalf("double delete: %s", d2.Status)
+	}
+}
+
+func TestSessionCap(t *testing.T) {
+	_, ts := testServer(t, vada.WithMaxSessions(1))
+	createSession(t, ts, `{"n":30}`)
+	resp, err := http.Post(ts.URL+"/api/v1/sessions", "application/json", strings.NewReader(`{"n":30}`))
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadRequest {
-		t.Fatalf("bad model: %s", resp.Status)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over cap: %s", resp.Status)
 	}
 }
 
-func TestServerExplicitFeedbackJSON(t *testing.T) {
+func TestExplicitFeedbackJSON(t *testing.T) {
 	s, ts := testServer(t)
-	post(t, ts.URL+"/api/bootstrap")
-	res := s.w.Result()
+	id := createSession(t, ts, "")
+	base := ts.URL + "/api/v1/sessions/" + id
+	post(t, base+"/bootstrap")
+
+	sess, err := s.mgr.Get(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sess.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
 	si := res.Schema.AttrIndex("street")
 	pi := res.Schema.AttrIndex("postcode")
 	item := map[string]any{
@@ -162,7 +328,7 @@ func TestServerExplicitFeedbackJSON(t *testing.T) {
 		"Correct":  true,
 	}
 	body, _ := json.Marshal([]map[string]any{item})
-	resp, err := http.Post(ts.URL+"/api/feedback", "application/json", strings.NewReader(string(body)))
+	resp, err := http.Post(base+"/feedback", "application/json", strings.NewReader(string(body)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -32,7 +32,7 @@ func main() {
 
 	switch {
 	case *printArch:
-		w := vada.New(vada.DefaultOptions())
+		w := vada.New()
 		fmt.Print(w.Architecture())
 	case *printScenario:
 		printScenarioTables(*n, *seed)

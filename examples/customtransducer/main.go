@@ -21,13 +21,10 @@ func main() {
 
 	// A specific network transducer (paper §2.4: "prefer instance level
 	// matchers to schema level matchers").
-	opts := vada.DefaultOptions()
-	opts.Network = &vada.PreferNetwork{
+	w := vada.BuildScenarioWrangler(sc, vada.WithNetwork(&vada.PreferNetwork{
 		Inner:    vada.NewGenericNetwork(),
 		Prefixes: []string{"instance-"},
-	}
-
-	w := vada.BuildScenarioWrangler(sc, opts)
+	}))
 
 	// A custom transducer: its input dependency is a Vadalog query over the
 	// knowledge base — it runs as soon as a wrangling result exists, with no

@@ -27,9 +27,7 @@ func main() {
 
 	// With a three-attribute target, accept sources that match just two
 	// attributes (shopb's "town" is not name-matchable to "city").
-	opts := vada.DefaultOptions()
-	opts.GenOptions.MinCoverage = 2
-	w := vada.New(opts)
+	w := vada.New(vada.WithMinCoverage(2))
 	w.RegisterSource(shop1)
 	w.RegisterSource(shop2)
 	w.SetTargetSchema(target)

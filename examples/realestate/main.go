@@ -1,7 +1,9 @@
 // Realestate walks the full SIGMOD'17 demonstration (§3 of the paper) on
-// the synthetic real-estate scenario: automatic bootstrapping, then data
-// context, then feedback, then user context — printing the result quality
-// and the interesting system state after every step.
+// the synthetic real-estate scenario through the session API: automatic
+// bootstrapping, then data context, then feedback, then user context. Each
+// stage returns a typed event carrying the orchestration effort and the
+// oracle's assessment of the result — the same records the vada-server
+// REST API serves per session.
 package main
 
 import (
@@ -21,59 +23,68 @@ func main() {
 	fmt.Printf("scenario: %d ground-truth properties; rightmove lists %d, onthemarket %d\n\n",
 		sc.Truth.Cardinality(), sc.Rightmove.Cardinality(), sc.OnTheMarket.Cardinality())
 
-	w := vada.BuildScenarioWrangler(sc, vada.DefaultOptions())
-
-	// ---- step 1: automatic bootstrapping --------------------------------
-	steps, err := w.Run(ctx)
+	// One wrangling conversation = one session. The scenario attachment
+	// gives the session ground truth to score against, default reference
+	// data for step 2 and an oracle for step 3.
+	mgr := vada.NewSessionManager()
+	sess, err := mgr.Create(vada.BuildScenarioWrangler(sc),
+		vada.WithSessionName("realestate-demo"), vada.WithScenario(sc, 7))
 	if err != nil {
 		log.Fatal(err)
 	}
-	report(sc, w, "1. bootstrap", len(steps))
+	w := sess.Wrangler()
+
+	// ---- step 1: automatic bootstrapping --------------------------------
+	ev, err := sess.Bootstrap(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report("1. bootstrap", ev)
 	fmt.Println("   (the outcome can be expected to be of problematic quality — §3)")
 
 	// ---- step 2: data context --------------------------------------------
-	w.AddDataContext(sc.AddressRef)
-	steps, err = w.Run(ctx)
+	ev, err = sess.AddDataContext(ctx, nil) // nil: the scenario's reference data
 	if err != nil {
 		log.Fatal(err)
 	}
-	report(sc, w, "2. +data context", len(steps))
+	report("2. +data context", ev)
 	fmt.Printf("   CFDs learned from reference data: %d, e.g. %s\n",
 		len(w.CFDs()), w.CFDs()[0])
 
 	// ---- step 3: feedback -------------------------------------------------
-	items := vada.OracleFeedback(sc, w.Result(), 120, 7)
-	w.AddFeedback(items...)
-	steps, err = w.Run(ctx)
+	ev, err = sess.AddFeedback(ctx, nil, 120) // nil items: ask the oracle
 	if err != nil {
 		log.Fatal(err)
 	}
-	report(sc, w, "3. +feedback", len(steps))
-	fmt.Printf("   %d annotations assimilated (bedroom-area errors get caught here)\n", len(items))
+	report("3. +feedback", ev)
+	fmt.Println("   (bedroom-area errors get caught here)")
 
 	// ---- step 4: user context ----------------------------------------------
-	w.SetUserContext(vada.CrimeAnalysisUserContext())
-	steps, err = w.Run(ctx)
+	ev, err = sess.SetUserContext(ctx, vada.CrimeAnalysisUserContext())
 	if err != nil {
 		log.Fatal(err)
 	}
-	report(sc, w, "4. +user context", len(steps))
+	report("4. +user context", ev)
 	fmt.Println("   stated priorities:")
 	for _, c := range vada.CrimeAnalysisUserContext().Comparisons() {
 		fmt.Println("     " + c.String())
 	}
 	fmt.Println("   selected mappings:", w.SelectedMappings())
 
-	fmt.Println("\nfinal result sample:")
-	res := w.ResultClean()
+	fmt.Printf("\nsession %s history: %d stages\n", sess.ID(), len(sess.Events()))
+	res, err := sess.Result()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("final result sample:")
 	if res.Cardinality() > 8 {
 		res.Tuples = res.Tuples[:8]
 	}
 	fmt.Println(res)
 }
 
-func report(sc *vada.Scenario, w *vada.Wrangler, stage string, steps int) {
-	s := sc.Oracle.ScoreResult(w.ResultClean())
+func report(stage string, ev vada.SessionEvent) {
+	s := ev.Score
 	fmt.Printf("%-18s %3d orchestration steps  F1=%.3f  value-accuracy=%.3f  completeness(crimerank)=%.3f\n",
-		stage, steps, s.F1, s.ValueAccuracy, s.Completeness["crimerank"])
+		stage, ev.Steps, s.F1, s.ValueAccuracy, s.Completeness["crimerank"])
 }

@@ -1,0 +1,3 @@
+module vada
+
+go 1.24

@@ -44,7 +44,7 @@ func TestOrchestrationConfluenceAcrossPolicies(t *testing.T) {
 	for name, policy := range policies {
 		opts := DefaultOptions()
 		opts.Network = policy
-		w := BuildScenarioWrangler(sc, opts)
+		w := BuildScenarioWrangler(sc, WithOptions(opts))
 		w.AddDataContext(sc.AddressRef)
 		steps, err := w.Run(context.Background())
 		if err != nil {
@@ -78,7 +78,7 @@ func TestFusionStrategyAblation(t *testing.T) {
 	ctx := context.Background()
 
 	run := func(withFeedback bool) float64 {
-		w := BuildScenarioWrangler(sc, DefaultOptions())
+		w := BuildScenarioWrangler(sc)
 		w.AddDataContext(sc.AddressRef)
 		if _, err := w.Run(ctx); err != nil {
 			t.Fatal(err)
@@ -108,7 +108,7 @@ func TestDataContextAblation(t *testing.T) {
 	ctx := context.Background()
 
 	full := func() float64 {
-		w := BuildScenarioWrangler(sc, DefaultOptions())
+		w := BuildScenarioWrangler(sc)
 		w.AddDataContext(sc.AddressRef)
 		if _, err := w.Run(ctx); err != nil {
 			t.Fatal(err)
@@ -116,7 +116,7 @@ func TestDataContextAblation(t *testing.T) {
 		return sc.Oracle.ScoreResult(w.ResultClean()).F1
 	}()
 	bootstrapOnly := func() float64 {
-		w := BuildScenarioWrangler(sc, DefaultOptions())
+		w := BuildScenarioWrangler(sc)
 		if _, err := w.Run(ctx); err != nil {
 			t.Fatal(err)
 		}
@@ -128,7 +128,7 @@ func TestDataContextAblation(t *testing.T) {
 		opts := DefaultOptions()
 		opts.MineOptions.MinSupport = 2.0 // > 1: nothing mined
 		opts.MineOptions.MinConstantSupport = 1 << 30
-		w := BuildScenarioWrangler(sc, opts)
+		w := BuildScenarioWrangler(sc, WithOptions(opts))
 		w.AddDataContext(sc.AddressRef)
 		if _, err := w.Run(ctx); err != nil {
 			t.Fatal(err)

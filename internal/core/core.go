@@ -3,7 +3,7 @@
 // activity, and a network transducer orchestrating them — exposed through
 // the pay-as-you-go API of the demonstration (§3):
 //
-//	w := core.NewWrangler(core.DefaultOptions())
+//	w := core.NewWrangler()             // or NewWrangler(WithMatchThreshold(0.7), ...)
 //	w.RegisterWebSource(...)            // sources
 //	w.SetTargetSchema(target)           // user context: target schema
 //	w.Run(ctx)                          // step 1: automatic bootstrapping
@@ -128,6 +128,11 @@ type Wrangler struct {
 	orch   *transducer.Orchestrator
 	reg    *transducer.Registry
 
+	// runMu serialises Run: the orchestrator mutates shared state (trace,
+	// last-run versions, the wrangler's own caches) and is not safe for two
+	// concurrent runs. Independent Wranglers run fully in parallel.
+	runMu sync.Mutex
+
 	mu            sync.Mutex
 	target        relation.Schema
 	hasTarget     bool
@@ -148,8 +153,10 @@ type Wrangler struct {
 }
 
 // NewWrangler builds a Wrangler with the standard transducer suite
-// registered.
-func NewWrangler(opts Options) *Wrangler {
+// registered. Options are applied over DefaultOptions; use WithOptions to
+// install a fully-populated Options struct.
+func NewWrangler(options ...Option) *Wrangler {
+	opts := buildOptions(options)
 	w := &Wrangler{
 		KB:            kb.New(),
 		opts:          opts,
@@ -217,6 +224,7 @@ func (w *Wrangler) AddDataContext(rel *relation.Relation) {
 	for _, n := range w.refNames {
 		if n == name {
 			found = true
+			break
 		}
 	}
 	if !found {
@@ -247,16 +255,29 @@ func (w *Wrangler) SetUserContext(m *mcda.Model) {
 }
 
 // Run drives orchestration to quiescence and returns the steps taken.
+// Concurrent calls are serialised; context and feedback may still be added
+// from other goroutines while a run is in flight.
 func (w *Wrangler) Run(ctx context.Context) ([]transducer.Step, error) {
+	w.runMu.Lock()
+	defer w.runMu.Unlock()
 	return w.orch.RunToQuiescence(ctx)
 }
 
 // Trace returns all orchestration steps so far.
-func (w *Wrangler) Trace() []transducer.Step { return w.orch.Trace() }
+func (w *Wrangler) Trace() []transducer.Step {
+	w.runMu.Lock()
+	defer w.runMu.Unlock()
+	return w.orch.Trace()
+}
 
 // Result returns the current wrangling result including the provenance
 // column, or nil before the first fusion.
 func (w *Wrangler) Result() *relation.Relation { return w.KB.Relation(RelResult) }
+
+// ResultRows returns the current result cardinality without copying the
+// relation (0 before the first fusion) — cheap enough for per-request
+// listings.
+func (w *Wrangler) ResultRows() int { return w.KB.RelationCardinality(RelResult) }
 
 // ResultClean returns the result without the provenance column.
 func (w *Wrangler) ResultClean() *relation.Relation {

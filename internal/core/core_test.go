@@ -20,7 +20,7 @@ func testScenario(t *testing.T, n int) *datagen.Scenario {
 
 func TestBootstrapProducesResult(t *testing.T) {
 	sc := testScenario(t, 120)
-	w := BuildScenarioWrangler(sc, DefaultOptions())
+	w := BuildScenarioWrangler(sc)
 	steps, err := w.Run(context.Background())
 	if err != nil {
 		t.Fatalf("bootstrap failed: %v\ntrace:\n%s", err, transducer.TraceString(w.Trace()))
@@ -49,7 +49,7 @@ func TestBootstrapProducesResult(t *testing.T) {
 
 func TestBootstrapActivityOrdering(t *testing.T) {
 	sc := testScenario(t, 60)
-	w := BuildScenarioWrangler(sc, DefaultOptions())
+	w := BuildScenarioWrangler(sc)
 	steps, err := w.Run(context.Background())
 	if err != nil {
 		t.Fatal(err)
@@ -76,7 +76,7 @@ func TestBootstrapActivityOrdering(t *testing.T) {
 
 func TestDataContextImprovesResult(t *testing.T) {
 	sc := testScenario(t, 150)
-	w := BuildScenarioWrangler(sc, DefaultOptions())
+	w := BuildScenarioWrangler(sc)
 	if _, err := w.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +126,7 @@ func TestDataContextImprovesResult(t *testing.T) {
 
 func TestFeedbackImprovesBedroomAccuracy(t *testing.T) {
 	sc := testScenario(t, 200)
-	w := BuildScenarioWrangler(sc, DefaultOptions())
+	w := BuildScenarioWrangler(sc)
 	ctx := context.Background()
 	if _, err := w.Run(ctx); err != nil {
 		t.Fatal(err)
@@ -190,7 +190,7 @@ func TestUserContextChangesSelection(t *testing.T) {
 		return w.SelectedMappings()
 	}
 	base := func() *Wrangler {
-		w := BuildScenarioWrangler(sc, DefaultOptions())
+		w := BuildScenarioWrangler(sc)
 		if _, err := w.Run(context.Background()); err != nil {
 			t.Fatal(err)
 		}
@@ -276,7 +276,7 @@ func TestPayAsYouGoMonotoneImprovement(t *testing.T) {
 }
 
 func TestArchitectureRendering(t *testing.T) {
-	w := NewWrangler(DefaultOptions())
+	w := NewWrangler()
 	arch := w.Architecture()
 	for _, want := range []string{"Knowledge Base", "Vadalog Reasoner", "generic-network",
 		"web-extraction", "schema-matching", "mapping-generation", "duplicate-fusion"} {
@@ -288,7 +288,7 @@ func TestArchitectureRendering(t *testing.T) {
 
 func TestCustomTransducerExtensibility(t *testing.T) {
 	sc := testScenario(t, 60)
-	w := BuildScenarioWrangler(sc, DefaultOptions())
+	w := BuildScenarioWrangler(sc)
 	ran := false
 	w.Registry().MustRegister(&transducer.Func{
 		TName:     "custom-profiler",
@@ -327,7 +327,7 @@ func TestReplaceFactsIdempotent(t *testing.T) {
 
 func TestSelectedMappingsOnePerBaseSource(t *testing.T) {
 	sc := testScenario(t, 100)
-	w := BuildScenarioWrangler(sc, DefaultOptions())
+	w := BuildScenarioWrangler(sc)
 	if _, err := w.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
@@ -378,7 +378,7 @@ func TestExampleRowsCoverAllAttributes(t *testing.T) {
 	cfg.NProperties = 150
 	cfg.NullRate, cfg.FormatNoiseRate, cfg.BedroomErrorRate, cfg.TypoRate = 0.2, 0.4, 0.3, 0.1
 	sc := datagen.Generate(cfg)
-	w := BuildScenarioWrangler(sc, DefaultOptions())
+	w := BuildScenarioWrangler(sc)
 	if _, err := w.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
@@ -396,7 +396,7 @@ func TestPropBootstrapQuiescesAcrossSeeds(t *testing.T) {
 		cfg.NProperties = 60
 		cfg.Seed = seed
 		sc := datagen.Generate(cfg)
-		w := BuildScenarioWrangler(sc, DefaultOptions())
+		w := BuildScenarioWrangler(sc)
 		if _, err := w.Run(context.Background()); err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -421,7 +421,7 @@ func TestPropBootstrapQuiescesAcrossSeeds(t *testing.T) {
 
 func TestTraceMentionsAllActivities(t *testing.T) {
 	sc := testScenario(t, 60)
-	w := BuildScenarioWrangler(sc, DefaultOptions())
+	w := BuildScenarioWrangler(sc)
 	w.AddDataContext(sc.AddressRef)
 	if _, err := w.Run(context.Background()); err != nil {
 		t.Fatal(err)

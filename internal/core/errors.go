@@ -1,0 +1,19 @@
+package core
+
+import "errors"
+
+// Sentinel errors of the wrangling API. Callers branch with errors.Is; the
+// HTTP layer maps them onto status codes.
+var (
+	// ErrNoResult reports that no wrangling result exists yet — run the
+	// bootstrap step first.
+	ErrNoResult = errors.New("vada: no result yet")
+
+	// ErrUnknownUserContext reports a user-context model name outside the
+	// demonstration's repertoire.
+	ErrUnknownUserContext = errors.New("vada: unknown user context")
+
+	// ErrNoDataContext reports a data-context step with nothing to add:
+	// no relation supplied and no scenario to default from.
+	ErrNoDataContext = errors.New("vada: no data context available")
+)

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"vada/internal/cfd"
+	"vada/internal/mapping"
+	"vada/internal/transducer"
+)
+
+// Option mutates the Wrangler configuration. Constructors take a variadic
+// list of options applied over DefaultOptions, so callers state only what
+// they deviate on:
+//
+//	w := core.NewWrangler(core.WithMatchThreshold(0.7), core.WithMaxSteps(200))
+type Option func(*Options)
+
+// WithOptions replaces the whole configuration — the compatibility shim for
+// code that built a positional Options struct before functional options:
+//
+//	opts := core.DefaultOptions()
+//	opts.GenOptions.MinCoverage = 2
+//	w := core.NewWrangler(core.WithOptions(opts))
+func WithOptions(o Options) Option {
+	return func(dst *Options) { *dst = o }
+}
+
+// WithMatchThreshold sets the minimum match score for mapping generation.
+func WithMatchThreshold(t float64) Option {
+	return func(o *Options) { o.MatchThreshold = t }
+}
+
+// WithFusionThreshold sets the duplicate-detection similarity threshold.
+func WithFusionThreshold(t float64) Option {
+	return func(o *Options) { o.FusionThreshold = t }
+}
+
+// WithMineOptions overrides CFD-learning parameters.
+func WithMineOptions(m cfd.MineOptions) Option {
+	return func(o *Options) { o.MineOptions = m }
+}
+
+// WithGenOptions overrides mapping-generation parameters.
+func WithGenOptions(g mapping.GenOptions) Option {
+	return func(o *Options) { o.GenOptions = g }
+}
+
+// WithMinCoverage sets the minimum number of target attributes a candidate
+// mapping must cover — the knob small-schema quickstarts need most.
+func WithMinCoverage(n int) Option {
+	return func(o *Options) { o.GenOptions.MinCoverage = n }
+}
+
+// WithRangeRuleSupport sets the minimal feedback support for plausibility
+// rules.
+func WithRangeRuleSupport(n int) Option {
+	return func(o *Options) { o.RangeRuleSupport = n }
+}
+
+// WithMaxSteps bounds one orchestration run.
+func WithMaxSteps(n int) Option {
+	return func(o *Options) { o.MaxSteps = n }
+}
+
+// WithNetwork overrides the network transducer (nil = generic).
+func WithNetwork(n transducer.NetworkTransducer) Option {
+	return func(o *Options) { o.Network = n }
+}
+
+// WithFusionBlocking sets the attribute duplicate detection blocks on and
+// the attribute whose normalised equality identifies duplicates in a block.
+func WithFusionBlocking(blockAttr, identityAttr string) Option {
+	return func(o *Options) {
+		o.FusionBlockAttr = blockAttr
+		o.FusionIdentityAttr = identityAttr
+	}
+}
+
+// buildOptions folds opts over the production defaults.
+func buildOptions(opts []Option) Options {
+	o := DefaultOptions()
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}

@@ -19,8 +19,8 @@ import (
 // induction), the deprivation table as a direct open-government source, and
 // the target schema of Figure 2(b) is installed. The data context, feedback
 // and user context are NOT installed — they are the pay-as-you-go steps.
-func BuildScenarioWrangler(sc *datagen.Scenario, opts Options) *Wrangler {
-	w := NewWrangler(opts)
+func BuildScenarioWrangler(sc *datagen.Scenario, options ...Option) *Wrangler {
+	w := NewWrangler(options...)
 
 	rmTmpl := extract.RightmoveTemplate()
 	rmPages := extract.GeneratePages(rmTmpl, sc.Rightmove)
@@ -97,6 +97,20 @@ func SizeAnalysisUserContext() *mcda.Model {
 	mustAdd(m, mcda.Criterion{Metric: "completeness", Target: "bedrooms"},
 		mcda.Criterion{Metric: "completeness", Target: "crimerank"}, mcda.Strongly)
 	return m
+}
+
+// UserContextByName resolves the demonstration's user-context models by
+// name: "crime" (Figure 2(d)) or "size" (the §2.2 variation). The empty
+// name defaults to crime analysis; anything else is ErrUnknownUserContext.
+func UserContextByName(name string) (*mcda.Model, error) {
+	switch name {
+	case "", "crime":
+		return CrimeAnalysisUserContext(), nil
+	case "size":
+		return SizeAnalysisUserContext(), nil
+	default:
+		return nil, fmt.Errorf("%w: %q (want crime|size)", ErrUnknownUserContext, name)
+	}
 }
 
 func mustAdd(m *mcda.Model, more, less mcda.Criterion, s mcda.Strength) {
@@ -195,7 +209,7 @@ func DefaultPayAsYouGoConfig() PayAsYouGoConfig {
 // against ground truth after each. This is experiment E-F3.
 func RunPayAsYouGo(ctx context.Context, cfg PayAsYouGoConfig) (*Wrangler, *datagen.Scenario, []StageScore, error) {
 	sc := datagen.Generate(cfg.Scenario)
-	w := BuildScenarioWrangler(sc, cfg.Options)
+	w := BuildScenarioWrangler(sc, WithOptions(cfg.Options))
 	var stages []StageScore
 
 	record := func(stage string, steps int) {

@@ -284,6 +284,18 @@ func (k *KB) Relation(name string) *relation.Relation {
 	return r.Clone()
 }
 
+// RelationCardinality returns the tuple count of a named bulk relation
+// without copying it (0 if absent).
+func (k *KB) RelationCardinality(name string) int {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	r, ok := k.relations[name]
+	if !ok {
+		return 0
+	}
+	return r.Cardinality()
+}
+
 // HasRelation reports whether a named bulk relation exists.
 func (k *KB) HasRelation(name string) bool {
 	k.mu.RLock()

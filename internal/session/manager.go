@@ -1,0 +1,171 @@
+package session
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"vada/internal/core"
+)
+
+// Manager serves many independent sessions: create, look up, list and close
+// by ID, concurrency-safe, with a configurable session cap and an idle
+// eviction hook. All operations take the manager lock only briefly —
+// wrangling work happens under the individual session's lock, so sessions
+// proceed fully in parallel.
+type Manager struct {
+	maxSessions int
+	onEvict     func(*Session)
+
+	mu       sync.RWMutex
+	sessions map[string]*Session
+	order    map[string]uint64 // session ID -> creation sequence
+	seq      uint64
+}
+
+// ManagerOption configures a Manager.
+type ManagerOption func(*Manager)
+
+// WithMaxSessions caps the number of live sessions (0 = unlimited).
+// Create fails with ErrLimit at the cap.
+func WithMaxSessions(n int) ManagerOption {
+	return func(m *Manager) { m.maxSessions = n }
+}
+
+// WithEvictHook installs a callback invoked (outside the manager lock) for
+// every session removed by Close or EvictIdle.
+func WithEvictHook(hook func(*Session)) ManagerOption {
+	return func(m *Manager) { m.onEvict = hook }
+}
+
+// NewManager builds an empty session manager.
+func NewManager(opts ...ManagerOption) *Manager {
+	m := &Manager{sessions: map[string]*Session{}, order: map[string]uint64{}}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
+}
+
+// Create builds a session over the given Wrangler, assigns it a unique ID
+// and registers it. It fails with ErrLimit when the cap is reached.
+func (m *Manager) Create(w *core.Wrangler, opts ...Option) (*Session, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.maxSessions > 0 && len(m.sessions) >= m.maxSessions {
+		return nil, fmt.Errorf("%w (max %d)", ErrLimit, m.maxSessions)
+	}
+	m.seq++
+	s := New(fmt.Sprintf("s%04d-%s", m.seq, randomSuffix()), w, opts...)
+	m.sessions[s.ID()] = s
+	m.order[s.ID()] = m.seq
+	return s, nil
+}
+
+// AtCap reports whether the session cap is currently reached — a cheap
+// pre-check for callers doing expensive setup before Create (which remains
+// the authoritative, race-free gate).
+func (m *Manager) AtCap() bool {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.maxSessions > 0 && len(m.sessions) >= m.maxSessions
+}
+
+// Get returns the live session with the given ID, or ErrNotFound.
+func (m *Manager) Get(id string) (*Session, error) {
+	m.mu.RLock()
+	s, ok := m.sessions[id]
+	m.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return s, nil
+}
+
+// List returns all live sessions in creation order.
+func (m *Manager) List() []*Session {
+	m.mu.RLock()
+	out := make([]*Session, 0, len(m.sessions))
+	for _, s := range m.sessions {
+		out = append(out, s)
+	}
+	seq := make(map[string]uint64, len(out))
+	for id, n := range m.order {
+		seq[id] = n
+	}
+	m.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return seq[out[i].ID()] < seq[out[j].ID()] })
+	return out
+}
+
+// Len returns the number of live sessions.
+func (m *Manager) Len() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return len(m.sessions)
+}
+
+// Close removes and closes the session with the given ID, invoking the
+// evict hook; unknown IDs fail with ErrNotFound.
+func (m *Manager) Close(id string) error {
+	m.mu.Lock()
+	s, ok := m.sessions[id]
+	if ok {
+		delete(m.sessions, id)
+		delete(m.order, id)
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	s.Close()
+	if m.onEvict != nil {
+		m.onEvict(s)
+	}
+	return nil
+}
+
+// EvictIdle removes and closes every session whose last activity is older
+// than maxIdle, returning the evicted IDs. Run it from a ticker to bound
+// the memory of abandoned sessions:
+//
+//	go func() {
+//		for range time.Tick(time.Minute) {
+//			m.EvictIdle(30 * time.Minute)
+//		}
+//	}()
+func (m *Manager) EvictIdle(maxIdle time.Duration) []string {
+	cutoff := time.Now().Add(-maxIdle)
+	m.mu.Lock()
+	var evicted []*Session
+	for id, s := range m.sessions {
+		if s.LastActive().Before(cutoff) {
+			delete(m.sessions, id)
+			delete(m.order, id)
+			evicted = append(evicted, s)
+		}
+	}
+	m.mu.Unlock()
+	ids := make([]string, len(evicted))
+	for i, s := range evicted {
+		ids[i] = s.ID()
+		s.Close()
+		if m.onEvict != nil {
+			m.onEvict(s)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// randomSuffix makes session IDs unguessable across restarts.
+func randomSuffix() string {
+	var b [4]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "00000000"
+	}
+	return hex.EncodeToString(b[:])
+}

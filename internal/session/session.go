@@ -1,0 +1,304 @@
+// Package session makes the pay-as-you-go interaction loop a first-class,
+// concurrently-served object. A Session wraps one core.Wrangler, serialises
+// its runs, records a typed event per wrangling stage, and — when built over
+// the demonstration scenario — scores every stage against ground truth. A
+// Manager serves many independent sessions concurrently with a configurable
+// cap and an idle-eviction hook, which is what turns the single-user
+// demonstration of the paper into a multi-tenant service surface.
+package session
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"vada/internal/core"
+	"vada/internal/datagen"
+	"vada/internal/feedback"
+	"vada/internal/mcda"
+	"vada/internal/relation"
+	"vada/internal/transducer"
+)
+
+// Sentinel errors of the session layer.
+var (
+	// ErrNotFound reports an unknown or already-closed session ID.
+	ErrNotFound = errors.New("session: not found")
+
+	// ErrClosed reports an operation on a closed session.
+	ErrClosed = errors.New("session: closed")
+
+	// ErrLimit reports that the manager's session cap is reached.
+	ErrLimit = errors.New("session: session limit reached")
+)
+
+// Stage names of the pay-as-you-go lifecycle (§3 of the paper).
+const (
+	StageBootstrap   = "bootstrap"
+	StageDataContext = "data-context"
+	StageFeedback    = "feedback"
+	StageUserContext = "user-context"
+)
+
+// Event is one completed wrangling stage of a session — the typed run
+// record the service exposes instead of ad-hoc response maps.
+type Event struct {
+	// Seq numbers events within the session, from 1.
+	Seq int `json:"seq"`
+	// Stage is the pay-as-you-go stage name.
+	Stage string `json:"stage"`
+	// Steps is the number of orchestration steps the stage triggered.
+	Steps int `json:"steps"`
+	// Duration is the wall-clock cost of the stage.
+	Duration time.Duration `json:"duration_ns"`
+	// At is when the stage finished.
+	At time.Time `json:"at"`
+	// Score is the oracle's assessment of the result after the stage; nil
+	// for sessions without ground truth.
+	Score *datagen.Score `json:"score,omitempty"`
+}
+
+// Session is one pay-as-you-go wrangling conversation: a Wrangler plus the
+// context accumulated so far. All stage methods serialise on the session's
+// own mutex, so every session wrangles independently and in parallel with
+// every other.
+type Session struct {
+	id        string
+	name      string
+	createdAt time.Time
+	w         *core.Wrangler
+	sc        *datagen.Scenario
+	seed      int64
+
+	// runMu serialises stage execution; mu guards the cheap metadata so
+	// listings and state reads never block behind a running stage.
+	runMu      sync.Mutex
+	mu         sync.Mutex
+	events     []Event
+	lastActive time.Time
+	closed     bool
+}
+
+// Option configures a Session at creation.
+type Option func(*Session)
+
+// WithName attaches a human-readable label.
+func WithName(name string) Option {
+	return func(s *Session) { s.name = name }
+}
+
+// WithScenario attaches the demonstration scenario as the session's ground
+// truth: stage events carry oracle scores, the data-context step defaults to
+// the scenario's address reference, and the feedback step can synthesise
+// oracle annotations with the given seed.
+func WithScenario(sc *datagen.Scenario, seed int64) Option {
+	return func(s *Session) {
+		s.sc = sc
+		s.seed = seed
+	}
+}
+
+// New wraps a Wrangler as a session. The ID must be unique among live
+// sessions of a manager; NewManager-created sessions get one assigned.
+func New(id string, w *core.Wrangler, opts ...Option) *Session {
+	s := &Session{id: id, w: w, createdAt: time.Now()}
+	s.lastActive = s.createdAt
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// ID returns the session identifier.
+func (s *Session) ID() string { return s.id }
+
+// Name returns the optional human-readable label.
+func (s *Session) Name() string { return s.name }
+
+// CreatedAt returns the creation time.
+func (s *Session) CreatedAt() time.Time { return s.createdAt }
+
+// LastActive returns the time of the last stage, result or trace access.
+func (s *Session) LastActive() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastActive
+}
+
+// Wrangler exposes the underlying system for advanced use (custom
+// transducers, KB inspection). Callers must not invoke Run concurrently
+// with session stage methods; prefer Step.
+func (s *Session) Wrangler() *core.Wrangler { return s.w }
+
+// Scenario returns the attached demonstration scenario, or nil.
+func (s *Session) Scenario() *datagen.Scenario { return s.sc }
+
+// Events returns the typed stage history.
+func (s *Session) Events() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]Event(nil), s.events...)
+}
+
+// Closed reports whether Close has been called.
+func (s *Session) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// Close marks the session closed; subsequent stage methods fail with
+// ErrClosed. Closing is idempotent.
+func (s *Session) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+}
+
+// Step runs one pay-as-you-go stage: apply the context-adding action, drive
+// the orchestrator to quiescence, and record (and return) a typed event.
+// Steps of one session are serialised; independent sessions proceed in
+// parallel.
+func (s *Session) Step(ctx context.Context, stage string, action func(w *core.Wrangler) error) (Event, error) {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	if err := s.touch(); err != nil {
+		return Event{}, err
+	}
+	if action != nil {
+		if err := action(s.w); err != nil {
+			return Event{}, err
+		}
+	}
+	start := time.Now()
+	steps, err := s.w.Run(ctx)
+	if err != nil {
+		return Event{}, err
+	}
+	ev := Event{
+		Stage:    stage,
+		Steps:    len(steps),
+		Duration: time.Since(start),
+		At:       time.Now(),
+	}
+	if s.sc != nil {
+		// A wrangler with nothing to fuse has no result to score.
+		if res := s.w.ResultClean(); res != nil {
+			score := s.sc.Oracle.ScoreResult(res)
+			ev.Score = &score
+		}
+	}
+	s.mu.Lock()
+	ev.Seq = len(s.events) + 1
+	s.events = append(s.events, ev)
+	s.lastActive = ev.At
+	s.mu.Unlock()
+	return ev, nil
+}
+
+// touch refreshes lastActive, failing on a closed session.
+func (s *Session) touch() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return ErrClosed
+	}
+	s.lastActive = time.Now()
+	return nil
+}
+
+// Bootstrap runs stage 1: fully automatic wrangling over the registered
+// sources.
+func (s *Session) Bootstrap(ctx context.Context) (Event, error) {
+	return s.Step(ctx, StageBootstrap, nil)
+}
+
+// AddDataContext runs stage 2 with the given reference relation; nil
+// defaults to the scenario's address reference (ErrNoDataContext without a
+// scenario).
+func (s *Session) AddDataContext(ctx context.Context, rel *relation.Relation) (Event, error) {
+	return s.Step(ctx, StageDataContext, func(w *core.Wrangler) error {
+		if rel == nil {
+			if s.sc == nil {
+				return core.ErrNoDataContext
+			}
+			rel = s.sc.AddressRef
+		}
+		w.AddDataContext(rel)
+		return nil
+	})
+}
+
+// AddFeedback runs stage 3 with the given annotations; an empty slice asks
+// the scenario oracle for `budget` annotations (a no-op action without a
+// scenario).
+func (s *Session) AddFeedback(ctx context.Context, items []feedback.Item, budget int) (Event, error) {
+	return s.Step(ctx, StageFeedback, func(w *core.Wrangler) error {
+		if len(items) == 0 && s.sc != nil {
+			items = core.OracleFeedback(s.sc, w.Result(), budget, s.seed)
+		}
+		w.AddFeedback(items...)
+		return nil
+	})
+}
+
+// SetUserContext runs stage 4 with the given priority model.
+func (s *Session) SetUserContext(ctx context.Context, m *mcda.Model) (Event, error) {
+	return s.Step(ctx, StageUserContext, func(w *core.Wrangler) error {
+		w.SetUserContext(m)
+		return nil
+	})
+}
+
+// Result returns the clean wrangling result (no provenance column), or
+// ErrNoResult before the first bootstrap.
+func (s *Session) Result() (*relation.Relation, error) {
+	if err := s.touch(); err != nil {
+		return nil, err
+	}
+	res := s.w.ResultClean()
+	if res == nil {
+		return nil, core.ErrNoResult
+	}
+	return res, nil
+}
+
+// Trace returns the orchestration steps taken so far.
+func (s *Session) Trace() []transducer.Step {
+	if err := s.touch(); err != nil {
+		return nil
+	}
+	return s.w.Trace()
+}
+
+// State is the JSON-ready summary of a session.
+type State struct {
+	ID         string    `json:"id"`
+	Name       string    `json:"name,omitempty"`
+	CreatedAt  time.Time `json:"created_at"`
+	LastActive time.Time `json:"last_active"`
+	Closed     bool      `json:"closed"`
+	Events     []Event   `json:"events"`
+	Selected   []string  `json:"selected_mappings,omitempty"`
+	ResultRows int       `json:"result_rows"`
+}
+
+// State summarises the session for listings and the service API.
+func (s *Session) State() State {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := State{
+		ID:         s.id,
+		Name:       s.name,
+		CreatedAt:  s.createdAt,
+		LastActive: s.lastActive,
+		Closed:     s.closed,
+		Events:     append([]Event(nil), s.events...),
+	}
+	if !s.closed {
+		st.Selected = s.w.SelectedMappings()
+		st.ResultRows = s.w.ResultRows()
+	}
+	return st
+}

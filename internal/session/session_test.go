@@ -1,0 +1,240 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"vada/internal/core"
+	"vada/internal/datagen"
+	"vada/internal/relation"
+)
+
+func testScenario(t testing.TB, n int, seed int64) *datagen.Scenario {
+	t.Helper()
+	cfg := datagen.DefaultConfig()
+	cfg.NProperties = n
+	cfg.Seed = seed
+	return datagen.Generate(cfg)
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	ctx := context.Background()
+	sc := testScenario(t, 60, 1)
+	mgr := NewManager()
+	sess, err := mgr.Create(core.BuildScenarioWrangler(sc), WithName("demo"), WithScenario(sc, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Name() != "demo" || sess.ID() == "" {
+		t.Fatalf("session identity: %q / %q", sess.ID(), sess.Name())
+	}
+
+	// No result before the first bootstrap.
+	if _, err := sess.Result(); !errors.Is(err, core.ErrNoResult) {
+		t.Fatalf("pre-bootstrap result err = %v", err)
+	}
+
+	// All four pay-as-you-go stages produce typed, scored events.
+	stages := []func() (Event, error){
+		func() (Event, error) { return sess.Bootstrap(ctx) },
+		func() (Event, error) { return sess.AddDataContext(ctx, nil) },
+		func() (Event, error) { return sess.AddFeedback(ctx, nil, 40) },
+		func() (Event, error) { return sess.SetUserContext(ctx, core.CrimeAnalysisUserContext()) },
+	}
+	wantStages := []string{StageBootstrap, StageDataContext, StageFeedback, StageUserContext}
+	for i, run := range stages {
+		ev, err := run()
+		if err != nil {
+			t.Fatalf("stage %d: %v", i, err)
+		}
+		if ev.Seq != i+1 || ev.Stage != wantStages[i] {
+			t.Fatalf("stage %d event = %+v", i, ev)
+		}
+		if ev.Score == nil {
+			t.Fatalf("stage %d: no oracle score", i)
+		}
+	}
+	if ev := sess.Events(); len(ev) != 4 || ev[3].Score.F1 <= 0 {
+		t.Fatalf("events = %+v", ev)
+	}
+
+	res, err := sess.Result()
+	if err != nil || res.Cardinality() == 0 {
+		t.Fatalf("result = %v, %v", res, err)
+	}
+	if len(sess.Trace()) == 0 {
+		t.Fatal("empty trace")
+	}
+	st := sess.State()
+	if st.ResultRows != res.Cardinality() || len(st.Events) != 4 || len(st.Selected) == 0 {
+		t.Fatalf("state = %+v", st)
+	}
+
+	// Closing makes every operation fail with ErrClosed.
+	if err := mgr.Close(sess.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Bootstrap(ctx); !errors.Is(err, ErrClosed) {
+		t.Fatalf("step after close err = %v", err)
+	}
+	if _, err := sess.Result(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("result after close err = %v", err)
+	}
+	if _, err := mgr.Get(sess.ID()); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("get after close err = %v", err)
+	}
+}
+
+func TestDataContextWithoutScenario(t *testing.T) {
+	mgr := NewManager()
+	sess, err := mgr.Create(core.NewWrangler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.AddDataContext(context.Background(), nil); !errors.Is(err, core.ErrNoDataContext) {
+		t.Fatalf("nil data context err = %v", err)
+	}
+}
+
+func TestSessionWithoutScenarioWrangles(t *testing.T) {
+	// Sessions are not scenario-bound: a plain wrangler over direct sources
+	// bootstraps, and events simply carry no score.
+	shop := relation.New(relation.NewSchema("shop", "name", "price", "city"))
+	shop.MustAppend("kettle", 25.0, "Leeds")
+	shop.MustAppend("toaster", 35.0, "Manchester")
+	w := core.NewWrangler(core.WithMinCoverage(2))
+	w.RegisterSource(shop)
+	w.SetTargetSchema(relation.NewSchema("catalogue", "name", "price:float", "city"))
+
+	mgr := NewManager()
+	sess, err := mgr.Create(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := sess.Bootstrap(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Score != nil {
+		t.Fatalf("scoreless session scored: %+v", ev)
+	}
+	res, err := sess.Result()
+	if err != nil || res.Cardinality() != 2 {
+		t.Fatalf("result = %v, %v", res, err)
+	}
+}
+
+func TestManagerCapAndList(t *testing.T) {
+	mgr := NewManager(WithMaxSessions(2))
+	a, err := mgr.Create(core.NewWrangler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := mgr.Create(core.NewWrangler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Create(core.NewWrangler()); !errors.Is(err, ErrLimit) {
+		t.Fatalf("over cap err = %v", err)
+	}
+	list := mgr.List()
+	if len(list) != 2 || list[0].ID() != a.ID() || list[1].ID() != b.ID() {
+		t.Fatalf("list = %v", list)
+	}
+	if a.ID() == b.ID() {
+		t.Fatal("duplicate session IDs")
+	}
+	// Closing frees capacity.
+	if err := mgr.Close(a.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Create(core.NewWrangler()); err != nil {
+		t.Fatalf("create after close: %v", err)
+	}
+	if err := mgr.Close("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("close unknown err = %v", err)
+	}
+}
+
+func TestEvictIdle(t *testing.T) {
+	var evicted []string
+	var mu sync.Mutex
+	mgr := NewManager(WithEvictHook(func(s *Session) {
+		mu.Lock()
+		evicted = append(evicted, s.ID())
+		mu.Unlock()
+	}))
+	stale, err := mgr.Create(core.NewWrangler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(10 * time.Millisecond)
+	fresh, err := mgr.Create(core.NewWrangler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := mgr.EvictIdle(5 * time.Millisecond)
+	if len(ids) != 1 || ids[0] != stale.ID() {
+		t.Fatalf("evicted = %v, want [%s]", ids, stale.ID())
+	}
+	if !stale.Closed() || fresh.Closed() {
+		t.Fatal("wrong sessions closed")
+	}
+	mu.Lock()
+	hooks := append([]string(nil), evicted...)
+	mu.Unlock()
+	if len(hooks) != 1 || hooks[0] != stale.ID() {
+		t.Fatalf("evict hook calls = %v", hooks)
+	}
+	if mgr.Len() != 1 {
+		t.Fatalf("len = %d", mgr.Len())
+	}
+}
+
+// TestConcurrentSessions runs two scenario sessions through all four stages
+// in parallel — the per-session locking claim, checked under -race.
+func TestConcurrentSessions(t *testing.T) {
+	ctx := context.Background()
+	mgr := NewManager()
+	var wg sync.WaitGroup
+	errs := make(chan error, 2)
+	for seed := int64(1); seed <= 2; seed++ {
+		sc := testScenario(t, 50, seed)
+		sess, err := mgr.Create(core.BuildScenarioWrangler(sc), WithScenario(sc, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func(sess *Session) {
+			defer wg.Done()
+			steps := []func() (Event, error){
+				func() (Event, error) { return sess.Bootstrap(ctx) },
+				func() (Event, error) { return sess.AddDataContext(ctx, nil) },
+				func() (Event, error) { return sess.AddFeedback(ctx, nil, 20) },
+				func() (Event, error) { return sess.SetUserContext(ctx, core.CrimeAnalysisUserContext()) },
+			}
+			for _, run := range steps {
+				if _, err := run(); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(sess)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	for _, sess := range mgr.List() {
+		if len(sess.Events()) != 4 {
+			t.Fatalf("session %s: %d events", sess.ID(), len(sess.Events()))
+		}
+		if res, err := sess.Result(); err != nil || res.Cardinality() == 0 {
+			t.Fatalf("session %s result: %v, %v", sess.ID(), res, err)
+		}
+	}
+}

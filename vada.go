@@ -13,7 +13,7 @@
 //
 // # Quickstart
 //
-//	w := vada.New(vada.DefaultOptions())
+//	w := vada.New(vada.WithMatchThreshold(0.6))  // options over production defaults
 //	w.RegisterSource(myRelation)           // or RegisterWebSource(...)
 //	w.SetTargetSchema(myTargetSchema)
 //	if _, err := w.Run(ctx); err != nil {  // step 1: automatic bootstrap
@@ -29,6 +29,19 @@
 //	w.Run(ctx)
 //	w.SetUserContext(priorities)           // step 4: user context
 //	w.Run(ctx)
+//
+// # Sessions
+//
+// Services host many concurrent wrangling conversations as Sessions: each
+// wraps one Wrangler, serialises its runs, and records a typed Event per
+// stage; a SessionManager creates, lists and closes them by ID:
+//
+//	mgr := vada.NewSessionManager(vada.WithMaxSessions(100))
+//	sess, err := mgr.Create(vada.BuildScenarioWrangler(sc), vada.WithScenario(sc, seed))
+//	ev, err := sess.Bootstrap(ctx)
+//
+// cmd/vada-server exposes this lifecycle as the versioned REST API under
+// /api/v1/sessions.
 //
 // The exported identifiers are aliases of the internal implementation
 // packages, so the full functionality is reachable through this single
@@ -48,6 +61,7 @@ import (
 	"vada/internal/mcda"
 	"vada/internal/quality"
 	"vada/internal/relation"
+	"vada/internal/session"
 	"vada/internal/transducer"
 	"vada/internal/vadalog"
 )
@@ -58,14 +72,73 @@ import (
 // registry and orchestrator behind the pay-as-you-go API.
 type Wrangler = core.Wrangler
 
-// Options configures a Wrangler.
-type Options = core.Options
+// Options is the full Wrangler configuration; Option is one functional
+// tweak applied over production defaults.
+type (
+	Options = core.Options
+	Option  = core.Option
+)
 
-// New creates a Wrangler with the standard transducer suite.
-func New(opts Options) *Wrangler { return core.NewWrangler(opts) }
+// New creates a Wrangler with the standard transducer suite, configured by
+// functional options over production defaults.
+func New(opts ...Option) *Wrangler { return core.NewWrangler(opts...) }
 
-// DefaultOptions returns production defaults.
+// DefaultOptions returns production defaults; combine with WithOptions to
+// install a hand-edited struct (the pre-functional-options construction
+// path).
 func DefaultOptions() Options { return core.DefaultOptions() }
+
+// Functional options for New and BuildScenarioWrangler.
+var (
+	WithOptions          = core.WithOptions
+	WithMatchThreshold   = core.WithMatchThreshold
+	WithFusionThreshold  = core.WithFusionThreshold
+	WithMineOptions      = core.WithMineOptions
+	WithGenOptions       = core.WithGenOptions
+	WithMinCoverage      = core.WithMinCoverage
+	WithRangeRuleSupport = core.WithRangeRuleSupport
+	WithMaxSteps         = core.WithMaxSteps
+	WithNetwork          = core.WithNetwork
+	WithFusionBlocking   = core.WithFusionBlocking
+)
+
+// Sentinel errors of the wrangling and session APIs; branch with errors.Is.
+var (
+	ErrNoResult           = core.ErrNoResult
+	ErrNoDataContext      = core.ErrNoDataContext
+	ErrUnknownUserContext = core.ErrUnknownUserContext
+	ErrSessionNotFound    = session.ErrNotFound
+	ErrSessionClosed      = session.ErrClosed
+	ErrSessionLimit       = session.ErrLimit
+)
+
+// ---- sessions -------------------------------------------------------------
+
+// Session is one pay-as-you-go wrangling conversation; SessionManager
+// serves many of them concurrently; SessionEvent is the typed record of one
+// completed stage; SessionState is the JSON-ready summary.
+type (
+	Session        = session.Session
+	SessionManager = session.Manager
+	SessionEvent   = session.Event
+	SessionState   = session.State
+	SessionOption  = session.Option
+	ManagerOption  = session.ManagerOption
+)
+
+// Session construction and manager configuration.
+var (
+	NewSession        = session.New
+	NewSessionManager = session.NewManager
+	WithSessionName   = session.WithName
+	WithScenario      = session.WithScenario
+	WithMaxSessions   = session.WithMaxSessions
+	WithEvictHook     = session.WithEvictHook
+)
+
+// UserContextByName resolves the demonstration user contexts ("crime",
+// "size") by name.
+var UserContextByName = core.UserContextByName
 
 // ---- relational model -----------------------------------------------------
 

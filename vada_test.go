@@ -15,9 +15,7 @@ func TestPublicAPIQuickstart(t *testing.T) {
 	shop.MustAppend("kettle", 25.0, "Leeds")
 	shop.MustAppend("toaster", 35.0, "Manchester")
 
-	opts := vada.DefaultOptions()
-	opts.GenOptions.MinCoverage = 2
-	w := vada.New(opts)
+	w := vada.New(vada.WithMinCoverage(2))
 	w.RegisterSource(shop)
 	w.SetTargetSchema(vada.NewSchema("catalogue", "name", "price:float", "city"))
 	if _, err := w.Run(context.Background()); err != nil {
@@ -37,7 +35,7 @@ func TestPublicAPIScenario(t *testing.T) {
 	cfg := vada.DefaultScenarioConfig()
 	cfg.NProperties = 80
 	sc := vada.GenerateScenario(cfg)
-	w := vada.BuildScenarioWrangler(sc, vada.DefaultOptions())
+	w := vada.BuildScenarioWrangler(sc)
 	if _, err := w.Run(context.Background()); err != nil {
 		t.Fatal(err)
 	}
