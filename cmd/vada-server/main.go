@@ -3,15 +3,16 @@
 // Figure 3) behind a versioned JSON API, plus the single-page UI and the
 // browsable orchestration trace.
 //
-//	vada-server -addr :8080 -max-sessions 64 -idle-timeout 30m
+//	vada-server -addr :8080 -max-sessions 64 -idle-timeout 30m -run-workers 8
 //
 // Endpoints:
 //
 //	GET    /                                   the single-page UI
+//	GET    /api/v1/healthz                     server health: sessions, run-engine load
 //	POST   /api/v1/sessions                    create a session {"name","n","seed"}
 //	GET    /api/v1/sessions                    list session states
 //	GET    /api/v1/sessions/{id}               session state
-//	DELETE /api/v1/sessions/{id}               close the session
+//	DELETE /api/v1/sessions/{id}               close the session (cancels its runs)
 //	POST   /api/v1/sessions/{id}/bootstrap     step 1: automatic bootstrapping
 //	POST   /api/v1/sessions/{id}/datacontext   step 2: associate reference data
 //	POST   /api/v1/sessions/{id}/feedback      step 3: oracle feedback (?budget=N) or JSON items
@@ -19,12 +20,23 @@
 //	GET    /api/v1/sessions/{id}/result        result rows (?limit=&offset=, paginated)
 //	GET    /api/v1/sessions/{id}/trace         orchestration trace (text)
 //	GET    /api/v1/sessions/{id}/state         session state (alias)
+//	GET    /api/v1/sessions/{id}/runs          list the session's async runs
+//	GET    /api/v1/sessions/{id}/runs/{rid}    poll one run
+//	DELETE /api/v1/sessions/{id}/runs/{rid}    cancel a queued or in-flight run
+//	GET    /api/v1/sessions/{id}/events        stage events over SSE (replays history)
+//
+// Every stage POST accepts ?async=1: instead of blocking until the stage
+// quiesces, the server enqueues it on the run engine and answers
+// 202 Accepted with a Location header naming the run resource to poll.
+// Runs of one session execute in submission order; runs of independent
+// sessions spread across the worker pool.
 //
 // Sessions are independent: each wraps its own Wrangler and scenario, holds
 // its own lock, and wrangles fully in parallel with every other session.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -41,12 +53,15 @@ import (
 // maxResultPageSize bounds one result page; larger limits are clamped.
 const maxResultPageSize = 1000
 
-// server holds the session manager and the per-session scenario defaults.
+// server holds the session manager, the async run engine and the
+// per-session scenario defaults.
 type server struct {
 	mgr         *vada.SessionManager
+	runs        *vada.RunEngine
 	defaultN    int
 	defaultSeed int64
 	maxN        int
+	started     time.Time
 }
 
 func main() {
@@ -56,19 +71,30 @@ func main() {
 	seed := flag.Int64("seed", 1, "default scenario seed for new sessions")
 	maxSessions := flag.Int("max-sessions", 64, "live session cap (0 = unlimited)")
 	idleTimeout := flag.Duration("idle-timeout", 30*time.Minute, "evict sessions idle this long (0 = never)")
+	runWorkers := flag.Int("run-workers", 8, "async run engine worker-pool size")
+	runQueue := flag.Int("run-queue", 256, "async run queue depth (0 = unlimited)")
 	flag.Parse()
 
 	s := &server{
-		mgr: vada.NewSessionManager(
-			vada.WithMaxSessions(*maxSessions),
-			vada.WithEvictHook(func(sess *vada.Session) {
-				log.Printf("vada-server: session %s closed", sess.ID())
-			}),
+		runs: vada.NewRunEngine(
+			vada.WithRunWorkers(*runWorkers),
+			vada.WithRunQueueDepth(*runQueue),
 		),
 		defaultN:    *n,
 		defaultSeed: *seed,
 		maxN:        *maxN,
+		started:     time.Now(),
 	}
+	s.mgr = vada.NewSessionManager(
+		vada.WithMaxSessions(*maxSessions),
+		vada.WithEvictHook(func(sess *vada.Session) {
+			if n := s.runs.CancelSession(sess.ID()); n > 0 {
+				log.Printf("vada-server: session %s closed (%d runs cancelled)", sess.ID(), n)
+				return
+			}
+			log.Printf("vada-server: session %s closed", sess.ID())
+		}),
+	)
 	if *idleTimeout > 0 {
 		go func() {
 			for range time.Tick(*idleTimeout / 4) {
@@ -87,6 +113,7 @@ func main() {
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("POST /api/v1/sessions", s.handleCreate)
 	mux.HandleFunc("GET /api/v1/sessions", s.handleList)
 	mux.HandleFunc("GET /api/v1/sessions/{id}", s.handleState)
@@ -98,6 +125,10 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /api/v1/sessions/{id}/usercontext", s.handleUserContext)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/trace", s.handleTrace)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/runs", s.handleRunList)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/runs/{rid}", s.handleRunGet)
+	mux.HandleFunc("DELETE /api/v1/sessions/{id}/runs/{rid}", s.handleRunCancel)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/events", s.handleEvents)
 	return mux
 }
 
@@ -163,11 +194,44 @@ func (s *server) handleState(rw http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleClose(rw http.ResponseWriter, r *http.Request) {
+	// Manager.Close fires the evict hook, which cancels the session's
+	// in-flight and queued runs — the same path idle eviction takes.
 	if err := s.mgr.Close(r.PathValue("id")); err != nil {
 		writeError(rw, err)
 		return
 	}
 	rw.WriteHeader(http.StatusNoContent)
+}
+
+// asyncRequested reports whether a stage POST opts into the 202 run flow.
+func asyncRequested(r *http.Request) bool {
+	switch r.URL.Query().Get("async") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// dispatchStage executes one stage invocation either synchronously (the
+// pre-async behaviour: block until quiescence, answer the stage event) or,
+// with ?async=1, as a run resource: enqueue on the engine and answer
+// 202 Accepted with the run snapshot and its Location to poll. The stage
+// closure must capture everything it needs from the request — it outlives
+// the request in the async path.
+func (s *server) dispatchStage(rw http.ResponseWriter, r *http.Request, sess *vada.Session, stage string,
+	fn func(ctx context.Context) (vada.SessionEvent, error)) {
+	if !asyncRequested(r) {
+		ev, err := fn(r.Context())
+		writeEvent(rw, ev, err)
+		return
+	}
+	run, err := s.runs.Submit(sess.ID(), stage, fn)
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	rw.Header().Set("Location", fmt.Sprintf("/api/v1/sessions/%s/runs/%s", sess.ID(), run.ID))
+	writeJSONStatus(rw, http.StatusAccepted, run)
 }
 
 func (s *server) handleBootstrap(rw http.ResponseWriter, r *http.Request) {
@@ -176,8 +240,7 @@ func (s *server) handleBootstrap(rw http.ResponseWriter, r *http.Request) {
 		writeError(rw, err)
 		return
 	}
-	ev, err := sess.Bootstrap(r.Context())
-	writeEvent(rw, ev, err)
+	s.dispatchStage(rw, r, sess, "bootstrap", sess.Bootstrap)
 }
 
 func (s *server) handleDataContext(rw http.ResponseWriter, r *http.Request) {
@@ -187,8 +250,9 @@ func (s *server) handleDataContext(rw http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// nil relation: the session defaults to its scenario's reference data.
-	ev, err := sess.AddDataContext(r.Context(), nil)
-	writeEvent(rw, ev, err)
+	s.dispatchStage(rw, r, sess, "data-context", func(ctx context.Context) (vada.SessionEvent, error) {
+		return sess.AddDataContext(ctx, nil)
+	})
 }
 
 func (s *server) handleFeedback(rw http.ResponseWriter, r *http.Request) {
@@ -205,8 +269,9 @@ func (s *server) handleFeedback(rw http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	ev, err := sess.AddFeedback(r.Context(), items, budget)
-	writeEvent(rw, ev, err)
+	s.dispatchStage(rw, r, sess, "feedback", func(ctx context.Context) (vada.SessionEvent, error) {
+		return sess.AddFeedback(ctx, items, budget)
+	})
 }
 
 func (s *server) handleUserContext(rw http.ResponseWriter, r *http.Request) {
@@ -220,8 +285,129 @@ func (s *server) handleUserContext(rw http.ResponseWriter, r *http.Request) {
 		writeError(rw, err)
 		return
 	}
-	ev, err := sess.SetUserContext(r.Context(), uc)
-	writeEvent(rw, ev, err)
+	s.dispatchStage(rw, r, sess, "user-context", func(ctx context.Context) (vada.SessionEvent, error) {
+		return sess.SetUserContext(ctx, uc)
+	})
+}
+
+func (s *server) handleRunList(rw http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	list := s.runs.List(id)
+	if len(list) == 0 {
+		// No retained runs: distinguish a live session without runs (empty
+		// 200) from an unknown session ID (404). Closed sessions keep their
+		// retained runs listable, matching GET .../runs/{rid}.
+		if _, err := s.mgr.Get(id); err != nil {
+			writeError(rw, err)
+			return
+		}
+	}
+	writeJSON(rw, map[string]any{"total": len(list), "runs": list})
+}
+
+// sessionRun resolves a run scoped to its session path, so run IDs cannot
+// be probed across sessions.
+func (s *server) sessionRun(r *http.Request) (vada.Run, error) {
+	run, err := s.runs.Get(r.PathValue("rid"))
+	if err != nil {
+		return vada.Run{}, err
+	}
+	if run.SessionID != r.PathValue("id") {
+		return vada.Run{}, fmt.Errorf("%w: %q", vada.ErrRunNotFound, r.PathValue("rid"))
+	}
+	return run, nil
+}
+
+func (s *server) handleRunGet(rw http.ResponseWriter, r *http.Request) {
+	run, err := s.sessionRun(r)
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	writeJSON(rw, run)
+}
+
+func (s *server) handleRunCancel(rw http.ResponseWriter, r *http.Request) {
+	if _, err := s.sessionRun(r); err != nil {
+		writeError(rw, err)
+		return
+	}
+	run, err := s.runs.Cancel(r.PathValue("rid"))
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	// 202: cancellation of a running stage completes when the stage next
+	// observes its context; poll the resource for the terminal state.
+	writeJSONStatus(rw, http.StatusAccepted, run)
+}
+
+// handleEvents streams the session's stage events as server-sent events:
+// history is replayed on connect (resumable via Last-Event-ID or ?after=seq),
+// then live events flow until the client disconnects or the session closes.
+func (s *server) handleEvents(rw http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	flusher, ok := rw.(http.Flusher)
+	if !ok {
+		http.Error(rw, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	after := intQuery(r, "after", 0)
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			after = n
+		}
+	}
+	history, events, cancel := sess.Subscribe(64)
+	defer cancel()
+	rw.Header().Set("Content-Type", "text/event-stream")
+	rw.Header().Set("Cache-Control", "no-cache")
+	rw.Header().Set("Connection", "keep-alive")
+	rw.WriteHeader(http.StatusOK)
+	for _, ev := range history {
+		if ev.Seq > after {
+			writeSSE(rw, ev)
+		}
+	}
+	flusher.Flush()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev, ok := <-events:
+			if !ok { // session closed
+				fmt.Fprint(rw, "event: close\ndata: {}\n\n")
+				flusher.Flush()
+				return
+			}
+			writeSSE(rw, ev)
+			flusher.Flush()
+		}
+	}
+}
+
+// writeSSE renders one stage event in SSE wire format; the event id is the
+// session sequence number, so reconnecting clients resume via Last-Event-ID.
+func writeSSE(rw http.ResponseWriter, ev vada.SessionEvent) {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		log.Printf("encoding SSE event: %v", err)
+		return
+	}
+	fmt.Fprintf(rw, "id: %d\nevent: stage\ndata: %s\n\n", ev.Seq, data)
+}
+
+func (s *server) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
+	writeJSON(rw, map[string]any{
+		"status":    "ok",
+		"uptime_s":  int(time.Since(s.started).Seconds()),
+		"sessions":  s.mgr.Len(),
+		"run_stats": s.runs.Stats(),
+	})
 }
 
 func (s *server) handleResult(rw http.ResponseWriter, r *http.Request) {
@@ -294,14 +480,17 @@ func writeEvent(rw http.ResponseWriter, ev vada.SessionEvent, err error) {
 func writeError(rw http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
-	case errors.Is(err, vada.ErrSessionNotFound), errors.Is(err, vada.ErrNoResult):
+	case errors.Is(err, vada.ErrSessionNotFound), errors.Is(err, vada.ErrNoResult),
+		errors.Is(err, vada.ErrRunNotFound):
 		status = http.StatusNotFound
 	case errors.Is(err, vada.ErrUnknownUserContext), errors.Is(err, vada.ErrNoDataContext):
 		status = http.StatusBadRequest
-	case errors.Is(err, vada.ErrSessionLimit):
+	case errors.Is(err, vada.ErrSessionLimit), errors.Is(err, vada.ErrRunQueueFull):
 		status = http.StatusTooManyRequests
 	case errors.Is(err, vada.ErrSessionClosed):
 		status = http.StatusGone
+	case errors.Is(err, vada.ErrRunEngineClosed):
+		status = http.StatusServiceUnavailable
 	}
 	http.Error(rw, err.Error(), status)
 }
@@ -329,8 +518,10 @@ func writeJSONStatus(rw http.ResponseWriter, status int, v any) {
 	}
 }
 
-// indexHTML is the single-page mirror of Figure 3, now session-aware: it
-// creates (or reuses) a session via /api/v1 and drives the four steps.
+// indexHTML is the single-page mirror of Figure 3, now session-aware and
+// push-driven: it creates a session via /api/v1, submits every step as an
+// async run (202 + run resource), and refreshes on the session's SSE event
+// stream instead of poll-refreshing.
 const indexHTML = `<!DOCTYPE html>
 <html><head><title>VADA — pay-as-you-go data wrangling</title>
 <style>
@@ -348,7 +539,9 @@ const indexHTML = `<!DOCTYPE html>
 <h1>VADA — pay-as-you-go data wrangling (SIGMOD'17 demonstration)</h1>
 <p>Work through the four steps of the demonstration; each one adds information
 and re-triggers exactly the transducers whose input dependencies now hold.
-Every browser tab gets its own wrangling session.</p>
+Steps run asynchronously on the server's run engine; this page refreshes when
+the session's event stream reports the stage finished. Every browser tab gets
+its own wrangling session.</p>
 <p id="sid">(creating session…)</p>
 <div>
  <button onclick="step('bootstrap')">1&nbsp;Bootstrap</button>
@@ -361,14 +554,15 @@ Every browser tab gets its own wrangling session.</p>
 <div class="row">
  <div class="col"><h2>Stages</h2><pre id="stages">(none yet)</pre>
   <h2>Selected mappings</h2><pre id="selected"></pre></div>
- <div class="col"><h2>Sessions on this server</h2><pre id="sessions"></pre></div>
+ <div class="col"><h2>Runs</h2><pre id="runs">(none yet)</pre>
+  <h2>Sessions on this server</h2><pre id="sessions"></pre></div>
 </div>
 <h2>Result (first rows)</h2>
 <div id="result">(bootstrap first)</div>
 <h2>Orchestration trace</h2>
 <pre id="trace"></pre>
 <script>
-let sid = null;
+let sid = null, es = null;
 const api = p => '/api/v1/sessions' + p;
 async function ensureSession() {
   if (sid) return sid;
@@ -376,7 +570,19 @@ async function ensureSession() {
     body: JSON.stringify({name: 'ui'})});
   sid = (await resp.json()).id;
   document.getElementById('sid').textContent = 'session ' + sid;
+  es = new EventSource(api('/' + sid + '/events'));
+  es.addEventListener('stage', () => refresh());
+  es.addEventListener('close', () => es.close());
   return sid;
+}
+async function refreshRuns() {
+  if (!sid) return;
+  const resp = await fetch(api('/' + sid + '/runs'));
+  if (!resp.ok) return;
+  const data = await resp.json();
+  document.getElementById('runs').textContent = (data.runs||[]).map(r =>
+     r.id + '  ' + r.stage.padEnd(14) + r.state +
+     (r.error ? ' (' + r.error + ')' : '')).join('\n') || '(none yet)';
 }
 async function refresh() {
   if (!sid) return;
@@ -390,6 +596,7 @@ async function refresh() {
   document.getElementById('sessions').textContent = (all.sessions||[]).map(s =>
      s.id + (s.name ? ' (' + s.name + ')' : '') + ' — ' + (s.events||[]).length + ' stages, ' +
      s.result_rows + ' rows').join('\n');
+  await refreshRuns();
   const res = await fetch(api('/' + sid + '/result?limit=25'));
   if (res.ok) {
     const data = await res.json();
@@ -405,11 +612,35 @@ async function refresh() {
 }
 async function step(path) {
   await ensureSession();
-  await fetch(api('/' + sid + '/' + path), {method: 'POST'});
-  await refresh();
+  // Submit as an async run; the SSE stage event triggers the refresh.
+  const resp = await fetch(api('/' + sid + '/' + path + (path.includes('?') ? '&' : '?') + 'async=1'),
+    {method: 'POST'});
+  if (!resp.ok) {
+    document.getElementById('runs').textContent =
+      'submit rejected: ' + resp.status + ' ' + (await resp.text()).trim();
+    return;
+  }
+  const run = await resp.json();
+  await refreshRuns();
+  // Failed or cancelled runs emit no stage event, so also poll this run
+  // until it is terminal and refresh then — the panel always resolves.
+  const runURL = api('/' + sid + '/runs/' + run.id);
+  const timer = setInterval(async () => {
+    if (!sid) { clearInterval(timer); return; }
+    const rr = await fetch(runURL);
+    if (!rr.ok) { clearInterval(timer); return; }
+    const r = await rr.json();
+    if (r.state === 'succeeded' || r.state === 'failed' || r.state === 'cancelled') {
+      clearInterval(timer);
+      await refresh();
+    } else {
+      await refreshRuns();
+    }
+  }, 500);
 }
 async function closeSession() {
   if (!sid) return;
+  if (es) { es.close(); es = null; }
   await fetch(api('/' + sid), {method: 'DELETE'});
   sid = null;
   document.getElementById('sid').textContent = '(session closed — reload to start another)';

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -9,13 +11,24 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"vada"
 )
 
 func testServer(t *testing.T, opts ...vada.ManagerOption) (*server, *httptest.Server) {
 	t.Helper()
-	s := &server{mgr: vada.NewSessionManager(opts...), defaultN: 60, defaultSeed: 1}
+	s := &server{
+		runs:        vada.NewRunEngine(vada.WithRunWorkers(4)),
+		defaultN:    60,
+		defaultSeed: 1,
+		started:     time.Now(),
+	}
+	// Mirror main's wiring: closing or evicting a session cancels its runs.
+	s.mgr = vada.NewSessionManager(append(opts, vada.WithEvictHook(func(sess *vada.Session) {
+		s.runs.CancelSession(sess.ID())
+	}))...)
+	t.Cleanup(s.runs.Close)
 	ts := httptest.NewServer(s.routes())
 	t.Cleanup(ts.Close)
 	return s, ts
@@ -335,5 +348,406 @@ func TestExplicitFeedbackJSON(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("explicit feedback: %s", resp.Status)
+	}
+}
+
+// pollRun GETs a run URL until the run reaches a terminal state.
+func pollRun(t *testing.T, url string) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for time.Now().Before(deadline) {
+		_, body := get(t, url)
+		var run map[string]any
+		if err := json.Unmarshal([]byte(body), &run); err != nil {
+			t.Fatalf("run JSON %q: %v", body, err)
+		}
+		switch run["state"] {
+		case "succeeded", "failed", "cancelled":
+			return run
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("run never reached a terminal state")
+	return nil
+}
+
+// TestAsyncStageFlow is the scripted acceptance flow: an async bootstrap
+// answers 202 with a pollable run resource in well under the stage's own
+// runtime, the run reaches succeeded with the stage event attached, and the
+// run list exposes it.
+func TestAsyncStageFlow(t *testing.T) {
+	_, ts := testServer(t)
+
+	// The 202 must come back in well under the stage's own runtime. The
+	// submit is a queue append, so <50ms holds with margin; retry on fresh
+	// sessions to ride out scheduler/GC stalls on loaded CI runners.
+	var id string
+	var resp *http.Response
+	for attempt := 0; ; attempt++ {
+		id = createSession(t, ts, `{"name":"async"}`)
+		start := time.Now()
+		var err error
+		resp, err = http.Post(ts.URL+"/api/v1/sessions/"+id+"/bootstrap?async=1", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		elapsed := time.Since(start)
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("async bootstrap: %s, want 202", resp.Status)
+		}
+		if elapsed < 50*time.Millisecond {
+			break
+		}
+		resp.Body.Close()
+		if attempt == 2 {
+			t.Fatalf("async submit blocked for %v on %d attempts, want <50ms", elapsed, attempt+1)
+		}
+	}
+	base := ts.URL + "/api/v1/sessions/" + id
+	defer resp.Body.Close()
+	loc := resp.Header.Get("Location")
+	if !strings.HasPrefix(loc, "/api/v1/sessions/"+id+"/runs/") {
+		t.Fatalf("Location = %q", loc)
+	}
+	var run map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
+		t.Fatal(err)
+	}
+	if st := run["state"]; st != "queued" && st != "running" {
+		t.Fatalf("submitted run state = %v", st)
+	}
+
+	final := pollRun(t, ts.URL+loc)
+	if final["state"] != "succeeded" {
+		t.Fatalf("run finished as %v (%v)", final["state"], final["error"])
+	}
+	ev, ok := final["event"].(map[string]any)
+	if !ok || ev["stage"] != "bootstrap" {
+		t.Fatalf("run event = %v, want bootstrap stage event", final["event"])
+	}
+
+	// A second async stage queues behind nothing and also succeeds.
+	resp2, err := http.Post(base+"/datacontext?async=true", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("async datacontext: %s", resp2.Status)
+	}
+	final2 := pollRun(t, ts.URL+resp2.Header.Get("Location"))
+	if final2["state"] != "succeeded" {
+		t.Fatalf("datacontext run: %v (%v)", final2["state"], final2["error"])
+	}
+
+	// The run list shows both runs in submission order.
+	_, body := get(t, base+"/runs")
+	var list map[string]any
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list["total"].(float64) != 2 {
+		t.Fatalf("run list: %v", list)
+	}
+	runs := list["runs"].([]any)
+	if runs[0].(map[string]any)["stage"] != "bootstrap" ||
+		runs[1].(map[string]any)["stage"] != "data-context" {
+		t.Fatalf("run order: %v", runs)
+	}
+
+	// Both stage events landed on the session.
+	_, body = get(t, base)
+	var st map[string]any
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if events := st["events"].([]any); len(events) != 2 {
+		t.Fatalf("session events = %d, want 2", len(events))
+	}
+}
+
+// TestRunCancelInFlight drives HTTP cancellation of a deterministically
+// blocked run: DELETE answers 202 and polling reaches state cancelled.
+func TestRunCancelInFlight(t *testing.T) {
+	s, ts := testServer(t)
+	id := createSession(t, ts, "")
+	base := ts.URL + "/api/v1/sessions/" + id
+
+	started := make(chan struct{})
+	run, err := s.runs.Submit(id, "blocking", func(ctx context.Context) (vada.SessionEvent, error) {
+		close(started)
+		<-ctx.Done()
+		return vada.SessionEvent{}, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // the run is in flight
+
+	req, _ := http.NewRequest(http.MethodDelete, base+"/runs/"+run.ID, nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel: %s, want 202", resp.Status)
+	}
+	var snap map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap["cancel_requested"] != true {
+		t.Fatalf("cancel response: %v", snap)
+	}
+	final := pollRun(t, base+"/runs/"+run.ID)
+	if final["state"] != "cancelled" {
+		t.Fatalf("state after cancel = %v, want cancelled", final["state"])
+	}
+
+	// A queued run cancels immediately.
+	started2 := make(chan struct{})
+	blocker, err := s.runs.Submit(id, "blocking", func(ctx context.Context) (vada.SessionEvent, error) {
+		close(started2)
+		<-ctx.Done()
+		return vada.SessionEvent{}, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started2
+	queued, err := s.runs.Submit(id, "queued-stage", func(ctx context.Context) (vada.SessionEvent, error) {
+		return vada.SessionEvent{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req2, _ := http.NewRequest(http.MethodDelete, base+"/runs/"+queued.ID, nil)
+	resp2, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	var qsnap map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&qsnap); err != nil {
+		t.Fatal(err)
+	}
+	if qsnap["state"] != "cancelled" {
+		t.Fatalf("queued cancel state = %v, want cancelled", qsnap["state"])
+	}
+	if _, err := s.runs.Cancel(blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+
+	// Closing the session cancels whatever is still live.
+	started3 := make(chan struct{})
+	live, err := s.runs.Submit(id, "blocking", func(ctx context.Context) (vada.SessionEvent, error) {
+		close(started3)
+		<-ctx.Done()
+		return vada.SessionEvent{}, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started3
+	dreq, _ := http.NewRequest(http.MethodDelete, base, nil)
+	dresp, err := http.DefaultClient.Do(dreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		got, err := s.runs.Get(live.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.State == vada.RunCancelled {
+			break
+		}
+		if !got.State.Terminal() && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+			continue
+		}
+		t.Fatalf("run after session close: %s", got.State)
+	}
+
+	// Retained runs of the closed session stay listable and pollable, so
+	// clients can still collect outcomes from their 202 Location URLs.
+	_, body := get(t, base+"/runs")
+	var list map[string]any
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list["total"].(float64) == 0 {
+		t.Fatalf("closed session's retained runs not listable: %v", list)
+	}
+	resp3, _ := get(t, base+"/runs/"+live.ID)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("poll retained run after close: %s", resp3.Status)
+	}
+}
+
+func TestRunNotFoundPaths(t *testing.T) {
+	s, ts := testServer(t)
+	id := createSession(t, ts, "")
+	otherID := createSession(t, ts, "")
+	base := ts.URL + "/api/v1/sessions/" + id
+
+	// Unknown run IDs 404.
+	resp, _ := get(t, base+"/runs/nope")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown run: %s", resp.Status)
+	}
+	// A run of one session is invisible under another session's path.
+	run, err := s.runs.Submit(otherID, "b", func(ctx context.Context) (vada.SessionEvent, error) {
+		return vada.SessionEvent{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, _ = get(t, base+"/runs/"+run.ID)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("cross-session run probe: %s", resp.Status)
+	}
+	// Run listing of an unknown session 404s.
+	resp, _ = get(t, ts.URL+"/api/v1/sessions/nope/runs")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("runs of unknown session: %s", resp.Status)
+	}
+}
+
+// sseConn opens an SSE stream and returns a line reader over it.
+func sseConn(t *testing.T, url string, lastEventID string) (*bufio.Scanner, func()) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("SSE connect: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("SSE content type: %q", ct)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	return sc, func() { resp.Body.Close(); cancel() }
+}
+
+// readSSEStage reads frames until one stage event arrives, returning its id
+// and decoded data. ok=false means the stream ended first.
+func readSSEStage(t *testing.T, sc *bufio.Scanner) (id string, data map[string]any, ok bool) {
+	t.Helper()
+	isStage := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "id: "):
+			id = strings.TrimPrefix(line, "id: ")
+		case line == "event: stage":
+			isStage = true
+		case strings.HasPrefix(line, "data: ") && isStage:
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &data); err != nil {
+				t.Fatalf("SSE data: %v", err)
+			}
+			return id, data, true
+		case line == "": // frame boundary
+			isStage = false
+		}
+	}
+	return "", nil, false
+}
+
+// TestSSEEvents checks the streaming contract: a connected client receives
+// the bootstrap event without polling, a late subscriber gets it replayed
+// from history, Last-Event-ID skips already-seen events, and closing the
+// session ends the stream.
+func TestSSEEvents(t *testing.T) {
+	_, ts := testServer(t)
+	id := createSession(t, ts, "")
+	base := ts.URL + "/api/v1/sessions/" + id
+
+	// Live delivery: subscribe first, then run the stage asynchronously.
+	sc1, close1 := sseConn(t, base+"/events", "")
+	defer close1()
+	resp, err := http.Post(base+"/bootstrap?async=1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async bootstrap: %s", resp.Status)
+	}
+	evID, data, ok := readSSEStage(t, sc1)
+	if !ok || data["stage"] != "bootstrap" || evID != "1" {
+		t.Fatalf("live SSE event: ok=%v id=%q data=%v", ok, evID, data)
+	}
+
+	// Replay: a fresh connection receives the bootstrap from history.
+	sc2, close2 := sseConn(t, base+"/events", "")
+	_, data2, ok := readSSEStage(t, sc2)
+	if !ok || data2["stage"] != "bootstrap" {
+		t.Fatalf("replayed SSE event: ok=%v data=%v", ok, data2)
+	}
+
+	// Resume: Last-Event-ID 1 skips the bootstrap; the next event seen is
+	// the data-context stage.
+	sc3, close3 := sseConn(t, base+"/events", "1")
+	defer close3()
+	if _, err := http.Post(base+"/datacontext", "", nil); err != nil {
+		t.Fatal(err)
+	}
+	evID3, data3, ok := readSSEStage(t, sc3)
+	if !ok || data3["stage"] != "data-context" || evID3 != "2" {
+		t.Fatalf("resumed SSE event: ok=%v id=%q data=%v", ok, evID3, data3)
+	}
+
+	// Closing the session terminates connection 2's stream.
+	req, _ := http.NewRequest(http.MethodDelete, base, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	for {
+		_, _, ok := readSSEStage(t, sc2)
+		if !ok {
+			break // stream ended
+		}
+	}
+	close2()
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := testServer(t)
+	createSession(t, ts, "")
+	resp, body := get(t, ts.URL+"/api/v1/healthz")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %s", resp.Status)
+	}
+	var h map[string]any
+	if err := json.Unmarshal([]byte(body), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" || h["sessions"].(float64) != 1 {
+		t.Fatalf("healthz body: %v", h)
+	}
+	stats, ok := h["run_stats"].(map[string]any)
+	if !ok || stats["workers"].(float64) <= 0 {
+		t.Fatalf("healthz run stats: %v", h["run_stats"])
 	}
 }

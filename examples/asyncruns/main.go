@@ -1,0 +1,90 @@
+// Command asyncruns demonstrates the asynchronous execution layer: wrangling
+// stages submitted to a RunEngine as 202-style Run resources, with progress
+// observed through the session's event subscription instead of polling —
+// the programmatic twin of vada-server's ?async=1 + SSE surface.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"time"
+
+	"vada"
+)
+
+func main() {
+	sc := vada.GenerateScenario(vada.DefaultScenarioConfig())
+	mgr := vada.NewSessionManager()
+	sess, err := mgr.Create(vada.BuildScenarioWrangler(sc), vada.WithScenario(sc, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Subscribe before submitting: history replays past events, the channel
+	// carries every event that follows.
+	_, events, cancel := sess.Subscribe(16)
+	defer cancel()
+
+	engine := vada.NewRunEngine(vada.WithRunWorkers(4))
+	defer engine.Close()
+
+	// Submit all four pay-as-you-go stages up front. The engine runs them
+	// FIFO for this session, so they apply in order even though Submit
+	// returns immediately.
+	stages := []struct {
+		name string
+		fn   vada.RunFunc
+	}{
+		{"bootstrap", sess.Bootstrap},
+		{"data-context", func(ctx context.Context) (vada.SessionEvent, error) { return sess.AddDataContext(ctx, nil) }},
+		{"feedback", func(ctx context.Context) (vada.SessionEvent, error) { return sess.AddFeedback(ctx, nil, 100) }},
+		{"user-context", func(ctx context.Context) (vada.SessionEvent, error) {
+			return sess.SetUserContext(ctx, vada.CrimeAnalysisUserContext())
+		}},
+	}
+	ids := make([]string, 0, len(stages))
+	for _, st := range stages {
+		run, err := engine.Submit(sess.ID(), st.name, st.fn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("submitted %-14s as run %s (%s)\n", st.name, run.ID, run.State)
+		ids = append(ids, run.ID)
+	}
+
+	// Stream stage events as they complete — no polling.
+	for ev := range events {
+		fmt.Printf("event #%d %-14s steps=%-3d", ev.Seq, ev.Stage, ev.Steps)
+		if ev.Score != nil {
+			fmt.Printf(" F1=%.3f val-acc=%.3f", ev.Score.F1, ev.Score.ValueAccuracy)
+		}
+		fmt.Println()
+		if ev.Seq == len(stages) {
+			break
+		}
+	}
+
+	// Every run resource records its outcome and timing.
+	for _, id := range ids {
+		run := waitTerminal(engine, id)
+		took := "-"
+		if run.StartedAt != nil && run.FinishedAt != nil {
+			took = run.FinishedAt.Sub(*run.StartedAt).Round(time.Millisecond).String()
+		}
+		fmt.Printf("run %s %-14s %-9s %s\n", run.ID, run.Stage, run.State, took)
+	}
+}
+
+func waitTerminal(engine *vada.RunEngine, id string) vada.Run {
+	for {
+		run, err := engine.Get(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if run.State.Terminal() {
+			return run
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

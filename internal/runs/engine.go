@@ -1,0 +1,358 @@
+package runs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"vada/internal/session"
+)
+
+// Func is the work a run performs: one pay-as-you-go stage driven to
+// quiescence under the run's cancellation context.
+type Func func(ctx context.Context) (session.Event, error)
+
+// task is the engine's mutable bookkeeping for one run; all fields are
+// guarded by the engine mutex except ctx/cancel/fn, which are immutable
+// after creation.
+type task struct {
+	run    Run
+	seq    uint64
+	fn     Func
+	ctx    context.Context
+	cancel context.CancelFunc
+}
+
+// sessionQueue is the FIFO of pending tasks for one session. At most one
+// worker owns a queue at any moment (scheduled), which is what serialises
+// runs of a session while independent sessions spread across the pool.
+type sessionQueue struct {
+	id        string
+	pending   []*task
+	scheduled bool
+}
+
+// Engine is the worker-pool run engine. Create one with New and stop it
+// with Close; all methods are safe for concurrent use.
+type Engine struct {
+	workers   int
+	queueCap  int
+	retention int
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	tasks   map[string]*task         // by run ID: live runs + retention ring
+	done    []string                 // finished run IDs, oldest first
+	queues  map[string]*sessionQueue // by session ID
+	ready   []*sessionQueue          // queues with work and no active worker
+	queued  int
+	running int
+	seq     uint64
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// Option configures an Engine.
+type Option func(*Engine)
+
+// WithWorkers sets the worker-pool size (default 4).
+func WithWorkers(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.workers = n
+		}
+	}
+}
+
+// WithQueueDepth caps the number of queued (not yet running) runs across
+// all sessions; Submit fails with ErrQueueFull beyond it (default 256,
+// 0 = unlimited).
+func WithQueueDepth(n int) Option {
+	return func(e *Engine) { e.queueCap = n }
+}
+
+// WithRetention sets how many finished runs stay pollable before the oldest
+// are evicted (default 512; minimum 1).
+func WithRetention(n int) Option {
+	return func(e *Engine) {
+		if n > 0 {
+			e.retention = n
+		}
+	}
+}
+
+// New builds an engine and starts its worker pool.
+func New(opts ...Option) *Engine {
+	e := &Engine{
+		workers:   4,
+		queueCap:  256,
+		retention: 512,
+		tasks:     map[string]*task{},
+		queues:    map[string]*sessionQueue{},
+	}
+	for _, opt := range opts {
+		opt(e)
+	}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(e.workers)
+	for i := 0; i < e.workers; i++ {
+		go e.worker()
+	}
+	return e
+}
+
+// Submit enqueues one stage invocation against a session and returns the
+// queued Run snapshot. Runs of one session execute in submission order.
+func (e *Engine) Submit(sessionID, stage string, fn Func) (Run, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return Run{}, ErrEngineClosed
+	}
+	if e.queueCap > 0 && e.queued >= e.queueCap {
+		return Run{}, fmt.Errorf("%w (max %d queued)", ErrQueueFull, e.queueCap)
+	}
+	e.seq++
+	ctx, cancel := context.WithCancel(context.Background())
+	t := &task{
+		run: Run{
+			ID:        fmt.Sprintf("r%04d-%s", e.seq, randomSuffix()),
+			SessionID: sessionID,
+			Stage:     stage,
+			State:     StateQueued,
+			CreatedAt: time.Now(),
+		},
+		seq:    e.seq,
+		fn:     fn,
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	e.tasks[t.run.ID] = t
+	e.queued++
+	q, ok := e.queues[sessionID]
+	if !ok {
+		q = &sessionQueue{id: sessionID}
+		e.queues[sessionID] = q
+	}
+	q.pending = append(q.pending, t)
+	if !q.scheduled {
+		q.scheduled = true
+		e.ready = append(e.ready, q)
+		e.cond.Signal()
+	}
+	return t.run, nil
+}
+
+// worker executes runs: it takes exclusive ownership of one session queue,
+// runs its head task, and re-queues the session while work remains.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		e.mu.Lock()
+		for !e.closed && len(e.ready) == 0 {
+			e.cond.Wait()
+		}
+		if len(e.ready) == 0 { // closed and drained
+			e.mu.Unlock()
+			return
+		}
+		q := e.ready[0]
+		e.ready = e.ready[1:]
+		if len(q.pending) == 0 { // head runs were cancelled while queued
+			e.releaseLocked(q)
+			e.mu.Unlock()
+			continue
+		}
+		t := q.pending[0]
+		q.pending = q.pending[1:]
+		e.queued--
+		e.running++
+		now := time.Now()
+		t.run.State = StateRunning
+		t.run.StartedAt = &now
+		e.mu.Unlock()
+
+		ev, err := runStage(t)
+
+		e.mu.Lock()
+		e.running--
+		e.finishLocked(t, ev, err)
+		e.releaseLocked(q)
+		e.mu.Unlock()
+	}
+}
+
+// runStage executes a run's stage function, containing panics: the sync
+// path gets per-connection panic recovery from net/http, so the async path
+// must not let a panicking stage unwind a worker goroutine and kill the
+// whole process — it becomes a failed run instead.
+func runStage(t *task) (ev session.Event, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("runs: stage panicked: %v", r)
+		}
+	}()
+	return t.fn(t.ctx)
+}
+
+// releaseLocked hands a worker's queue back: re-ready it if work remains,
+// otherwise drop it from the session map. Callers hold e.mu.
+func (e *Engine) releaseLocked(q *sessionQueue) {
+	if len(q.pending) > 0 {
+		e.ready = append(e.ready, q)
+		e.cond.Signal()
+		return
+	}
+	q.scheduled = false
+	delete(e.queues, q.id)
+}
+
+// finishLocked moves a task to its terminal state and into the retention
+// ring, evicting the oldest finished runs beyond the cap. Callers hold e.mu.
+func (e *Engine) finishLocked(t *task, ev session.Event, err error) {
+	now := time.Now()
+	t.run.FinishedAt = &now
+	switch {
+	case err == nil:
+		t.run.State = StateSucceeded
+		t.run.Event = &ev
+	case errors.Is(err, context.Canceled), errors.Is(err, session.ErrClosed):
+		// ErrClosed means the session was torn down while the run was in
+		// hand (close cancels runs; the closed-session check can win the
+		// race) — the client asked for the teardown, so report cancelled.
+		t.run.State = StateCancelled
+		t.run.Error = "cancelled"
+	default:
+		t.run.State = StateFailed
+		t.run.Error = err.Error()
+	}
+	t.cancel()
+	// Release the stage closure: it captures the session (and through it
+	// the whole wrangler/KB), which must not stay reachable for as long as
+	// the retention ring keeps the finished run pollable.
+	t.fn, t.ctx, t.cancel = nil, nil, nil
+	e.done = append(e.done, t.run.ID)
+	for len(e.done) > e.retention {
+		delete(e.tasks, e.done[0])
+		e.done = e.done[1:]
+	}
+}
+
+// Get returns a snapshot of the run with the given ID, or ErrNotFound for
+// unknown or already-evicted runs.
+func (e *Engine) Get(id string) (Run, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tasks[id]
+	if !ok {
+		return Run{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return t.run, nil
+}
+
+// List returns snapshots of every retained run of a session in submission
+// order; an empty session ID lists all runs.
+func (e *Engine) List(sessionID string) []Run {
+	e.mu.Lock()
+	tasks := make([]*task, 0, len(e.tasks))
+	for _, t := range e.tasks {
+		if sessionID == "" || t.run.SessionID == sessionID {
+			tasks = append(tasks, t)
+		}
+	}
+	sort.Slice(tasks, func(i, j int) bool { return tasks[i].seq < tasks[j].seq })
+	out := make([]Run, len(tasks))
+	for i, t := range tasks {
+		out[i] = t.run
+	}
+	e.mu.Unlock()
+	return out
+}
+
+// Cancel requests cancellation of a run. A queued run is removed from its
+// session queue and finalised as cancelled immediately; a running run has
+// its context cancelled and reaches StateCancelled when the stage observes
+// it (CancelRequested is set in the meantime). Cancelling a terminal run is
+// a no-op. The returned snapshot reflects the state after the request.
+func (e *Engine) Cancel(id string) (Run, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	t, ok := e.tasks[id]
+	if !ok {
+		return Run{}, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	e.cancelLocked(t)
+	return t.run, nil
+}
+
+// cancelLocked applies Cancel's state transition. Callers hold e.mu.
+func (e *Engine) cancelLocked(t *task) {
+	switch t.run.State {
+	case StateQueued:
+		if q, ok := e.queues[t.run.SessionID]; ok {
+			for i, p := range q.pending {
+				if p == t {
+					q.pending = append(q.pending[:i], q.pending[i+1:]...)
+					e.queued--
+					break
+				}
+			}
+		}
+		t.run.CancelRequested = true
+		e.finishLocked(t, session.Event{}, context.Canceled)
+	case StateRunning:
+		t.run.CancelRequested = true
+		t.cancel()
+	}
+}
+
+// CancelSession cancels every live run of a session — the close/evict path
+// of the service — and returns how many runs it touched.
+func (e *Engine) CancelSession(sessionID string) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, t := range e.tasks {
+		if t.run.SessionID == sessionID && !t.run.State.Terminal() {
+			e.cancelLocked(t)
+			n++
+		}
+	}
+	return n
+}
+
+// Stats summarises the engine for health reporting.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return Stats{
+		Workers:  e.workers,
+		Queued:   e.queued,
+		Running:  e.running,
+		Retained: len(e.done),
+	}
+}
+
+// Close cancels every queued and running run, stops the workers, and waits
+// for them to drain. Submit fails with ErrEngineClosed afterwards; Get and
+// List keep serving retained runs.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.wg.Wait()
+		return
+	}
+	e.closed = true
+	for _, t := range e.tasks {
+		if !t.run.State.Terminal() {
+			e.cancelLocked(t)
+		}
+	}
+	e.cond.Broadcast()
+	e.mu.Unlock()
+	e.wg.Wait()
+}

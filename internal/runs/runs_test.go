@@ -1,0 +1,407 @@
+package runs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"vada/internal/session"
+)
+
+// waitTerminal polls a run until it reaches a terminal state.
+func waitTerminal(t *testing.T, e *Engine, id string) Run {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		run, err := e.Get(id)
+		if err != nil {
+			t.Fatalf("Get(%s): %v", id, err)
+		}
+		if run.State.Terminal() {
+			return run
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Fatalf("run %s never reached a terminal state", id)
+	return Run{}
+}
+
+// gated returns a Func that signals started once executing and then blocks
+// until release is closed or the run is cancelled.
+func gated(started chan<- struct{}, release <-chan struct{}) Func {
+	return func(ctx context.Context) (session.Event, error) {
+		if started != nil {
+			close(started)
+		}
+		select {
+		case <-ctx.Done():
+			return session.Event{}, ctx.Err()
+		case <-release:
+			return session.Event{Stage: "gated"}, nil
+		}
+	}
+}
+
+func TestSubmitAndSucceed(t *testing.T) {
+	e := New(WithWorkers(1))
+	defer e.Close()
+	run, err := e.Submit("s1", session.StageBootstrap, func(ctx context.Context) (session.Event, error) {
+		return session.Event{Seq: 1, Stage: session.StageBootstrap}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.ID == "" || run.SessionID != "s1" || run.Stage != session.StageBootstrap {
+		t.Fatalf("submitted run: %+v", run)
+	}
+	if run.State != StateQueued {
+		t.Fatalf("initial state = %s, want queued", run.State)
+	}
+	got := waitTerminal(t, e, run.ID)
+	if got.State != StateSucceeded {
+		t.Fatalf("state = %s (%s), want succeeded", got.State, got.Error)
+	}
+	if got.Event == nil || got.Event.Stage != session.StageBootstrap {
+		t.Fatalf("event = %+v, want bootstrap event", got.Event)
+	}
+	if got.StartedAt == nil || got.FinishedAt == nil {
+		t.Fatalf("timestamps missing: %+v", got)
+	}
+}
+
+func TestFailedRun(t *testing.T) {
+	e := New(WithWorkers(1))
+	defer e.Close()
+	boom := errors.New("stage exploded")
+	run, err := e.Submit("s1", "feedback", func(ctx context.Context) (session.Event, error) {
+		return session.Event{}, boom
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, e, run.ID)
+	if got.State != StateFailed || got.Error != "stage exploded" {
+		t.Fatalf("state = %s / %q, want failed / stage exploded", got.State, got.Error)
+	}
+	if got.Event != nil {
+		t.Fatalf("failed run carries event: %+v", got.Event)
+	}
+}
+
+func TestQueueDepthBound(t *testing.T) {
+	e := New(WithWorkers(1), WithQueueDepth(2))
+	defer e.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := e.Submit("s1", "b", gated(started, release)); err != nil {
+		t.Fatal(err)
+	}
+	<-started // the first run occupies the worker, not the queue
+	for i := 0; i < 2; i++ {
+		if _, err := e.Submit("s1", "b", gated(nil, release)); err != nil {
+			t.Fatalf("fill queue slot %d: %v", i, err)
+		}
+	}
+	if _, err := e.Submit("s1", "b", gated(nil, release)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-cap submit err = %v, want ErrQueueFull", err)
+	}
+}
+
+func TestCancelQueuedRun(t *testing.T) {
+	e := New(WithWorkers(1))
+	defer e.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if _, err := e.Submit("s1", "b", gated(started, release)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	var ran atomic.Bool
+	queued, err := e.Submit("s1", "b", func(ctx context.Context) (session.Event, error) {
+		ran.Store(true)
+		return session.Event{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := e.Cancel(queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCancelled {
+		t.Fatalf("cancelled queued run state = %s, want cancelled", got.State)
+	}
+	close(release)
+	waitTerminal(t, e, queued.ID)
+	// Give the worker a moment: the cancelled run must never execute.
+	time.Sleep(20 * time.Millisecond)
+	if ran.Load() {
+		t.Fatal("cancelled queued run was executed")
+	}
+}
+
+func TestCancelRunningMidStage(t *testing.T) {
+	e := New(WithWorkers(1))
+	defer e.Close()
+	started := make(chan struct{})
+	release := make(chan struct{}) // never closed: only cancellation ends the run
+	run, err := e.Submit("s1", "b", gated(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	got, err := e.Cancel(run.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.CancelRequested {
+		t.Fatalf("cancel_requested not set: %+v", got)
+	}
+	final := waitTerminal(t, e, run.ID)
+	if final.State != StateCancelled {
+		t.Fatalf("state = %s, want cancelled", final.State)
+	}
+	// Cancelling a terminal run is an idempotent no-op.
+	again, err := e.Cancel(run.ID)
+	if err != nil || again.State != StateCancelled {
+		t.Fatalf("re-cancel: %v / %s", err, again.State)
+	}
+}
+
+// TestPerSessionFIFO checks the core ordering guarantee: runs of one
+// session execute strictly in submission order and never overlap, even with
+// a pool of idle workers.
+func TestPerSessionFIFO(t *testing.T) {
+	e := New(WithWorkers(8))
+	defer e.Close()
+	const n = 30
+	var mu sync.Mutex
+	var order []int
+	var inFlight atomic.Int32
+	ids := make([]string, n)
+	for i := 0; i < n; i++ {
+		i := i
+		run, err := e.Submit("s1", "b", func(ctx context.Context) (session.Event, error) {
+			if c := inFlight.Add(1); c != 1 {
+				t.Errorf("runs of one session interleaved (%d in flight)", c)
+			}
+			time.Sleep(time.Millisecond)
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			inFlight.Add(-1)
+			return session.Event{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = run.ID
+	}
+	waitTerminal(t, e, ids[n-1])
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != n {
+		t.Fatalf("executed %d runs, want %d", len(order), n)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("execution order %v != submission order", order)
+		}
+	}
+}
+
+// TestSessionsRunInParallel proves independent sessions spread across the
+// pool: two gated runs in different sessions must be in flight at once.
+func TestSessionsRunInParallel(t *testing.T) {
+	e := New(WithWorkers(2))
+	defer e.Close()
+	release := make(chan struct{})
+	defer close(release)
+	started := make(chan string, 2)
+	for _, sid := range []string{"a", "b"} {
+		sid := sid
+		if _, err := e.Submit(sid, "b", func(ctx context.Context) (session.Event, error) {
+			started <- sid
+			select {
+			case <-ctx.Done():
+				return session.Event{}, ctx.Err()
+			case <-release:
+				return session.Event{}, nil
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.After(5 * time.Second)
+	seen := map[string]bool{}
+	for len(seen) < 2 {
+		select {
+		case sid := <-started:
+			seen[sid] = true
+		case <-deadline:
+			t.Fatalf("sessions did not run in parallel; started: %v", seen)
+		}
+	}
+}
+
+func TestListAndRetentionRing(t *testing.T) {
+	e := New(WithWorkers(1), WithRetention(2))
+	defer e.Close()
+	ids := make([]string, 4)
+	for i := range ids {
+		run, err := e.Submit("s1", fmt.Sprintf("stage-%d", i), func(ctx context.Context) (session.Event, error) {
+			return session.Event{}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = run.ID
+		waitTerminal(t, e, run.ID)
+	}
+	if _, err := e.Get(ids[0]); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("oldest run should be evicted, got err = %v", err)
+	}
+	list := e.List("s1")
+	if len(list) != 2 {
+		t.Fatalf("retained %d runs, want 2", len(list))
+	}
+	if list[0].ID != ids[2] || list[1].ID != ids[3] {
+		t.Fatalf("retained wrong runs: %v", []string{list[0].ID, list[1].ID})
+	}
+	if got := e.List("other"); len(got) != 0 {
+		t.Fatalf("List(other) = %d runs, want 0", len(got))
+	}
+}
+
+func TestCancelSession(t *testing.T) {
+	e := New(WithWorkers(1))
+	defer e.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	running, err := e.Submit("s1", "b", gated(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := e.Submit("s1", "b", gated(nil, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := e.Submit("s2", "b", func(ctx context.Context) (session.Event, error) {
+		return session.Event{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := e.CancelSession("s1"); n != 2 {
+		t.Fatalf("CancelSession touched %d runs, want 2", n)
+	}
+	if got := waitTerminal(t, e, running.ID); got.State != StateCancelled {
+		t.Fatalf("running run state = %s, want cancelled", got.State)
+	}
+	if got := waitTerminal(t, e, queued.ID); got.State != StateCancelled {
+		t.Fatalf("queued run state = %s, want cancelled", got.State)
+	}
+	if got := waitTerminal(t, e, other.ID); got.State != StateSucceeded {
+		t.Fatalf("unrelated session's run state = %s, want succeeded", got.State)
+	}
+}
+
+func TestCloseCancelsAndRejects(t *testing.T) {
+	e := New(WithWorkers(1))
+	started := make(chan struct{})
+	release := make(chan struct{}) // never closed
+	running, err := e.Submit("s1", "b", gated(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := e.Submit("s1", "b", gated(nil, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	for _, id := range []string{running.ID, queued.ID} {
+		run, err := e.Get(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if run.State != StateCancelled {
+			t.Fatalf("run %s state = %s after Close, want cancelled", id, run.State)
+		}
+	}
+	if _, err := e.Submit("s1", "b", gated(nil, release)); !errors.Is(err, ErrEngineClosed) {
+		t.Fatalf("submit after close err = %v, want ErrEngineClosed", err)
+	}
+}
+
+func TestStats(t *testing.T) {
+	e := New(WithWorkers(3))
+	defer e.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if _, err := e.Submit("s1", "b", gated(started, release)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := e.Submit("s1", "b", gated(nil, release)); err != nil {
+		t.Fatal(err)
+	}
+	st := e.Stats()
+	if st.Workers != 3 || st.Running != 1 || st.Queued != 1 {
+		t.Fatalf("stats = %+v, want 3 workers / 1 running / 1 queued", st)
+	}
+	close(release)
+}
+
+// TestPanicContainment: a panicking stage must become a failed run, not
+// unwind the worker goroutine and kill the process; the engine keeps
+// serving afterwards.
+func TestPanicContainment(t *testing.T) {
+	e := New(WithWorkers(1))
+	defer e.Close()
+	run, err := e.Submit("s1", "b", func(ctx context.Context) (session.Event, error) {
+		panic("stage blew up")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, e, run.ID)
+	if got.State != StateFailed || !strings.Contains(got.Error, "stage blew up") {
+		t.Fatalf("panicking run = %s / %q, want failed with panic message", got.State, got.Error)
+	}
+	after, err := e.Submit("s1", "b", func(ctx context.Context) (session.Event, error) {
+		return session.Event{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitTerminal(t, e, after.ID); got.State != StateSucceeded {
+		t.Fatalf("engine dead after panic: %s", got.State)
+	}
+}
+
+// TestClosedSessionRunIsCancelled: a run that loses the race with session
+// teardown (stage returns session.ErrClosed) reports cancelled, not failed
+// — the client asked for the teardown.
+func TestClosedSessionRunIsCancelled(t *testing.T) {
+	e := New(WithWorkers(1))
+	defer e.Close()
+	run, err := e.Submit("s1", "b", func(ctx context.Context) (session.Event, error) {
+		return session.Event{}, session.ErrClosed
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := waitTerminal(t, e, run.ID)
+	if got.State != StateCancelled {
+		t.Fatalf("closed-session run = %s (%s), want cancelled", got.State, got.Error)
+	}
+}

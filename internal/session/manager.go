@@ -18,7 +18,7 @@ import (
 // proceed fully in parallel.
 type Manager struct {
 	maxSessions int
-	onEvict     func(*Session)
+	evictHooks  []func(*Session)
 
 	mu       sync.RWMutex
 	sessions map[string]*Session
@@ -36,9 +36,10 @@ func WithMaxSessions(n int) ManagerOption {
 }
 
 // WithEvictHook installs a callback invoked (outside the manager lock) for
-// every session removed by Close or EvictIdle.
+// every session removed by Close or EvictIdle. Hooks compose: repeating the
+// option adds another callback, run in installation order.
 func WithEvictHook(hook func(*Session)) ManagerOption {
-	return func(m *Manager) { m.onEvict = hook }
+	return func(m *Manager) { m.evictHooks = append(m.evictHooks, hook) }
 }
 
 // NewManager builds an empty session manager.
@@ -122,8 +123,8 @@ func (m *Manager) Close(id string) error {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	s.Close()
-	if m.onEvict != nil {
-		m.onEvict(s)
+	for _, hook := range m.evictHooks {
+		hook(s)
 	}
 	return nil
 }
@@ -153,8 +154,8 @@ func (m *Manager) EvictIdle(maxIdle time.Duration) []string {
 	for i, s := range evicted {
 		ids[i] = s.ID()
 		s.Close()
-		if m.onEvict != nil {
-			m.onEvict(s)
+		for _, hook := range m.evictHooks {
+			hook(s)
 		}
 	}
 	sort.Strings(ids)

@@ -78,6 +78,13 @@ type Session struct {
 	events     []Event
 	lastActive time.Time
 	closed     bool
+	subs       map[int]chan Event
+	nextSub    int
+
+	// resultCache memoises the clean result projection at resultVersion so
+	// paginated reads stop re-projecting an unchanged relation.
+	resultCache   *relation.Relation
+	resultVersion uint64
 }
 
 // Option configures a Session at creation.
@@ -149,11 +156,53 @@ func (s *Session) Closed() bool {
 }
 
 // Close marks the session closed; subsequent stage methods fail with
-// ErrClosed. Closing is idempotent.
+// ErrClosed, and every event subscription channel is closed so streaming
+// consumers terminate. Closing is idempotent.
 func (s *Session) Close() {
 	s.mu.Lock()
-	s.closed = true
+	if !s.closed {
+		s.closed = true
+		for id, ch := range s.subs {
+			delete(s.subs, id)
+			close(ch)
+		}
+	}
 	s.mu.Unlock()
+}
+
+// Subscribe registers a live event consumer. It returns the event history
+// so far and a channel carrying every subsequent stage event — taken under
+// one lock, so no event is lost or duplicated between the two. The channel
+// is closed when the session closes; cancel unsubscribes (idempotent, safe
+// after close). Slow consumers whose buffer (buf, default 16) is full miss
+// events rather than block wrangling.
+func (s *Session) Subscribe(buf int) (history []Event, events <-chan Event, cancel func()) {
+	if buf <= 0 {
+		buf = 16
+	}
+	ch := make(chan Event, buf)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	history = append([]Event(nil), s.events...)
+	if s.closed {
+		close(ch)
+		return history, ch, func() {}
+	}
+	if s.subs == nil {
+		s.subs = map[int]chan Event{}
+	}
+	id := s.nextSub
+	s.nextSub++
+	s.subs[id] = ch
+	cancel = func() {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		if c, ok := s.subs[id]; ok {
+			delete(s.subs, id)
+			close(c)
+		}
+	}
+	return history, ch, cancel
 }
 
 // Step runs one pay-as-you-go stage: apply the context-adding action, drive
@@ -193,6 +242,12 @@ func (s *Session) Step(ctx context.Context, stage string, action func(w *core.Wr
 	ev.Seq = len(s.events) + 1
 	s.events = append(s.events, ev)
 	s.lastActive = ev.At
+	for _, ch := range s.subs {
+		select {
+		case ch <- ev:
+		default: // slow consumer: drop rather than stall wrangling
+		}
+	}
 	s.mu.Unlock()
 	return ev, nil
 }
@@ -252,16 +307,45 @@ func (s *Session) SetUserContext(ctx context.Context, m *mcda.Model) (Event, err
 }
 
 // Result returns the clean wrangling result (no provenance column), or
-// ErrNoResult before the first bootstrap.
+// ErrNoResult before the first bootstrap. The projection is cached keyed on
+// the knowledge-base version, so repeated reads of an unchanged session
+// (paginated result pages in particular) skip re-projecting the relation.
+// Each call gets its own Relation and tuple slice — truncating or sorting
+// the result is safe — but the tuples themselves are shared with other
+// callers and must not be written in place.
 func (s *Session) Result() (*relation.Relation, error) {
 	if err := s.touch(); err != nil {
 		return nil, err
 	}
+	ver := s.w.KB.Version()
+	s.mu.Lock()
+	if s.resultCache != nil && s.resultVersion == ver {
+		res := s.resultCache
+		s.mu.Unlock()
+		return resultView(res), nil
+	}
+	s.mu.Unlock()
 	res := s.w.ResultClean()
 	if res == nil {
 		return nil, core.ErrNoResult
 	}
-	return res, nil
+	// Re-read the version: a stage may have advanced the KB while we were
+	// projecting, in which case the projection is not cacheable.
+	if after := s.w.KB.Version(); after == ver {
+		s.mu.Lock()
+		s.resultCache, s.resultVersion = res, ver
+		s.mu.Unlock()
+	}
+	return resultView(res), nil
+}
+
+// resultView makes a caller-private view of a cached result: a fresh
+// Relation and Tuples slice over the shared tuples, so row-level mutations
+// by one caller (truncation, in-place sorts) cannot corrupt the cache.
+func resultView(res *relation.Relation) *relation.Relation {
+	out := *res
+	out.Tuples = append([]relation.Tuple(nil), res.Tuples...)
+	return &out
 }
 
 // Trace returns the orchestration steps taken so far.

@@ -238,3 +238,127 @@ func TestConcurrentSessions(t *testing.T) {
 		}
 	}
 }
+
+// TestSubscribe checks the event stream contract: history and live channel
+// are taken atomically, live events arrive in order, cancel is idempotent
+// and Close terminates every subscriber.
+func TestSubscribe(t *testing.T) {
+	ctx := context.Background()
+	sc := testScenario(t, 40, 1)
+	sess := New("sub", core.BuildScenarioWrangler(sc), WithScenario(sc, 1))
+
+	history, events, cancel := sess.Subscribe(4)
+	if len(history) != 0 {
+		t.Fatalf("history before any stage = %d events", len(history))
+	}
+	if _, err := sess.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case ev := <-events:
+		if ev.Stage != StageBootstrap || ev.Seq != 1 {
+			t.Fatalf("live event = %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no live event delivered")
+	}
+
+	// A second subscriber sees the bootstrap in its replayed history.
+	h2, ev2, cancel2 := sess.Subscribe(4)
+	if len(h2) != 1 || h2[0].Stage != StageBootstrap {
+		t.Fatalf("history after bootstrap = %+v", h2)
+	}
+	cancel2()
+	cancel2() // idempotent
+	if _, ok := <-ev2; ok {
+		t.Fatal("cancelled subscription channel not closed")
+	}
+
+	// Close terminates the remaining subscriber.
+	sess.Close()
+	for {
+		if _, ok := <-events; !ok {
+			break
+		}
+	}
+	cancel() // safe after close
+
+	// Subscribing to a closed session yields history and a closed channel.
+	h3, ev3, cancel3 := sess.Subscribe(1)
+	if len(h3) != 1 {
+		t.Fatalf("post-close history = %d events", len(h3))
+	}
+	if _, ok := <-ev3; ok {
+		t.Fatal("post-close subscription channel not closed")
+	}
+	cancel3()
+}
+
+// TestResultCache checks that Result memoises the clean projection per KB
+// version: unchanged sessions return the identical relation, and any stage
+// that advances the KB invalidates the cache.
+func TestResultCache(t *testing.T) {
+	ctx := context.Background()
+	sc := testScenario(t, 40, 1)
+	sess := New("cache", core.BuildScenarioWrangler(sc), WithScenario(sc, 1))
+	if _, err := sess.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := sess.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := sess.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A cache hit shares the underlying tuples (no re-projection)…
+	if &r1.Tuples[0][0] != &r2.Tuples[0][0] {
+		t.Fatal("repeated Result on an unchanged session re-projected the relation")
+	}
+	// …but each caller gets a private view: truncating one must not
+	// shorten what later callers see.
+	r1.Tuples = r1.Tuples[:1]
+	r2b, err := sess.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r2b.Tuples) != len(r2.Tuples) {
+		t.Fatalf("caller truncation leaked into the cache: %d vs %d rows", len(r2b.Tuples), len(r2.Tuples))
+	}
+	if _, err := sess.AddDataContext(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	r3, err := sess.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r3.Tuples) > 0 && len(r2.Tuples) > 0 && &r3.Tuples[0][0] == &r2.Tuples[0][0] {
+		t.Fatal("Result cache not invalidated by a KB-advancing stage")
+	}
+}
+
+// TestEvictHooksCompose checks that repeated WithEvictHook options all fire
+// (in installation order) instead of last-wins overriding.
+func TestEvictHooksCompose(t *testing.T) {
+	var mu sync.Mutex
+	var calls []string
+	mgr := NewManager(
+		WithEvictHook(func(s *Session) { mu.Lock(); calls = append(calls, "a:"+s.ID()); mu.Unlock() }),
+		WithEvictHook(func(s *Session) { mu.Lock(); calls = append(calls, "b:"+s.ID()); mu.Unlock() }),
+	)
+	sc := testScenario(t, 30, 1)
+	sess, err := mgr.Create(core.BuildScenarioWrangler(sc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Close(sess.ID()); err != nil {
+		t.Fatal(err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"a:" + sess.ID(), "b:" + sess.ID()}
+	if len(calls) != 2 || calls[0] != want[0] || calls[1] != want[1] {
+		t.Fatalf("evict hook calls = %v, want %v", calls, want)
+	}
+}

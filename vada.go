@@ -40,8 +40,18 @@
 //	sess, err := mgr.Create(vada.BuildScenarioWrangler(sc), vada.WithScenario(sc, seed))
 //	ev, err := sess.Bootstrap(ctx)
 //
+// Long-running stages can execute asynchronously on a RunEngine, which
+// turns each invocation into a pollable, cancellable Run resource with
+// per-session FIFO ordering, while Session.Subscribe streams the typed
+// stage events to live consumers:
+//
+//	engine := vada.NewRunEngine(vada.WithRunWorkers(8))
+//	run, err := engine.Submit(sess.ID(), "bootstrap", sess.Bootstrap)
+//	_, events, cancel := sess.Subscribe(16)
+//
 // cmd/vada-server exposes this lifecycle as the versioned REST API under
-// /api/v1/sessions.
+// /api/v1/sessions, including ?async=1 run resources and SSE event
+// streaming under /api/v1/sessions/{id}/events.
 //
 // The exported identifiers are aliases of the internal implementation
 // packages, so the full functionality is reachable through this single
@@ -61,6 +71,7 @@ import (
 	"vada/internal/mcda"
 	"vada/internal/quality"
 	"vada/internal/relation"
+	"vada/internal/runs"
 	"vada/internal/session"
 	"vada/internal/transducer"
 	"vada/internal/vadalog"
@@ -110,6 +121,9 @@ var (
 	ErrSessionNotFound    = session.ErrNotFound
 	ErrSessionClosed      = session.ErrClosed
 	ErrSessionLimit       = session.ErrLimit
+	ErrRunNotFound        = runs.ErrNotFound
+	ErrRunQueueFull       = runs.ErrQueueFull
+	ErrRunEngineClosed    = runs.ErrEngineClosed
 )
 
 // ---- sessions -------------------------------------------------------------
@@ -139,6 +153,38 @@ var (
 // UserContextByName resolves the demonstration user contexts ("crime",
 // "size") by name.
 var UserContextByName = core.UserContextByName
+
+// ---- async runs ------------------------------------------------------------
+
+// RunEngine executes wrangling stages asynchronously on a worker pool; each
+// invocation is a Run resource with a RunState lifecycle (queued → running →
+// succeeded | failed | cancelled). Runs of one session execute FIFO; runs of
+// independent sessions proceed in parallel.
+type (
+	RunEngine       = runs.Engine
+	Run             = runs.Run
+	RunState        = runs.State
+	RunFunc         = runs.Func
+	RunStats        = runs.Stats
+	RunEngineOption = runs.Option
+)
+
+// Run lifecycle states.
+const (
+	RunQueued    = runs.StateQueued
+	RunRunning   = runs.StateRunning
+	RunSucceeded = runs.StateSucceeded
+	RunFailed    = runs.StateFailed
+	RunCancelled = runs.StateCancelled
+)
+
+// Run-engine construction and configuration.
+var (
+	NewRunEngine      = runs.New
+	WithRunWorkers    = runs.WithWorkers
+	WithRunQueueDepth = runs.WithQueueDepth
+	WithRunRetention  = runs.WithRetention
+)
 
 // ---- relational model -----------------------------------------------------
 
