@@ -7,40 +7,58 @@
 //
 // Endpoints:
 //
-//	GET    /                                   the single-page UI
-//	GET    /api/v1/healthz                     server health: sessions, run-engine load
-//	POST   /api/v1/sessions                    create a session {"name","n","seed"}
-//	GET    /api/v1/sessions                    list session states
-//	GET    /api/v1/sessions/{id}               session state
-//	DELETE /api/v1/sessions/{id}               close the session (cancels its runs)
-//	POST   /api/v1/sessions/{id}/bootstrap     step 1: automatic bootstrapping
-//	POST   /api/v1/sessions/{id}/datacontext   step 2: associate reference data
-//	POST   /api/v1/sessions/{id}/feedback      step 3: oracle feedback (?budget=N) or JSON items
-//	POST   /api/v1/sessions/{id}/usercontext   step 4: ?model=crime|size
-//	GET    /api/v1/sessions/{id}/result        result rows (?limit=&offset=, paginated)
-//	GET    /api/v1/sessions/{id}/trace         orchestration trace (text)
-//	GET    /api/v1/sessions/{id}/state         session state (alias)
-//	GET    /api/v1/sessions/{id}/runs          list the session's async runs
-//	GET    /api/v1/sessions/{id}/runs/{rid}    poll one run
-//	DELETE /api/v1/sessions/{id}/runs/{rid}    cancel a queued or in-flight run
-//	GET    /api/v1/sessions/{id}/events        stage events over SSE (replays history)
+//	GET    /                                     the single-page UI
+//	GET    /api/v1/healthz                       server health: sessions, run-engine load
+//	GET    /api/v1/stages                        stage discovery: every registered stage
+//	POST   /api/v1/sessions                      create a session {"name","n","seed"}
+//	GET    /api/v1/sessions                      list session states
+//	GET    /api/v1/sessions/{id}                 session state
+//	DELETE /api/v1/sessions/{id}                 close the session (cancels its runs)
+//	POST   /api/v1/sessions/{id}/stages/{name}   invoke any registered stage (body = JSON payload)
+//	POST   /api/v1/sessions/{id}/plans           run an ordered stage plan as one run (always async)
+//	POST   /api/v1/sessions/{id}/bootstrap       legacy alias of stages/bootstrap
+//	POST   /api/v1/sessions/{id}/datacontext     legacy alias of stages/data-context
+//	POST   /api/v1/sessions/{id}/feedback        legacy alias of stages/feedback (?budget=N or JSON items)
+//	POST   /api/v1/sessions/{id}/usercontext     legacy alias of stages/user-context (?model=crime|size)
+//	GET    /api/v1/sessions/{id}/result          result rows (?limit=&offset=, paginated)
+//	GET    /api/v1/sessions/{id}/trace           orchestration trace (text)
+//	GET    /api/v1/sessions/{id}/state           session state (alias)
+//	GET    /api/v1/sessions/{id}/runs            list the session's async runs
+//	GET    /api/v1/sessions/{id}/runs/{rid}      poll one run
+//	DELETE /api/v1/sessions/{id}/runs/{rid}      cancel a queued or in-flight run
+//	GET    /api/v1/sessions/{id}/events          stage events + run transitions over SSE
+//
+// Stages are registry-driven: the four paper stages are pre-registered and
+// any stage added to the server's registry is immediately invocable through
+// the generic stages/{name} route, listable via stage discovery, and usable
+// in plans — no per-stage handler exists any more; the legacy per-stage
+// routes are thin aliases that translate their old wire formats onto the
+// same path.
 //
 // Every stage POST accepts ?async=1: instead of blocking until the stage
 // quiesces, the server enqueues it on the run engine and answers
 // 202 Accepted with a Location header naming the run resource to poll.
+// Plans are always asynchronous: the run resource carries per-stage
+// progress (plan, stage_index, events) and the session's SSE stream
+// carries every state transition (queued → running → stage k/n →
+// terminal) as `transition` events alongside the `stage` events.
 // Runs of one session execute in submission order; runs of independent
-// sessions spread across the worker pool.
+// sessions spread across the worker pool, and a per-session pending cap
+// (-run-session-queue) answers 429 with Retry-After before one session can
+// monopolise the global queue.
 //
 // Sessions are independent: each wraps its own Wrangler and scenario, holds
 // its own lock, and wrangles fully in parallel with every other session.
 package main
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"mime"
 	"net/http"
@@ -53,15 +71,25 @@ import (
 // maxResultPageSize bounds one result page; larger limits are clamped.
 const maxResultPageSize = 1000
 
-// server holds the session manager, the async run engine and the
-// per-session scenario defaults.
+// maxPayloadBytes bounds one stage payload or plan body.
+const maxPayloadBytes = 8 << 20
+
+// server holds the stage registry, the session manager, the async run
+// engine and the per-session scenario defaults.
 type server struct {
+	registry    *vada.StageRegistry
 	mgr         *vada.SessionManager
 	runs        *vada.RunEngine
 	defaultN    int
 	defaultSeed int64
 	maxN        int
 	started     time.Time
+
+	// sseKeepAlive is the idle interval between SSE keep-alive comments;
+	// sseWriteTimeout is the per-write deadline that reaps dead client
+	// connections behind proxies that never RST.
+	sseKeepAlive    time.Duration
+	sseWriteTimeout time.Duration
 }
 
 func main() {
@@ -73,18 +101,26 @@ func main() {
 	idleTimeout := flag.Duration("idle-timeout", 30*time.Minute, "evict sessions idle this long (0 = never)")
 	runWorkers := flag.Int("run-workers", 8, "async run engine worker-pool size")
 	runQueue := flag.Int("run-queue", 256, "async run queue depth (0 = unlimited)")
+	runSessionQueue := flag.Int("run-session-queue", 16, "pending async runs one session may hold (0 = unlimited)")
+	sseKeepAlive := flag.Duration("sse-keepalive", 15*time.Second, "SSE keep-alive comment interval (0 = disabled)")
+	sseWriteTimeout := flag.Duration("sse-write-timeout", 10*time.Second, "SSE per-write deadline (0 = none)")
 	flag.Parse()
 
 	s := &server{
-		runs: vada.NewRunEngine(
-			vada.WithRunWorkers(*runWorkers),
-			vada.WithRunQueueDepth(*runQueue),
-		),
-		defaultN:    *n,
-		defaultSeed: *seed,
-		maxN:        *maxN,
-		started:     time.Now(),
+		registry:        vada.DefaultStageRegistry(),
+		defaultN:        *n,
+		defaultSeed:     *seed,
+		maxN:            *maxN,
+		started:         time.Now(),
+		sseKeepAlive:    *sseKeepAlive,
+		sseWriteTimeout: *sseWriteTimeout,
 	}
+	s.runs = vada.NewRunEngine(
+		vada.WithRunWorkers(*runWorkers),
+		vada.WithRunQueueDepth(*runQueue),
+		vada.WithRunSessionQueue(*runSessionQueue),
+		vada.WithRunNotify(s.publishTransition),
+	)
 	s.mgr = vada.NewSessionManager(
 		vada.WithMaxSessions(*maxSessions),
 		vada.WithEvictHook(func(sess *vada.Session) {
@@ -109,16 +145,22 @@ func main() {
 	log.Fatal(http.ListenAndServe(*addr, s.routes()))
 }
 
-// routes wires the versioned API.
+// routes wires the versioned API. The UI is registered as "GET /{$}" (the
+// root path only), so requests for a known path with the wrong verb fall
+// through to ServeMux's 405 + Allow handling instead of the catch-all —
+// every /api/v1 route answers a correct 405 for unmatched methods.
 func (s *server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /", s.handleIndex)
+	mux.HandleFunc("GET /{$}", s.handleIndex)
 	mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /api/v1/stages", s.handleStages)
 	mux.HandleFunc("POST /api/v1/sessions", s.handleCreate)
 	mux.HandleFunc("GET /api/v1/sessions", s.handleList)
 	mux.HandleFunc("GET /api/v1/sessions/{id}", s.handleState)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/state", s.handleState)
 	mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.handleClose)
+	mux.HandleFunc("POST /api/v1/sessions/{id}/stages/{name}", s.handleStage)
+	mux.HandleFunc("POST /api/v1/sessions/{id}/plans", s.handlePlan)
 	mux.HandleFunc("POST /api/v1/sessions/{id}/bootstrap", s.handleBootstrap)
 	mux.HandleFunc("POST /api/v1/sessions/{id}/datacontext", s.handleDataContext)
 	mux.HandleFunc("POST /api/v1/sessions/{id}/feedback", s.handleFeedback)
@@ -130,6 +172,16 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("DELETE /api/v1/sessions/{id}/runs/{rid}", s.handleRunCancel)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/events", s.handleEvents)
 	return mux
+}
+
+// publishTransition is the run engine's notify hook: every run state
+// change is pushed to the owning session's subscribers so SSE clients see
+// queued → running → stage k/n → terminal live. Sessions already gone
+// (evicted mid-run) simply drop the signal.
+func (s *server) publishTransition(run vada.Run) {
+	if sess, err := s.mgr.Get(run.SessionID); err == nil {
+		sess.PublishTransition(run.Transition())
+	}
 }
 
 // createRequest is the POST /api/v1/sessions body; zero values take the
@@ -167,7 +219,8 @@ func (s *server) handleCreate(rw http.ResponseWriter, r *http.Request) {
 	cfg.Seed = req.Seed
 	sc := vada.GenerateScenario(cfg)
 	sess, err := s.mgr.Create(vada.BuildScenarioWrangler(sc),
-		vada.WithSessionName(req.Name), vada.WithScenario(sc, req.Seed))
+		vada.WithSessionName(req.Name), vada.WithScenario(sc, req.Seed),
+		vada.WithStageRegistry(s.registry))
 	if err != nil {
 		writeError(rw, err)
 		return
@@ -212,82 +265,148 @@ func asyncRequested(r *http.Request) bool {
 	return false
 }
 
-// dispatchStage executes one stage invocation either synchronously (the
-// pre-async behaviour: block until quiescence, answer the stage event) or,
-// with ?async=1, as a run resource: enqueue on the engine and answer
+// handleStages serves stage discovery: every stage registered on the
+// server, in registration order.
+func (s *server) handleStages(rw http.ResponseWriter, _ *http.Request) {
+	info := s.registry.Info()
+	writeJSON(rw, map[string]any{"total": len(info), "stages": info})
+}
+
+// handleStage is the uniform stage route: any registered stage is invoked
+// as POST .../stages/{name} with the stage's JSON payload as the body.
+// Adding a stage to the registry extends the HTTP surface with no new
+// handler.
+func (s *server) handleStage(rw http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	payload, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, maxPayloadBytes))
+	if err != nil {
+		writeBodyError(rw, err)
+		return
+	}
+	s.dispatchStage(rw, r, sess, vada.StageRequest{Stage: r.PathValue("name"), Payload: payload})
+}
+
+// dispatchStage resolves and applies one stage request, either
+// synchronously (block until quiescence, answer the stage event) or, with
+// ?async=1, as a run resource: enqueue on the engine and answer
 // 202 Accepted with the run snapshot and its Location to poll. The stage
-// closure must capture everything it needs from the request — it outlives
-// the request in the async path.
-func (s *server) dispatchStage(rw http.ResponseWriter, r *http.Request, sess *vada.Session, stage string,
-	fn func(ctx context.Context) (vada.SessionEvent, error)) {
+// and payload are resolved against the registry before anything runs, so
+// unknown stages and undecodable payloads are a 400 on both paths.
+func (s *server) dispatchStage(rw http.ResponseWriter, r *http.Request, sess *vada.Session, req vada.StageRequest) {
+	st, payload, err := s.registry.Resolve(req)
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	fn := func(ctx context.Context) (vada.SessionEvent, error) {
+		return st.Apply(ctx, sess, payload)
+	}
 	if !asyncRequested(r) {
 		ev, err := fn(r.Context())
 		writeEvent(rw, ev, err)
 		return
 	}
-	run, err := s.runs.Submit(sess.ID(), stage, fn)
+	run, err := s.runs.Submit(sess.ID(), st.Name, fn)
 	if err != nil {
 		writeError(rw, err)
 		return
 	}
-	rw.Header().Set("Location", fmt.Sprintf("/api/v1/sessions/%s/runs/%s", sess.ID(), run.ID))
+	s.writeRunAccepted(rw, sess.ID(), run)
+}
+
+// writeRunAccepted answers 202 with the run snapshot and its poll URL.
+func (s *server) writeRunAccepted(rw http.ResponseWriter, sessionID string, run vada.Run) {
+	rw.Header().Set("Location", fmt.Sprintf("/api/v1/sessions/%s/runs/%s", sessionID, run.ID))
 	writeJSONStatus(rw, http.StatusAccepted, run)
 }
 
-func (s *server) handleBootstrap(rw http.ResponseWriter, r *http.Request) {
+// handlePlan submits a declarative multi-stage plan as one cancellable run.
+// Plans are always asynchronous: the response is 202 with the run resource,
+// whose per-stage progress streams over the session's SSE channel as
+// transition events. Every stage is resolved and decoded before submission,
+// so a malformed plan is rejected whole — no partial execution.
+func (s *server) handlePlan(rw http.ResponseWriter, r *http.Request) {
 	sess, err := s.mgr.Get(r.PathValue("id"))
 	if err != nil {
 		writeError(rw, err)
 		return
 	}
-	s.dispatchStage(rw, r, sess, "bootstrap", sess.Bootstrap)
+	var plan vada.Plan
+	dec := json.NewDecoder(http.MaxBytesReader(rw, r.Body, maxPayloadBytes))
+	// Strict, like the stage payload codecs: a misspelled "payload" key
+	// must be a 400, not a silently-defaulted stage run.
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&plan); err != nil {
+		writeBodyError(rw, err)
+		return
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		http.Error(rw, "trailing data after plan JSON", http.StatusBadRequest)
+		return
+	}
+	run, err := s.runs.SubmitSessionPlan(sess, plan)
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	s.writeRunAccepted(rw, sess.ID(), run)
+}
+
+// The legacy per-stage routes are thin aliases: each translates its old
+// wire format (query parameters, bare JSON bodies) into a StageRequest and
+// funnels through the same registry dispatch as stages/{name}.
+
+func (s *server) stageAlias(rw http.ResponseWriter, r *http.Request, req vada.StageRequest) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	s.dispatchStage(rw, r, sess, req)
+}
+
+func (s *server) handleBootstrap(rw http.ResponseWriter, r *http.Request) {
+	s.stageAlias(rw, r, vada.StageRequest{Stage: vada.StageBootstrap})
 }
 
 func (s *server) handleDataContext(rw http.ResponseWriter, r *http.Request) {
-	sess, err := s.mgr.Get(r.PathValue("id"))
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	// nil relation: the session defaults to its scenario's reference data.
-	s.dispatchStage(rw, r, sess, "data-context", func(ctx context.Context) (vada.SessionEvent, error) {
-		return sess.AddDataContext(ctx, nil)
-	})
+	// Empty payload: the session defaults to its scenario's reference data.
+	s.stageAlias(rw, r, vada.StageRequest{Stage: vada.StageDataContext})
 }
 
 func (s *server) handleFeedback(rw http.ResponseWriter, r *http.Request) {
-	sess, err := s.mgr.Get(r.PathValue("id"))
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	budget := intQuery(r, "budget", 100)
-	var items []vada.FeedbackItem
+	payload := map[string]any{"budget": intQuery(r, "budget", 100)}
 	if mt, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type")); mt == "application/json" {
-		if err := json.NewDecoder(r.Body).Decode(&items); err != nil {
+		body, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, maxPayloadBytes))
+		if err != nil {
+			writeBodyError(rw, err)
+			return
+		}
+		// The legacy route decoded item bodies leniently (unknown fields
+		// ignored); keep those semantics on the alias by normalising here
+		// and handing the strict stage codec only canonical fields.
+		var items []vada.FeedbackItem
+		if err := json.NewDecoder(bytes.NewReader(body)).Decode(&items); err != nil {
 			http.Error(rw, "bad feedback JSON: "+err.Error(), http.StatusBadRequest)
 			return
 		}
+		payload["items"] = items
 	}
-	s.dispatchStage(rw, r, sess, "feedback", func(ctx context.Context) (vada.SessionEvent, error) {
-		return sess.AddFeedback(ctx, items, budget)
-	})
+	raw, err := json.Marshal(payload)
+	if err != nil {
+		http.Error(rw, "bad feedback JSON: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.stageAlias(rw, r, vada.StageRequest{Stage: vada.StageFeedback, Payload: raw})
 }
 
 func (s *server) handleUserContext(rw http.ResponseWriter, r *http.Request) {
-	sess, err := s.mgr.Get(r.PathValue("id"))
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	uc, err := vada.UserContextByName(r.URL.Query().Get("model"))
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	s.dispatchStage(rw, r, sess, "user-context", func(ctx context.Context) (vada.SessionEvent, error) {
-		return sess.SetUserContext(ctx, uc)
-	})
+	raw, _ := json.Marshal(map[string]string{"model": r.URL.Query().Get("model")})
+	s.stageAlias(rw, r, vada.StageRequest{Stage: vada.StageUserContext, Payload: raw})
 }
 
 func (s *server) handleRunList(rw http.ResponseWriter, r *http.Request) {
@@ -342,9 +461,66 @@ func (s *server) handleRunCancel(rw http.ResponseWriter, r *http.Request) {
 	writeJSONStatus(rw, http.StatusAccepted, run)
 }
 
-// handleEvents streams the session's stage events as server-sent events:
-// history is replayed on connect (resumable via Last-Event-ID or ?after=seq),
-// then live events flow until the client disconnects or the session closes.
+// sseWriter couples a response writer with its flusher and per-write
+// deadline so every SSE write detects dead client connections instead of
+// blocking a goroutine forever behind a proxy that never RSTs.
+type sseWriter struct {
+	rw      http.ResponseWriter
+	flusher http.Flusher
+	ctl     *http.ResponseController
+	timeout time.Duration
+}
+
+// write sends one pre-rendered SSE frame and flushes it, under the
+// per-write deadline. The deadline is cleared again right after the write,
+// while still unexpired: idle gaps between events are unbounded by design,
+// and extending an already-exceeded write deadline is documented as
+// unsupported (on HTTP/2 an expired deadline resets the stream even while
+// idle). A write or flush error means the client is gone.
+func (w *sseWriter) write(frame string) error {
+	if err := w.setDeadline(time.Now().Add(w.timeout)); err != nil {
+		return err
+	}
+	if _, err := io.WriteString(w.rw, frame); err != nil {
+		return err
+	}
+	w.flusher.Flush()
+	return w.setDeadline(time.Time{})
+}
+
+// setDeadline arms or clears the write deadline, tolerating transports
+// without deadline support.
+func (w *sseWriter) setDeadline(t time.Time) error {
+	if w.timeout <= 0 {
+		return nil
+	}
+	if err := w.ctl.SetWriteDeadline(t); err != nil && !errors.Is(err, http.ErrNotSupported) {
+		return err
+	}
+	return nil
+}
+
+// event renders and sends one session event. Stage events carry their
+// sequence number as the SSE id (so reconnecting clients resume via
+// Last-Event-ID); transition events are id-less progress signals.
+func (w *sseWriter) event(ev vada.SessionEvent) error {
+	data, err := json.Marshal(ev)
+	if err != nil {
+		log.Printf("encoding SSE event: %v", err)
+		return nil
+	}
+	if ev.Type == vada.EventTransition {
+		return w.write(fmt.Sprintf("event: transition\ndata: %s\n\n", data))
+	}
+	return w.write(fmt.Sprintf("id: %d\nevent: stage\ndata: %s\n\n", ev.Seq, data))
+}
+
+// handleEvents streams the session's stage events and run state
+// transitions as server-sent events: stage history is replayed on connect
+// (resumable via Last-Event-ID or ?after=seq), then live events flow until
+// the client disconnects or the session closes. Idle periods carry
+// keep-alive comments so intermediaries hold the connection open and dead
+// peers are detected by the per-write deadline.
 func (s *server) handleEvents(rw http.ResponseWriter, r *http.Request) {
 	sess, err := s.mgr.Get(r.PathValue("id"))
 	if err != nil {
@@ -356,6 +532,7 @@ func (s *server) handleEvents(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
+	w := &sseWriter{rw: rw, flusher: flusher, ctl: http.NewResponseController(rw), timeout: s.sseWriteTimeout}
 	after := intQuery(r, "after", 0)
 	if v := r.Header.Get("Last-Event-ID"); v != "" {
 		if n, err := strconv.Atoi(v); err == nil {
@@ -370,35 +547,39 @@ func (s *server) handleEvents(rw http.ResponseWriter, r *http.Request) {
 	rw.WriteHeader(http.StatusOK)
 	for _, ev := range history {
 		if ev.Seq > after {
-			writeSSE(rw, ev)
+			if err := w.event(ev); err != nil {
+				return
+			}
 		}
 	}
-	flusher.Flush()
+	if err := w.write(": connected\n\n"); err != nil {
+		return
+	}
+	// 0 disables keep-alives (a nil channel never fires).
+	var tick <-chan time.Time
+	if s.sseKeepAlive > 0 {
+		ticker := time.NewTicker(s.sseKeepAlive)
+		defer ticker.Stop()
+		tick = ticker.C
+	}
 	for {
 		select {
 		case <-r.Context().Done():
 			return
-		case ev, ok := <-events:
-			if !ok { // session closed
-				fmt.Fprint(rw, "event: close\ndata: {}\n\n")
-				flusher.Flush()
+		case <-tick:
+			if err := w.write(": keep-alive\n\n"); err != nil {
 				return
 			}
-			writeSSE(rw, ev)
-			flusher.Flush()
+		case ev, ok := <-events:
+			if !ok { // session closed
+				w.write("event: close\ndata: {}\n\n")
+				return
+			}
+			if err := w.event(ev); err != nil {
+				return
+			}
 		}
 	}
-}
-
-// writeSSE renders one stage event in SSE wire format; the event id is the
-// session sequence number, so reconnecting clients resume via Last-Event-ID.
-func writeSSE(rw http.ResponseWriter, ev vada.SessionEvent) {
-	data, err := json.Marshal(ev)
-	if err != nil {
-		log.Printf("encoding SSE event: %v", err)
-		return
-	}
-	fmt.Fprintf(rw, "id: %d\nevent: stage\ndata: %s\n\n", ev.Seq, data)
 }
 
 func (s *server) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
@@ -458,11 +639,7 @@ func (s *server) handleTrace(rw http.ResponseWriter, r *http.Request) {
 	fmt.Fprint(rw, vada.TraceString(sess.Trace()))
 }
 
-func (s *server) handleIndex(rw http.ResponseWriter, r *http.Request) {
-	if r.URL.Path != "/" {
-		http.NotFound(rw, r)
-		return
-	}
+func (s *server) handleIndex(rw http.ResponseWriter, _ *http.Request) {
 	rw.Header().Set("Content-Type", "text/html; charset=utf-8")
 	fmt.Fprint(rw, indexHTML)
 }
@@ -476,17 +653,33 @@ func writeEvent(rw http.ResponseWriter, ev vada.SessionEvent, err error) {
 	writeJSON(rw, ev)
 }
 
+// writeBodyError maps a request-body read failure onto a status code:
+// bodies over the payload cap are 413, everything else 400.
+func writeBodyError(rw http.ResponseWriter, err error) {
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		http.Error(rw, err.Error(), http.StatusRequestEntityTooLarge)
+		return
+	}
+	http.Error(rw, "reading request body: "+err.Error(), http.StatusBadRequest)
+}
+
 // writeError maps the API's sentinel errors onto HTTP status codes.
+// Load-shedding rejections (session cap, run queue full) carry a
+// Retry-After hint so well-behaved clients back off instead of hammering.
 func writeError(rw http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, vada.ErrSessionNotFound), errors.Is(err, vada.ErrNoResult),
 		errors.Is(err, vada.ErrRunNotFound):
 		status = http.StatusNotFound
-	case errors.Is(err, vada.ErrUnknownUserContext), errors.Is(err, vada.ErrNoDataContext):
+	case errors.Is(err, vada.ErrUnknownUserContext), errors.Is(err, vada.ErrNoDataContext),
+		errors.Is(err, vada.ErrUnknownStage), errors.Is(err, vada.ErrBadStagePayload),
+		errors.Is(err, vada.ErrBadPlan):
 		status = http.StatusBadRequest
 	case errors.Is(err, vada.ErrSessionLimit), errors.Is(err, vada.ErrRunQueueFull):
 		status = http.StatusTooManyRequests
+		rw.Header().Set("Retry-After", "1")
 	case errors.Is(err, vada.ErrSessionClosed):
 		status = http.StatusGone
 	case errors.Is(err, vada.ErrRunEngineClosed):
@@ -518,10 +711,11 @@ func writeJSONStatus(rw http.ResponseWriter, status int, v any) {
 	}
 }
 
-// indexHTML is the single-page mirror of Figure 3, now session-aware and
-// push-driven: it creates a session via /api/v1, submits every step as an
-// async run (202 + run resource), and refreshes on the session's SSE event
-// stream instead of poll-refreshing.
+// indexHTML is the single-page mirror of Figure 3, now registry- and
+// push-driven: it creates a session via /api/v1, invokes stages through the
+// uniform stages/{name} route (or submits all four as one declarative
+// plan), and drives every refresh off the session's SSE stream — stage
+// events re-render the panels, transition events animate run progress.
 const indexHTML = `<!DOCTYPE html>
 <html><head><title>VADA — pay-as-you-go data wrangling</title>
 <style>
@@ -533,24 +727,26 @@ const indexHTML = `<!DOCTYPE html>
  pre { background: #f6f6f6; padding: .8em; overflow-x: auto; font-size: .8em; }
  .row { display: flex; gap: 2em; flex-wrap: wrap; }
  .col { flex: 1; min-width: 24em; }
- #sid { color: #666; font-size: .85em; }
+ #sid, #plan { color: #666; font-size: .85em; }
 </style></head>
 <body>
 <h1>VADA — pay-as-you-go data wrangling (SIGMOD'17 demonstration)</h1>
-<p>Work through the four steps of the demonstration; each one adds information
-and re-triggers exactly the transducers whose input dependencies now hold.
-Steps run asynchronously on the server's run engine; this page refreshes when
-the session's event stream reports the stage finished. Every browser tab gets
-its own wrangling session.</p>
+<p>Work through the four steps of the demonstration one at a time, or submit
+them as a single declarative plan: one cancellable run whose per-stage
+progress streams back over the session's event channel. Every stage is a
+registry entry behind the uniform stages/{name} route. Every browser tab
+gets its own wrangling session.</p>
 <p id="sid">(creating session…)</p>
 <div>
  <button onclick="step('bootstrap')">1&nbsp;Bootstrap</button>
- <button onclick="step('datacontext')">2&nbsp;Add data context</button>
- <button onclick="step('feedback?budget=100')">3&nbsp;Give feedback</button>
- <button onclick="step('usercontext?model=crime')">4a&nbsp;Crime user context</button>
- <button onclick="step('usercontext?model=size')">4b&nbsp;Size user context</button>
+ <button onclick="step('data-context')">2&nbsp;Add data context</button>
+ <button onclick="step('feedback', {budget: 100})">3&nbsp;Give feedback</button>
+ <button onclick="step('user-context', {model: 'crime'})">4a&nbsp;Crime user context</button>
+ <button onclick="step('user-context', {model: 'size'})">4b&nbsp;Size user context</button>
+ <button onclick="runPlan()">▶&nbsp;Run all four as a plan</button>
  <button onclick="closeSession()">Close session</button>
 </div>
+<p id="plan"></p>
 <div class="row">
  <div class="col"><h2>Stages</h2><pre id="stages">(none yet)</pre>
   <h2>Selected mappings</h2><pre id="selected"></pre></div>
@@ -572,17 +768,42 @@ async function ensureSession() {
   document.getElementById('sid').textContent = 'session ' + sid;
   es = new EventSource(api('/' + sid + '/events'));
   es.addEventListener('stage', () => refresh());
+  es.addEventListener('transition', e => onTransition(JSON.parse(e.data)));
   es.addEventListener('close', () => es.close());
   return sid;
 }
+function onTransition(ev) {
+  const t = ev.run || {};
+  let text = 'run ' + t.run_id + ': ' + t.state;
+  if (t.stage_count > 1) text += ' — stage ' + (t.stage_index + 1) + '/' + t.stage_count + ' (' + t.stage + ')';
+  else if (t.stage) text += ' (' + t.stage + ')';
+  if (t.error) text += ' — ' + t.error;
+  document.getElementById('plan').textContent = text;
+  refreshRuns();
+  // Failed and cancelled runs emit no stage event, so terminal transitions
+  // also refresh the panels.
+  if (t.state === 'failed' || t.state === 'cancelled') refresh();
+}
+// Transitions drive the page, but they are lossy by design (live-only,
+// dropped for slow subscribers); while any run is still live, a slow poll
+// backstop guarantees the panels eventually resolve even if the terminal
+// transition was missed.
+let runTimer = null;
 async function refreshRuns() {
   if (!sid) return;
   const resp = await fetch(api('/' + sid + '/runs'));
   if (!resp.ok) return;
   const data = await resp.json();
-  document.getElementById('runs').textContent = (data.runs||[]).map(r =>
-     r.id + '  ' + r.stage.padEnd(14) + r.state +
-     (r.error ? ' (' + r.error + ')' : '')).join('\n') || '(none yet)';
+  document.getElementById('runs').textContent = (data.runs||[]).map(r => {
+     let line = r.id + '  ' + r.stage.padEnd(14) + r.state;
+     if (r.plan) line += ' [' + ((r.events||[]).length) + '/' + r.plan.length + ' stages]';
+     if (r.error) line += ' (' + r.error + ')';
+     return line;
+  }).join('\n') || '(none yet)';
+  const live = (data.runs||[]).some(r => r.state === 'queued' || r.state === 'running');
+  if (live && !runTimer) {
+    runTimer = setTimeout(() => { runTimer = null; refresh(); }, 2000);
+  }
 }
 async function refresh() {
   if (!sid) return;
@@ -610,33 +831,34 @@ async function refresh() {
     }
   }
 }
-async function step(path) {
+function rejected(resp, text) {
+  document.getElementById('runs').textContent = 'submit rejected: ' + resp.status + ' ' + text.trim();
+}
+async function step(name, payload) {
   await ensureSession();
-  // Submit as an async run; the SSE stage event triggers the refresh.
-  const resp = await fetch(api('/' + sid + '/' + path + (path.includes('?') ? '&' : '?') + 'async=1'),
-    {method: 'POST'});
-  if (!resp.ok) {
-    document.getElementById('runs').textContent =
-      'submit rejected: ' + resp.status + ' ' + (await resp.text()).trim();
-    return;
-  }
-  const run = await resp.json();
+  // Invoke through the uniform stage route as an async run; the SSE
+  // transition and stage events drive every refresh from here.
+  const resp = await fetch(api('/' + sid + '/stages/' + name + '?async=1'),
+    {method: 'POST', headers: {'Content-Type': 'application/json'},
+     body: payload ? JSON.stringify(payload) : null});
+  if (!resp.ok) { rejected(resp, await resp.text()); return; }
   await refreshRuns();
-  // Failed or cancelled runs emit no stage event, so also poll this run
-  // until it is terminal and refresh then — the panel always resolves.
-  const runURL = api('/' + sid + '/runs/' + run.id);
-  const timer = setInterval(async () => {
-    if (!sid) { clearInterval(timer); return; }
-    const rr = await fetch(runURL);
-    if (!rr.ok) { clearInterval(timer); return; }
-    const r = await rr.json();
-    if (r.state === 'succeeded' || r.state === 'failed' || r.state === 'cancelled') {
-      clearInterval(timer);
-      await refresh();
-    } else {
-      await refreshRuns();
-    }
-  }, 500);
+}
+async function runPlan() {
+  await ensureSession();
+  // The whole demonstration as one declarative plan: a single cancellable
+  // run whose queued → running → stage k/n → terminal transitions arrive
+  // over the event stream.
+  const plan = {stages: [
+    {stage: 'bootstrap'},
+    {stage: 'data-context'},
+    {stage: 'feedback', payload: {budget: 100}},
+    {stage: 'user-context', payload: {model: 'crime'}},
+  ]};
+  const resp = await fetch(api('/' + sid + '/plans'),
+    {method: 'POST', headers: {'Content-Type': 'application/json'}, body: JSON.stringify(plan)});
+  if (!resp.ok) { rejected(resp, await resp.text()); return; }
+  await refreshRuns();
 }
 async function closeSession() {
   if (!sid) return;

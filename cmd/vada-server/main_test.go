@@ -17,14 +17,26 @@ import (
 )
 
 func testServer(t *testing.T, opts ...vada.ManagerOption) (*server, *httptest.Server) {
+	return testServerEngine(t, nil, opts...)
+}
+
+// testServerEngine mirrors main's wiring with extra run-engine options: the
+// notify hook publishes transitions to session subscribers, and closing or
+// evicting a session cancels its runs.
+func testServerEngine(t *testing.T, engineOpts []vada.RunEngineOption, opts ...vada.ManagerOption) (*server, *httptest.Server) {
 	t.Helper()
 	s := &server{
-		runs:        vada.NewRunEngine(vada.WithRunWorkers(4)),
-		defaultN:    60,
-		defaultSeed: 1,
-		started:     time.Now(),
+		registry:        vada.DefaultStageRegistry(),
+		defaultN:        60,
+		defaultSeed:     1,
+		started:         time.Now(),
+		sseKeepAlive:    15 * time.Second,
+		sseWriteTimeout: 10 * time.Second,
 	}
-	// Mirror main's wiring: closing or evicting a session cancels its runs.
+	s.runs = vada.NewRunEngine(append([]vada.RunEngineOption{
+		vada.WithRunWorkers(4),
+		vada.WithRunNotify(s.publishTransition),
+	}, engineOpts...)...)
 	s.mgr = vada.NewSessionManager(append(opts, vada.WithEvictHook(func(sess *vada.Session) {
 		s.runs.CancelSession(sess.ID())
 	}))...)
@@ -334,11 +346,14 @@ func TestExplicitFeedbackJSON(t *testing.T) {
 	}
 	si := res.Schema.AttrIndex("street")
 	pi := res.Schema.AttrIndex("postcode")
+	// The unknown "Note" field checks the alias keeps its historical
+	// lenient decoding (the strict codec applies to the generic route).
 	item := map[string]any{
 		"Street":   res.Tuples[0][si].String(),
 		"Postcode": res.Tuples[0][pi].String(),
 		"Attr":     "bedrooms",
 		"Correct":  true,
+		"Note":     "ignored by the legacy alias",
 	}
 	body, _ := json.Marshal([]map[string]any{item})
 	resp, err := http.Post(base+"/feedback", "application/json", strings.NewReader(string(body)))
@@ -749,5 +764,580 @@ func TestHealthz(t *testing.T) {
 	stats, ok := h["run_stats"].(map[string]any)
 	if !ok || stats["workers"].(float64) <= 0 {
 		t.Fatalf("healthz run stats: %v", h["run_stats"])
+	}
+}
+
+func TestStageDiscovery(t *testing.T) {
+	s, ts := testServer(t)
+	resp, body := get(t, ts.URL+"/api/v1/stages")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stage discovery: %s", resp.Status)
+	}
+	var out map[string]any
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	if out["total"].(float64) != 4 {
+		t.Fatalf("discovery total = %v", out["total"])
+	}
+	stages := out["stages"].([]any)
+	want := []string{"bootstrap", "data-context", "feedback", "user-context"}
+	for i, w := range want {
+		st := stages[i].(map[string]any)
+		if st["name"] != w || st["description"] == "" {
+			t.Fatalf("stage %d = %v, want %q with description", i, st, w)
+		}
+	}
+
+	// A stage registered on the server registry is immediately discoverable.
+	if err := s.registry.Register(vada.Stage{
+		Name:        "noop",
+		Description: "test stage",
+		Apply: func(ctx context.Context, sess *vada.Session, _ any) (vada.SessionEvent, error) {
+			return sess.Step(ctx, "noop", nil)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, body = get(t, ts.URL+"/api/v1/stages")
+	if !strings.Contains(body, `"noop"`) {
+		t.Fatalf("registered stage missing from discovery: %s", body)
+	}
+}
+
+// TestGenericStageRoutes drives the whole lifecycle through the uniform
+// POST .../stages/{name} route with JSON payloads — the legacy aliases are
+// no longer load-bearing.
+func TestGenericStageRoutes(t *testing.T) {
+	_, ts := testServer(t)
+	id := createSession(t, ts, "")
+	base := ts.URL + "/api/v1/sessions/" + id
+
+	postStage := func(name, payload string) (*http.Response, string) {
+		t.Helper()
+		resp, err := http.Post(base+"/stages/"+name, "application/json", strings.NewReader(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp, string(b)
+	}
+
+	steps := []struct{ name, payload, wantStage string }{
+		{"bootstrap", "", "bootstrap"},
+		{"data-context", "", "data-context"},
+		{"feedback", `{"budget": 20}`, "feedback"},
+		{"user-context", `{"model": "size"}`, "user-context"},
+	}
+	for _, step := range steps {
+		resp, body := postStage(step.name, step.payload)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stage %s: %s (%s)", step.name, resp.Status, body)
+		}
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(body), &ev); err != nil {
+			t.Fatal(err)
+		}
+		if ev["stage"] != step.wantStage || ev["type"] != "stage" {
+			t.Fatalf("stage %s event = %v", step.name, ev)
+		}
+	}
+
+	// Error paths: unknown stage, undecodable payloads, payload on a
+	// payload-less stage — uniform 400s.
+	for _, bad := range []struct{ name, payload string }{
+		{"nope", ""},
+		{"feedback", `{"budgte": 20}`},
+		{"feedback", `{`},
+		{"user-context", `{"model": "nonsense"}`},
+		{"bootstrap", `{"x": 1}`},
+	} {
+		resp, _ := postStage(bad.name, bad.payload)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("stage %s with payload %q: %s, want 400", bad.name, bad.payload, resp.Status)
+		}
+	}
+
+	// The async flow works through the generic route too.
+	resp, err := http.Post(base+"/stages/feedback?async=1", "application/json", strings.NewReader(`{"budget": 10}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async generic stage: %s", resp.Status)
+	}
+	final := pollRun(t, ts.URL+resp.Header.Get("Location"))
+	if final["state"] != "succeeded" {
+		t.Fatalf("async generic run: %v (%v)", final["state"], final["error"])
+	}
+
+	// An undecodable payload is rejected at submit even with ?async=1 —
+	// no run resource is created for a request that can never apply.
+	resp2, err := http.Post(base+"/stages/feedback?async=1", "application/json", strings.NewReader(`{`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Fatalf("async bad payload: %s, want 400", resp2.Status)
+	}
+}
+
+// sseFrame is one parsed server-sent event.
+type sseFrame struct {
+	event string
+	id    string
+	data  map[string]any
+}
+
+// readSSEFrame reads the next complete frame with a data line; ok=false
+// means the stream ended.
+func readSSEFrame(t *testing.T, sc *bufio.Scanner) (sseFrame, bool) {
+	t.Helper()
+	var f sseFrame
+	hasData := false
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, ":"): // comment / keep-alive
+		case strings.HasPrefix(line, "id: "):
+			f.id = strings.TrimPrefix(line, "id: ")
+		case strings.HasPrefix(line, "event: "):
+			f.event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "data: "):
+			if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &f.data); err != nil {
+				t.Fatalf("SSE data %q: %v", line, err)
+			}
+			hasData = true
+		case line == "":
+			if hasData {
+				return f, true
+			}
+			f = sseFrame{}
+		}
+	}
+	return sseFrame{}, false
+}
+
+// TestPlanFlow is the scripted acceptance flow: a 3-stage plan submitted
+// via POST .../plans runs as one Run whose queued → running → per-stage →
+// succeeded transitions arrive over the session SSE stream, interleaved
+// with the stage events themselves.
+func TestPlanFlow(t *testing.T) {
+	_, ts := testServer(t)
+	id := createSession(t, ts, "")
+	base := ts.URL + "/api/v1/sessions/" + id
+
+	sc, closeSSE := sseConn(t, base+"/events", "")
+	defer closeSSE()
+
+	plan := `{"stages": [
+		{"stage": "bootstrap"},
+		{"stage": "data-context"},
+		{"stage": "feedback", "payload": {"budget": 20}}
+	]}`
+	resp, err := http.Post(base+"/plans", "application/json", strings.NewReader(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("plan submit: %s (%s)", resp.Status, b)
+	}
+	loc := resp.Header.Get("Location")
+	if !strings.HasPrefix(loc, "/api/v1/sessions/"+id+"/runs/") {
+		t.Fatalf("plan Location = %q", loc)
+	}
+	var submitted map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&submitted); err != nil {
+		t.Fatal(err)
+	}
+	if plan, ok := submitted["plan"].([]any); !ok || len(plan) != 3 {
+		t.Fatalf("submitted plan run = %v", submitted)
+	}
+
+	// Collect transitions and stage events off the single SSE stream until
+	// the run reaches a terminal state.
+	var transitions []string
+	var stages []string
+	for {
+		f, ok := readSSEFrame(t, sc)
+		if !ok {
+			t.Fatalf("stream ended early: transitions=%v stages=%v", transitions, stages)
+		}
+		switch f.event {
+		case "stage":
+			stages = append(stages, f.data["stage"].(string))
+		case "transition":
+			tr := f.data["run"].(map[string]any)
+			transitions = append(transitions,
+				fmt.Sprintf("%s@%d", tr["state"], int(tr["stage_index"].(float64))))
+			if st := tr["state"]; st == "succeeded" || st == "failed" || st == "cancelled" {
+				goto done
+			}
+		}
+	}
+done:
+	wantTr := []string{"queued@0", "running@0", "running@1", "running@2", "succeeded@2"}
+	if strings.Join(transitions, " ") != strings.Join(wantTr, " ") {
+		t.Fatalf("transitions = %v, want %v", transitions, wantTr)
+	}
+	wantStages := []string{"bootstrap", "data-context", "feedback"}
+	if strings.Join(stages, " ") != strings.Join(wantStages, " ") {
+		t.Fatalf("stage events = %v, want %v", stages, wantStages)
+	}
+
+	// The run resource records per-stage progress and all three events.
+	final := pollRun(t, ts.URL+loc)
+	if final["state"] != "succeeded" {
+		t.Fatalf("plan run: %v (%v)", final["state"], final["error"])
+	}
+	if evs := final["events"].([]any); len(evs) != 3 {
+		t.Fatalf("plan run events = %d, want 3", len(evs))
+	}
+	// And the session history has exactly the three stage events.
+	_, body := get(t, base)
+	var st map[string]any
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if events := st["events"].([]any); len(events) != 3 {
+		t.Fatalf("session events = %d, want 3", len(events))
+	}
+}
+
+func TestPlanErrorPaths(t *testing.T) {
+	_, ts := testServer(t)
+	id := createSession(t, ts, "")
+	base := ts.URL + "/api/v1/sessions/" + id
+
+	for _, bad := range []struct{ name, body string }{
+		{"malformed JSON", `{`},
+		{"empty plan", `{"stages": []}`},
+		{"unknown stage", `{"stages": [{"stage": "nope"}]}`},
+		{"bad payload", `{"stages": [{"stage": "bootstrap"}, {"stage": "feedback", "payload": {"budgte": 1}}]}`},
+		{"misspelled payload key", `{"stages": [{"stage": "feedback", "paylod": {"budget": 5}}]}`},
+		{"trailing data", `{"stages": [{"stage": "bootstrap"}]}{"stages": [{"stage": "feedback"}]}`},
+	} {
+		resp, err := http.Post(base+"/plans", "application/json", strings.NewReader(bad.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: %s, want 400", bad.name, resp.Status)
+		}
+	}
+	// No runs were created for rejected plans.
+	_, body := get(t, base+"/runs")
+	var list map[string]any
+	if err := json.Unmarshal([]byte(body), &list); err != nil {
+		t.Fatal(err)
+	}
+	if list["total"].(float64) != 0 {
+		t.Fatalf("rejected plans left runs behind: %v", list)
+	}
+	// Unknown sessions 404.
+	resp, err := http.Post(ts.URL+"/api/v1/sessions/nope/plans", "application/json",
+		strings.NewReader(`{"stages": [{"stage": "bootstrap"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("plan on unknown session: %s", resp.Status)
+	}
+}
+
+// TestPlanMidFailureStops checks that a failing stage inside a plan stops
+// the remaining stages: the run fails, completed events are kept, and the
+// session history only has the stages that ran.
+func TestPlanMidFailureStops(t *testing.T) {
+	s, ts := testServer(t)
+	if err := s.registry.Register(vada.Stage{
+		Name:        "explode",
+		Description: "always fails",
+		Apply: func(ctx context.Context, sess *vada.Session, _ any) (vada.SessionEvent, error) {
+			return vada.SessionEvent{}, fmt.Errorf("explode: no")
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	id := createSession(t, ts, "")
+	base := ts.URL + "/api/v1/sessions/" + id
+
+	plan := `{"stages": [{"stage": "bootstrap"}, {"stage": "explode"}, {"stage": "feedback"}]}`
+	resp, err := http.Post(base+"/plans", "application/json", strings.NewReader(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("plan submit: %s", resp.Status)
+	}
+	final := pollRun(t, ts.URL+resp.Header.Get("Location"))
+	if final["state"] != "failed" || !strings.Contains(final["error"].(string), "explode") {
+		t.Fatalf("plan run = %v (%v)", final["state"], final["error"])
+	}
+	if final["stage"] != "explode" || final["stage_index"].(float64) != 1 {
+		t.Fatalf("failure cursor = %v@%v", final["stage"], final["stage_index"])
+	}
+	if evs := final["events"].([]any); len(evs) != 1 {
+		t.Fatalf("completed events = %d, want 1", len(evs))
+	}
+	// Only the bootstrap landed on the session; feedback never ran.
+	_, body := get(t, base)
+	var st map[string]any
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if events := st["events"].([]any); len(events) != 1 {
+		t.Fatalf("session events = %d, want 1", len(events))
+	}
+}
+
+// TestPlanCancelMidway cancels an in-flight plan via the run resource:
+// DELETE .../runs/{rid} answers 202 and the remaining stages never run.
+func TestPlanCancelMidway(t *testing.T) {
+	s, ts := testServer(t)
+	started := make(chan struct{})
+	if err := s.registry.Register(vada.Stage{
+		Name:        "block",
+		Description: "blocks until cancelled",
+		Apply: func(ctx context.Context, sess *vada.Session, _ any) (vada.SessionEvent, error) {
+			close(started)
+			<-ctx.Done()
+			return vada.SessionEvent{}, ctx.Err()
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	id := createSession(t, ts, "")
+	base := ts.URL + "/api/v1/sessions/" + id
+
+	resp, err := http.Post(base+"/plans", "application/json",
+		strings.NewReader(`{"stages": [{"stage": "block"}, {"stage": "bootstrap"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("plan submit: %s", resp.Status)
+	}
+	<-started // stage 0 is in flight
+	loc := resp.Header.Get("Location")
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+loc, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("plan cancel: %s, want 202", dresp.Status)
+	}
+	final := pollRun(t, ts.URL+loc)
+	if final["state"] != "cancelled" {
+		t.Fatalf("cancelled plan state = %v", final["state"])
+	}
+	// The bootstrap stage never ran: no session events.
+	_, body := get(t, base)
+	var st map[string]any
+	if err := json.Unmarshal([]byte(body), &st); err != nil {
+		t.Fatal(err)
+	}
+	if events, _ := st["events"].([]any); len(events) != 0 {
+		t.Fatalf("session events after cancel = %d, want 0", len(events))
+	}
+}
+
+// TestMethodNotAllowed audits verb handling across the whole /api/v1
+// surface: unmatched methods answer 405 with a correct Allow header
+// instead of mixed 404/405s.
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := testServer(t)
+	cases := []struct {
+		method, path string
+		wantAllow    []string
+	}{
+		{http.MethodPost, "/", []string{"GET", "HEAD"}},
+		{http.MethodPost, "/api/v1/healthz", []string{"GET", "HEAD"}},
+		{http.MethodPost, "/api/v1/stages", []string{"GET", "HEAD"}},
+		{http.MethodDelete, "/api/v1/sessions", []string{"GET", "HEAD", "POST"}},
+		{http.MethodPost, "/api/v1/sessions/x", []string{"DELETE", "GET", "HEAD"}},
+		{http.MethodGet, "/api/v1/sessions/x/stages/bootstrap", []string{"POST"}},
+		{http.MethodGet, "/api/v1/sessions/x/plans", []string{"POST"}},
+		{http.MethodGet, "/api/v1/sessions/x/bootstrap", []string{"POST"}},
+		{http.MethodGet, "/api/v1/sessions/x/feedback", []string{"POST"}},
+		{http.MethodPost, "/api/v1/sessions/x/result", []string{"GET", "HEAD"}},
+		{http.MethodPost, "/api/v1/sessions/x/events", []string{"GET", "HEAD"}},
+		{http.MethodDelete, "/api/v1/sessions/x/runs", []string{"GET", "HEAD"}},
+		{http.MethodPost, "/api/v1/sessions/x/runs/r1", []string{"DELETE", "GET", "HEAD"}},
+	}
+	for _, c := range cases {
+		req, err := http.NewRequest(c.method, ts.URL+c.path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("%s %s: %s, want 405", c.method, c.path, resp.Status)
+			continue
+		}
+		got := map[string]bool{}
+		for _, m := range strings.Split(resp.Header.Get("Allow"), ",") {
+			got[strings.TrimSpace(m)] = true
+		}
+		for _, m := range c.wantAllow {
+			if !got[m] {
+				t.Errorf("%s %s: Allow = %q, missing %s", c.method, c.path, resp.Header.Get("Allow"), m)
+			}
+		}
+	}
+	// Unknown paths stay 404.
+	resp, _ := get(t, ts.URL+"/no/such/path")
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown path: %s, want 404", resp.Status)
+	}
+}
+
+// TestSessionRunQueue429 checks run-engine fairness over HTTP: a session
+// at its pending-run cap gets 429 with a Retry-After hint while other
+// sessions keep submitting.
+func TestSessionRunQueue429(t *testing.T) {
+	s, ts := testServerEngine(t, []vada.RunEngineOption{
+		vada.WithRunWorkers(1),
+		vada.WithRunSessionQueue(1),
+	})
+	id := createSession(t, ts, "")
+	other := createSession(t, ts, "")
+	base := ts.URL + "/api/v1/sessions/" + id
+
+	// Occupy the only worker so subsequent submissions queue.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	if _, err := s.runs.Submit(id, "block", func(ctx context.Context) (vada.SessionEvent, error) {
+		close(started)
+		select {
+		case <-ctx.Done():
+			return vada.SessionEvent{}, ctx.Err()
+		case <-release:
+			return vada.SessionEvent{}, nil
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+
+	// First pending run fits the cap.
+	r1, err := http.Post(base+"/bootstrap?async=1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Body.Close()
+	if r1.StatusCode != http.StatusAccepted {
+		t.Fatalf("first pending: %s", r1.Status)
+	}
+	// Second exceeds it: 429 + Retry-After.
+	r2, err := http.Post(base+"/bootstrap?async=1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Body.Close()
+	if r2.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over session cap: %s, want 429", r2.Status)
+	}
+	if r2.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without Retry-After")
+	}
+	// Plans hit the same cap.
+	r3, err := http.Post(base+"/plans", "application/json",
+		strings.NewReader(`{"stages": [{"stage": "bootstrap"}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r3.Body.Close()
+	if r3.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("plan over session cap: %s, want 429", r3.Status)
+	}
+	// An independent session is unaffected.
+	r4, err := http.Post(ts.URL+"/api/v1/sessions/"+other+"/bootstrap?async=1", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4.Body.Close()
+	if r4.StatusCode != http.StatusAccepted {
+		t.Fatalf("independent session: %s", r4.Status)
+	}
+}
+
+// TestSSEKeepAlive checks the proxy-hardening contract: an idle event
+// stream carries periodic keep-alive comments.
+func TestSSEKeepAlive(t *testing.T) {
+	s := &server{
+		registry:        vada.DefaultStageRegistry(),
+		defaultN:        30,
+		defaultSeed:     1,
+		started:         time.Now(),
+		sseKeepAlive:    30 * time.Millisecond,
+		sseWriteTimeout: time.Second,
+	}
+	s.runs = vada.NewRunEngine(vada.WithRunWorkers(1), vada.WithRunNotify(s.publishTransition))
+	s.mgr = vada.NewSessionManager()
+	t.Cleanup(s.runs.Close)
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+
+	id := createSession(t, ts, "")
+	sc, closeSSE := sseConn(t, ts.URL+"/api/v1/sessions/"+id+"/events", "")
+	defer closeSSE()
+	deadline := time.After(10 * time.Second)
+	got := make(chan string, 1)
+	go func() {
+		n := 0
+		for sc.Scan() {
+			if strings.HasPrefix(sc.Text(), ": keep-alive") {
+				n++
+				if n == 2 { // two ticks prove the ticker, not a one-off
+					got <- sc.Text()
+					return
+				}
+			}
+		}
+	}()
+	select {
+	case <-got:
+	case <-deadline:
+		t.Fatal("no keep-alive comments on an idle SSE stream")
+	}
+}
+
+// TestPayloadTooLarge checks that oversized stage payloads are refused
+// with 413 instead of being truncated into a misleading decode error.
+func TestPayloadTooLarge(t *testing.T) {
+	_, ts := testServer(t)
+	id := createSession(t, ts, "")
+	huge := `{"budget": 1, "items": [` + strings.Repeat(`{"Street":"x"},`, 600000) + `{"Street":"x"}]}`
+	if len(huge) <= maxPayloadBytes {
+		t.Fatalf("test payload only %d bytes", len(huge))
+	}
+	resp, err := http.Post(ts.URL+"/api/v1/sessions/"+id+"/stages/feedback",
+		"application/json", strings.NewReader(huge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized payload: %s, want 413", resp.Status)
 	}
 }

@@ -1,11 +1,12 @@
-// Command asyncruns demonstrates the asynchronous execution layer: wrangling
-// stages submitted to a RunEngine as 202-style Run resources, with progress
-// observed through the session's event subscription instead of polling —
-// the programmatic twin of vada-server's ?async=1 + SSE surface.
+// Command asyncruns demonstrates the asynchronous execution layer: the
+// whole pay-as-you-go conversation submitted to a RunEngine as one
+// declarative Plan — a single cancellable run whose queued → running →
+// stage k/n → terminal transitions stream over the session's event
+// subscription, interleaved with the stage events themselves. It is the
+// programmatic twin of vada-server's POST .../plans + SSE surface.
 package main
 
 import (
-	"context"
 	"fmt"
 	"log"
 	"time"
@@ -21,70 +22,75 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Subscribe before submitting: history replays past events, the channel
-	// carries every event that follows.
-	_, events, cancel := sess.Subscribe(16)
+	// Subscribe before submitting: the channel carries every stage event
+	// and, because of the WithRunNotify hook below, every run transition.
+	_, events, cancel := sess.Subscribe(32)
 	defer cancel()
 
-	engine := vada.NewRunEngine(vada.WithRunWorkers(4))
+	engine := vada.NewRunEngine(
+		vada.WithRunWorkers(4),
+		vada.WithRunNotify(func(run vada.Run) {
+			sess.PublishTransition(run.Transition())
+		}),
+	)
 	defer engine.Close()
 
-	// Submit all four pay-as-you-go stages up front. The engine runs them
-	// FIFO for this session, so they apply in order even though Submit
-	// returns immediately.
-	stages := []struct {
-		name string
-		fn   vada.RunFunc
-	}{
-		{"bootstrap", sess.Bootstrap},
-		{"data-context", func(ctx context.Context) (vada.SessionEvent, error) { return sess.AddDataContext(ctx, nil) }},
-		{"feedback", func(ctx context.Context) (vada.SessionEvent, error) { return sess.AddFeedback(ctx, nil, 100) }},
-		{"user-context", func(ctx context.Context) (vada.SessionEvent, error) {
-			return sess.SetUserContext(ctx, vada.CrimeAnalysisUserContext())
-		}},
+	// The four stages as one declarative plan. Each StageRequest resolves
+	// against the session's registry before submission; the engine runs
+	// them back to back as one run, so a failure or cancel stops the
+	// remaining stages.
+	plan := vada.Plan{Stages: []vada.StageRequest{
+		{Stage: vada.StageBootstrap},
+		{Stage: vada.StageDataContext},
+		{Stage: vada.StageFeedback, Payload: []byte(`{"budget": 100}`)},
+		{Stage: vada.StageUserContext, Payload: []byte(`{"model": "crime"}`)},
+	}}
+	run, err := engine.SubmitSessionPlan(sess, plan)
+	if err != nil {
+		log.Fatal(err)
 	}
-	ids := make([]string, 0, len(stages))
-	for _, st := range stages {
-		run, err := engine.Submit(sess.ID(), st.name, st.fn)
-		if err != nil {
-			log.Fatal(err)
-		}
-		fmt.Printf("submitted %-14s as run %s (%s)\n", st.name, run.ID, run.State)
-		ids = append(ids, run.ID)
-	}
+	fmt.Printf("submitted %d-stage plan as run %s (%s)\n", len(plan.Stages), run.ID, run.State)
 
-	// Stream stage events as they complete — no polling.
+	// Drive everything off the event stream — no polling.
 	for ev := range events {
-		fmt.Printf("event #%d %-14s steps=%-3d", ev.Seq, ev.Stage, ev.Steps)
-		if ev.Score != nil {
-			fmt.Printf(" F1=%.3f val-acc=%.3f", ev.Score.F1, ev.Score.ValueAccuracy)
-		}
-		fmt.Println()
-		if ev.Seq == len(stages) {
-			break
+		switch ev.Type {
+		case vada.EventTransition:
+			t := ev.Run
+			fmt.Printf("run %s %-9s stage %d/%d (%s)%s\n",
+				t.RunID, t.State, t.StageIndex+1, t.StageCount, t.Stage, suffix(t.Error))
+			if t.State == string(vada.RunSucceeded) || t.State == string(vada.RunFailed) ||
+				t.State == string(vada.RunCancelled) {
+				goto done
+			}
+		default:
+			fmt.Printf("event #%d %-14s steps=%-3d%s\n", ev.Seq, ev.Stage, ev.Steps, score(ev))
 		}
 	}
+done:
 
-	// Every run resource records its outcome and timing.
-	for _, id := range ids {
-		run := waitTerminal(engine, id)
-		took := "-"
-		if run.StartedAt != nil && run.FinishedAt != nil {
-			took = run.FinishedAt.Sub(*run.StartedAt).Round(time.Millisecond).String()
-		}
-		fmt.Printf("run %s %-14s %-9s %s\n", run.ID, run.Stage, run.State, took)
+	// The run resource records every completed stage event and its timing.
+	final, err := engine.Get(run.ID)
+	if err != nil {
+		log.Fatal(err)
 	}
+	took := "-"
+	if final.StartedAt != nil && final.FinishedAt != nil {
+		took = final.FinishedAt.Sub(*final.StartedAt).Round(time.Millisecond).String()
+	}
+	fmt.Printf("plan run %s: %s after %s, %d/%d stage events recorded\n",
+		final.ID, final.State, took, len(final.Events), final.StageCount())
 }
 
-func waitTerminal(engine *vada.RunEngine, id string) vada.Run {
-	for {
-		run, err := engine.Get(id)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if run.State.Terminal() {
-			return run
-		}
-		time.Sleep(time.Millisecond)
+func suffix(err string) string {
+	if err == "" {
+		return ""
 	}
+	return " — " + err
+}
+
+func score(ev vada.SessionEvent) string {
+	if ev.Score == nil {
+		return ""
+	}
+	return fmt.Sprintf(" F1=%.3f val-acc=%.3f", ev.Score.F1, ev.Score.ValueAccuracy)
 }

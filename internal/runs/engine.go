@@ -11,17 +11,17 @@ import (
 	"vada/internal/session"
 )
 
-// Func is the work a run performs: one pay-as-you-go stage driven to
-// quiescence under the run's cancellation context.
+// Func is the work one stage of a run performs: a pay-as-you-go stage
+// driven to quiescence under the run's cancellation context.
 type Func func(ctx context.Context) (session.Event, error)
 
 // task is the engine's mutable bookkeeping for one run; all fields are
-// guarded by the engine mutex except ctx/cancel/fn, which are immutable
-// after creation.
+// guarded by the engine mutex except ctx/cancel, which are immutable
+// after creation, and fns, which only the owning worker indexes.
 type task struct {
 	run    Run
 	seq    uint64
-	fn     Func
+	fns    []Func
 	ctx    context.Context
 	cancel context.CancelFunc
 }
@@ -38,9 +38,11 @@ type sessionQueue struct {
 // Engine is the worker-pool run engine. Create one with New and stop it
 // with Close; all methods are safe for concurrent use.
 type Engine struct {
-	workers   int
-	queueCap  int
-	retention int
+	workers    int
+	queueCap   int
+	sessionCap int
+	retention  int
+	notify     func(Run)
 
 	mu      sync.Mutex
 	cond    *sync.Cond
@@ -74,6 +76,14 @@ func WithQueueDepth(n int) Option {
 	return func(e *Engine) { e.queueCap = n }
 }
 
+// WithSessionQueue caps the number of queued (not yet running) runs any
+// single session may hold; Submit fails with ErrQueueFull beyond it
+// (default 0 = unlimited). This is the fairness guard that stops one
+// chatty session from monopolising the bounded global queue.
+func WithSessionQueue(n int) Option {
+	return func(e *Engine) { e.sessionCap = n }
+}
+
 // WithRetention sets how many finished runs stay pollable before the oldest
 // are evicted (default 512; minimum 1).
 func WithRetention(n int) Option {
@@ -82,6 +92,15 @@ func WithRetention(n int) Option {
 			e.retention = n
 		}
 	}
+}
+
+// WithNotify installs a hook invoked on every run state transition
+// (queued, running, per-stage progress, terminal) with the run snapshot.
+// Transitions of one run arrive in order. The hook runs under the engine
+// lock and must be fast and MUST NOT call back into the engine; publishing
+// to session subscribers (which never blocks) is the intended use.
+func WithNotify(fn func(Run)) Option {
+	return func(e *Engine) { e.notify = fn }
 }
 
 // New builds an engine and starts its worker pool.
@@ -107,6 +126,45 @@ func New(opts ...Option) *Engine {
 // Submit enqueues one stage invocation against a session and returns the
 // queued Run snapshot. Runs of one session execute in submission order.
 func (e *Engine) Submit(sessionID, stage string, fn Func) (Run, error) {
+	return e.submit(sessionID, []string{stage}, []Func{fn}, false)
+}
+
+// SubmitPlan enqueues an ordered multi-stage plan as one cancellable run:
+// the stages execute back to back on a single worker under one context,
+// a failing stage stops the remaining ones, and every transition (running,
+// stage k/n, terminal) is published through the notify hook.
+func (e *Engine) SubmitPlan(sessionID string, stages []string, fns []Func) (Run, error) {
+	if len(stages) == 0 || len(stages) != len(fns) {
+		return Run{}, fmt.Errorf("%w: %d stages, %d functions", ErrBadPlan, len(stages), len(fns))
+	}
+	return e.submit(sessionID, stages, fns, true)
+}
+
+// SubmitSessionPlan resolves a declarative Plan against the session's
+// stage registry and submits it as one run. Every stage is resolved and
+// its payload decoded before anything is enqueued, so a malformed plan is
+// rejected whole (ErrBadPlan for an empty one, the registry's
+// ErrUnknownStage/ErrBadPayload otherwise) — no partial execution.
+func (e *Engine) SubmitSessionPlan(sess *session.Session, plan session.Plan) (Run, error) {
+	if len(plan.Stages) == 0 {
+		return Run{}, fmt.Errorf("%w: empty plan", ErrBadPlan)
+	}
+	stages := make([]string, len(plan.Stages))
+	fns := make([]Func, len(plan.Stages))
+	for i, req := range plan.Stages {
+		st, payload, err := sess.Registry().Resolve(req)
+		if err != nil {
+			return Run{}, fmt.Errorf("plan stage %d: %w", i, err)
+		}
+		stages[i] = st.Name
+		fns[i] = func(ctx context.Context) (session.Event, error) {
+			return st.Apply(ctx, sess, payload)
+		}
+	}
+	return e.SubmitPlan(sess.ID(), stages, fns)
+}
+
+func (e *Engine) submit(sessionID string, stages []string, fns []Func, isPlan bool) (Run, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -115,20 +173,28 @@ func (e *Engine) Submit(sessionID, stage string, fn Func) (Run, error) {
 	if e.queueCap > 0 && e.queued >= e.queueCap {
 		return Run{}, fmt.Errorf("%w (max %d queued)", ErrQueueFull, e.queueCap)
 	}
+	if e.sessionCap > 0 {
+		if q := e.queues[sessionID]; q != nil && len(q.pending) >= e.sessionCap {
+			return Run{}, fmt.Errorf("%w (session %s: max %d pending)", ErrQueueFull, sessionID, e.sessionCap)
+		}
+	}
 	e.seq++
 	ctx, cancel := context.WithCancel(context.Background())
 	t := &task{
 		run: Run{
 			ID:        fmt.Sprintf("r%04d-%s", e.seq, randomSuffix()),
 			SessionID: sessionID,
-			Stage:     stage,
+			Stage:     stages[0],
 			State:     StateQueued,
 			CreatedAt: time.Now(),
 		},
 		seq:    e.seq,
-		fn:     fn,
+		fns:    fns,
 		ctx:    ctx,
 		cancel: cancel,
+	}
+	if isPlan {
+		t.run.Plan = append([]string(nil), stages...)
 	}
 	e.tasks[t.run.ID] = t
 	e.queued++
@@ -143,7 +209,16 @@ func (e *Engine) Submit(sessionID, stage string, fn Func) (Run, error) {
 		e.ready = append(e.ready, q)
 		e.cond.Signal()
 	}
+	e.notifyLocked(t.run)
 	return t.run, nil
+}
+
+// notifyLocked publishes a run snapshot to the transition hook. Callers
+// hold e.mu, which is what serialises transitions into submission order.
+func (e *Engine) notifyLocked(r Run) {
+	if e.notify != nil {
+		e.notify(r)
+	}
 }
 
 // worker executes runs: it takes exclusive ownership of one session queue,
@@ -173,9 +248,10 @@ func (e *Engine) worker() {
 		now := time.Now()
 		t.run.State = StateRunning
 		t.run.StartedAt = &now
+		e.notifyLocked(t.run)
 		e.mu.Unlock()
 
-		ev, err := runStage(t)
+		ev, err := e.runTask(t)
 
 		e.mu.Lock()
 		e.running--
@@ -185,17 +261,52 @@ func (e *Engine) worker() {
 	}
 }
 
-// runStage executes a run's stage function, containing panics: the sync
-// path gets per-connection panic recovery from net/http, so the async path
-// must not let a panicking stage unwind a worker goroutine and kill the
-// whole process — it becomes a failed run instead.
-func runStage(t *task) (ev session.Event, err error) {
+// runTask executes a run's stages back to back, returning the last stage
+// event and the first error. Between stages it checks the run context (so
+// a mid-plan cancel stops the remaining stages), advances the run's stage
+// cursor, and publishes the stage k/n progress transition.
+func (e *Engine) runTask(t *task) (session.Event, error) {
+	var last session.Event
+	for i := range t.fns {
+		if i > 0 {
+			select {
+			case <-t.ctx.Done():
+				return last, context.Canceled
+			default:
+			}
+			e.mu.Lock()
+			t.run.StageIndex = i
+			t.run.Stage = t.run.Plan[i]
+			e.notifyLocked(t.run)
+			e.mu.Unlock()
+		}
+		ev, err := runStage(t, i)
+		if err != nil {
+			return last, err
+		}
+		last = ev
+		if len(t.run.Plan) > 0 {
+			e.mu.Lock()
+			// Copy-on-append: Run snapshots escape the lock, so the slice
+			// they hold must never be appended to in place.
+			t.run.Events = append(append([]session.Event(nil), t.run.Events...), ev)
+			e.mu.Unlock()
+		}
+	}
+	return last, nil
+}
+
+// runStage executes one stage function of a run, containing panics: the
+// sync path gets per-connection panic recovery from net/http, so the async
+// path must not let a panicking stage unwind a worker goroutine and kill
+// the whole process — it becomes a failed run instead.
+func runStage(t *task, i int) (ev session.Event, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("runs: stage panicked: %v", r)
 		}
 	}()
-	return t.fn(t.ctx)
+	return t.fns[i](t.ctx)
 }
 
 // releaseLocked hands a worker's queue back: re-ready it if work remains,
@@ -230,15 +341,16 @@ func (e *Engine) finishLocked(t *task, ev session.Event, err error) {
 		t.run.Error = err.Error()
 	}
 	t.cancel()
-	// Release the stage closure: it captures the session (and through it
+	// Release the stage closures: they capture the session (and through it
 	// the whole wrangler/KB), which must not stay reachable for as long as
 	// the retention ring keeps the finished run pollable.
-	t.fn, t.ctx, t.cancel = nil, nil, nil
+	t.fns, t.ctx, t.cancel = nil, nil, nil
 	e.done = append(e.done, t.run.ID)
 	for len(e.done) > e.retention {
 		delete(e.tasks, e.done[0])
 		e.done = e.done[1:]
 	}
+	e.notifyLocked(t.run)
 }
 
 // Get returns a snapshot of the run with the given ID, or ErrNotFound for

@@ -28,11 +28,15 @@ var (
 	// ErrNotFound reports an unknown (or already-evicted) run ID.
 	ErrNotFound = errors.New("runs: run not found")
 
-	// ErrQueueFull reports that the engine's queued-run cap is reached.
+	// ErrQueueFull reports that the engine's queued-run cap — global or
+	// per-session — is reached.
 	ErrQueueFull = errors.New("runs: queue full")
 
 	// ErrEngineClosed reports a submission to a closed engine.
 	ErrEngineClosed = errors.New("runs: engine closed")
+
+	// ErrBadPlan reports an empty or malformed plan submission.
+	ErrBadPlan = errors.New("runs: bad plan")
 )
 
 // State is the lifecycle state of a Run.
@@ -61,8 +65,13 @@ type Run struct {
 	ID string `json:"id"`
 	// SessionID is the session the run executes against.
 	SessionID string `json:"session_id"`
-	// Stage is the pay-as-you-go stage the run invokes.
+	// Stage is the stage the run is currently (or was last) executing.
 	Stage string `json:"stage"`
+	// Plan lists every stage of a multi-stage plan run in execution
+	// order; empty for single-stage runs.
+	Plan []string `json:"plan,omitempty"`
+	// StageIndex is the 0-based position of Stage within Plan.
+	StageIndex int `json:"stage_index,omitempty"`
 	// State is the current lifecycle state.
 	State State `json:"state"`
 	// CancelRequested reports that Cancel was called while the run was
@@ -75,10 +84,36 @@ type Run struct {
 	StartedAt *time.Time `json:"started_at,omitempty"`
 	// FinishedAt is when the run reached a terminal state.
 	FinishedAt *time.Time `json:"finished_at,omitempty"`
-	// Event is the stage event of a succeeded run.
+	// Event is the stage event of a succeeded run (the last stage's event
+	// for plan runs).
 	Event *session.Event `json:"event,omitempty"`
+	// Events are the completed stage events of a plan run, in execution
+	// order; a mid-plan failure keeps the events of the stages that did
+	// complete.
+	Events []session.Event `json:"events,omitempty"`
 	// Error is the failure (or cancellation) message of a terminal run.
 	Error string `json:"error,omitempty"`
+}
+
+// StageCount returns the number of stages the run executes.
+func (r Run) StageCount() int {
+	if len(r.Plan) > 0 {
+		return len(r.Plan)
+	}
+	return 1
+}
+
+// Transition projects the run snapshot into the session-event form the
+// engine streams to subscribers on every state change.
+func (r Run) Transition() session.RunTransition {
+	return session.RunTransition{
+		RunID:      r.ID,
+		State:      string(r.State),
+		Stage:      r.Stage,
+		StageIndex: r.StageIndex,
+		StageCount: r.StageCount(),
+		Error:      r.Error,
+	}
 }
 
 // Stats summarises the engine for health endpoints.

@@ -405,3 +405,237 @@ func TestClosedSessionRunIsCancelled(t *testing.T) {
 		t.Fatalf("closed-session run = %s (%s), want cancelled", got.State, got.Error)
 	}
 }
+
+// stageEv is a shorthand stage-event Func.
+func stageEv(stage string) Func {
+	return func(ctx context.Context) (session.Event, error) {
+		return session.Event{Stage: stage}, nil
+	}
+}
+
+// TestSubmitPlan runs a three-stage plan as one run: stages execute in
+// order on one worker, the run records every completed stage event, and
+// the terminal snapshot carries the last event.
+func TestSubmitPlan(t *testing.T) {
+	e := New(WithWorkers(2))
+	defer e.Close()
+	var order []string
+	var mu sync.Mutex
+	mark := func(stage string) Func {
+		return func(ctx context.Context) (session.Event, error) {
+			mu.Lock()
+			order = append(order, stage)
+			mu.Unlock()
+			return session.Event{Stage: stage}, nil
+		}
+	}
+	stages := []string{"a", "b", "c"}
+	run, err := e.SubmitPlan("s1", stages, []Func{mark("a"), mark("b"), mark("c")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(run.Plan) != 3 || run.Stage != "a" || run.StageIndex != 0 {
+		t.Fatalf("submitted plan run: %+v", run)
+	}
+	final := waitTerminal(t, e, run.ID)
+	if final.State != StateSucceeded {
+		t.Fatalf("plan finished as %s (%s)", final.State, final.Error)
+	}
+	mu.Lock()
+	got := strings.Join(order, ",")
+	mu.Unlock()
+	if got != "a,b,c" {
+		t.Fatalf("stage order = %q", got)
+	}
+	if len(final.Events) != 3 || final.Events[0].Stage != "a" || final.Events[2].Stage != "c" {
+		t.Fatalf("plan events = %+v", final.Events)
+	}
+	if final.Event == nil || final.Event.Stage != "c" {
+		t.Fatalf("last event = %+v", final.Event)
+	}
+	if final.Stage != "c" || final.StageIndex != 2 || final.StageCount() != 3 {
+		t.Fatalf("final cursor = %s %d/%d", final.Stage, final.StageIndex, final.StageCount())
+	}
+}
+
+func TestSubmitPlanValidation(t *testing.T) {
+	e := New(WithWorkers(1))
+	defer e.Close()
+	if _, err := e.SubmitPlan("s1", nil, nil); !errors.Is(err, ErrBadPlan) {
+		t.Fatalf("empty plan err = %v", err)
+	}
+	if _, err := e.SubmitPlan("s1", []string{"a", "b"}, []Func{stageEv("a")}); !errors.Is(err, ErrBadPlan) {
+		t.Fatalf("mismatched plan err = %v", err)
+	}
+}
+
+// TestSingleStagePlanRecordsEvents guards the plan/non-plan distinction:
+// even a one-stage plan is a plan run, with Plan and Events populated.
+func TestSingleStagePlanRecordsEvents(t *testing.T) {
+	e := New(WithWorkers(1))
+	defer e.Close()
+	run, err := e.SubmitPlan("s1", []string{"a"}, []Func{stageEv("a")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, e, run.ID)
+	if final.State != StateSucceeded || len(final.Plan) != 1 {
+		t.Fatalf("single-stage plan run = %+v", final)
+	}
+	if len(final.Events) != 1 || final.Events[0].Stage != "a" {
+		t.Fatalf("single-stage plan events = %+v", final.Events)
+	}
+}
+
+// TestPlanMidFailure checks that a failing stage stops the plan: completed
+// stage events are kept, the failing stage is the run's cursor, and the
+// remaining stages never execute.
+func TestPlanMidFailure(t *testing.T) {
+	e := New(WithWorkers(1))
+	defer e.Close()
+	var ran atomic.Int32
+	boom := errors.New("boom")
+	run, err := e.SubmitPlan("s1", []string{"a", "fail", "never"}, []Func{
+		stageEv("a"),
+		func(ctx context.Context) (session.Event, error) { return session.Event{}, boom },
+		func(ctx context.Context) (session.Event, error) {
+			ran.Add(1)
+			return session.Event{Stage: "never"}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, e, run.ID)
+	if final.State != StateFailed || !strings.Contains(final.Error, "boom") {
+		t.Fatalf("plan finished as %s (%q)", final.State, final.Error)
+	}
+	if final.Stage != "fail" || final.StageIndex != 1 {
+		t.Fatalf("failure cursor = %s %d", final.Stage, final.StageIndex)
+	}
+	if len(final.Events) != 1 || final.Events[0].Stage != "a" {
+		t.Fatalf("completed events = %+v", final.Events)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("stage after failure ran %d times", n)
+	}
+}
+
+// TestPlanCancelMidway cancels a plan while its first stage blocks: the
+// run terminates cancelled and the remaining stages never execute.
+func TestPlanCancelMidway(t *testing.T) {
+	e := New(WithWorkers(1))
+	defer e.Close()
+	started := make(chan struct{})
+	var ran atomic.Int32
+	run, err := e.SubmitPlan("s1", []string{"block", "never"}, []Func{
+		gated(started, nil),
+		func(ctx context.Context) (session.Event, error) { ran.Add(1); return session.Event{}, nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	if _, err := e.Cancel(run.ID); err != nil {
+		t.Fatal(err)
+	}
+	final := waitTerminal(t, e, run.ID)
+	if final.State != StateCancelled {
+		t.Fatalf("cancelled plan state = %s", final.State)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("stage after cancel ran %d times", n)
+	}
+}
+
+// TestSessionQueueCap checks run-engine fairness: one session's pending
+// backlog is capped with ErrQueueFull while other sessions keep
+// submitting against the same engine.
+func TestSessionQueueCap(t *testing.T) {
+	e := New(WithWorkers(1), WithSessionQueue(2))
+	defer e.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	// Occupy the only worker so everything else queues.
+	if _, err := e.Submit("greedy", "block", gated(started, release)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	for i := 0; i < 2; i++ {
+		if _, err := e.Submit("greedy", "q", stageEv("q")); err != nil {
+			t.Fatalf("pending %d: %v", i, err)
+		}
+	}
+	if _, err := e.Submit("greedy", "q", stageEv("q")); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over session cap err = %v", err)
+	}
+	// Plans count as one queued run and hit the same cap.
+	if _, err := e.SubmitPlan("greedy", []string{"a"}, []Func{stageEv("a")}); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("plan over session cap err = %v", err)
+	}
+	// An independent session is unaffected by the greedy one's backlog.
+	if _, err := e.Submit("polite", "q", stageEv("q")); err != nil {
+		t.Fatalf("independent session blocked: %v", err)
+	}
+}
+
+// TestNotifyTransitions checks the transition stream contract: every state
+// change of a plan run is published, in order, from queued through per-stage
+// progress to the terminal state.
+func TestNotifyTransitions(t *testing.T) {
+	var mu sync.Mutex
+	byRun := map[string][]session.RunTransition{}
+	e := New(WithWorkers(2), WithNotify(func(r Run) {
+		mu.Lock()
+		byRun[r.ID] = append(byRun[r.ID], r.Transition())
+		mu.Unlock()
+	}))
+	defer e.Close()
+
+	run, err := e.SubmitPlan("s1", []string{"a", "b"}, []Func{stageEv("a"), stageEv("b")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, e, run.ID)
+	mu.Lock()
+	trs := append([]session.RunTransition(nil), byRun[run.ID]...)
+	mu.Unlock()
+	want := []struct {
+		state string
+		idx   int
+	}{
+		{"queued", 0}, {"running", 0}, {"running", 1}, {"succeeded", 1},
+	}
+	if len(trs) != len(want) {
+		t.Fatalf("transitions = %+v, want %d", trs, len(want))
+	}
+	for i, w := range want {
+		if trs[i].State != w.state || trs[i].StageIndex != w.idx || trs[i].StageCount != 2 {
+			t.Fatalf("transition %d = %+v, want %s at stage %d/2", i, trs[i], w.state, w.idx)
+		}
+	}
+
+	// A queued run cancelled before running transitions queued → cancelled.
+	started := make(chan struct{})
+	release := make(chan struct{})
+	if _, err := e.Submit("s2", "block", gated(started, release)); err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	queued, err := e.Submit("s2", "q", stageEv("q"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	waitTerminal(t, e, queued.ID)
+	mu.Lock()
+	qtrs := append([]session.RunTransition(nil), byRun[queued.ID]...)
+	mu.Unlock()
+	if len(qtrs) != 2 || qtrs[0].State != "queued" || qtrs[1].State != "cancelled" {
+		t.Fatalf("queued-cancel transitions = %+v", qtrs)
+	}
+}

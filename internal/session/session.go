@@ -41,11 +41,44 @@ const (
 	StageUserContext = "user-context"
 )
 
-// Event is one completed wrangling stage of a session — the typed run
-// record the service exposes instead of ad-hoc response maps.
+// Event types carried on the subscriber channel.
+const (
+	// EventStage marks a completed-stage record; it is numbered and kept
+	// in the session history.
+	EventStage = "stage"
+	// EventTransition marks a run state transition (queued → running →
+	// stage k/n → terminal); transitions are live-only progress signals,
+	// never retained in history.
+	EventTransition = "transition"
+)
+
+// RunTransition is the run-progress attachment of a transition event: which
+// run changed state, where in its plan it is, and how it ended.
+type RunTransition struct {
+	// RunID identifies the run on the engine.
+	RunID string `json:"run_id"`
+	// State is the run's lifecycle state after the transition.
+	State string `json:"state"`
+	// Stage is the stage currently (or last) executing.
+	Stage string `json:"stage,omitempty"`
+	// StageIndex is the 0-based position of Stage in the run's plan.
+	StageIndex int `json:"stage_index"`
+	// StageCount is the total number of stages in the run's plan (1 for
+	// single-stage runs).
+	StageCount int `json:"stage_count"`
+	// Error is the failure or cancellation message of a terminal run.
+	Error string `json:"error,omitempty"`
+}
+
+// Event is one record on a session's event stream: a completed wrangling
+// stage (the typed run record the service exposes instead of ad-hoc
+// response maps) or, for live subscribers only, a run state transition.
 type Event struct {
-	// Seq numbers events within the session, from 1.
-	Seq int `json:"seq"`
+	// Seq numbers stage events within the session, from 1; transition
+	// events carry no sequence number.
+	Seq int `json:"seq,omitempty"`
+	// Type is EventStage (the default) or EventTransition.
+	Type string `json:"type,omitempty"`
 	// Stage is the pay-as-you-go stage name.
 	Stage string `json:"stage"`
 	// Steps is the number of orchestration steps the stage triggered.
@@ -57,6 +90,8 @@ type Event struct {
 	// Score is the oracle's assessment of the result after the stage; nil
 	// for sessions without ground truth.
 	Score *datagen.Score `json:"score,omitempty"`
+	// Run carries the transition details of an EventTransition event.
+	Run *RunTransition `json:"run,omitempty"`
 }
 
 // Session is one pay-as-you-go wrangling conversation: a Wrangler plus the
@@ -70,6 +105,7 @@ type Session struct {
 	w         *core.Wrangler
 	sc        *datagen.Scenario
 	seed      int64
+	registry  *Registry
 
 	// runMu serialises stage execution; mu guards the cheap metadata so
 	// listings and state reads never block behind a running stage.
@@ -106,6 +142,14 @@ func WithScenario(sc *datagen.Scenario, seed int64) Option {
 	}
 }
 
+// WithRegistry installs the stage registry the session resolves stage
+// invocations against. Services share one registry across sessions so a
+// registered stage is invocable everywhere; the default is a fresh
+// DefaultRegistry per session.
+func WithRegistry(r *Registry) Option {
+	return func(s *Session) { s.registry = r }
+}
+
 // New wraps a Wrangler as a session. The ID must be unique among live
 // sessions of a manager; NewManager-created sessions get one assigned.
 func New(id string, w *core.Wrangler, opts ...Option) *Session {
@@ -113,6 +157,9 @@ func New(id string, w *core.Wrangler, opts ...Option) *Session {
 	s.lastActive = s.createdAt
 	for _, opt := range opts {
 		opt(s)
+	}
+	if s.registry == nil {
+		s.registry = DefaultRegistry()
 	}
 	return s
 }
@@ -226,6 +273,7 @@ func (s *Session) Step(ctx context.Context, stage string, action func(w *core.Wr
 		return Event{}, err
 	}
 	ev := Event{
+		Type:     EventStage,
 		Stage:    stage,
 		Steps:    len(steps),
 		Duration: time.Since(start),
@@ -263,47 +311,75 @@ func (s *Session) touch() error {
 	return nil
 }
 
+// Registry returns the stage registry the session resolves invocations
+// against.
+func (s *Session) Registry() *Registry { return s.registry }
+
+// Apply is the single choke point of stage execution: it resolves the
+// request's stage in the registry, decodes the payload, and applies the
+// stage to the session. The named stage methods and every service route
+// funnel through this path.
+func (s *Session) Apply(ctx context.Context, req StageRequest) (Event, error) {
+	st, payload, err := s.registry.Resolve(req)
+	if err != nil {
+		return Event{}, err
+	}
+	return st.Apply(ctx, s, payload)
+}
+
+// applyNamed invokes a registered stage with an already-typed payload —
+// the delegation path of the named convenience methods, which skips the
+// JSON codec.
+func (s *Session) applyNamed(ctx context.Context, name string, payload any) (Event, error) {
+	st, err := s.registry.Get(name)
+	if err != nil {
+		return Event{}, err
+	}
+	return st.Apply(ctx, s, payload)
+}
+
+// PublishTransition pushes a run state transition to every live subscriber.
+// Transitions are progress signals, not history: they carry no sequence
+// number, are never retained, and are dropped (never blocking) for slow
+// consumers and closed sessions.
+func (s *Session) PublishTransition(tr RunTransition) {
+	ev := Event{Type: EventTransition, Stage: tr.Stage, At: time.Now(), Run: &tr}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for _, ch := range s.subs {
+		select {
+		case ch <- ev:
+		default: // slow consumer: drop rather than stall the engine
+		}
+	}
+}
+
 // Bootstrap runs stage 1: fully automatic wrangling over the registered
 // sources.
 func (s *Session) Bootstrap(ctx context.Context) (Event, error) {
-	return s.Step(ctx, StageBootstrap, nil)
+	return s.applyNamed(ctx, StageBootstrap, nil)
 }
 
 // AddDataContext runs stage 2 with the given reference relation; nil
 // defaults to the scenario's address reference (ErrNoDataContext without a
 // scenario).
 func (s *Session) AddDataContext(ctx context.Context, rel *relation.Relation) (Event, error) {
-	return s.Step(ctx, StageDataContext, func(w *core.Wrangler) error {
-		if rel == nil {
-			if s.sc == nil {
-				return core.ErrNoDataContext
-			}
-			rel = s.sc.AddressRef
-		}
-		w.AddDataContext(rel)
-		return nil
-	})
+	return s.applyNamed(ctx, StageDataContext, rel)
 }
 
 // AddFeedback runs stage 3 with the given annotations; an empty slice asks
 // the scenario oracle for `budget` annotations (a no-op action without a
 // scenario).
 func (s *Session) AddFeedback(ctx context.Context, items []feedback.Item, budget int) (Event, error) {
-	return s.Step(ctx, StageFeedback, func(w *core.Wrangler) error {
-		if len(items) == 0 && s.sc != nil {
-			items = core.OracleFeedback(s.sc, w.Result(), budget, s.seed)
-		}
-		w.AddFeedback(items...)
-		return nil
-	})
+	return s.applyNamed(ctx, StageFeedback, &FeedbackPayload{Items: items, Budget: &budget})
 }
 
 // SetUserContext runs stage 4 with the given priority model.
 func (s *Session) SetUserContext(ctx context.Context, m *mcda.Model) (Event, error) {
-	return s.Step(ctx, StageUserContext, func(w *core.Wrangler) error {
-		w.SetUserContext(m)
-		return nil
-	})
+	return s.applyNamed(ctx, StageUserContext, m)
 }
 
 // Result returns the clean wrangling result (no provenance column), or

@@ -362,3 +362,140 @@ func TestEvictHooksCompose(t *testing.T) {
 		t.Fatalf("evict hook calls = %v, want %v", calls, want)
 	}
 }
+
+// TestDefaultRegistry checks the pre-populated registry: the four paper
+// stages in lifecycle order, discoverable with descriptions.
+func TestDefaultRegistry(t *testing.T) {
+	reg := DefaultRegistry()
+	want := []string{StageBootstrap, StageDataContext, StageFeedback, StageUserContext}
+	info := reg.Info()
+	if len(info) != len(want) {
+		t.Fatalf("registry has %d stages, want %d", len(info), len(want))
+	}
+	for i, in := range info {
+		if in.Name != want[i] || in.Description == "" {
+			t.Fatalf("stage %d = %+v, want name %q with a description", i, in, want[i])
+		}
+	}
+	if _, err := reg.Get("nope"); !errors.Is(err, ErrUnknownStage) {
+		t.Fatalf("unknown stage err = %v", err)
+	}
+}
+
+func TestRegistryRegisterValidation(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.Register(Stage{Name: "x"}); !errors.Is(err, ErrBadStage) {
+		t.Fatalf("nil apply err = %v", err)
+	}
+	ok := Stage{Name: "x", Apply: func(ctx context.Context, s *Session, _ any) (Event, error) {
+		return Event{}, nil
+	}}
+	if err := reg.Register(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.Register(ok); !errors.Is(err, ErrBadStage) {
+		t.Fatalf("duplicate err = %v", err)
+	}
+}
+
+// TestApply drives the uniform choke point: raw StageRequests resolve,
+// decode and apply exactly like the named methods, and malformed requests
+// fail with the typed sentinels before anything runs.
+func TestApply(t *testing.T) {
+	ctx := context.Background()
+	sc := testScenario(t, 40, 1)
+	sess := New("apply", core.BuildScenarioWrangler(sc), WithScenario(sc, 1))
+
+	ev, err := sess.Apply(ctx, StageRequest{Stage: StageBootstrap})
+	if err != nil || ev.Stage != StageBootstrap || ev.Seq != 1 || ev.Type != EventStage {
+		t.Fatalf("bootstrap via Apply = %+v, %v", ev, err)
+	}
+	// A payload on a payload-less stage is rejected.
+	if _, err := sess.Apply(ctx, StageRequest{Stage: StageBootstrap, Payload: []byte(`{"x":1}`)}); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("bootstrap payload err = %v", err)
+	}
+	if _, err := sess.Apply(ctx, StageRequest{Stage: "nope"}); !errors.Is(err, ErrUnknownStage) {
+		t.Fatalf("unknown stage err = %v", err)
+	}
+	// data-context with an empty payload defaults to the scenario reference.
+	ev, err = sess.Apply(ctx, StageRequest{Stage: StageDataContext})
+	if err != nil || ev.Stage != StageDataContext || ev.Score == nil {
+		t.Fatalf("data-context via Apply = %+v, %v", ev, err)
+	}
+	// feedback with a typed JSON payload.
+	ev, err = sess.Apply(ctx, StageRequest{Stage: StageFeedback, Payload: []byte(`{"budget": 20}`)})
+	if err != nil || ev.Stage != StageFeedback {
+		t.Fatalf("feedback via Apply = %+v, %v", ev, err)
+	}
+	// Unknown payload fields are decode failures, not silent defaults.
+	if _, err := sess.Apply(ctx, StageRequest{Stage: StageFeedback, Payload: []byte(`{"budgte": 20}`)}); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("misspelled feedback payload err = %v", err)
+	}
+	// So is trailing data after the payload value.
+	if _, err := sess.Apply(ctx, StageRequest{Stage: StageFeedback, Payload: []byte(`{"budget": 20}{"budget": 30}`)}); !errors.Is(err, ErrBadPayload) {
+		t.Fatalf("trailing payload data err = %v", err)
+	}
+	// user-context resolves the model by name inside the codec.
+	ev, err = sess.Apply(ctx, StageRequest{Stage: StageUserContext, Payload: []byte(`{"model":"size"}`)})
+	if err != nil || ev.Stage != StageUserContext {
+		t.Fatalf("user-context via Apply = %+v, %v", ev, err)
+	}
+	if _, err := sess.Apply(ctx, StageRequest{Stage: StageUserContext, Payload: []byte(`{"model":"nope"}`)}); !errors.Is(err, ErrBadPayload) || !errors.Is(err, core.ErrUnknownUserContext) {
+		t.Fatalf("bad model err = %v", err)
+	}
+	if len(sess.Events()) != 4 {
+		t.Fatalf("events = %d, want 4", len(sess.Events()))
+	}
+}
+
+// TestCustomStageExtendsSession checks the extension point: a stage
+// registered on a shared registry is immediately invocable by name on a
+// session built over it.
+func TestCustomStageExtendsSession(t *testing.T) {
+	reg := DefaultRegistry()
+	if err := reg.Register(Stage{
+		Name:        "noop",
+		Description: "does nothing, records an event",
+		Apply: func(ctx context.Context, s *Session, _ any) (Event, error) {
+			return s.Step(ctx, "noop", nil)
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sc := testScenario(t, 30, 1)
+	sess := New("custom", core.BuildScenarioWrangler(sc), WithScenario(sc, 1), WithRegistry(reg))
+	ev, err := sess.Apply(context.Background(), StageRequest{Stage: "noop"})
+	if err != nil || ev.Stage != "noop" {
+		t.Fatalf("custom stage = %+v, %v", ev, err)
+	}
+	if sess.Registry() != reg {
+		t.Fatal("session not using the shared registry")
+	}
+}
+
+// TestPublishTransition checks the run-progress channel contract:
+// transitions reach live subscribers as typed, unnumbered events and are
+// never retained in the stage history.
+func TestPublishTransition(t *testing.T) {
+	sc := testScenario(t, 30, 1)
+	sess := New("tr", core.BuildScenarioWrangler(sc), WithScenario(sc, 1))
+	_, events, cancel := sess.Subscribe(4)
+	defer cancel()
+
+	tr := RunTransition{RunID: "r1", State: "running", Stage: StageBootstrap, StageIndex: 1, StageCount: 3}
+	sess.PublishTransition(tr)
+	select {
+	case ev := <-events:
+		if ev.Type != EventTransition || ev.Seq != 0 || ev.Run == nil || *ev.Run != tr {
+			t.Fatalf("transition event = %+v", ev)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no transition delivered")
+	}
+	if len(sess.Events()) != 0 {
+		t.Fatalf("transition leaked into history: %+v", sess.Events())
+	}
+	// Publishing to a closed session is a no-op.
+	sess.Close()
+	sess.PublishTransition(tr)
+}

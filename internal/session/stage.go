@@ -1,0 +1,307 @@
+package session
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"vada/internal/core"
+	"vada/internal/feedback"
+	"vada/internal/mcda"
+	"vada/internal/relation"
+)
+
+// Sentinel errors of the stage registry.
+var (
+	// ErrUnknownStage reports a stage name absent from the registry.
+	ErrUnknownStage = errors.New("session: unknown stage")
+
+	// ErrBadPayload reports a stage payload that failed to decode.
+	ErrBadPayload = errors.New("session: bad stage payload")
+
+	// ErrBadStage reports an invalid or duplicate stage registration.
+	ErrBadStage = errors.New("session: bad stage registration")
+)
+
+// StageRequest names a registered stage plus its raw JSON payload — the
+// uniform wire form of every stage invocation, whether it arrives through
+// the generic POST .../stages/{name} route or as one step of a Plan.
+type StageRequest struct {
+	// Stage is the registered stage name.
+	Stage string `json:"stage"`
+	// Payload is the stage-specific JSON payload; empty or null means the
+	// stage's default behaviour.
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Plan is an ordered list of stage requests executed as one cancellable
+// run: the declarative form of a whole pay-as-you-go conversation.
+type Plan struct {
+	Stages []StageRequest `json:"stages"`
+}
+
+// Stage is one pluggable wrangling stage: a name, a typed JSON payload
+// codec, and an apply function over the session. The four paper stages are
+// pre-registered by DefaultRegistry; applications add their own to extend
+// the service surface without touching any HTTP handler.
+type Stage struct {
+	// Name is the stage's registry key and wire name.
+	Name string
+	// Description is the one-line summary served by stage discovery.
+	Description string
+	// Decode turns the raw JSON payload of a StageRequest into the typed
+	// value Apply receives. nil means the stage takes no payload: empty,
+	// null and {} decode to nil, anything else is ErrBadPayload.
+	Decode func(raw json.RawMessage) (any, error)
+	// Apply runs the stage against the session with the decoded payload.
+	Apply func(ctx context.Context, s *Session, payload any) (Event, error)
+}
+
+// StageInfo is the JSON-ready description of a registered stage, served by
+// the discovery endpoint.
+type StageInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// Registry maps stage names to descriptors. It is safe for concurrent use;
+// a server typically shares one registry across all its sessions so a
+// registered stage is immediately invocable everywhere.
+type Registry struct {
+	mu     sync.RWMutex
+	stages map[string]Stage
+	order  []string
+}
+
+// NewRegistry builds an empty stage registry.
+func NewRegistry() *Registry {
+	return &Registry{stages: map[string]Stage{}}
+}
+
+// Register adds a stage. Empty names, nil Apply functions and duplicate
+// names fail with ErrBadStage.
+func (r *Registry) Register(st Stage) error {
+	if st.Name == "" || st.Apply == nil {
+		return fmt.Errorf("%w: need a name and an apply function", ErrBadStage)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.stages[st.Name]; ok {
+		return fmt.Errorf("%w: %q already registered", ErrBadStage, st.Name)
+	}
+	r.stages[st.Name] = st
+	r.order = append(r.order, st.Name)
+	return nil
+}
+
+// MustRegister is Register that panics on error; for init-time wiring.
+func (r *Registry) MustRegister(st Stage) {
+	if err := r.Register(st); err != nil {
+		panic(err)
+	}
+}
+
+// Get returns the stage registered under name, or ErrUnknownStage.
+func (r *Registry) Get(name string) (Stage, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	st, ok := r.stages[name]
+	if !ok {
+		return Stage{}, fmt.Errorf("%w: %q", ErrUnknownStage, name)
+	}
+	return st, nil
+}
+
+// List returns the registered stages in registration order.
+func (r *Registry) List() []Stage {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Stage, 0, len(r.order))
+	for _, name := range r.order {
+		out = append(out, r.stages[name])
+	}
+	return out
+}
+
+// Info returns the discovery descriptions in registration order.
+func (r *Registry) Info() []StageInfo {
+	stages := r.List()
+	out := make([]StageInfo, len(stages))
+	for i, st := range stages {
+		out[i] = StageInfo{Name: st.Name, Description: st.Description}
+	}
+	return out
+}
+
+// Resolve looks a request's stage up and decodes its payload — the shared
+// validation step of every invocation path, so malformed requests fail
+// before anything is enqueued or applied.
+func (r *Registry) Resolve(req StageRequest) (Stage, any, error) {
+	st, err := r.Get(req.Stage)
+	if err != nil {
+		return Stage{}, nil, err
+	}
+	decode := st.Decode
+	if decode == nil {
+		decode = decodeNone(st.Name)
+	}
+	payload, err := decode(req.Payload)
+	if err != nil {
+		return Stage{}, nil, fmt.Errorf("%w: stage %q: %w", ErrBadPayload, st.Name, err)
+	}
+	return st, payload, nil
+}
+
+// emptyPayload reports a payload with no content: absent, null or {}.
+func emptyPayload(raw json.RawMessage) bool {
+	trimmed := bytes.TrimSpace(raw)
+	return len(trimmed) == 0 || bytes.Equal(trimmed, []byte("null")) || bytes.Equal(trimmed, []byte("{}"))
+}
+
+// decodeNone is the codec of payload-less stages.
+func decodeNone(name string) func(json.RawMessage) (any, error) {
+	return func(raw json.RawMessage) (any, error) {
+		if !emptyPayload(raw) {
+			return nil, fmt.Errorf("stage %q takes no payload", name)
+		}
+		return nil, nil
+	}
+}
+
+// decodeStrict unmarshals a payload rejecting unknown fields and trailing
+// data, so typos and concatenated values in hand-written requests surface
+// as 400s instead of silently-defaulted or partially-applied runs.
+func decodeStrict(raw json.RawMessage, v any) error {
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return err
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return errors.New("trailing data after payload")
+	}
+	return nil
+}
+
+// dataContextPayload is the wire form of the data-context stage payload.
+type dataContextPayload struct {
+	// Relation is the reference relation; absent means the session
+	// scenario's default reference data.
+	Relation *relation.Relation `json:"relation"`
+}
+
+// FeedbackPayload is the typed payload of the feedback stage.
+type FeedbackPayload struct {
+	// Items are explicit annotations; empty asks the scenario oracle.
+	Items []feedback.Item `json:"items,omitempty"`
+	// Budget caps oracle-synthesised annotations; nil defaults to 100.
+	Budget *int `json:"budget,omitempty"`
+}
+
+// userContextPayload is the wire form of the user-context stage payload.
+type userContextPayload struct {
+	// Model names a demonstration priority model ("crime" or "size").
+	Model string `json:"model"`
+}
+
+// DefaultRegistry builds a registry pre-populated with the four
+// pay-as-you-go stages of the paper (§3). Each call returns a fresh
+// registry, so callers can extend theirs without affecting others.
+func DefaultRegistry() *Registry {
+	r := NewRegistry()
+	r.MustRegister(Stage{
+		Name:        StageBootstrap,
+		Description: "step 1: fully automatic wrangling over the registered sources",
+		Apply: func(ctx context.Context, s *Session, _ any) (Event, error) {
+			return s.Step(ctx, StageBootstrap, nil)
+		},
+	})
+	r.MustRegister(Stage{
+		Name:        StageDataContext,
+		Description: "step 2: associate reference data ({\"relation\": ...}; default: the scenario's reference)",
+		Decode: func(raw json.RawMessage) (any, error) {
+			if emptyPayload(raw) {
+				return (*relation.Relation)(nil), nil
+			}
+			var p dataContextPayload
+			if err := decodeStrict(raw, &p); err != nil {
+				return nil, err
+			}
+			return p.Relation, nil
+		},
+		Apply: func(ctx context.Context, s *Session, payload any) (Event, error) {
+			rel, _ := payload.(*relation.Relation)
+			return s.Step(ctx, StageDataContext, func(w *core.Wrangler) error {
+				if rel == nil {
+					if s.sc == nil {
+						return core.ErrNoDataContext
+					}
+					rel = s.sc.AddressRef
+				}
+				w.AddDataContext(rel)
+				return nil
+			})
+		},
+	})
+	r.MustRegister(Stage{
+		Name:        StageFeedback,
+		Description: "step 3: correctness annotations ({\"items\": [...], \"budget\": n}; default: 100 oracle annotations)",
+		Decode: func(raw json.RawMessage) (any, error) {
+			p := &FeedbackPayload{}
+			if emptyPayload(raw) {
+				return p, nil
+			}
+			if err := decodeStrict(raw, p); err != nil {
+				return nil, err
+			}
+			return p, nil
+		},
+		Apply: func(ctx context.Context, s *Session, payload any) (Event, error) {
+			p, _ := payload.(*FeedbackPayload)
+			if p == nil {
+				p = &FeedbackPayload{}
+			}
+			budget := 100
+			if p.Budget != nil {
+				budget = *p.Budget
+			}
+			items := p.Items
+			return s.Step(ctx, StageFeedback, func(w *core.Wrangler) error {
+				if len(items) == 0 && s.sc != nil {
+					items = core.OracleFeedback(s.sc, w.Result(), budget, s.seed)
+				}
+				w.AddFeedback(items...)
+				return nil
+			})
+		},
+	})
+	r.MustRegister(Stage{
+		Name:        StageUserContext,
+		Description: "step 4: priority model over quality criteria ({\"model\": \"crime\"|\"size\"})",
+		Decode: func(raw json.RawMessage) (any, error) {
+			var p userContextPayload
+			if !emptyPayload(raw) {
+				if err := decodeStrict(raw, &p); err != nil {
+					return nil, err
+				}
+			}
+			m, err := core.UserContextByName(p.Model)
+			if err != nil {
+				return nil, err
+			}
+			return m, nil
+		},
+		Apply: func(ctx context.Context, s *Session, payload any) (Event, error) {
+			m, _ := payload.(*mcda.Model)
+			return s.Step(ctx, StageUserContext, func(w *core.Wrangler) error {
+				w.SetUserContext(m)
+				return nil
+			})
+		},
+	})
+	return r
+}

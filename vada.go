@@ -40,18 +40,31 @@
 //	sess, err := mgr.Create(vada.BuildScenarioWrangler(sc), vada.WithScenario(sc, seed))
 //	ev, err := sess.Bootstrap(ctx)
 //
+// Stages are first-class values: a Stage (name, JSON payload codec, apply
+// function) lives in a StageRegistry pre-populated with the four paper
+// stages, and Session.Apply is the single choke point every invocation —
+// named method, HTTP route, or plan step — funnels through:
+//
+//	ev, err := sess.Apply(ctx, vada.StageRequest{
+//		Stage:   vada.StageFeedback,
+//		Payload: []byte(`{"budget": 120}`),
+//	})
+//
 // Long-running stages can execute asynchronously on a RunEngine, which
 // turns each invocation into a pollable, cancellable Run resource with
-// per-session FIFO ordering, while Session.Subscribe streams the typed
-// stage events to live consumers:
+// per-session FIFO ordering; a declarative Plan (an ordered list of
+// StageRequests) runs as one cancellable multi-stage Run. Session.Subscribe
+// streams the typed stage events — and, via WithRunNotify, every run state
+// transition — to live consumers:
 //
 //	engine := vada.NewRunEngine(vada.WithRunWorkers(8))
 //	run, err := engine.Submit(sess.ID(), "bootstrap", sess.Bootstrap)
 //	_, events, cancel := sess.Subscribe(16)
 //
 // cmd/vada-server exposes this lifecycle as the versioned REST API under
-// /api/v1/sessions, including ?async=1 run resources and SSE event
-// streaming under /api/v1/sessions/{id}/events.
+// /api/v1/sessions, including the generic stages/{name} route, plans,
+// stage discovery under /api/v1/stages, ?async=1 run resources and SSE
+// event streaming under /api/v1/sessions/{id}/events.
 //
 // The exported identifiers are aliases of the internal implementation
 // packages, so the full functionality is reachable through this single
@@ -121,9 +134,13 @@ var (
 	ErrSessionNotFound    = session.ErrNotFound
 	ErrSessionClosed      = session.ErrClosed
 	ErrSessionLimit       = session.ErrLimit
+	ErrUnknownStage       = session.ErrUnknownStage
+	ErrBadStagePayload    = session.ErrBadPayload
+	ErrBadStage           = session.ErrBadStage
 	ErrRunNotFound        = runs.ErrNotFound
 	ErrRunQueueFull       = runs.ErrQueueFull
 	ErrRunEngineClosed    = runs.ErrEngineClosed
+	ErrBadPlan            = runs.ErrBadPlan
 )
 
 // ---- sessions -------------------------------------------------------------
@@ -154,6 +171,44 @@ var (
 // "size") by name.
 var UserContextByName = core.UserContextByName
 
+// ---- stages ----------------------------------------------------------------
+
+// Stage is one pluggable wrangling stage (name, JSON payload codec, apply
+// function); StageRegistry maps names to stages; StageRequest is the
+// uniform wire form of a stage invocation; Plan is an ordered list of
+// requests executed as one cancellable run; RunTransition is the
+// run-progress attachment streamed to event subscribers.
+type (
+	Stage           = session.Stage
+	StageRegistry   = session.Registry
+	StageRequest    = session.StageRequest
+	StageInfo       = session.StageInfo
+	Plan            = session.Plan
+	RunTransition   = session.RunTransition
+	FeedbackPayload = session.FeedbackPayload
+)
+
+// Names of the four paper stages, pre-registered by DefaultStageRegistry.
+const (
+	StageBootstrap   = session.StageBootstrap
+	StageDataContext = session.StageDataContext
+	StageFeedback    = session.StageFeedback
+	StageUserContext = session.StageUserContext
+)
+
+// Event types on the session subscriber channel.
+const (
+	EventStage      = session.EventStage
+	EventTransition = session.EventTransition
+)
+
+// Stage registry construction and session wiring.
+var (
+	NewStageRegistry     = session.NewRegistry
+	DefaultStageRegistry = session.DefaultRegistry
+	WithStageRegistry    = session.WithRegistry
+)
+
 // ---- async runs ------------------------------------------------------------
 
 // RunEngine executes wrangling stages asynchronously on a worker pool; each
@@ -180,10 +235,12 @@ const (
 
 // Run-engine construction and configuration.
 var (
-	NewRunEngine      = runs.New
-	WithRunWorkers    = runs.WithWorkers
-	WithRunQueueDepth = runs.WithQueueDepth
-	WithRunRetention  = runs.WithRetention
+	NewRunEngine        = runs.New
+	WithRunWorkers      = runs.WithWorkers
+	WithRunQueueDepth   = runs.WithQueueDepth
+	WithRunSessionQueue = runs.WithSessionQueue
+	WithRunRetention    = runs.WithRetention
+	WithRunNotify       = runs.WithNotify
 )
 
 // ---- relational model -----------------------------------------------------
