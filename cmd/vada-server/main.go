@@ -27,6 +27,17 @@
 //	GET    /api/v1/sessions/{id}/runs/{rid}      poll one run
 //	DELETE /api/v1/sessions/{id}/runs/{rid}      cancel a queued or in-flight run
 //	GET    /api/v1/sessions/{id}/events          stage events + run transitions over SSE
+//	GET    /api/v1/sessions/{id}/export          download the session as a snapshot envelope
+//	POST   /api/v1/sessions/import               restore a session from a snapshot envelope
+//
+// With -data-dir the service is durable: every session is snapshotted to
+// <data-dir>/<id>.vsnap when one of its runs completes, when it is closed
+// or evicted, and at graceful shutdown — and every snapshot in the
+// directory is restored at boot, event history, result and terminal run
+// resources included. A server killed outright (kill -9) therefore loses
+// at most the work since the last completed run, and a restarted server
+// answers GET .../result and GET .../runs/{rid} for pre-restart sessions
+// identically.
 //
 // Stages are registry-driven: the four paper stages are pre-registered and
 // any stage added to the server's registry is immediately invocable through
@@ -62,7 +73,13 @@ import (
 	"log"
 	"mime"
 	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
 	"strconv"
+	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"vada"
@@ -74,8 +91,14 @@ const maxResultPageSize = 1000
 // maxPayloadBytes bounds one stage payload or plan body.
 const maxPayloadBytes = 8 << 20
 
+// maxSnapshotBytes bounds one imported session snapshot.
+const maxSnapshotBytes = 64 << 20
+
+// snapshotExt is the on-disk suffix of persisted session snapshots.
+const snapshotExt = ".vsnap"
+
 // server holds the stage registry, the session manager, the async run
-// engine and the per-session scenario defaults.
+// engine, the per-session scenario defaults and the durability wiring.
 type server struct {
 	registry    *vada.StageRegistry
 	mgr         *vada.SessionManager
@@ -90,47 +113,128 @@ type server struct {
 	// connections behind proxies that never RST.
 	sseKeepAlive    time.Duration
 	sseWriteTimeout time.Duration
+
+	// dataDir is where session snapshots live ("" = ephemeral). The
+	// persister goroutine drains persistCh — session IDs whose runs just
+	// completed — so snapshot writes never run under the engine lock.
+	// persistCh is never closed (late notify hooks must not panic);
+	// persistDone stops the persister, and Close's persistAll sweep covers
+	// whatever hints were still queued.
+	dataDir     string
+	persistCh   chan string
+	persistDone chan struct{}
+	persistWG   sync.WaitGroup
+	closeOnce   sync.Once
+
+	// persistMu makes each capture+write atomic with respect to other
+	// snapshot writers: without it, the persister's capture of a session's
+	// second-to-last state could rename over the evict hook's final
+	// snapshot and strand the last event until the next write.
+	persistMu sync.Mutex
 }
 
-func main() {
-	addr := flag.String("addr", ":8080", "listen address")
-	n := flag.Int("n", 300, "default scenario size for new sessions")
-	maxN := flag.Int("max-n", 2000, "largest scenario size a client may request")
-	seed := flag.Int64("seed", 1, "default scenario seed for new sessions")
-	maxSessions := flag.Int("max-sessions", 64, "live session cap (0 = unlimited)")
-	idleTimeout := flag.Duration("idle-timeout", 30*time.Minute, "evict sessions idle this long (0 = never)")
-	runWorkers := flag.Int("run-workers", 8, "async run engine worker-pool size")
-	runQueue := flag.Int("run-queue", 256, "async run queue depth (0 = unlimited)")
-	runSessionQueue := flag.Int("run-session-queue", 16, "pending async runs one session may hold (0 = unlimited)")
-	sseKeepAlive := flag.Duration("sse-keepalive", 15*time.Second, "SSE keep-alive comment interval (0 = disabled)")
-	sseWriteTimeout := flag.Duration("sse-write-timeout", 10*time.Second, "SSE per-write deadline (0 = none)")
-	flag.Parse()
+// serverConfig is main's flag set in struct form, so tests can build the
+// full server wiring — durability included — without a process.
+type serverConfig struct {
+	n, maxN         int
+	seed            int64
+	maxSessions     int
+	runWorkers      int
+	runQueue        int
+	runSessionQueue int
+	sseKeepAlive    time.Duration
+	sseWriteTimeout time.Duration
+	dataDir         string
+}
 
+// newServer wires registry, run engine, session manager and — when a data
+// directory is configured — the durability paths: restore every snapshot in
+// the directory, then persist sessions on run completion, close, evict and
+// Close.
+func newServer(cfg serverConfig) (*server, error) {
 	s := &server{
 		registry:        vada.DefaultStageRegistry(),
-		defaultN:        *n,
-		defaultSeed:     *seed,
-		maxN:            *maxN,
+		defaultN:        cfg.n,
+		defaultSeed:     cfg.seed,
+		maxN:            cfg.maxN,
 		started:         time.Now(),
-		sseKeepAlive:    *sseKeepAlive,
-		sseWriteTimeout: *sseWriteTimeout,
+		sseKeepAlive:    cfg.sseKeepAlive,
+		sseWriteTimeout: cfg.sseWriteTimeout,
+		dataDir:         cfg.dataDir,
 	}
 	s.runs = vada.NewRunEngine(
-		vada.WithRunWorkers(*runWorkers),
-		vada.WithRunQueueDepth(*runQueue),
-		vada.WithRunSessionQueue(*runSessionQueue),
+		vada.WithRunWorkers(cfg.runWorkers),
+		vada.WithRunQueueDepth(cfg.runQueue),
+		vada.WithRunSessionQueue(cfg.runSessionQueue),
 		vada.WithRunNotify(s.publishTransition),
 	)
 	s.mgr = vada.NewSessionManager(
-		vada.WithMaxSessions(*maxSessions),
-		vada.WithEvictHook(func(sess *vada.Session) {
+		vada.WithMaxSessions(cfg.maxSessions),
+		// Stop hook: interrupt outstanding work the moment the session is
+		// marked closed, so the manager's quiesce wait is short.
+		vada.WithStopHook(func(sess *vada.Session) {
 			if n := s.runs.CancelSession(sess.ID()); n > 0 {
-				log.Printf("vada-server: session %s closed (%d runs cancelled)", sess.ID(), n)
-				return
+				log.Printf("vada-server: session %s closing (%d runs cancelled)", sess.ID(), n)
+			}
+		}),
+		// Evict hook: runs post-quiescence, so the snapshot written here
+		// carries the final KB version, event history and run records.
+		vada.WithEvictHook(func(sess *vada.Session) {
+			if s.dataDir != "" {
+				s.runs.WaitSession(sess.ID())
+				if err := s.persistSession(sess); err != nil {
+					log.Printf("vada-server: persisting session %s: %v", sess.ID(), err)
+				}
 			}
 			log.Printf("vada-server: session %s closed", sess.ID())
 		}),
 	)
+	if s.dataDir != "" {
+		if err := os.MkdirAll(s.dataDir, 0o755); err != nil {
+			return nil, fmt.Errorf("creating -data-dir: %w", err)
+		}
+		s.restoreAll()
+		s.persistCh = make(chan string, 256)
+		s.persistDone = make(chan struct{})
+		s.persistWG.Add(1)
+		go s.persister()
+	}
+	return s, nil
+}
+
+// Close drains the run engine, stops the persister and snapshots every live
+// session — the graceful-shutdown path. Idempotent.
+func (s *server) Close() {
+	s.closeOnce.Do(func() {
+		s.runs.Close() // cancels live runs and waits for workers to drain
+		if s.persistDone != nil {
+			close(s.persistDone)
+			s.persistWG.Wait()
+		}
+		s.persistAll()
+	})
+}
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	cfg := serverConfig{}
+	flag.IntVar(&cfg.n, "n", 300, "default scenario size for new sessions")
+	flag.IntVar(&cfg.maxN, "max-n", 2000, "largest scenario size a client may request")
+	flag.Int64Var(&cfg.seed, "seed", 1, "default scenario seed for new sessions")
+	flag.IntVar(&cfg.maxSessions, "max-sessions", 64, "live session cap (0 = unlimited)")
+	idleTimeout := flag.Duration("idle-timeout", 30*time.Minute, "evict sessions idle this long (0 = never)")
+	flag.IntVar(&cfg.runWorkers, "run-workers", 8, "async run engine worker-pool size")
+	flag.IntVar(&cfg.runQueue, "run-queue", 256, "async run queue depth (0 = unlimited)")
+	flag.IntVar(&cfg.runSessionQueue, "run-session-queue", 16, "pending async runs one session may hold (0 = unlimited)")
+	flag.DurationVar(&cfg.sseKeepAlive, "sse-keepalive", 15*time.Second, "SSE keep-alive comment interval (0 = disabled)")
+	flag.DurationVar(&cfg.sseWriteTimeout, "sse-write-timeout", 10*time.Second, "SSE per-write deadline (0 = none)")
+	flag.StringVar(&cfg.dataDir, "data-dir", "", "persist sessions to this directory and restore them on boot (\"\" = ephemeral)")
+	flag.Parse()
+
+	s, err := newServer(cfg)
+	if err != nil {
+		log.Fatalf("vada-server: %v", err)
+	}
 	if *idleTimeout > 0 {
 		go func() {
 			for range time.Tick(*idleTimeout / 4) {
@@ -141,8 +245,151 @@ func main() {
 		}()
 	}
 
-	log.Printf("vada-server: serving /api/v1/sessions on %s (cap %d)", *addr, *maxSessions)
-	log.Fatal(http.ListenAndServe(*addr, s.routes()))
+	srv := &http.Server{Addr: *addr, Handler: s.routes()}
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		<-sig
+		log.Printf("vada-server: shutting down")
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("vada-server: shutdown: %v", err)
+		}
+	}()
+	log.Printf("vada-server: serving /api/v1/sessions on %s (cap %d, data-dir %q)",
+		*addr, cfg.maxSessions, cfg.dataDir)
+	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatal(err)
+	}
+	// Wait for Shutdown to finish draining in-flight handlers before the
+	// final snapshot sweep — a stage a client got a 200 for must be in it.
+	<-drained
+	s.Close() // drain runs, snapshot every session
+	log.Printf("vada-server: shutdown complete")
+}
+
+// persister serialises snapshot writes triggered by completed runs onto one
+// goroutine, off the engine's notify path. Sessions already removed from
+// the manager were (or will be) persisted by the evict hook instead.
+func (s *server) persister() {
+	defer s.persistWG.Done()
+	for {
+		select {
+		case <-s.persistDone:
+			return
+		case id := <-s.persistCh:
+			if sess, err := s.mgr.Get(id); err == nil {
+				if err := s.persistSession(sess); err != nil {
+					log.Printf("vada-server: persisting session %s: %v", id, err)
+				}
+			}
+		}
+	}
+}
+
+// persistSession atomically writes one session's snapshot envelope to
+// <data-dir>/<id>.vsnap (write to a temp file, fsync, rename). Writers are
+// serialised, so a later capture always lands later on disk.
+func (s *server) persistSession(sess *vada.Session) error {
+	if s.dataDir == "" {
+		return nil
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	id := sess.ID()
+	if !safeSnapshotID(id) {
+		return fmt.Errorf("session ID %q is not filesystem-safe", id)
+	}
+	tmp, err := os.CreateTemp(s.dataDir, ".tmp-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := vada.ExportSession(tmp, sess, s.runs); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), filepath.Join(s.dataDir, id+snapshotExt))
+}
+
+// persistAll snapshots every live session; the shutdown path.
+func (s *server) persistAll() {
+	if s.dataDir == "" {
+		return
+	}
+	for _, sess := range s.mgr.List() {
+		if err := s.persistSession(sess); err != nil {
+			log.Printf("vada-server: persisting session %s: %v", sess.ID(), err)
+		}
+	}
+}
+
+// restoreAll loads every snapshot in the data directory into the manager
+// and run engine. A snapshot that fails to decode or register is logged and
+// skipped — one corrupt file must not take the service down.
+func (s *server) restoreAll() {
+	entries, err := os.ReadDir(s.dataDir)
+	if err != nil {
+		log.Printf("vada-server: reading -data-dir: %v", err)
+		return
+	}
+	restored := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), snapshotExt) {
+			continue
+		}
+		path := filepath.Join(s.dataDir, e.Name())
+		f, err := os.Open(path)
+		if err != nil {
+			log.Printf("vada-server: opening snapshot %s: %v", e.Name(), err)
+			continue
+		}
+		snap, err := vada.ReadSessionSnapshot(f)
+		f.Close()
+		if err != nil {
+			log.Printf("vada-server: skipping snapshot %s: %v", e.Name(), err)
+			continue
+		}
+		sess, err := vada.RestoreSessionInto(s.mgr, s.runs, snap, vada.WithStageRegistry(s.registry))
+		if err != nil {
+			log.Printf("vada-server: restoring snapshot %s: %v", e.Name(), err)
+			continue
+		}
+		restored++
+		log.Printf("vada-server: restored session %s (%d events, %d runs)",
+			sess.ID(), len(snap.Events), len(snap.Runs))
+	}
+	if restored > 0 {
+		log.Printf("vada-server: restored %d session(s) from %s", restored, s.dataDir)
+	}
+}
+
+// safeSnapshotID accepts session IDs that map onto a single path element:
+// letters, digits, dot, dash and underscore, not starting with a dot. This
+// is the guard between imported snapshot metadata and the filesystem.
+func safeSnapshotID(id string) bool {
+	if id == "" || len(id) > 128 || id[0] == '.' {
+		return false
+	}
+	for _, c := range id {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '.', c == '-', c == '_':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // routes wires the versioned API. The UI is registered as "GET /{$}" (the
@@ -171,16 +418,27 @@ func (s *server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /api/v1/sessions/{id}/runs/{rid}", s.handleRunGet)
 	mux.HandleFunc("DELETE /api/v1/sessions/{id}/runs/{rid}", s.handleRunCancel)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/export", s.handleExport)
+	mux.HandleFunc("POST /api/v1/sessions/import", s.handleImport)
 	return mux
 }
 
 // publishTransition is the run engine's notify hook: every run state
 // change is pushed to the owning session's subscribers so SSE clients see
 // queued → running → stage k/n → terminal live. Sessions already gone
-// (evicted mid-run) simply drop the signal.
+// (evicted mid-run) simply drop the signal. Terminal transitions also
+// schedule a durability snapshot: the hook runs under the engine lock, so
+// the write itself happens on the persister goroutine. A full channel
+// drops the hint — the close/evict/shutdown snapshots are the backstop.
 func (s *server) publishTransition(run vada.Run) {
 	if sess, err := s.mgr.Get(run.SessionID); err == nil {
 		sess.PublishTransition(run.Transition())
+	}
+	if s.persistCh != nil && run.State.Terminal() {
+		select {
+		case s.persistCh <- run.SessionID:
+		default:
+		}
 	}
 }
 
@@ -582,6 +840,71 @@ func (s *server) handleEvents(rw http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleExport streams the session as a snapshot envelope — the same bytes
+// -data-dir persists, so an export re-imports on any server. The capture is
+// point-in-time: a stage still running is simply not in it yet.
+func (s *server) handleExport(rw http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	rw.Header().Set("Content-Type", "application/octet-stream")
+	rw.Header().Set("Content-Disposition",
+		fmt.Sprintf("attachment; filename=%q", sess.ID()+snapshotExt))
+	if err := vada.ExportSession(rw, sess, s.runs); err != nil {
+		// Headers are gone; all we can do is log and drop the connection.
+		log.Printf("vada-server: exporting session %s: %v", sess.ID(), err)
+	}
+}
+
+// handleImport restores a session from an uploaded snapshot envelope:
+// 201 with the restored state on success, 400 for malformed envelopes,
+// 409 when the session ID is already live, 429 at the session cap. With a
+// data directory the imported session is persisted immediately, so it
+// survives a crash that follows the import.
+func (s *server) handleImport(rw http.ResponseWriter, r *http.Request) {
+	snap, err := vada.ReadSessionSnapshot(http.MaxBytesReader(rw, r.Body, maxSnapshotBytes))
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			http.Error(rw, err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
+		writeError(rw, err)
+		return
+	}
+	if !safeSnapshotID(snap.Meta.ID) {
+		http.Error(rw, fmt.Sprintf("snapshot session ID %q is not importable", snap.Meta.ID),
+			http.StatusBadRequest)
+		return
+	}
+	// Imported snapshots must respect the same scenario-size policy as
+	// session creation: restoring regenerates the scenario, and an
+	// unbounded NProperties/NPostcodes would let one upload allocate
+	// arbitrarily (negative sizes are rejected by RestoreSession itself).
+	if cfg := snap.Meta.Scenario; cfg != nil && s.maxN > 0 &&
+		(cfg.NProperties > s.maxN || cfg.NPostcodes > s.maxN) {
+		http.Error(rw, fmt.Sprintf("snapshot scenario size (%d properties, %d postcodes) exceeds the server limit %d",
+			cfg.NProperties, cfg.NPostcodes, s.maxN), http.StatusBadRequest)
+		return
+	}
+	sess, err := vada.RestoreSessionInto(s.mgr, s.runs, snap, vada.WithStageRegistry(s.registry))
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	if s.dataDir != "" {
+		if err := s.persistSession(sess); err != nil {
+			log.Printf("vada-server: persisting imported session %s: %v", sess.ID(), err)
+		}
+	}
+	log.Printf("vada-server: imported session %s (%d events, %d runs)",
+		sess.ID(), len(snap.Events), len(snap.Runs))
+	rw.Header().Set("Location", "/api/v1/sessions/"+sess.ID())
+	writeJSONStatus(rw, http.StatusCreated, sess.State())
+}
+
 func (s *server) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
 	writeJSON(rw, map[string]any{
 		"status":    "ok",
@@ -675,8 +998,13 @@ func writeError(rw http.ResponseWriter, err error) {
 		status = http.StatusNotFound
 	case errors.Is(err, vada.ErrUnknownUserContext), errors.Is(err, vada.ErrNoDataContext),
 		errors.Is(err, vada.ErrUnknownStage), errors.Is(err, vada.ErrBadStagePayload),
-		errors.Is(err, vada.ErrBadPlan):
+		errors.Is(err, vada.ErrBadPlan), errors.Is(err, vada.ErrBadSnapshot),
+		errors.Is(err, vada.ErrSnapshotMagic), errors.Is(err, vada.ErrSnapshotVersion),
+		errors.Is(err, vada.ErrSnapshotTruncated), errors.Is(err, vada.ErrSnapshotChecksum),
+		errors.Is(err, vada.ErrSnapshotTooLarge):
 		status = http.StatusBadRequest
+	case errors.Is(err, vada.ErrSessionExists):
+		status = http.StatusConflict
 	case errors.Is(err, vada.ErrSessionLimit), errors.Is(err, vada.ErrRunQueueFull):
 		status = http.StatusTooManyRequests
 		rw.Header().Set("Retry-After", "1")

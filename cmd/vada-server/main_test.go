@@ -2,12 +2,16 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -1339,5 +1343,376 @@ func TestPayloadTooLarge(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusRequestEntityTooLarge {
 		t.Fatalf("oversized payload: %s, want 413", resp.Status)
+	}
+}
+
+// durableServer builds the full production wiring — durability included —
+// against a data directory, exactly as main does.
+func durableServer(t *testing.T, dataDir string) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(serverConfig{
+		n: 50, maxN: 2000, seed: 1, maxSessions: 64,
+		runWorkers: 4, runQueue: 256, runSessionQueue: 16,
+		sseKeepAlive: 15 * time.Second, sseWriteTimeout: 10 * time.Second,
+		dataDir: dataDir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// getJSON fetches and decodes one JSON document.
+func getJSON(t *testing.T, url string) map[string]any {
+	t.Helper()
+	resp, body := get(t, url)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s (%s)", url, resp.Status, body)
+	}
+	var out map[string]any
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// waitSnapshotRun polls the session's snapshot file until it holds the
+// given run in a terminal state — the durability point a kill -9 must not
+// lose.
+func waitSnapshotRun(t *testing.T, path, rid string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		f, err := os.Open(path)
+		if err == nil {
+			snap, err := vada.ReadSessionSnapshot(f)
+			f.Close()
+			if err == nil {
+				for _, r := range snap.Runs {
+					if r.ID == rid && r.State.Terminal() {
+						return
+					}
+				}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("snapshot %s never recorded terminal run %s", path, rid)
+}
+
+// TestRestartRecovery is the kill -9 acceptance flow: a session wrangles a
+// full four-stage plan, the process dies without any graceful shutdown, and
+// a server restarted over the same -data-dir serves identical result rows,
+// identical event history and the identical terminal run resource.
+func TestRestartRecovery(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := durableServer(t, dir)
+
+	id := createSession(t, ts1, `{"name":"durable"}`)
+	base1 := ts1.URL + "/api/v1/sessions/" + id
+	plan := `{"stages":[{"stage":"bootstrap"},{"stage":"data-context"},
+		{"stage":"feedback","payload":{"budget":60}},{"stage":"user-context","payload":{"model":"crime"}}]}`
+	resp, err := http.Post(base1+"/plans", "application/json", strings.NewReader(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("plan submit: %s", resp.Status)
+	}
+	loc := resp.Header.Get("Location")
+	rid := loc[strings.LastIndex(loc, "/")+1:]
+	final := pollRun(t, ts1.URL+loc)
+	if final["state"] != "succeeded" {
+		t.Fatalf("plan run: %v (%v)", final["state"], final["error"])
+	}
+
+	// Ground truth before the crash.
+	wantState := getJSON(t, base1)
+	wantEvents := wantState["events"].([]any)
+	if len(wantEvents) != 4 {
+		t.Fatalf("pre-restart events = %d, want 4", len(wantEvents))
+	}
+	wantRun := getJSON(t, ts1.URL+loc)
+	_, wantResult := get(t, base1+"/result?limit=1000")
+
+	// The completed run's snapshot must already be on disk — that is what a
+	// kill -9 preserves. No graceful Close happens for server 1.
+	waitSnapshotRun(t, filepath.Join(dir, id+".vsnap"), rid)
+	ts1.Close()
+	_ = s1 // deliberately never s1.Close(): this is the kill -9
+
+	// Restart over the same directory.
+	s2, ts2 := durableServer(t, dir)
+	t.Cleanup(s2.Close)
+	base2 := ts2.URL + "/api/v1/sessions/" + id
+
+	// The session is listed again.
+	all := getJSON(t, ts2.URL+"/api/v1/sessions")
+	if all["total"].(float64) != 1 {
+		t.Fatalf("restored sessions = %v", all["total"])
+	}
+
+	// Identical event history (sequence, stages, timestamps, scores).
+	gotState := getJSON(t, base2)
+	if gotState["id"] != id || gotState["name"] != "durable" {
+		t.Fatalf("restored identity: %v/%v", gotState["id"], gotState["name"])
+	}
+	if !reflect.DeepEqual(gotState["events"], wantEvents) {
+		t.Fatalf("events drifted across restart:\n got %v\nwant %v", gotState["events"], wantEvents)
+	}
+
+	// Identical result rows, byte for byte.
+	if _, gotResult := get(t, base2+"/result?limit=1000"); gotResult != wantResult {
+		t.Fatalf("result drifted across restart:\n got %s\nwant %s", gotResult, wantResult)
+	}
+
+	// The terminal run resource survives, identically.
+	gotRun := getJSON(t, ts2.URL+"/api/v1/sessions/"+id+"/runs/"+rid)
+	if !reflect.DeepEqual(gotRun, wantRun) {
+		t.Fatalf("run drifted across restart:\n got %v\nwant %v", gotRun, wantRun)
+	}
+
+	// The restored session keeps wrangling: one more stage applies and the
+	// event numbering continues.
+	resp2, err := http.Post(base2+"/stages/user-context", "application/json",
+		strings.NewReader(`{"model":"size"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("post-restart stage: %s", resp2.Status)
+	}
+	var ev map[string]any
+	if err := json.NewDecoder(resp2.Body).Decode(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev["seq"].(float64) != 5 {
+		t.Fatalf("post-restart seq = %v, want 5", ev["seq"])
+	}
+}
+
+// TestCloseEvictPersists proves the teardown path snapshots the final
+// state: a DELETEd session's file carries every event, and the snapshot is
+// restorable.
+func TestCloseEvictPersists(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := durableServer(t, dir)
+	t.Cleanup(s.Close)
+
+	id := createSession(t, ts, `{"name":"evicted"}`)
+	base := ts.URL + "/api/v1/sessions/" + id
+	if resp, body := get(t, base+"/state"); resp.StatusCode != http.StatusOK {
+		t.Fatalf("state: %s", body)
+	}
+	resp, err := http.Post(base+"/bootstrap", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("bootstrap: %s", resp.Status)
+	}
+
+	req, _ := http.NewRequest(http.MethodDelete, base, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE: %s", dresp.Status)
+	}
+
+	f, err := os.Open(filepath.Join(dir, id+".vsnap"))
+	if err != nil {
+		t.Fatalf("close did not persist: %v", err)
+	}
+	defer f.Close()
+	snap, err := vada.ReadSessionSnapshot(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Meta.ID != id || len(snap.Events) != 1 || snap.Events[0].Stage != "bootstrap" {
+		t.Fatalf("persisted snapshot = %+v", snap.Meta)
+	}
+}
+
+// TestExportImport round-trips a session through the HTTP surface: export,
+// conflict on live re-import, delete, then import resurrects it.
+func TestExportImport(t *testing.T) {
+	_, ts := testServer(t)
+	id := createSession(t, ts, `{"name":"exported"}`)
+	base := ts.URL + "/api/v1/sessions/" + id
+	post(t, base+"/bootstrap")
+
+	resp, err := http.Get(base + "/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	envelope, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("export: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("export content type = %q", ct)
+	}
+	if !strings.Contains(resp.Header.Get("Content-Disposition"), id+".vsnap") {
+		t.Fatalf("export disposition = %q", resp.Header.Get("Content-Disposition"))
+	}
+	_, wantResult := get(t, base+"/result?limit=1000")
+
+	// Importing while the ID is live conflicts.
+	cresp, err := http.Post(ts.URL+"/api/v1/sessions/import", "application/octet-stream",
+		bytes.NewReader(envelope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if cresp.StatusCode != http.StatusConflict {
+		t.Fatalf("import over live session: %s, want 409", cresp.Status)
+	}
+
+	// Delete, then import resurrects the session with identical state.
+	req, _ := http.NewRequest(http.MethodDelete, base, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	iresp, err := http.Post(ts.URL+"/api/v1/sessions/import", "application/octet-stream",
+		bytes.NewReader(envelope))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer iresp.Body.Close()
+	body, _ := io.ReadAll(iresp.Body)
+	if iresp.StatusCode != http.StatusCreated {
+		t.Fatalf("import: %s (%s)", iresp.Status, body)
+	}
+	if loc := iresp.Header.Get("Location"); loc != "/api/v1/sessions/"+id {
+		t.Fatalf("import location = %q", loc)
+	}
+	var st map[string]any
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	if st["id"] != id || len(st["events"].([]any)) != 1 {
+		t.Fatalf("imported state = %v", st)
+	}
+	if _, gotResult := get(t, base+"/result?limit=1000"); gotResult != wantResult {
+		t.Fatalf("imported result drifted:\n got %s\nwant %s", gotResult, wantResult)
+	}
+	// And it wrangles on.
+	post(t, base+"/datacontext")
+}
+
+// TestImportRejections covers the import guardrails: garbage envelopes,
+// truncated envelopes and filesystem-hostile session IDs.
+func TestImportRejections(t *testing.T) {
+	_, ts := testServer(t)
+	importURL := ts.URL + "/api/v1/sessions/import"
+
+	for name, body := range map[string][]byte{
+		"garbage":   []byte("definitely not a snapshot"),
+		"empty":     {},
+		"truncated": []byte("VADASNAP\x01\x01\x00\x00\x10\x00"),
+	} {
+		resp, err := http.Post(importURL, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s import: %s, want 400", name, resp.Status)
+		}
+	}
+
+	// A structurally-valid snapshot whose ID would escape the data
+	// directory is refused before it touches anything.
+	var evil bytes.Buffer
+	err := vada.WriteSessionSnapshot(&evil, &vada.SessionSnapshot{
+		Meta: vada.SnapshotMeta{ID: "../evil"},
+		KB:   vada.NewKB(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(importURL, "application/octet-stream", bytes.NewReader(evil.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	msg, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(msg), "not importable") {
+		t.Fatalf("hostile ID import: %s (%s)", resp.Status, msg)
+	}
+}
+
+// TestExportUnknownSession pins the 404.
+func TestExportUnknownSession(t *testing.T) {
+	_, ts := testServer(t)
+	resp, err := http.Get(ts.URL + "/api/v1/sessions/nope/export")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("export unknown: %s", resp.Status)
+	}
+}
+
+// TestImportScenarioBounds proves imported snapshots cannot smuggle
+// scenario sizes past the server's -max-n policy (or negative sizes that
+// would panic generation).
+func TestImportScenarioBounds(t *testing.T) {
+	s, ts := durableServer(t, t.TempDir()) // maxN = 2000
+	t.Cleanup(s.Close)
+	importURL := ts.URL + "/api/v1/sessions/import"
+
+	build := func(n, postcodes int) []byte {
+		cfg := vada.DefaultScenarioConfig()
+		cfg.NProperties = n
+		cfg.NPostcodes = postcodes
+		var buf bytes.Buffer
+		err := vada.WriteSessionSnapshot(&buf, &vada.SessionSnapshot{
+			Meta: vada.SnapshotMeta{ID: "bounds-test", Scenario: &cfg},
+			KB:   vada.NewKB(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	for name, body := range map[string][]byte{
+		"oversized properties": build(100000, 60),
+		"oversized postcodes":  build(50, 100000),
+		"negative properties":  build(-1, 60),
+		"negative postcodes":   build(50, -1),
+	} {
+		resp, err := http.Post(importURL, "application/octet-stream", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		msg, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("%s: %s (%s), want 400", name, resp.Status, msg)
+		}
+	}
+
+	// An in-bounds scenario config still imports.
+	resp, err := http.Post(importURL, "application/octet-stream", bytes.NewReader(build(50, 20)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("in-bounds import: %s, want 201", resp.Status)
 	}
 }

@@ -1,0 +1,131 @@
+package core
+
+import (
+	"vada/internal/feedback"
+	"vada/internal/mcda"
+)
+
+// Options returns a copy of the wrangler's effective configuration — the
+// defaults with every functional option applied. Persistence uses it to
+// carry the configuration across restarts; mutating the copy has no effect
+// on the wrangler.
+func (w *Wrangler) Options() Options { return w.opts }
+
+// FeedbackItems returns a copy of every feedback item the wrangler holds.
+// Persistence captures these in full: the KB's fb_item facts drop each
+// item's observed value, and it is judging against the captured observation
+// (not the evolving result) that keeps feedback assimilation a fixed point
+// — restoring facts alone can leave orchestration oscillating between
+// result candidates.
+func (w *Wrangler) FeedbackItems() []feedback.Item { return w.fb.Items() }
+
+// ChangeFingerprints returns the wrangler's change-detection state: the
+// per-mapping hash of the last executed output and the hash of the last
+// fused union. These are what let mapping execution and fusion leave
+// downstream repairs intact when their own inputs have not changed — so
+// persistence must carry them, or the first post-restore run re-executes
+// every mapping, overwrites the repaired result relations, and re-derives a
+// differently-normalised result.
+func (w *Wrangler) ChangeFingerprints() (exec map[string]uint64, fused uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	exec = make(map[string]uint64, len(w.lastExecHash))
+	for id, h := range w.lastExecHash {
+		exec[id] = h
+	}
+	return exec, w.lastFusedHash
+}
+
+// RestoreFingerprints reinstates change-detection state captured by
+// ChangeFingerprints on the pre-restart wrangler.
+func (w *Wrangler) RestoreFingerprints(exec map[string]uint64, fused uint64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for id, h := range exec {
+		w.lastExecHash[id] = h
+	}
+	if fused != 0 {
+		w.lastFusedHash = fused
+	}
+}
+
+// Rehydrate rebuilds the wrangler's derived in-memory state from the
+// knowledge base after a snapshot restore: data-context registrations from
+// dc_reference facts, feedback items from fb_item facts, and the
+// user-context priority model from uc_priority facts.
+//
+// The knowledge base is the durable source of truth, so everything the KB
+// records is recovered exactly; state that never reaches the KB — observed
+// cell values attached to feedback items, transducer execution hashes,
+// cached match sets — is re-derived by the next orchestration run instead.
+// At rest the restored result is byte-identical; continued wrangling may
+// recompute intermediate artefacts.
+func (w *Wrangler) Rehydrate() {
+	// Data-context registrations: names only; the relations themselves are
+	// restored with the KB under their dc_ keys.
+	for _, f := range w.KB.Facts(PredReference) {
+		if len(f) != 1 {
+			continue
+		}
+		name := f[0].Str()
+		w.mu.Lock()
+		found := false
+		for _, n := range w.refNames {
+			if n == name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			w.refNames = append(w.refNames, name)
+		}
+		w.mu.Unlock()
+	}
+
+	// Feedback: fb_item(street, postcode, attr, correct). Observed values
+	// are not part of the fact, so rehydrated items carry the judgement
+	// without the observation.
+	if w.fb.Len() == 0 {
+		var items []feedback.Item
+		for _, f := range w.KB.Facts(PredFeedback) {
+			if len(f) != 4 {
+				continue
+			}
+			items = append(items, feedback.Item{
+				Street:   f[0].Str(),
+				Postcode: f[1].Str(),
+				Attr:     f[2].Str(),
+				Correct:  f[3].BoolVal(),
+			})
+		}
+		if len(items) > 0 {
+			w.fb.Add(items...)
+		}
+	}
+
+	// User context: uc_priority(moreMetric, moreTarget, lessMetric,
+	// lessTarget, strength) facts reassemble into a priority model.
+	w.mu.Lock()
+	haveModel := w.userModel != nil
+	w.mu.Unlock()
+	if !haveModel {
+		m := mcda.NewModel()
+		n := 0
+		for _, f := range w.KB.Facts(PredPriority) {
+			if len(f) != 5 {
+				continue
+			}
+			more := mcda.Criterion{Metric: f[0].Str(), Target: f[1].Str()}
+			less := mcda.Criterion{Metric: f[2].Str(), Target: f[3].Str()}
+			if err := m.AddComparison(more, less, mcda.Strength(f[4].IntVal())); err != nil {
+				continue // inconsistent restored pair: skip rather than fail the restore
+			}
+			n++
+		}
+		if n > 0 {
+			w.mu.Lock()
+			w.userModel = m
+			w.mu.Unlock()
+		}
+	}
+}

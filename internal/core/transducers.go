@@ -574,8 +574,15 @@ func (w *Wrangler) fusionTransducer() transducer.Transducer {
 			acc := w.accBySource
 			w.mu.Unlock()
 
+			// Union in selection-rank order. Facts() order is storage
+			// order — dependent on assert/retract history live and on
+			// snapshot sort order after a restore — and fusion's voting
+			// tie-breaks follow union order, so anything else makes the
+			// fused result depend on how the facts happen to be stored.
+			selected := k.Facts(PredSelected)
+			sort.Slice(selected, func(i, j int) bool { return selected[i][1].IntVal() < selected[j][1].IntVal() })
 			var union *relation.Relation
-			for _, f := range k.Facts(PredSelected) {
+			for _, f := range selected {
 				res := k.Relation(RelResultPrefix + f[0].Str())
 				if res == nil {
 					continue

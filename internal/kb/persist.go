@@ -2,12 +2,18 @@ package kb
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
 
 	"vada/internal/relation"
 )
+
+// ErrBadSnapshot reports a snapshot stream that could not be decoded —
+// truncated, corrupted, or not a KB snapshot at all. Branch with errors.Is;
+// the wrapped error carries the decoder detail.
+var ErrBadSnapshot = errors.New("kb: bad snapshot")
 
 // snapshotJSON is the wire form of a knowledge-base snapshot. The paper
 // keeps most extensional data in external stores; WriteSnapshot/ReadSnapshot
@@ -54,18 +60,26 @@ func (k *KB) WriteSnapshot(w io.Writer) error {
 
 // ReadSnapshot restores a knowledge base from a snapshot written by
 // WriteSnapshot. It returns a fresh KB; watchers are not part of snapshots.
+// Malformed input fails with an error wrapping ErrBadSnapshot; the decoder
+// never panics and allocates only in proportion to the bytes actually read.
 func ReadSnapshot(r io.Reader) (*KB, error) {
 	var snap snapshotJSON
 	if err := json.NewDecoder(r).Decode(&snap); err != nil {
-		return nil, fmt.Errorf("kb: reading snapshot: %w", err)
+		return nil, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
 	}
 	k := New()
 	for pred, tuples := range snap.Facts {
+		if pred == "" {
+			return nil, fmt.Errorf("%w: empty fact predicate", ErrBadSnapshot)
+		}
 		for _, t := range tuples {
 			k.Assert(pred, t)
 		}
 	}
 	for name, rel := range snap.Relations {
+		if name == "" {
+			return nil, fmt.Errorf("%w: empty relation name", ErrBadSnapshot)
+		}
 		if rel != nil {
 			k.PutRelation(name, rel)
 		}
@@ -78,4 +92,43 @@ func ReadSnapshot(r io.Reader) (*KB, error) {
 	}
 	k.mu.Unlock()
 	return k, nil
+}
+
+// Merge folds another knowledge base — typically one decoded by
+// ReadSnapshot — into k in place: facts are asserted (duplicates are
+// no-ops), relations replace same-named ones wholesale, and k's version is
+// raised to at least src's. Merging in place is the restore path of a
+// Wrangler whose orchestrator and watchers are already wired to k, where
+// swapping the KB pointer would sever them. Watchers observe the merge as
+// ordinary assertions.
+func (k *KB) Merge(src *KB) {
+	src.mu.RLock()
+	defer src.mu.RUnlock()
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	for pred, fs := range src.facts {
+		dst, ok := k.facts[pred]
+		if !ok {
+			dst = &factSet{keys: make(map[string]int, len(fs.tuples))}
+			k.facts[pred] = dst
+		}
+		for _, t := range fs.tuples {
+			key := t.Key()
+			if _, dup := dst.keys[key]; dup {
+				continue
+			}
+			dst.keys[key] = len(dst.tuples)
+			dst.tuples = append(dst.tuples, t.Clone())
+			k.version++
+			k.notifyLocked(Event{Version: k.version, Op: OpAssert, Predicate: pred, Tuple: t.Clone()})
+		}
+	}
+	for name, r := range src.relations {
+		k.relations[name] = r.Clone()
+		k.version++
+		k.notifyLocked(Event{Version: k.version, Op: OpAssert, Predicate: name})
+	}
+	if src.version > k.version {
+		k.version = src.version
+	}
 }

@@ -89,3 +89,50 @@ func TestReadSnapshotGarbage(t *testing.T) {
 		t.Fatal("garbage should fail")
 	}
 }
+
+func TestMerge(t *testing.T) {
+	dst := New()
+	dst.Assert("src_registered", tup("rightmove"))
+	dst.Assert("uc_target_schema", tup("target"))
+	ch, cancel := dst.Watch(64)
+	defer cancel()
+
+	src := New()
+	src.Assert("src_registered", tup("rightmove")) // duplicate: no-op
+	src.Assert("md_selected", tup("m1", 1))
+	rel := relation.New(relation.NewSchema("result", "street"))
+	rel.MustAppend("1 High St")
+	src.PutRelation("result", rel)
+	srcVersion := src.Version()
+
+	dst.Merge(src)
+
+	if !dst.Has("md_selected", tup("m1", 1)) || !dst.Has("uc_target_schema", tup("target")) {
+		t.Fatalf("merge lost facts: %v", dst.Predicates())
+	}
+	if dst.Count("src_registered") != 1 {
+		t.Fatalf("duplicate fact duplicated: %d", dst.Count("src_registered"))
+	}
+	if got := dst.Relation("result"); got == nil || got.Cardinality() != 1 {
+		t.Fatalf("merge lost relation: %v", got)
+	}
+	if dst.Version() < srcVersion {
+		t.Fatalf("merged version %d regressed below source %d", dst.Version(), srcVersion)
+	}
+	// Watchers observe the merge as ordinary assertions.
+	select {
+	case ev := <-ch:
+		if ev.Op != OpAssert {
+			t.Fatalf("unexpected op %v", ev.Op)
+		}
+	default:
+		t.Fatal("merge delivered no watcher events")
+	}
+	// Merge is idempotent: re-merging changes nothing but the version check.
+	before := dst.Stats()
+	dst.Merge(src)
+	after := dst.Stats()
+	if before.Facts != after.Facts || before.Relations != after.Relations {
+		t.Fatalf("re-merge changed contents: %+v vs %+v", before, after)
+	}
+}

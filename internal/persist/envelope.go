@@ -1,0 +1,167 @@
+// Package persist is the durability subsystem: it serialises a full
+// wrangling session — knowledge base, configuration, typed stage-event
+// history and completed asynchronous runs — into a versioned, checksummed
+// envelope that survives process restarts, and restores it into a live
+// session manager and run engine on the other side.
+//
+// The envelope is a deliberately boring binary container: an 8-byte magic,
+// a format-version byte, then length-prefixed sections each carrying a kind
+// tag and a CRC-32 of its payload, closed by an end marker. Every payload
+// is JSON (the knowledge-base section is exactly the kb.WriteSnapshot wire
+// form), so the format stays debuggable with a hex dump and `jq`, while the
+// framing makes truncation, corruption and version skew first-class, typed
+// errors instead of mysterious JSON failures. Golden fixtures under
+// testdata pin format v1 byte-for-byte: a change that breaks old snapshots
+// must bump FormatV1 rather than silently strand them.
+package persist
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+)
+
+// Envelope framing errors. Every failure of ReadSessionSnapshot wraps
+// exactly one of these (or ErrBadSnapshot for semantic failures), so
+// callers can branch with errors.Is and fuzzing can prove the decoder's
+// error surface is closed.
+var (
+	// ErrBadMagic reports a stream that is not a VADA snapshot at all.
+	ErrBadMagic = errors.New("persist: bad magic")
+
+	// ErrBadVersion reports a snapshot written by an unknown format version.
+	ErrBadVersion = errors.New("persist: unsupported format version")
+
+	// ErrTruncated reports a stream that ends mid-structure.
+	ErrTruncated = errors.New("persist: truncated snapshot")
+
+	// ErrChecksum reports a section whose payload fails its CRC.
+	ErrChecksum = errors.New("persist: checksum mismatch")
+
+	// ErrTooLarge reports a section whose declared length exceeds
+	// MaxSectionBytes.
+	ErrTooLarge = errors.New("persist: section too large")
+
+	// ErrBadSnapshot reports a structurally-valid envelope whose contents do
+	// not form a session snapshot: unknown, duplicate or missing sections,
+	// or section payloads that fail to decode.
+	ErrBadSnapshot = errors.New("persist: bad snapshot")
+)
+
+// FormatV1 is the current envelope format version.
+const FormatV1 byte = 1
+
+// MaxSectionBytes caps one section's declared payload length. The reader
+// additionally allocates only in proportion to the bytes actually present,
+// so a hostile length prefix cannot force a large allocation on a short
+// stream.
+var MaxSectionBytes = uint32(1 << 28)
+
+// magic identifies the envelope; it never changes across versions.
+var magic = [8]byte{'V', 'A', 'D', 'A', 'S', 'N', 'A', 'P'}
+
+// Section kinds of the session-snapshot layout.
+const (
+	sectionEnd    byte = 0x00
+	sectionMeta   byte = 0x01
+	sectionKB     byte = 0x02
+	sectionEvents byte = 0x03
+	sectionRuns   byte = 0x04
+)
+
+// section is one framed payload of an envelope.
+type section struct {
+	kind byte
+	data []byte
+}
+
+// writeEnvelope frames the sections: magic, version, each section as
+// kind | u32 length | payload | CRC-32(payload), then the end marker.
+func writeEnvelope(w io.Writer, version byte, sections []section) error {
+	if _, err := w.Write(magic[:]); err != nil {
+		return fmt.Errorf("persist: writing magic: %w", err)
+	}
+	if _, err := w.Write([]byte{version}); err != nil {
+		return fmt.Errorf("persist: writing version: %w", err)
+	}
+	var hdr [5]byte
+	for _, s := range sections {
+		if uint64(len(s.data)) > uint64(MaxSectionBytes) {
+			return fmt.Errorf("%w: section 0x%02x is %d bytes (max %d)",
+				ErrTooLarge, s.kind, len(s.data), MaxSectionBytes)
+		}
+		hdr[0] = s.kind
+		binary.BigEndian.PutUint32(hdr[1:], uint32(len(s.data)))
+		if _, err := w.Write(hdr[:]); err != nil {
+			return fmt.Errorf("persist: writing section header: %w", err)
+		}
+		if _, err := w.Write(s.data); err != nil {
+			return fmt.Errorf("persist: writing section payload: %w", err)
+		}
+		var crc [4]byte
+		binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(s.data))
+		if _, err := w.Write(crc[:]); err != nil {
+			return fmt.Errorf("persist: writing section checksum: %w", err)
+		}
+	}
+	if _, err := w.Write([]byte{sectionEnd}); err != nil {
+		return fmt.Errorf("persist: writing end marker: %w", err)
+	}
+	return nil
+}
+
+// readEnvelope parses the framing, verifying magic, version, lengths and
+// checksums. It allocates per section only as payload bytes actually
+// arrive, so truncated streams with hostile length prefixes stay cheap.
+func readEnvelope(r io.Reader) (byte, []section, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, fmt.Errorf("%w: reading header: %w", ErrTruncated, err)
+	}
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return 0, nil, fmt.Errorf("%w: %q", ErrBadMagic, hdr[:8])
+	}
+	version := hdr[8]
+	if version != FormatV1 {
+		return 0, nil, fmt.Errorf("%w: %d (supported: %d)", ErrBadVersion, version, FormatV1)
+	}
+	var sections []section
+	for {
+		var kind [1]byte
+		if _, err := io.ReadFull(r, kind[:]); err != nil {
+			return 0, nil, fmt.Errorf("%w: missing end marker: %w", ErrTruncated, err)
+		}
+		if kind[0] == sectionEnd {
+			if n, _ := io.CopyN(io.Discard, r, 1); n != 0 {
+				return 0, nil, fmt.Errorf("%w: trailing data after end marker", ErrBadSnapshot)
+			}
+			return version, sections, nil
+		}
+		var lenb [4]byte
+		if _, err := io.ReadFull(r, lenb[:]); err != nil {
+			return 0, nil, fmt.Errorf("%w: reading section length: %w", ErrTruncated, err)
+		}
+		length := binary.BigEndian.Uint32(lenb[:])
+		if length > MaxSectionBytes {
+			return 0, nil, fmt.Errorf("%w: section 0x%02x declares %d bytes (max %d)",
+				ErrTooLarge, kind[0], length, MaxSectionBytes)
+		}
+		// CopyN into a growing buffer: a truncated stream allocates only
+		// what is actually present, whatever the length prefix claims.
+		var payload bytes.Buffer
+		if _, err := io.CopyN(&payload, r, int64(length)); err != nil {
+			return 0, nil, fmt.Errorf("%w: reading section payload: %w", ErrTruncated, err)
+		}
+		var crcb [4]byte
+		if _, err := io.ReadFull(r, crcb[:]); err != nil {
+			return 0, nil, fmt.Errorf("%w: reading section checksum: %w", ErrTruncated, err)
+		}
+		if got := crc32.ChecksumIEEE(payload.Bytes()); got != binary.BigEndian.Uint32(crcb[:]) {
+			return 0, nil, fmt.Errorf("%w: section 0x%02x", ErrChecksum, kind[0])
+		}
+		sections = append(sections, section{kind: kind[0], data: payload.Bytes()})
+	}
+}

@@ -1,0 +1,63 @@
+package persist
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// FuzzReadSessionSnapshot proves the snapshot decoder is total over
+// adversarial envelopes: any input either decodes into a snapshot that
+// re-encodes cleanly, or fails with one of the package's typed sentinels.
+// It must never panic, and — enforced structurally by the chunked section
+// reader — never allocate beyond the bytes actually presented, whatever
+// lengths the envelope claims.
+func FuzzReadSessionSnapshot(f *testing.F) {
+	var valid bytes.Buffer
+	if err := WriteSessionSnapshot(&valid, goldenSnapshot()); err != nil {
+		f.Fatal(err)
+	}
+	v := valid.Bytes()
+	f.Add(v)
+	f.Add(v[:9])                                   // header only
+	f.Add(v[:len(v)/2])                            // truncated mid-section
+	f.Add(v[:len(v)-1])                            // missing end marker
+	f.Add(append(append([]byte(nil), v...), 0xff)) // trailing byte
+	flipped := append([]byte(nil), v...)
+	flipped[20] ^= 0xff
+	f.Add(flipped) // checksum break
+	f.Add([]byte("VADASNAP"))
+	f.Add([]byte{'V', 'A', 'D', 'A', 'S', 'N', 'A', 'P', 1, 0})                            // v1, zero sections
+	f.Add([]byte{'V', 'A', 'D', 'A', 'S', 'N', 'A', 'P', 1, 0x7f})                         // unknown kind, truncated
+	f.Add([]byte{'V', 'A', 'D', 'A', 'S', 'N', 'A', 'P', 1, 0x01, 0xff, 0xff, 0xff, 0xff}) // hostile length
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := ReadSessionSnapshot(bytes.NewReader(data))
+		if err != nil {
+			for _, sentinel := range []error{ErrBadMagic, ErrBadVersion, ErrTruncated,
+				ErrChecksum, ErrTooLarge, ErrBadSnapshot} {
+				if errors.Is(err, sentinel) {
+					return
+				}
+			}
+			t.Fatalf("untyped decode error: %v", err)
+		}
+		// Anything that decodes must re-encode...
+		var buf bytes.Buffer
+		if err := WriteSessionSnapshot(&buf, snap); err != nil {
+			t.Fatalf("re-encoding decoded snapshot: %v", err)
+		}
+		// ...and decode again to the same bytes (the format is a fixpoint).
+		again, err := ReadSessionSnapshot(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-decoding re-encoded snapshot: %v", err)
+		}
+		var buf2 bytes.Buffer
+		if err := WriteSessionSnapshot(&buf2, again); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+			t.Fatal("re-encoding is not a fixpoint")
+		}
+	})
+}

@@ -1,0 +1,397 @@
+package persist
+
+import (
+	"bytes"
+	"context"
+	"encoding/binary"
+	"errors"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"vada/internal/core"
+	"vada/internal/datagen"
+	"vada/internal/feedback"
+	"vada/internal/kb"
+	"vada/internal/relation"
+	"vada/internal/runs"
+	"vada/internal/session"
+)
+
+// -update regenerates the golden fixtures under testdata. Run it ONLY when
+// deliberately changing the snapshot format, alongside a FormatV1 bump.
+var update = flag.Bool("update", false, "rewrite golden snapshot fixtures")
+
+const goldenPath = "testdata/v1_session.vsnap"
+
+// goldenSnapshot builds the fixed snapshot pinned by the golden fixture.
+// Everything is deterministic: fixed times, fixed KB insertion content,
+// fixed configs.
+func goldenSnapshot() *SessionSnapshot {
+	created := time.Date(2026, 7, 1, 12, 0, 0, 0, time.UTC)
+	active := created.Add(90 * time.Minute)
+
+	k := kb.New()
+	k.Assert("src_registered", relation.NewTuple("rightmove"))
+	k.Assert("src_registered", relation.NewTuple("onthemarket"))
+	k.Assert("md_selected", relation.NewTuple("m_rightmove", 1))
+	k.Assert("fb_item", relation.NewTuple("1 High St", "M1 1AA", "bedrooms", false))
+	res := relation.New(relation.NewSchema("result", "street", "postcode", "bedrooms:int", "price:float"))
+	res.MustAppend("1 High St", "M1 1AA", 3, 250000.0)
+	res.MustAppend("2 Low Rd", "M2 2BB", nil, 180000.0)
+	k.PutRelation("result", res)
+
+	cfg := datagen.DefaultConfig()
+	cfg.NProperties = 24
+	cfg.Seed = 5
+	opts := core.DefaultOptions()
+
+	started := created.Add(time.Minute)
+	finished := started.Add(2 * time.Second)
+	score := datagen.Score{
+		Rows: 2, AddressablePrecision: 1, Recall: 0.5, F1: 2. / 3,
+		CellAccuracy: 0.75, ValueAccuracy: 0.9,
+		Completeness: map[string]float64{"bedrooms": 0.5, "price": 1},
+	}
+	events := []session.Event{
+		{Seq: 1, Type: session.EventStage, Stage: session.StageBootstrap,
+			Steps: 7, Duration: 1500 * time.Millisecond, At: started},
+		{Seq: 2, Type: session.EventStage, Stage: session.StageFeedback,
+			Steps: 3, Duration: 400 * time.Millisecond, At: finished, Score: &score},
+	}
+	lastEv := events[1]
+	return &SessionSnapshot{
+		Meta: Meta{
+			ID: "s0001-00c0ffee", Name: "golden",
+			CreatedAt: created, LastActive: active,
+			Seed: 7, Scenario: &cfg, Options: &opts,
+			Feedback: []feedback.Item{
+				{Street: "1 High St", Postcode: "M1 1AA", Attr: "bedrooms",
+					Correct: false, Observed: relation.Int(14), HasObserved: true},
+				{Street: "2 Low Rd", Postcode: "M2 2BB", Correct: false},
+			},
+			ExecHashes: map[string]uint64{"m_rightmove": 0xfeedc0de, "m_onthemarket": 42},
+			FusedHash:  0xdecafbad,
+		},
+		KB:     k,
+		Events: events,
+		Runs: []runs.Run{{
+			ID: "r0001-feedbeef", SessionID: "s0001-00c0ffee",
+			Stage: session.StageFeedback, Plan: []string{session.StageBootstrap, session.StageFeedback},
+			StageIndex: 1, State: runs.StateSucceeded,
+			CreatedAt: created, StartedAt: &started, FinishedAt: &finished,
+			Event:  &lastEv,
+			Events: events,
+		}},
+	}
+}
+
+// TestGoldenV1 is the forward-compatibility gate: current code must keep
+// reading the checked-in v1 bytes, and re-encoding what it read must
+// reproduce them byte-for-byte. If this test fails after a format change,
+// bump FormatV1 and regenerate fixtures with -update — never silently
+// strand old snapshots.
+func TestGoldenV1(t *testing.T) {
+	want := goldenSnapshot()
+	if *update {
+		var buf bytes.Buffer
+		if err := WriteSessionSnapshot(&buf, want); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fixture, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("reading golden fixture (regenerate with -update): %v", err)
+	}
+
+	snap, err := ReadSessionSnapshot(bytes.NewReader(fixture))
+	if err != nil {
+		t.Fatalf("current code no longer reads format v1: %v", err)
+	}
+	if !reflect.DeepEqual(snap.Meta, want.Meta) {
+		t.Fatalf("meta drifted:\n got %+v\nwant %+v", snap.Meta, want.Meta)
+	}
+	if !reflect.DeepEqual(snap.Events, want.Events) {
+		t.Fatalf("events drifted:\n got %+v\nwant %+v", snap.Events, want.Events)
+	}
+	if !reflect.DeepEqual(snap.Runs, want.Runs) {
+		t.Fatalf("runs drifted:\n got %+v\nwant %+v", snap.Runs, want.Runs)
+	}
+	if got, want := kbBytes(t, snap.KB), kbBytes(t, want.KB); !bytes.Equal(got, want) {
+		t.Fatalf("knowledge base drifted:\n got %s\nwant %s", got, want)
+	}
+
+	// Byte-for-byte: re-encoding the decoded snapshot reproduces the
+	// fixture exactly.
+	var reenc bytes.Buffer
+	if err := WriteSessionSnapshot(&reenc, snap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(reenc.Bytes(), fixture) {
+		t.Fatalf("re-encoded snapshot differs from v1 fixture (%d vs %d bytes) — format changed; bump FormatV1",
+			reenc.Len(), len(fixture))
+	}
+}
+
+func kbBytes(t *testing.T, k *kb.KB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := k.WriteSnapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRoundTripConformance is the end-to-end conformance suite: a real
+// scenario session wrangles two stages, is captured, written, read back and
+// restored — and the restored session serves identical result rows, events
+// and run history.
+func TestRoundTripConformance(t *testing.T) {
+	ctx := context.Background()
+	cfg := datagen.DefaultConfig()
+	cfg.NProperties = 50
+	cfg.Seed = 3
+	sc := datagen.Generate(cfg)
+	mgr := session.NewManager()
+	sess, err := mgr.Create(core.BuildScenarioWrangler(sc), session.WithName("conf"), session.WithScenario(sc, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.AddDataContext(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	eng := runs.New(runs.WithWorkers(1))
+	defer eng.Close()
+	run, err := eng.Submit(sess.ID(), session.StageFeedback, func(ctx context.Context) (session.Event, error) {
+		return sess.AddFeedback(ctx, nil, 40)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		r, err := eng.Get(run.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.State.Terminal() {
+			if r.State != runs.StateSucceeded {
+				t.Fatalf("feedback run: %+v", r)
+			}
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var buf bytes.Buffer
+	if err := ExportSession(&buf, sess, eng); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadSessionSnapshot(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	mgr2 := session.NewManager()
+	eng2 := runs.New(runs.WithWorkers(1))
+	defer eng2.Close()
+	restored, err := RestoreInto(mgr2, eng2, snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if restored.ID() != sess.ID() || restored.Name() != "conf" {
+		t.Fatalf("identity lost: %s/%s", restored.ID(), restored.Name())
+	}
+	if !restored.CreatedAt().Equal(sess.CreatedAt()) {
+		t.Fatalf("created drifted: %v vs %v", restored.CreatedAt(), sess.CreatedAt())
+	}
+	wantEvents, gotEvents := sess.Events(), restored.Events()
+	if len(gotEvents) != len(wantEvents) || len(gotEvents) != 3 {
+		t.Fatalf("events: got %d, want %d", len(gotEvents), len(wantEvents))
+	}
+	for i := range wantEvents {
+		if gotEvents[i].Stage != wantEvents[i].Stage || gotEvents[i].Seq != wantEvents[i].Seq ||
+			gotEvents[i].Steps != wantEvents[i].Steps || !gotEvents[i].At.Equal(wantEvents[i].At) {
+			t.Fatalf("event %d drifted: %+v vs %+v", i, gotEvents[i], wantEvents[i])
+		}
+		if (gotEvents[i].Score == nil) != (wantEvents[i].Score == nil) {
+			t.Fatalf("event %d score presence drifted", i)
+		}
+		if gotEvents[i].Score != nil && gotEvents[i].Score.F1 != wantEvents[i].Score.F1 {
+			t.Fatalf("event %d score drifted", i)
+		}
+	}
+
+	wantRes, err := sess.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotRes, err := restored.Result()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotRes.Cardinality() != wantRes.Cardinality() {
+		t.Fatalf("result rows: %d vs %d", gotRes.Cardinality(), wantRes.Cardinality())
+	}
+	for i := range wantRes.Tuples {
+		if gotRes.Tuples[i].Key() != wantRes.Tuples[i].Key() {
+			t.Fatalf("result row %d drifted", i)
+		}
+	}
+
+	gotRun, err := eng2.Get(run.ID)
+	if err != nil {
+		t.Fatalf("run history lost: %v", err)
+	}
+	if gotRun.State != runs.StateSucceeded || gotRun.SessionID != sess.ID() {
+		t.Fatalf("restored run = %+v", gotRun)
+	}
+
+	// The restored session keeps wrangling: another stage applies cleanly
+	// and numbering continues.
+	ev, err := restored.SetUserContext(ctx, core.CrimeAnalysisUserContext())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seq != 4 {
+		t.Fatalf("post-restore Seq = %d, want 4", ev.Seq)
+	}
+
+	// Restoring the same snapshot again collides on the live ID.
+	if _, err := RestoreInto(mgr2, eng2, snap); !errors.Is(err, session.ErrExists) {
+		t.Fatalf("duplicate restore: %v, want ErrExists", err)
+	}
+}
+
+// TestSnapshotWithoutScenario covers sessions over hand-registered sources:
+// no scenario config, options preserved.
+func TestSnapshotWithoutScenario(t *testing.T) {
+	w := core.NewWrangler(core.WithMatchThreshold(0.42))
+	src := relation.New(relation.NewSchema("props", "street", "postcode"))
+	src.MustAppend("1 High St", "M1 1AA")
+	w.RegisterSource(src)
+	sess := session.New("plain-1", w)
+
+	var buf bytes.Buffer
+	if err := ExportSession(&buf, sess, nil); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := ReadSessionSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Meta.Scenario != nil {
+		t.Fatal("scenario config invented")
+	}
+	restored, err := RestoreSession(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Scenario() != nil {
+		t.Fatal("restored session invented a scenario")
+	}
+	if got := restored.Wrangler().Options().MatchThreshold; got != 0.42 {
+		t.Fatalf("options lost: MatchThreshold = %v", got)
+	}
+	if restored.Wrangler().KB.Relation("src_props") == nil && restored.Wrangler().KB.Relation("props") == nil {
+		// The registered source's extracted relation may not exist before a
+		// run, but its registration fact must survive.
+		if restored.Wrangler().KB.Count("src_registered") != 1 {
+			t.Fatal("source registration lost")
+		}
+	}
+}
+
+// TestErrorSurface pins the typed error for each way an envelope can be
+// malformed.
+func TestErrorSurface(t *testing.T) {
+	var valid bytes.Buffer
+	if err := WriteSessionSnapshot(&valid, goldenSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	v := valid.Bytes()
+
+	corrupt := func(mutate func([]byte) []byte) []byte {
+		return mutate(append([]byte(nil), v...))
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short header", v[:5], ErrTruncated},
+		{"bad magic", corrupt(func(b []byte) []byte { b[0] = 'X'; return b }), ErrBadMagic},
+		{"bad version", corrupt(func(b []byte) []byte { b[8] = 99; return b }), ErrBadVersion},
+		{"truncated mid-section", v[:len(v)/2], ErrTruncated},
+		{"missing end marker", v[:len(v)-1], ErrTruncated},
+		{"payload corrupted", corrupt(func(b []byte) []byte { b[20] ^= 0xff; return b }), ErrChecksum},
+		{"trailing data", append(append([]byte(nil), v...), 0x01), ErrBadSnapshot},
+		{"oversized section", corrupt(func(b []byte) []byte {
+			binary.BigEndian.PutUint32(b[10:], MaxSectionBytes+1)
+			return b
+		}), ErrTooLarge},
+		{"unknown section", corrupt(func(b []byte) []byte { b[9] = 0x7f; return b }), ErrBadSnapshot},
+	}
+	for _, tc := range cases {
+		_, err := ReadSessionSnapshot(bytes.NewReader(tc.data))
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+
+	// Structural cases built from hand-assembled envelopes.
+	meta := []byte(`{"id":"s1","created_at":"2026-07-01T12:00:00Z","last_active":"2026-07-01T12:00:00Z"}`)
+	kbData := kbBytes(t, kb.New())
+	assemble := func(secs []section) []byte {
+		var buf bytes.Buffer
+		if err := writeEnvelope(&buf, FormatV1, secs); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	structural := []struct {
+		name string
+		data []byte
+	}{
+		{"missing meta", assemble([]section{{kind: sectionKB, data: kbData}})},
+		{"missing kb", assemble([]section{{kind: sectionMeta, data: meta}})},
+		{"duplicate meta", assemble([]section{{kind: sectionMeta, data: meta}, {kind: sectionMeta, data: meta}, {kind: sectionKB, data: kbData}})},
+		{"meta not json", assemble([]section{{kind: sectionMeta, data: []byte("x")}, {kind: sectionKB, data: kbData}})},
+		{"meta trailing json", assemble([]section{{kind: sectionMeta, data: append(append([]byte(nil), meta...), meta...)}, {kind: sectionKB, data: kbData}})},
+		{"kb not a snapshot", assemble([]section{{kind: sectionMeta, data: meta}, {kind: sectionKB, data: []byte("x")}})},
+		{"empty session id", assemble([]section{{kind: sectionMeta, data: []byte(`{"id":""}`)}, {kind: sectionKB, data: kbData}})},
+	}
+	for _, tc := range structural {
+		_, err := ReadSessionSnapshot(bytes.NewReader(tc.data))
+		if !errors.Is(err, ErrBadSnapshot) {
+			t.Errorf("%s: got %v, want ErrBadSnapshot", tc.name, err)
+		}
+	}
+}
+
+// TestWriteValidation pins the writer's own guardrails.
+func TestWriteValidation(t *testing.T) {
+	if err := WriteSessionSnapshot(io.Discard, nil); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("nil snapshot: %v", err)
+	}
+	if err := WriteSessionSnapshot(io.Discard, &SessionSnapshot{Meta: Meta{ID: "x"}}); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("nil KB: %v", err)
+	}
+	if err := WriteSessionSnapshot(io.Discard, &SessionSnapshot{KB: kb.New()}); !errors.Is(err, ErrBadSnapshot) {
+		t.Fatalf("empty ID: %v", err)
+	}
+}

@@ -1,0 +1,299 @@
+package persist
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"vada/internal/core"
+	"vada/internal/datagen"
+	"vada/internal/feedback"
+	"vada/internal/kb"
+	"vada/internal/runs"
+	"vada/internal/session"
+)
+
+// Meta is the identity and configuration section of a session snapshot —
+// everything needed to rebuild the session's Wrangler deterministically
+// before the knowledge base is merged back in.
+type Meta struct {
+	// ID is the session identifier, preserved across restarts.
+	ID string `json:"id"`
+	// Name is the optional human-readable label.
+	Name string `json:"name,omitempty"`
+	// CreatedAt and LastActive carry the session's pre-restart lifetimes.
+	CreatedAt  time.Time `json:"created_at"`
+	LastActive time.Time `json:"last_active"`
+	// Seed is the oracle feedback seed of a scenario-backed session.
+	Seed int64 `json:"seed,omitempty"`
+	// Scenario is the generating configuration of a scenario-backed
+	// session; generation is deterministic, so the config suffices to
+	// rebuild sources, ground truth and oracle. Nil for sessions over
+	// hand-registered sources.
+	Scenario *datagen.Config `json:"scenario,omitempty"`
+	// Options is the wrangler configuration. The network transducer is not
+	// serialisable and is dropped at capture; restored wranglers use the
+	// default network.
+	Options *core.Options `json:"options,omitempty"`
+	// Feedback is the wrangler's full feedback store, observed values
+	// included. The KB's fb_item facts carry only the judgement — but
+	// assimilation judges against the captured observation, so restoring
+	// facts alone would leave post-restore orchestration without its fixed
+	// point (it can oscillate between result candidates).
+	Feedback []feedback.Item `json:"feedback,omitempty"`
+	// ExecHashes and FusedHash are the wrangler's change-detection
+	// fingerprints (per-mapping output hashes, fused-union hash). Restoring
+	// them keeps the first post-restore run from re-executing unchanged
+	// mappings over the repaired result relations.
+	ExecHashes map[string]uint64 `json:"exec_hashes,omitempty"`
+	FusedHash  uint64            `json:"fused_hash,omitempty"`
+}
+
+// SessionSnapshot is the decoded form of one persisted session: identity
+// and configuration, the full knowledge base, the typed stage-event history
+// (oracle scores included), and the terminal runs of the engine's retention
+// ring, so 202-style run resources survive restarts.
+type SessionSnapshot struct {
+	Meta   Meta
+	KB     *kb.KB
+	Events []session.Event
+	Runs   []runs.Run
+}
+
+// WriteSessionSnapshot serialises a snapshot as a format-v1 envelope:
+// meta, knowledge base, events and runs sections, each length-prefixed and
+// checksummed. Output is deterministic for a given snapshot, which is what
+// lets golden fixtures pin the format byte-for-byte.
+func WriteSessionSnapshot(w io.Writer, snap *SessionSnapshot) error {
+	if snap == nil || snap.Meta.ID == "" {
+		return fmt.Errorf("%w: snapshot needs a session ID", ErrBadSnapshot)
+	}
+	if snap.KB == nil {
+		return fmt.Errorf("%w: snapshot needs a knowledge base", ErrBadSnapshot)
+	}
+	meta := snap.Meta
+	if meta.Options != nil {
+		// The network transducer is live wiring, not data.
+		opts := *meta.Options
+		opts.Network = nil
+		meta.Options = &opts
+	}
+	metaData, err := json.Marshal(meta)
+	if err != nil {
+		return fmt.Errorf("persist: encoding meta: %w", err)
+	}
+	var kbBuf bytes.Buffer
+	if err := snap.KB.WriteSnapshot(&kbBuf); err != nil {
+		return fmt.Errorf("persist: encoding knowledge base: %w", err)
+	}
+	events := snap.Events
+	if events == nil {
+		events = []session.Event{}
+	}
+	eventData, err := json.Marshal(events)
+	if err != nil {
+		return fmt.Errorf("persist: encoding events: %w", err)
+	}
+	runList := snap.Runs
+	if runList == nil {
+		runList = []runs.Run{}
+	}
+	runData, err := json.Marshal(runList)
+	if err != nil {
+		return fmt.Errorf("persist: encoding runs: %w", err)
+	}
+	return writeEnvelope(w, FormatV1, []section{
+		{kind: sectionMeta, data: metaData},
+		{kind: sectionKB, data: kbBuf.Bytes()},
+		{kind: sectionEvents, data: eventData},
+		{kind: sectionRuns, data: runData},
+	})
+}
+
+// ReadSessionSnapshot decodes a snapshot envelope. It is strict: the meta
+// and knowledge-base sections are required, every section may appear at
+// most once, and unknown section kinds fail — a v2 writer must bump the
+// version byte, not smuggle sections past a v1 reader. Every error wraps
+// one of the package's typed sentinels; hostile input cannot panic the
+// decoder or make it allocate beyond the bytes actually presented.
+func ReadSessionSnapshot(r io.Reader) (*SessionSnapshot, error) {
+	_, sections, err := readEnvelope(r)
+	if err != nil {
+		return nil, err
+	}
+	snap := &SessionSnapshot{}
+	seen := map[byte]bool{}
+	for _, sec := range sections {
+		if seen[sec.kind] {
+			return nil, fmt.Errorf("%w: duplicate section 0x%02x", ErrBadSnapshot, sec.kind)
+		}
+		seen[sec.kind] = true
+		switch sec.kind {
+		case sectionMeta:
+			if err := decodeJSONSection(sec.data, &snap.Meta, "meta"); err != nil {
+				return nil, err
+			}
+		case sectionKB:
+			k, err := kb.ReadSnapshot(bytes.NewReader(sec.data))
+			if err != nil {
+				return nil, fmt.Errorf("%w: knowledge base: %w", ErrBadSnapshot, err)
+			}
+			snap.KB = k
+		case sectionEvents:
+			if err := decodeJSONSection(sec.data, &snap.Events, "events"); err != nil {
+				return nil, err
+			}
+		case sectionRuns:
+			if err := decodeJSONSection(sec.data, &snap.Runs, "runs"); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("%w: unknown section 0x%02x", ErrBadSnapshot, sec.kind)
+		}
+	}
+	if !seen[sectionMeta] {
+		return nil, fmt.Errorf("%w: missing meta section", ErrBadSnapshot)
+	}
+	if !seen[sectionKB] {
+		return nil, fmt.Errorf("%w: missing knowledge-base section", ErrBadSnapshot)
+	}
+	if snap.Meta.ID == "" {
+		return nil, fmt.Errorf("%w: empty session ID", ErrBadSnapshot)
+	}
+	return snap, nil
+}
+
+// decodeJSONSection unmarshals one JSON section, rejecting trailing data
+// and mapping failures onto ErrBadSnapshot. Unknown fields are tolerated:
+// additive meta fields stay readable within a format version.
+func decodeJSONSection(data []byte, v any, what string) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("%w: %s: %w", ErrBadSnapshot, what, err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return fmt.Errorf("%w: %s: trailing data", ErrBadSnapshot, what)
+	}
+	return nil
+}
+
+// CaptureSession snapshots a live (or just-closed) session: identity,
+// configuration, a deep copy of the knowledge base, the stage-event
+// history, and — when an engine is given — every terminal run of the
+// session still in the retention ring. Callers wanting a consistent
+// capture quiesce the session first (the manager's evict hooks already
+// run post-quiescence).
+func CaptureSession(s *session.Session, eng *runs.Engine) *SessionSnapshot {
+	// Events strictly before the KB: racing a completing stage may then
+	// miss the stage's event while the KB already holds (some of) its
+	// writes — "not in the snapshot yet" — but never record an event whose
+	// KB effects are absent, which would make history and result disagree.
+	events := s.Events()
+	snap := &SessionSnapshot{
+		Meta: Meta{
+			ID:         s.ID(),
+			Name:       s.Name(),
+			CreatedAt:  s.CreatedAt(),
+			LastActive: s.LastActive(),
+			Seed:       s.Seed(),
+		},
+		KB:     s.Wrangler().KB.Snapshot(),
+		Events: events,
+	}
+	if sc := s.Scenario(); sc != nil {
+		cfg := sc.Config
+		snap.Meta.Scenario = &cfg
+	}
+	opts := s.Wrangler().Options()
+	opts.Network = nil
+	snap.Meta.Options = &opts
+	snap.Meta.Feedback = s.Wrangler().FeedbackItems()
+	exec, fused := s.Wrangler().ChangeFingerprints()
+	if len(exec) > 0 {
+		snap.Meta.ExecHashes = exec
+	}
+	snap.Meta.FusedHash = fused
+	if eng != nil {
+		for _, r := range eng.List(s.ID()) {
+			if r.State.Terminal() {
+				snap.Runs = append(snap.Runs, r)
+			}
+		}
+	}
+	return snap
+}
+
+// ExportSession captures a session and writes its snapshot envelope — the
+// GET .../export path.
+func ExportSession(w io.Writer, s *session.Session, eng *runs.Engine) error {
+	return WriteSessionSnapshot(w, CaptureSession(s, eng))
+}
+
+// RestoreSession rebuilds a live session from a decoded snapshot: the
+// wrangler is reconstructed (deterministically regenerating the scenario
+// when one is recorded), the knowledge base merged back in, derived
+// in-memory state rehydrated from it, and the session stamped with its
+// pre-restart identity and event history. Extra options (a shared stage
+// registry, typically) apply after the restore's own.
+func RestoreSession(snap *SessionSnapshot, opts ...session.Option) (*session.Session, error) {
+	if snap == nil || snap.Meta.ID == "" {
+		return nil, fmt.Errorf("%w: empty session ID", ErrBadSnapshot)
+	}
+	if cfg := snap.Meta.Scenario; cfg != nil && (cfg.NProperties < 0 || cfg.NPostcodes < 0) {
+		// Negative sizes would panic scenario generation; callers enforce
+		// their own upper bounds (the service applies its -max-n policy
+		// before restoring imported snapshots).
+		return nil, fmt.Errorf("%w: negative scenario size (%d properties, %d postcodes)",
+			ErrBadSnapshot, cfg.NProperties, cfg.NPostcodes)
+	}
+	wopts := core.DefaultOptions()
+	if snap.Meta.Options != nil {
+		wopts = *snap.Meta.Options
+		wopts.Network = nil
+	}
+	var w *core.Wrangler
+	sessOpts := []session.Option{
+		session.WithName(snap.Meta.Name),
+		session.WithRestored(snap.Meta.CreatedAt, snap.Meta.LastActive, snap.Events),
+	}
+	if cfg := snap.Meta.Scenario; cfg != nil {
+		sc := datagen.Generate(*cfg)
+		w = core.BuildScenarioWrangler(sc, core.WithOptions(wopts))
+		sessOpts = append(sessOpts, session.WithScenario(sc, snap.Meta.Seed))
+	} else {
+		w = core.NewWrangler(core.WithOptions(wopts))
+	}
+	// Feedback first: with the store populated (observed values included),
+	// Rehydrate skips its facts-only fallback, and the KB merge dedupes the
+	// fb_item facts AddFeedback asserts.
+	if len(snap.Meta.Feedback) > 0 {
+		w.AddFeedback(snap.Meta.Feedback...)
+	}
+	if snap.KB != nil {
+		w.KB.Merge(snap.KB)
+	}
+	w.RestoreFingerprints(snap.Meta.ExecHashes, snap.Meta.FusedHash)
+	w.Rehydrate()
+	sessOpts = append(sessOpts, opts...)
+	return session.New(snap.Meta.ID, w, sessOpts...), nil
+}
+
+// RestoreInto restores a snapshot and registers it with the manager and —
+// run history included — the engine: the boot and import path of the
+// service. The manager's cap applies; an ID already live fails with
+// session.ErrExists and registers nothing.
+func RestoreInto(mgr *session.Manager, eng *runs.Engine, snap *SessionSnapshot, opts ...session.Option) (*session.Session, error) {
+	s, err := RestoreSession(snap, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := mgr.Restore(s); err != nil {
+		return nil, err
+	}
+	if eng != nil {
+		eng.Adopt(snap.Runs)
+	}
+	return s, nil
+}

@@ -46,6 +46,7 @@ type Engine struct {
 
 	mu      sync.Mutex
 	cond    *sync.Cond
+	idle    *sync.Cond               // broadcast whenever a run reaches a terminal state
 	tasks   map[string]*task         // by run ID: live runs + retention ring
 	done    []string                 // finished run IDs, oldest first
 	queues  map[string]*sessionQueue // by session ID
@@ -116,6 +117,7 @@ func New(opts ...Option) *Engine {
 		opt(e)
 	}
 	e.cond = sync.NewCond(&e.mu)
+	e.idle = sync.NewCond(&e.mu)
 	e.wg.Add(e.workers)
 	for i := 0; i < e.workers; i++ {
 		go e.worker()
@@ -351,6 +353,7 @@ func (e *Engine) finishLocked(t *task, ev session.Event, err error) {
 		e.done = e.done[1:]
 	}
 	e.notifyLocked(t.run)
+	e.idle.Broadcast()
 }
 
 // Get returns a snapshot of the run with the given ID, or ErrNotFound for
@@ -419,6 +422,59 @@ func (e *Engine) cancelLocked(t *task) {
 		t.run.CancelRequested = true
 		t.cancel()
 	}
+}
+
+// Adopt inserts already-terminal runs — typically restored from a persisted
+// snapshot — into the retention ring, so Get and List serve a session's
+// run history across restarts. Runs are adopted in the given order (List
+// returns them after everything already retained), non-terminal runs and
+// runs whose ID the engine already knows are skipped, and the retention cap
+// applies as usual. It returns the number of runs adopted.
+func (e *Engine) Adopt(rs []Run) int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := 0
+	for _, r := range rs {
+		if !r.State.Terminal() {
+			continue
+		}
+		if _, ok := e.tasks[r.ID]; ok {
+			continue
+		}
+		e.seq++
+		e.tasks[r.ID] = &task{run: r, seq: e.seq}
+		e.done = append(e.done, r.ID)
+		n++
+	}
+	for len(e.done) > e.retention {
+		delete(e.tasks, e.done[0])
+		e.done = e.done[1:]
+	}
+	return n
+}
+
+// WaitSession blocks until the session has no queued or running runs. It
+// closes the gap between a stage releasing the session and the worker
+// recording the run's terminal state: cancel a session's runs, then
+// WaitSession before reading its run history, and every record is final.
+// Runs of other sessions keep the engine busy without delaying the wait.
+func (e *Engine) WaitSession(sessionID string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for e.liveLocked(sessionID) {
+		e.idle.Wait()
+	}
+}
+
+// liveLocked reports whether any run of the session is non-terminal.
+// Callers hold e.mu.
+func (e *Engine) liveLocked(sessionID string) bool {
+	for _, t := range e.tasks {
+		if t.run.SessionID == sessionID && !t.run.State.Terminal() {
+			return true
+		}
+	}
+	return false
 }
 
 // CancelSession cancels every live run of a session — the close/evict path

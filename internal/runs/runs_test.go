@@ -639,3 +639,107 @@ func TestNotifyTransitions(t *testing.T) {
 		t.Fatalf("queued-cancel transitions = %+v", qtrs)
 	}
 }
+
+func TestAdopt(t *testing.T) {
+	e := New(WithWorkers(1))
+	defer e.Close()
+	now := time.Now().UTC()
+	fin := now.Add(time.Second)
+	restored := []Run{
+		{ID: "r0001-old", SessionID: "sA", Stage: "bootstrap", State: StateSucceeded,
+			CreatedAt: now, StartedAt: &now, FinishedAt: &fin,
+			Event: &session.Event{Seq: 1, Stage: "bootstrap"}},
+		{ID: "r0002-old", SessionID: "sA", Stage: "feedback", State: StateFailed,
+			CreatedAt: now, Error: "boom"},
+		{ID: "r0003-live", SessionID: "sA", State: StateRunning, CreatedAt: now}, // non-terminal: skipped
+	}
+	if n := e.Adopt(restored); n != 2 {
+		t.Fatalf("Adopt = %d, want 2", n)
+	}
+	// Duplicates are skipped on re-adoption.
+	if n := e.Adopt(restored[:2]); n != 0 {
+		t.Fatalf("re-Adopt = %d, want 0", n)
+	}
+	got, err := e.Get("r0001-old")
+	if err != nil || got.State != StateSucceeded || got.Event == nil || got.Event.Stage != "bootstrap" {
+		t.Fatalf("adopted run = %+v (%v)", got, err)
+	}
+	if _, err := e.Get("r0003-live"); err == nil {
+		t.Fatal("non-terminal run should not be adopted")
+	}
+
+	// Adopted history lists before newly-submitted runs, and new runs still
+	// execute normally.
+	run, err := e.Submit("sA", "bootstrap", func(ctx context.Context) (session.Event, error) {
+		return session.Event{Stage: "bootstrap"}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitTerminal(t, e, run.ID)
+	list := e.List("sA")
+	if len(list) != 3 || list[0].ID != "r0001-old" || list[1].ID != "r0002-old" || list[2].ID != run.ID {
+		t.Fatalf("list order = %v", list)
+	}
+}
+
+func TestAdoptRespectsRetention(t *testing.T) {
+	e := New(WithWorkers(1), WithRetention(2))
+	defer e.Close()
+	now := time.Now()
+	rs := []Run{
+		{ID: "a", SessionID: "s", State: StateSucceeded, CreatedAt: now},
+		{ID: "b", SessionID: "s", State: StateSucceeded, CreatedAt: now},
+		{ID: "c", SessionID: "s", State: StateSucceeded, CreatedAt: now},
+	}
+	if n := e.Adopt(rs); n != 3 {
+		t.Fatalf("Adopt = %d", n)
+	}
+	if _, err := e.Get("a"); err == nil {
+		t.Fatal("oldest adopted run should have been evicted by retention")
+	}
+	if got := e.List("s"); len(got) != 2 {
+		t.Fatalf("retained %d, want 2", len(got))
+	}
+}
+
+// TestWaitSession proves WaitSession observes the worker's terminal
+// bookkeeping, not just the stage function returning.
+func TestWaitSession(t *testing.T) {
+	e := New(WithWorkers(2))
+	defer e.Close()
+	started := make(chan struct{})
+	release := make(chan struct{})
+	run, err := e.Submit("sA", "slow", gated(started, release))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started
+	// An unrelated session keeps a worker busy; it must not delay the wait.
+	otherStarted := make(chan struct{})
+	otherRelease := make(chan struct{})
+	defer close(otherRelease)
+	if _, err := e.Submit("sB", "other", gated(otherStarted, otherRelease)); err != nil {
+		t.Fatal(err)
+	}
+	<-otherStarted
+
+	e.CancelSession("sA")
+	done := make(chan struct{})
+	go func() {
+		e.WaitSession("sA")
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("WaitSession never returned after CancelSession")
+	}
+	// After the wait, the run's record is terminal — no polling needed.
+	got, err := e.Get(run.ID)
+	if err != nil || !got.State.Terminal() {
+		t.Fatalf("run after WaitSession = %+v (%v)", got, err)
+	}
+	// Waiting on a session with no runs returns immediately.
+	e.WaitSession("nope")
+}

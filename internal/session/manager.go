@@ -18,6 +18,7 @@ import (
 // proceed fully in parallel.
 type Manager struct {
 	maxSessions int
+	stopHooks   []func(*Session)
 	evictHooks  []func(*Session)
 
 	mu       sync.RWMutex
@@ -35,9 +36,24 @@ func WithMaxSessions(n int) ManagerOption {
 	return func(m *Manager) { m.maxSessions = n }
 }
 
+// WithStopHook installs a callback invoked (outside the manager lock) for
+// every session removed by Close or EvictIdle, immediately after the
+// session is marked closed and BEFORE the manager waits for its in-flight
+// stage to finish. This is the place to interrupt outstanding work — a
+// service cancels the session's async runs here — so the wait is short.
+// Hooks compose in installation order.
+func WithStopHook(hook func(*Session)) ManagerOption {
+	return func(m *Manager) { m.stopHooks = append(m.stopHooks, hook) }
+}
+
 // WithEvictHook installs a callback invoked (outside the manager lock) for
 // every session removed by Close or EvictIdle. Hooks compose: repeating the
 // option adds another callback, run in installation order.
+//
+// Evict hooks run only after the session has quiesced — the stop hooks have
+// fired and any in-flight stage has released the session — so a hook that
+// persists the session always observes the final KB version and the
+// complete event history, never a stage still unwinding.
 func WithEvictHook(hook func(*Session)) ManagerOption {
 	return func(m *Manager) { m.evictHooks = append(m.evictHooks, hook) }
 }
@@ -109,8 +125,27 @@ func (m *Manager) Len() int {
 	return len(m.sessions)
 }
 
+// Restore registers an externally-constructed session — typically one
+// rebuilt from a persisted snapshot — under its existing ID. The session
+// cap applies as in Create; an ID a live session already holds fails with
+// ErrExists rather than silently replacing it.
+func (m *Manager) Restore(s *Session) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.maxSessions > 0 && len(m.sessions) >= m.maxSessions {
+		return fmt.Errorf("%w (max %d)", ErrLimit, m.maxSessions)
+	}
+	if _, ok := m.sessions[s.ID()]; ok {
+		return fmt.Errorf("%w: %q", ErrExists, s.ID())
+	}
+	m.seq++
+	m.sessions[s.ID()] = s
+	m.order[s.ID()] = m.seq
+	return nil
+}
+
 // Close removes and closes the session with the given ID, invoking the
-// evict hook; unknown IDs fail with ErrNotFound.
+// stop and evict hooks; unknown IDs fail with ErrNotFound.
 func (m *Manager) Close(id string) error {
 	m.mu.Lock()
 	s, ok := m.sessions[id]
@@ -122,11 +157,24 @@ func (m *Manager) Close(id string) error {
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
+	m.teardown(s)
+	return nil
+}
+
+// teardown runs the removal sequence shared by Close and EvictIdle:
+// mark closed (new stages fail), stop hooks (interrupt in-flight work),
+// quiesce (wait for the interrupted stage to release the session), then
+// evict hooks — which therefore always see the final KB version and event
+// history.
+func (m *Manager) teardown(s *Session) {
 	s.Close()
+	for _, hook := range m.stopHooks {
+		hook(s)
+	}
+	s.Quiesce()
 	for _, hook := range m.evictHooks {
 		hook(s)
 	}
-	return nil
 }
 
 // EvictIdle removes and closes every session whose last activity is older
@@ -153,10 +201,7 @@ func (m *Manager) EvictIdle(maxIdle time.Duration) []string {
 	ids := make([]string, len(evicted))
 	for i, s := range evicted {
 		ids[i] = s.ID()
-		s.Close()
-		for _, hook := range m.evictHooks {
-			hook(s)
-		}
+		m.teardown(s)
 	}
 	sort.Strings(ids)
 	return ids

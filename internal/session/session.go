@@ -31,6 +31,9 @@ var (
 
 	// ErrLimit reports that the manager's session cap is reached.
 	ErrLimit = errors.New("session: session limit reached")
+
+	// ErrExists reports a restore under an ID a live session already holds.
+	ErrExists = errors.New("session: session already exists")
 )
 
 // Stage names of the pay-as-you-go lifecycle (§3 of the paper).
@@ -150,6 +153,23 @@ func WithRegistry(r *Registry) Option {
 	return func(s *Session) { s.registry = r }
 }
 
+// WithRestored stamps a session with its pre-restart identity: the creation
+// and last-activity times and the completed stage-event history of the
+// snapshot it was restored from. Stage numbering continues where the
+// restored history left off. Zero times keep the defaults; this option is
+// the persistence layer's, not for ordinary construction.
+func WithRestored(createdAt, lastActive time.Time, events []Event) Option {
+	return func(s *Session) {
+		if !createdAt.IsZero() {
+			s.createdAt = createdAt
+		}
+		if !lastActive.IsZero() {
+			s.lastActive = lastActive
+		}
+		s.events = append([]Event(nil), events...)
+	}
+}
+
 // New wraps a Wrangler as a session. The ID must be unique among live
 // sessions of a manager; NewManager-created sessions get one assigned.
 func New(id string, w *core.Wrangler, opts ...Option) *Session {
@@ -188,6 +208,9 @@ func (s *Session) Wrangler() *core.Wrangler { return s.w }
 // Scenario returns the attached demonstration scenario, or nil.
 func (s *Session) Scenario() *datagen.Scenario { return s.sc }
 
+// Seed returns the oracle feedback seed attached with WithScenario.
+func (s *Session) Seed() int64 { return s.seed }
+
 // Events returns the typed stage history.
 func (s *Session) Events() []Event {
 	s.mu.Lock()
@@ -215,6 +238,17 @@ func (s *Session) Close() {
 		}
 	}
 	s.mu.Unlock()
+}
+
+// Quiesce blocks until no stage is executing on the session. A closed
+// session stops admitting new stages, but one already in flight keeps the
+// run mutex until it completes (or observes its cancelled context) — and
+// its final event append and KB writes happen under that mutex. Callers
+// that need the session's final state (the manager's evict hooks) wait here
+// first.
+func (s *Session) Quiesce() {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
 }
 
 // Subscribe registers a live event consumer. It returns the event history

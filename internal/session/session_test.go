@@ -499,3 +499,112 @@ func TestPublishTransition(t *testing.T) {
 	sess.Close()
 	sess.PublishTransition(tr)
 }
+
+func TestManagerRestore(t *testing.T) {
+	mgr := NewManager(WithMaxSessions(2))
+	created := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	active := created.Add(time.Hour)
+	events := []Event{{Seq: 1, Type: EventStage, Stage: StageBootstrap, Steps: 3, At: active}}
+	sess := New("s0001-restored", core.NewWrangler(),
+		WithName("restored"), WithRestored(created, active, events))
+	if err := mgr.Restore(sess); err != nil {
+		t.Fatal(err)
+	}
+	got, err := mgr.Get("s0001-restored")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CreatedAt() != created || got.LastActive() != active {
+		t.Fatalf("restored times = %v / %v", got.CreatedAt(), got.LastActive())
+	}
+	if evs := got.Events(); len(evs) != 1 || evs[0].Stage != StageBootstrap {
+		t.Fatalf("restored events = %v", evs)
+	}
+
+	// Duplicate IDs are rejected, not replaced.
+	if err := mgr.Restore(New("s0001-restored", core.NewWrangler())); !errors.Is(err, ErrExists) {
+		t.Fatalf("duplicate restore: %v, want ErrExists", err)
+	}
+	// The cap applies to restores too.
+	if err := mgr.Restore(New("other-1", core.NewWrangler())); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.Restore(New("other-2", core.NewWrangler())); !errors.Is(err, ErrLimit) {
+		t.Fatalf("over-cap restore: %v, want ErrLimit", err)
+	}
+	// Restored sessions participate in listings in registration order.
+	list := mgr.List()
+	if len(list) != 2 || list[0].ID() != "s0001-restored" {
+		t.Fatalf("list = %v", list)
+	}
+}
+
+// TestRestoredSeqContinues proves stage numbering picks up after the
+// restored history instead of restarting at 1.
+func TestRestoredSeqContinues(t *testing.T) {
+	history := []Event{
+		{Seq: 1, Type: EventStage, Stage: StageBootstrap},
+		{Seq: 2, Type: EventStage, Stage: StageDataContext},
+	}
+	sess := New("sx", core.NewWrangler(), WithRestored(time.Time{}, time.Time{}, history))
+	ev, err := sess.Step(context.Background(), "custom", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.Seq != 3 {
+		t.Fatalf("next Seq = %d, want 3", ev.Seq)
+	}
+}
+
+// TestTeardownHookOrdering proves the close sequence: stop hooks fire while
+// a stage may still be in flight, and evict hooks only after the session
+// has quiesced — so a persist-on-evict hook always sees the final event.
+func TestTeardownHookOrdering(t *testing.T) {
+	stageEntered := make(chan struct{})
+	release := make(chan struct{})
+	var order []string
+	var mu sync.Mutex
+	record := func(what string) {
+		mu.Lock()
+		order = append(order, what)
+		mu.Unlock()
+	}
+
+	mgr := NewManager(
+		WithStopHook(func(s *Session) {
+			record("stop")
+			close(release) // the "cancel runs" stand-in: unblock the stage
+		}),
+		WithEvictHook(func(s *Session) {
+			record("evict:" + string(rune('0'+len(s.Events()))))
+		}),
+	)
+	sess, err := mgr.Create(core.NewWrangler())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := sess.Step(context.Background(), "slow", func(w *core.Wrangler) error {
+			close(stageEntered)
+			<-release
+			return nil
+		})
+		done <- err
+	}()
+	<-stageEntered
+
+	if err := mgr.Close(sess.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("in-flight step: %v", err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != "stop" || order[1] != "evict:1" {
+		t.Fatalf("teardown order = %v, want [stop evict:1]", order)
+	}
+}

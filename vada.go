@@ -82,6 +82,7 @@ import (
 	"vada/internal/mapping"
 	"vada/internal/match"
 	"vada/internal/mcda"
+	"vada/internal/persist"
 	"vada/internal/quality"
 	"vada/internal/relation"
 	"vada/internal/runs"
@@ -141,6 +142,14 @@ var (
 	ErrRunQueueFull       = runs.ErrQueueFull
 	ErrRunEngineClosed    = runs.ErrEngineClosed
 	ErrBadPlan            = runs.ErrBadPlan
+	ErrSessionExists      = session.ErrExists
+	ErrBadSnapshot        = persist.ErrBadSnapshot
+	ErrSnapshotMagic      = persist.ErrBadMagic
+	ErrSnapshotVersion    = persist.ErrBadVersion
+	ErrSnapshotTruncated  = persist.ErrTruncated
+	ErrSnapshotChecksum   = persist.ErrChecksum
+	ErrSnapshotTooLarge   = persist.ErrTooLarge
+	ErrBadKBSnapshot      = kb.ErrBadSnapshot
 )
 
 // ---- sessions -------------------------------------------------------------
@@ -164,7 +173,32 @@ var (
 	WithSessionName   = session.WithName
 	WithScenario      = session.WithScenario
 	WithMaxSessions   = session.WithMaxSessions
+	WithStopHook      = session.WithStopHook
 	WithEvictHook     = session.WithEvictHook
+	WithRestored      = session.WithRestored
+)
+
+// ---- durable sessions ------------------------------------------------------
+
+// SessionSnapshot is the decoded form of one persisted session — identity,
+// configuration, knowledge base, stage-event history and terminal runs;
+// SnapshotMeta is its identity/configuration section. Snapshots travel as
+// versioned, length-prefixed, checksummed envelopes (format v1).
+type (
+	SessionSnapshot = persist.SessionSnapshot
+	SnapshotMeta    = persist.Meta
+)
+
+// Session persistence: capture or stream a session snapshot, decode an
+// envelope, and restore into live sessions (optionally registering with a
+// manager and rehydrating run history into an engine).
+var (
+	CaptureSession       = persist.CaptureSession
+	ExportSession        = persist.ExportSession
+	WriteSessionSnapshot = persist.WriteSessionSnapshot
+	ReadSessionSnapshot  = persist.ReadSessionSnapshot
+	RestoreSession       = persist.RestoreSession
+	RestoreSessionInto   = persist.RestoreInto
 )
 
 // UserContextByName resolves the demonstration user contexts ("crime",
