@@ -8,7 +8,7 @@
 // Endpoints:
 //
 //	GET    /                                     the single-page UI
-//	GET    /api/v1/healthz                       server health: sessions, run-engine load
+//	GET    /api/v1/healthz                       server health: sessions, run-engine load, persist stats
 //	GET    /api/v1/stages                        stage discovery: every registered stage
 //	POST   /api/v1/sessions                      create a session {"name","n","seed"}
 //	GET    /api/v1/sessions                      list session states
@@ -30,14 +30,32 @@
 //	GET    /api/v1/sessions/{id}/export          download the session as a snapshot envelope
 //	POST   /api/v1/sessions/import               restore a session from a snapshot envelope
 //
-// With -data-dir the service is durable: every session is snapshotted to
-// <data-dir>/<id>.vsnap when one of its runs completes, when it is closed
-// or evicted, and at graceful shutdown — and every snapshot in the
-// directory is restored at boot, event history, result and terminal run
-// resources included. A server killed outright (kill -9) therefore loses
-// at most the work since the last completed run, and a restarted server
-// answers GET .../result and GET .../runs/{rid} for pre-restart sessions
-// identically.
+// With -data-dir the service is durable, and with -journal (the default)
+// durability is incremental: each session keeps an append-only
+// <data-dir>/<id>.vjournal beside its <data-dir>/<id>.vsnap, and a
+// completed stage or run appends one CRC-framed, fsynced record carrying
+// only the mutation delta — O(delta) bytes instead of rewriting the whole
+// snapshot envelope. When the journal crosses -journal-max-records or
+// -journal-max-bytes (and on evict and graceful shutdown) it is compacted:
+// folded into a fresh full snapshot and truncated. Boot recovery composes
+// the last snapshot with the journal's valid prefix; a record torn by
+// kill -9 mid-append is truncated, never fatal. With -journal=false the
+// PR-4 behaviour remains: a full snapshot per completed run.
+//
+// Either way, every persisted session is restored at boot — event history,
+// result and terminal run resources included — so a server killed outright
+// (kill -9) loses at most the work since the last completed stage, and a
+// restarted server answers GET .../result and GET .../runs/{rid} for
+// pre-restart sessions identically.
+//
+// DELETE /api/v1/sessions/{id} garbage-collects the session's durable
+// state: its snapshot is archived under <data-dir>/closed/ and the live
+// .vsnap/.vjournal pair is removed, so explicitly closed sessions no
+// longer resurrect on boot (opt back in with -restore-closed, which
+// restores archived sessions and moves them live again). Idle-evicted
+// sessions stay restorable. GET /api/v1/healthz reports persist stats:
+// journaled sessions, journal records and bytes since compaction, and the
+// last snapshot time.
 //
 // Stages are registry-driven: the four paper stages are pre-registered and
 // any stage added to the server's registry is immediately invocable through
@@ -97,6 +115,13 @@ const maxSnapshotBytes = 64 << 20
 // snapshotExt is the on-disk suffix of persisted session snapshots.
 const snapshotExt = ".vsnap"
 
+// journalExt is the on-disk suffix of per-session append-only journals.
+const journalExt = ".vjournal"
+
+// closedDirName is the -data-dir subdirectory explicitly deleted sessions
+// are archived under (see -restore-closed).
+const closedDirName = "closed"
+
 // server holds the stage registry, the session manager, the async run
 // engine, the per-session scenario defaults and the durability wiring.
 type server struct {
@@ -130,7 +155,30 @@ type server struct {
 	// snapshot writers: without it, the persister's capture of a session's
 	// second-to-last state could rename over the evict hook's final
 	// snapshot and strand the last event until the next write.
-	persistMu sync.Mutex
+	// lastSnapshotAt (guarded by persistMu) is surfaced in healthz.
+	persistMu      sync.Mutex
+	lastSnapshotAt time.Time
+
+	// journal configuration: with journaling on, completed stages and runs
+	// append O(delta) records to per-session .vjournal files instead of
+	// rewriting the snapshot, and the journal is folded back into a fresh
+	// snapshot at the compaction thresholds.
+	journal           bool
+	journalMaxRecords int
+	journalMaxBytes   int64
+	restoreClosed     bool
+
+	// recorders maps live session IDs to their journal recorders; deleting
+	// refcounts sessions being explicitly DELETEd so the evict hook
+	// garbage-collects their durable state instead of persisting it (a
+	// racing duplicate DELETE must not clear the mark mid-teardown); gone
+	// tombstones IDs whose files gcSession removed, so a persist already in
+	// flight cannot resurrect them (cleared when the ID is re-registered).
+	recMu     sync.Mutex
+	recorders map[string]*vada.JournalRecorder
+	delMu     sync.Mutex
+	deleting  map[string]int
+	gone      map[string]bool
 }
 
 // serverConfig is main's flag set in struct form, so tests can build the
@@ -145,6 +193,11 @@ type serverConfig struct {
 	sseKeepAlive    time.Duration
 	sseWriteTimeout time.Duration
 	dataDir         string
+
+	journal           bool
+	journalMaxRecords int
+	journalMaxBytes   int64
+	restoreClosed     bool
 }
 
 // newServer wires registry, run engine, session manager and — when a data
@@ -153,14 +206,21 @@ type serverConfig struct {
 // Close.
 func newServer(cfg serverConfig) (*server, error) {
 	s := &server{
-		registry:        vada.DefaultStageRegistry(),
-		defaultN:        cfg.n,
-		defaultSeed:     cfg.seed,
-		maxN:            cfg.maxN,
-		started:         time.Now(),
-		sseKeepAlive:    cfg.sseKeepAlive,
-		sseWriteTimeout: cfg.sseWriteTimeout,
-		dataDir:         cfg.dataDir,
+		registry:          vada.DefaultStageRegistry(),
+		defaultN:          cfg.n,
+		defaultSeed:       cfg.seed,
+		maxN:              cfg.maxN,
+		started:           time.Now(),
+		sseKeepAlive:      cfg.sseKeepAlive,
+		sseWriteTimeout:   cfg.sseWriteTimeout,
+		dataDir:           cfg.dataDir,
+		journal:           cfg.journal,
+		journalMaxRecords: cfg.journalMaxRecords,
+		journalMaxBytes:   cfg.journalMaxBytes,
+		restoreClosed:     cfg.restoreClosed,
+		recorders:         map[string]*vada.JournalRecorder{},
+		deleting:          map[string]int{},
+		gone:              map[string]bool{},
 	}
 	s.runs = vada.NewRunEngine(
 		vada.WithRunWorkers(cfg.runWorkers),
@@ -177,16 +237,30 @@ func newServer(cfg serverConfig) (*server, error) {
 				log.Printf("vada-server: session %s closing (%d runs cancelled)", sess.ID(), n)
 			}
 		}),
-		// Evict hook: runs post-quiescence, so the snapshot written here
-		// carries the final KB version, event history and run records.
+		// Evict hook: runs post-quiescence, so the durable state written
+		// here carries the final KB version, event history and run records.
+		// Explicit DELETEs garbage-collect instead of persisting; evicted
+		// journaled sessions compact (snapshot + truncated journal) so a
+		// restart replays nothing.
 		vada.WithEvictHook(func(sess *vada.Session) {
+			id := sess.ID()
 			if s.dataDir != "" {
-				s.runs.WaitSession(sess.ID())
-				if err := s.persistSession(sess); err != nil {
-					log.Printf("vada-server: persisting session %s: %v", sess.ID(), err)
+				s.runs.WaitSession(id)
+				switch {
+				case s.isDeleting(id):
+					s.gcSession(sess)
+				default:
+					if rec := s.recorder(id); rec != nil {
+						if err := rec.Compact(func() error { return s.persistSession(sess) }); err != nil {
+							log.Printf("vada-server: compacting session %s on evict: %v", id, err)
+						}
+						s.dropRecorder(id)
+					} else if err := s.persistSession(sess); err != nil {
+						log.Printf("vada-server: persisting session %s: %v", id, err)
+					}
 				}
 			}
-			log.Printf("vada-server: session %s closed", sess.ID())
+			log.Printf("vada-server: session %s closed", id)
 		}),
 	)
 	if s.dataDir != "" {
@@ -194,12 +268,231 @@ func newServer(cfg serverConfig) (*server, error) {
 			return nil, fmt.Errorf("creating -data-dir: %w", err)
 		}
 		s.restoreAll()
+		if s.restoreClosed {
+			s.restoreClosedAll()
+		}
 		s.persistCh = make(chan string, 256)
 		s.persistDone = make(chan struct{})
 		s.persistWG.Add(1)
 		go s.persister()
 	}
 	return s, nil
+}
+
+// journalOn reports whether incremental durability is active.
+func (s *server) journalOn() bool { return s.dataDir != "" && s.journal }
+
+// sessionOpts are the options every session — created, imported or
+// restored — gets: the shared stage registry and, with journaling on, the
+// stage hook that appends each completed stage's mutation record.
+func (s *server) sessionOpts() []vada.SessionOption {
+	opts := []vada.SessionOption{vada.WithStageRegistry(s.registry)}
+	if s.journalOn() {
+		opts = append(opts, vada.WithStageHook(s.journalStage))
+	}
+	return opts
+}
+
+// journalStage is the session stage hook: one fsynced O(delta) append per
+// completed stage. It runs under the session's run mutex, so the delta cut
+// inside RecordStage cannot race the next stage's writes. An append failure
+// is logged, not fatal — the compaction and evict snapshots backstop it.
+func (s *server) journalStage(sess *vada.Session, ev vada.SessionEvent) {
+	rec := s.recorder(sess.ID())
+	if rec == nil {
+		return
+	}
+	if err := rec.RecordStage(ev); err != nil {
+		log.Printf("vada-server: journaling stage %s of session %s: %v", ev.Stage, sess.ID(), err)
+	}
+	// Synchronous stages never complete a run, so they would never reach
+	// the persister's threshold check — hint it here (non-blocking, off the
+	// wrangling path) so sync-only workloads compact too.
+	if s.persistCh != nil && rec.ShouldCompact(s.journalMaxRecords, s.journalMaxBytes) {
+		select {
+		case s.persistCh <- sess.ID():
+		default:
+		}
+	}
+}
+
+// recorder returns the session's journal recorder, or nil.
+func (s *server) recorder(id string) *vada.JournalRecorder {
+	s.recMu.Lock()
+	defer s.recMu.Unlock()
+	return s.recorders[id]
+}
+
+// dropRecorder unregisters and closes the session's journal recorder.
+func (s *server) dropRecorder(id string) {
+	s.recMu.Lock()
+	rec := s.recorders[id]
+	delete(s.recorders, id)
+	s.recMu.Unlock()
+	if rec != nil {
+		if err := rec.Close(); err != nil {
+			log.Printf("vada-server: closing journal of session %s: %v", id, err)
+		}
+	}
+}
+
+// startJournal makes a new (created or imported) session incrementally
+// durable: write the baseline snapshot the journal layers onto, open a
+// fresh journal (resetting any stale file a re-imported ID left behind —
+// the baseline just captured everything), and register the recorder. The
+// returned error reports the session is NOT durable on disk; callers that
+// are about to destroy another durable copy (the archive-restore path)
+// must not proceed on failure.
+func (s *server) startJournal(sess *vada.Session) error {
+	if !s.journalOn() || !safeSnapshotID(sess.ID()) {
+		return nil
+	}
+	if err := s.persistSession(sess); err != nil {
+		log.Printf("vada-server: writing baseline snapshot of session %s: %v", sess.ID(), err)
+		return err
+	}
+	w, recovered, err := vada.OpenJournal(filepath.Join(s.dataDir, sess.ID()+journalExt))
+	if err != nil {
+		log.Printf("vada-server: opening journal of session %s: %v", sess.ID(), err)
+		return err
+	}
+	if len(recovered) > 0 {
+		if err := w.Reset(); err != nil {
+			log.Printf("vada-server: resetting stale journal of session %s: %v", sess.ID(), err)
+			w.Close()
+			return err
+		}
+	}
+	s.adoptJournal(sess, w, nil)
+	return nil
+}
+
+// adoptJournal registers a recorder over an open journal writer, closing
+// any recorder a superseded session left under the same ID.
+func (s *server) adoptJournal(sess *vada.Session, w *vada.JournalWriter, knownRuns []vada.Run) {
+	rec := vada.NewJournalRecorder(w, sess, knownRuns)
+	s.recMu.Lock()
+	if s.recorders == nil {
+		s.recorders = map[string]*vada.JournalRecorder{}
+	}
+	old := s.recorders[sess.ID()]
+	s.recorders[sess.ID()] = rec
+	s.recMu.Unlock()
+	if old != nil {
+		old.Close()
+	}
+}
+
+// isDeleting reports whether the session is being explicitly DELETEd (as
+// opposed to idle-evicted), which switches the evict hook from persist to
+// garbage-collect.
+func (s *server) isDeleting(id string) bool {
+	s.delMu.Lock()
+	defer s.delMu.Unlock()
+	return s.deleting[id] > 0
+}
+
+// beginDelete/endDelete refcount in-flight DELETE handlers for one session:
+// a duplicate DELETE (client retry) returns 404 immediately and must not
+// clear the mark while the first handler is still inside the (possibly
+// slow) teardown whose evict hook consults it.
+func (s *server) beginDelete(id string) {
+	s.delMu.Lock()
+	if s.deleting == nil {
+		s.deleting = map[string]int{}
+	}
+	s.deleting[id]++
+	s.delMu.Unlock()
+}
+
+func (s *server) endDelete(id string) {
+	s.delMu.Lock()
+	if s.deleting[id]--; s.deleting[id] <= 0 {
+		delete(s.deleting, id)
+	}
+	s.delMu.Unlock()
+}
+
+// markGone/clearGone/isGone tombstone garbage-collected session IDs so a
+// persist racing the DELETE (the persister goroutine already holds the
+// *Session) cannot re-create the files gcSession just removed. gcSession
+// marks while holding persistMu; persistSession checks under persistMu; so
+// every write ordered after the GC observes the tombstone.
+func (s *server) markGone(id string) {
+	s.delMu.Lock()
+	if s.gone == nil {
+		s.gone = map[string]bool{}
+	}
+	s.gone[id] = true
+	s.delMu.Unlock()
+}
+
+func (s *server) clearGone(id string) {
+	s.delMu.Lock()
+	delete(s.gone, id)
+	s.delMu.Unlock()
+}
+
+func (s *server) isGone(id string) bool {
+	s.delMu.Lock()
+	defer s.delMu.Unlock()
+	return s.gone[id]
+}
+
+// gcSession is the DELETE path of snapshot retention: the session's final
+// state is archived under <data-dir>/closed/ and the live .vsnap/.vjournal
+// pair is removed, so the session no longer resurrects on boot (unless the
+// server opts back in with -restore-closed).
+func (s *server) gcSession(sess *vada.Session) {
+	id := sess.ID()
+	// Supersession guard: the teardown runs after Manager.Close removed the
+	// ID from the map, so an import can have registered a NEW session under
+	// the same ID by now — its recorder and fresh files must not be
+	// clobbered by the old session's GC.
+	if cur, err := s.mgr.Get(id); err == nil && cur != sess {
+		log.Printf("vada-server: session %s re-registered during delete; skipping GC", id)
+		return
+	}
+	s.dropRecorder(id)
+	if !safeSnapshotID(id) {
+		return
+	}
+	s.persistMu.Lock()
+	defer s.persistMu.Unlock()
+	closed := filepath.Join(s.dataDir, closedDirName)
+	if err := os.MkdirAll(closed, 0o755); err != nil {
+		log.Printf("vada-server: creating %s: %v", closed, err)
+		return
+	}
+	tmp, err := os.CreateTemp(closed, ".tmp-*")
+	if err != nil {
+		log.Printf("vada-server: archiving session %s: %v", id, err)
+		return
+	}
+	defer os.Remove(tmp.Name())
+	err = vada.ExportSession(tmp, sess, s.runs)
+	if err == nil {
+		err = tmp.Sync()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), filepath.Join(closed, id+snapshotExt))
+	}
+	if err != nil {
+		log.Printf("vada-server: archiving session %s: %v", id, err)
+		return
+	}
+	for _, stale := range []string{id + snapshotExt, id + journalExt} {
+		if err := os.Remove(filepath.Join(s.dataDir, stale)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			log.Printf("vada-server: removing %s: %v", stale, err)
+		}
+	}
+	// Tombstone while still holding persistMu: any persist that acquires
+	// the lock after this point sees it and declines to resurrect the pair.
+	s.markGone(id)
+	log.Printf("vada-server: session %s archived under %s/", id, closedDirName)
 }
 
 // Close drains the run engine, stops the persister and snapshots every live
@@ -229,6 +522,10 @@ func main() {
 	flag.DurationVar(&cfg.sseKeepAlive, "sse-keepalive", 15*time.Second, "SSE keep-alive comment interval (0 = disabled)")
 	flag.DurationVar(&cfg.sseWriteTimeout, "sse-write-timeout", 10*time.Second, "SSE per-write deadline (0 = none)")
 	flag.StringVar(&cfg.dataDir, "data-dir", "", "persist sessions to this directory and restore them on boot (\"\" = ephemeral)")
+	flag.BoolVar(&cfg.journal, "journal", true, "incremental durability: append per-stage/per-run records to <id>.vjournal instead of rewriting the snapshot (requires -data-dir)")
+	flag.IntVar(&cfg.journalMaxRecords, "journal-max-records", 512, "compact a session's journal into a fresh snapshot after this many records (0 = no record threshold)")
+	flag.Int64Var(&cfg.journalMaxBytes, "journal-max-bytes", 8<<20, "compact a session's journal after this many bytes since the last compaction (0 = no byte threshold)")
+	flag.BoolVar(&cfg.restoreClosed, "restore-closed", false, "restore explicitly DELETEd sessions archived under <data-dir>/closed/ at boot")
 	flag.Parse()
 
 	s, err := newServer(cfg)
@@ -271,9 +568,12 @@ func main() {
 	log.Printf("vada-server: shutdown complete")
 }
 
-// persister serialises snapshot writes triggered by completed runs onto one
-// goroutine, off the engine's notify path. Sessions already removed from
-// the manager were (or will be) persisted by the evict hook instead.
+// persister serialises durability writes triggered by completed runs onto
+// one goroutine, off the engine's notify path. Hints are coalesced: a burst
+// of back-to-back run completions on one session collapses into a single
+// persist pass instead of redundant full snapshots. Sessions already
+// removed from the manager were (or will be) persisted by the evict hook
+// instead.
 func (s *server) persister() {
 	defer s.persistWG.Done()
 	for {
@@ -281,12 +581,58 @@ func (s *server) persister() {
 		case <-s.persistDone:
 			return
 		case id := <-s.persistCh:
-			if sess, err := s.mgr.Get(id); err == nil {
-				if err := s.persistSession(sess); err != nil {
-					log.Printf("vada-server: persisting session %s: %v", id, err)
-				}
+			for _, sid := range drainHints(s.persistCh, id) {
+				s.persistHinted(sid)
 			}
 		}
+	}
+}
+
+// drainHints collapses every queued persist hint into unique session IDs in
+// first-seen order, starting from the hint already in hand.
+func drainHints(ch <-chan string, first string) []string {
+	ids := []string{first}
+	seen := map[string]bool{first: true}
+	for {
+		select {
+		case id := <-ch:
+			if !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		default:
+			return ids
+		}
+	}
+}
+
+// persistHinted makes one session's recent run completions durable: with a
+// journal, append run records for the not-yet-journaled terminal runs and
+// compact if the journal crossed its thresholds; without one, write the
+// full snapshot (the -journal=false path).
+func (s *server) persistHinted(id string) {
+	sess, err := s.mgr.Get(id)
+	if err != nil {
+		return
+	}
+	rec := s.recorder(id)
+	if rec == nil {
+		if err := s.persistSession(sess); err != nil {
+			log.Printf("vada-server: persisting session %s: %v", id, err)
+		}
+		return
+	}
+	if err := rec.RecordRuns(s.runs.ListTerminal(id)); err != nil {
+		log.Printf("vada-server: journaling runs of session %s: %v", id, err)
+	}
+	if rec.ShouldCompact(s.journalMaxRecords, s.journalMaxBytes) {
+		records, bytes := rec.Stats()
+		if err := rec.Compact(func() error { return s.persistSession(sess) }); err != nil {
+			log.Printf("vada-server: compacting session %s: %v", id, err)
+			return
+		}
+		log.Printf("vada-server: session %s compacted (%d records, %d journal bytes folded into snapshot)",
+			id, records, bytes)
 	}
 }
 
@@ -300,6 +646,12 @@ func (s *server) persistSession(sess *vada.Session) error {
 	s.persistMu.Lock()
 	defer s.persistMu.Unlock()
 	id := sess.ID()
+	if s.isGone(id) {
+		// The session's durable state was garbage-collected while this
+		// persist was in flight; writing now would resurrect it on the
+		// next boot.
+		return nil
+	}
 	if !safeSnapshotID(id) {
 		return fmt.Errorf("session ID %q is not filesystem-safe", id)
 	}
@@ -319,24 +671,41 @@ func (s *server) persistSession(sess *vada.Session) error {
 	if err := tmp.Close(); err != nil {
 		return err
 	}
-	return os.Rename(tmp.Name(), filepath.Join(s.dataDir, id+snapshotExt))
+	if err := os.Rename(tmp.Name(), filepath.Join(s.dataDir, id+snapshotExt)); err != nil {
+		return err
+	}
+	s.lastSnapshotAt = time.Now()
+	return nil
 }
 
-// persistAll snapshots every live session; the shutdown path.
+// persistAll makes every live session durable at rest; the graceful
+// shutdown path. Journaled sessions compact — a restart after a clean
+// shutdown replays nothing.
 func (s *server) persistAll() {
 	if s.dataDir == "" {
 		return
 	}
 	for _, sess := range s.mgr.List() {
+		id := sess.ID()
+		if rec := s.recorder(id); rec != nil {
+			if err := rec.Compact(func() error { return s.persistSession(sess) }); err != nil {
+				log.Printf("vada-server: compacting session %s at shutdown: %v", id, err)
+			}
+			s.dropRecorder(id)
+			continue
+		}
 		if err := s.persistSession(sess); err != nil {
-			log.Printf("vada-server: persisting session %s: %v", sess.ID(), err)
+			log.Printf("vada-server: persisting session %s: %v", id, err)
 		}
 	}
 }
 
-// restoreAll loads every snapshot in the data directory into the manager
-// and run engine. A snapshot that fails to decode or register is logged and
-// skipped — one corrupt file must not take the service down.
+// restoreAll loads every persisted session in the data directory into the
+// manager and run engine: each snapshot is decoded, its journal's valid
+// prefix (if one exists) is replayed over it — torn tails truncated, never
+// fatal — and the composed state is restored. A file that fails to decode
+// or register is logged and skipped; one corrupt file must not take the
+// service down.
 func (s *server) restoreAll() {
 	entries, err := os.ReadDir(s.dataDir)
 	if err != nil {
@@ -348,29 +717,111 @@ func (s *server) restoreAll() {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), snapshotExt) {
 			continue
 		}
-		path := filepath.Join(s.dataDir, e.Name())
-		f, err := os.Open(path)
-		if err != nil {
-			log.Printf("vada-server: opening snapshot %s: %v", e.Name(), err)
-			continue
+		if s.restoreOne(s.dataDir, e.Name(), true) {
+			restored++
 		}
-		snap, err := vada.ReadSessionSnapshot(f)
-		f.Close()
-		if err != nil {
-			log.Printf("vada-server: skipping snapshot %s: %v", e.Name(), err)
-			continue
-		}
-		sess, err := vada.RestoreSessionInto(s.mgr, s.runs, snap, vada.WithStageRegistry(s.registry))
-		if err != nil {
-			log.Printf("vada-server: restoring snapshot %s: %v", e.Name(), err)
-			continue
-		}
-		restored++
-		log.Printf("vada-server: restored session %s (%d events, %d runs)",
-			sess.ID(), len(snap.Events), len(snap.Runs))
 	}
 	if restored > 0 {
 		log.Printf("vada-server: restored %d session(s) from %s", restored, s.dataDir)
+	}
+}
+
+// restoreOne restores a single <dir>/<name> snapshot (plus its journal, if
+// any) and reports success. adoptJournal re-opens the session's journal for
+// appending; callers that will start a fresh journal themselves (the
+// archive-restore path) pass false.
+func (s *server) restoreOne(dir, name string, adoptJournal bool) bool {
+	path := filepath.Join(dir, name)
+	f, err := os.Open(path)
+	if err != nil {
+		log.Printf("vada-server: opening snapshot %s: %v", name, err)
+		return false
+	}
+	snap, err := vada.ReadSessionSnapshot(f)
+	f.Close()
+	if err != nil {
+		log.Printf("vada-server: skipping snapshot %s: %v", name, err)
+		return false
+	}
+	// Journal recovery: compose the valid prefix over the snapshot. An
+	// unreadable journal (not one of ours, unknown version) is skipped and
+	// the snapshot restores on its own.
+	jname := strings.TrimSuffix(name, snapshotExt) + journalExt
+	jpath := filepath.Join(dir, jname)
+	replayed := 0
+	if data, err := os.ReadFile(jpath); err == nil {
+		res, jerr := vada.ReplayJournal(bytes.NewReader(data))
+		if jerr != nil {
+			log.Printf("vada-server: skipping journal %s: %v", jname, jerr)
+		} else {
+			snap = vada.ComposeJournal(snap, res.Records)
+			replayed = len(res.Records)
+			if res.Damaged {
+				log.Printf("vada-server: journal %s had a damaged tail; recovered %d record(s)",
+					jname, replayed)
+			}
+		}
+	}
+	sess, err := vada.RestoreSessionInto(s.mgr, s.runs, snap, s.sessionOpts()...)
+	if err != nil {
+		log.Printf("vada-server: restoring snapshot %s: %v", name, err)
+		return false
+	}
+	if adoptJournal && s.journalOn() && safeSnapshotID(sess.ID()) {
+		// Re-open for appending (truncating any damaged tail on disk); the
+		// recovered records are already composed into the live session.
+		w, _, err := vada.OpenJournal(filepath.Join(s.dataDir, sess.ID()+journalExt))
+		if err != nil {
+			log.Printf("vada-server: opening journal of session %s: %v", sess.ID(), err)
+		} else {
+			s.adoptJournal(sess, w, snap.Runs)
+		}
+	}
+	log.Printf("vada-server: restored session %s (%d events, %d runs, %d journal records)",
+		sess.ID(), len(snap.Events), len(snap.Runs), replayed)
+	return true
+}
+
+// restoreClosedAll is the -restore-closed opt-in: archived sessions under
+// <data-dir>/closed/ come back live. A successfully restored archive is
+// persisted at the top level again and removed from the archive.
+func (s *server) restoreClosedAll() {
+	closed := filepath.Join(s.dataDir, closedDirName)
+	entries, err := os.ReadDir(closed)
+	if err != nil {
+		if !errors.Is(err, os.ErrNotExist) {
+			log.Printf("vada-server: reading %s: %v", closed, err)
+		}
+		return
+	}
+	restored := 0
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), snapshotExt) {
+			continue
+		}
+		if !s.restoreOne(closed, e.Name(), false) {
+			continue
+		}
+		// The archive is removed only once a live top-level copy exists —
+		// a failed baseline write must not delete the only durable copy.
+		id := strings.TrimSuffix(e.Name(), snapshotExt)
+		if sess, err := s.mgr.Get(id); err == nil {
+			if s.journalOn() {
+				if err := s.startJournal(sess); err != nil {
+					continue
+				}
+			} else if err := s.persistSession(sess); err != nil {
+				log.Printf("vada-server: persisting unarchived session %s: %v", id, err)
+				continue
+			}
+		}
+		if err := os.Remove(filepath.Join(closed, e.Name())); err != nil {
+			log.Printf("vada-server: removing archived snapshot %s: %v", e.Name(), err)
+		}
+		restored++
+	}
+	if restored > 0 {
+		log.Printf("vada-server: restored %d archived session(s) from %s", restored, closed)
 	}
 }
 
@@ -477,12 +928,14 @@ func (s *server) handleCreate(rw http.ResponseWriter, r *http.Request) {
 	cfg.Seed = req.Seed
 	sc := vada.GenerateScenario(cfg)
 	sess, err := s.mgr.Create(vada.BuildScenarioWrangler(sc),
-		vada.WithSessionName(req.Name), vada.WithScenario(sc, req.Seed),
-		vada.WithStageRegistry(s.registry))
+		append([]vada.SessionOption{vada.WithSessionName(req.Name), vada.WithScenario(sc, req.Seed)},
+			s.sessionOpts()...)...)
 	if err != nil {
 		writeError(rw, err)
 		return
 	}
+	s.clearGone(sess.ID())
+	s.startJournal(sess)
 	writeJSONStatus(rw, http.StatusCreated, sess.State())
 }
 
@@ -506,8 +959,14 @@ func (s *server) handleState(rw http.ResponseWriter, r *http.Request) {
 
 func (s *server) handleClose(rw http.ResponseWriter, r *http.Request) {
 	// Manager.Close fires the evict hook, which cancels the session's
-	// in-flight and queued runs — the same path idle eviction takes.
-	if err := s.mgr.Close(r.PathValue("id")); err != nil {
+	// in-flight and queued runs — the same path idle eviction takes. The
+	// deleting marker switches the evict hook from persist to
+	// garbage-collect: an explicit DELETE archives the session's durable
+	// state instead of leaving it to resurrect on the next boot.
+	id := r.PathValue("id")
+	s.beginDelete(id)
+	defer s.endDelete(id)
+	if err := s.mgr.Close(id); err != nil {
 		writeError(rw, err)
 		return
 	}
@@ -889,12 +1348,17 @@ func (s *server) handleImport(rw http.ResponseWriter, r *http.Request) {
 			cfg.NProperties, cfg.NPostcodes, s.maxN), http.StatusBadRequest)
 		return
 	}
-	sess, err := vada.RestoreSessionInto(s.mgr, s.runs, snap, vada.WithStageRegistry(s.registry))
+	sess, err := vada.RestoreSessionInto(s.mgr, s.runs, snap, s.sessionOpts()...)
 	if err != nil {
 		writeError(rw, err)
 		return
 	}
-	if s.dataDir != "" {
+	s.clearGone(sess.ID())
+	if s.journalOn() {
+		// startJournal writes the baseline snapshot, so the import survives
+		// a crash that follows it.
+		s.startJournal(sess)
+	} else if s.dataDir != "" {
 		if err := s.persistSession(sess); err != nil {
 			log.Printf("vada-server: persisting imported session %s: %v", sess.ID(), err)
 		}
@@ -906,12 +1370,52 @@ func (s *server) handleImport(rw http.ResponseWriter, r *http.Request) {
 }
 
 func (s *server) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
-	writeJSON(rw, map[string]any{
+	out := map[string]any{
 		"status":    "ok",
 		"uptime_s":  int(time.Since(s.started).Seconds()),
 		"sessions":  s.mgr.Len(),
 		"run_stats": s.runs.Stats(),
-	})
+	}
+	if s.dataDir != "" {
+		out["persist"] = s.persistStats()
+	}
+	writeJSON(rw, out)
+}
+
+// persistStats summarises the durability layer for healthz: whether
+// journaling is on, how many sessions hold a journal, the total journal
+// length and bytes accumulated since their last compactions, and when the
+// last full snapshot was written.
+func (s *server) persistStats() map[string]any {
+	// Copy the recorder set first: Stats takes each writer's mutex, which
+	// an in-flight append holds across its fsync — reading them under
+	// recMu would let one slow disk stall every session's stage hook.
+	s.recMu.Lock()
+	recs := make([]*vada.JournalRecorder, 0, len(s.recorders))
+	for _, rec := range s.recorders {
+		recs = append(recs, rec)
+	}
+	s.recMu.Unlock()
+	sessions := len(recs)
+	records := 0
+	var bytes int64
+	for _, rec := range recs {
+		r, b := rec.Stats()
+		records += r
+		bytes += b
+	}
+	out := map[string]any{
+		"journal":            s.journal,
+		"journaled_sessions": sessions,
+		"journal_records":    records,
+		"journal_bytes":      bytes,
+	}
+	s.persistMu.Lock()
+	if !s.lastSnapshotAt.IsZero() {
+		out["last_snapshot"] = s.lastSnapshotAt.UTC().Format(time.RFC3339Nano)
+	}
+	s.persistMu.Unlock()
+	return out
 }
 
 func (s *server) handleResult(rw http.ResponseWriter, r *http.Request) {

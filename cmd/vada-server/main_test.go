@@ -5,6 +5,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -1496,8 +1497,9 @@ func TestRestartRecovery(t *testing.T) {
 }
 
 // TestCloseEvictPersists proves the teardown path snapshots the final
-// state: a DELETEd session's file carries every event, and the snapshot is
-// restorable.
+// state: a DELETEd session's durable state is garbage-collected from the
+// live directory, and the archive written under closed/ carries every
+// event and stays restorable.
 func TestCloseEvictPersists(t *testing.T) {
 	dir := t.TempDir()
 	s, ts := durableServer(t, dir)
@@ -1527,9 +1529,18 @@ func TestCloseEvictPersists(t *testing.T) {
 		t.Fatalf("DELETE: %s", dresp.Status)
 	}
 
-	f, err := os.Open(filepath.Join(dir, id+".vsnap"))
+	// The live pair is gone — an explicitly closed session must not
+	// resurrect on the next boot.
+	if _, err := os.Stat(filepath.Join(dir, id+snapshotExt)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("live snapshot survived DELETE: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, id+journalExt)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("live journal survived DELETE: %v", err)
+	}
+	// The archive carries the final state.
+	f, err := os.Open(filepath.Join(dir, closedDirName, id+snapshotExt))
 	if err != nil {
-		t.Fatalf("close did not persist: %v", err)
+		t.Fatalf("close did not archive: %v", err)
 	}
 	defer f.Close()
 	snap, err := vada.ReadSessionSnapshot(f)
@@ -1537,7 +1548,7 @@ func TestCloseEvictPersists(t *testing.T) {
 		t.Fatal(err)
 	}
 	if snap.Meta.ID != id || len(snap.Events) != 1 || snap.Events[0].Stage != "bootstrap" {
-		t.Fatalf("persisted snapshot = %+v", snap.Meta)
+		t.Fatalf("archived snapshot = %+v", snap.Meta)
 	}
 }
 
@@ -1714,5 +1725,349 @@ func TestImportScenarioBounds(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated {
 		t.Fatalf("in-bounds import: %s, want 201", resp.Status)
+	}
+}
+
+// journalServer builds the full production wiring with incremental
+// durability on. Thresholds are set high so tests control compaction
+// explicitly unless they pass their own.
+func journalServer(t *testing.T, dataDir string, maxRecords int, maxBytes int64) (*server, *httptest.Server) {
+	t.Helper()
+	s, err := newServer(serverConfig{
+		n: 50, maxN: 2000, seed: 1, maxSessions: 64,
+		runWorkers: 4, runQueue: 256, runSessionQueue: 16,
+		sseKeepAlive: 15 * time.Second, sseWriteTimeout: 10 * time.Second,
+		dataDir: dataDir, journal: true,
+		journalMaxRecords: maxRecords, journalMaxBytes: maxBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.routes())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+// readJournal replays a journal file's valid prefix.
+func readJournal(t *testing.T, path string) []vada.JournalRecord {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := vada.ReplayJournal(bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Records
+}
+
+// waitJournalRun polls the session's journal until it carries a terminal
+// run record for the given run ID — the journaled durability point a
+// kill -9 must not lose.
+func waitJournalRun(t *testing.T, path, rid string) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if data, err := os.ReadFile(path); err == nil {
+			if res, err := vada.ReplayJournal(bytes.NewReader(data)); err == nil {
+				for _, rec := range res.Records {
+					if rec.Run != nil && rec.Run.ID == rid && rec.Run.State.Terminal() {
+						return
+					}
+				}
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("journal %s never recorded terminal run %s", path, rid)
+}
+
+// TestRestartRecoveryJournaled is the kill -9 acceptance flow with
+// incremental durability: a session completes a 4-stage plan run plus one
+// more async stage run with NO compaction in between — the snapshot on disk
+// stays the stageless baseline, all state lives in O(delta) journal
+// appends — the process dies without any graceful shutdown, and a server
+// restarted over the same -data-dir serves identical result rows,
+// identical event history (Seq continues) and both terminal run resources.
+func TestRestartRecoveryJournaled(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := journalServer(t, dir, 10000, 1<<30)
+
+	id := createSession(t, ts1, `{"name":"journaled"}`)
+	base1 := ts1.URL + "/api/v1/sessions/" + id
+	plan := `{"stages":[{"stage":"bootstrap"},{"stage":"data-context"},
+		{"stage":"feedback","payload":{"budget":60}},{"stage":"user-context","payload":{"model":"crime"}}]}`
+	resp, err := http.Post(base1+"/plans", "application/json", strings.NewReader(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("plan submit: %s", resp.Status)
+	}
+	loc := resp.Header.Get("Location")
+	rid := loc[strings.LastIndex(loc, "/")+1:]
+	if final := pollRun(t, ts1.URL+loc); final["state"] != "succeeded" {
+		t.Fatalf("plan run: %v (%v)", final["state"], final["error"])
+	}
+	// A second completed run after the plan: N runs since last compaction.
+	resp2, err := http.Post(base1+"/stages/user-context?async=1", "application/json",
+		strings.NewReader(`{"model":"size"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusAccepted {
+		t.Fatalf("async stage submit: %s", resp2.Status)
+	}
+	loc2 := resp2.Header.Get("Location")
+	rid2 := loc2[strings.LastIndex(loc2, "/")+1:]
+	if final := pollRun(t, ts1.URL+loc2); final["state"] != "succeeded" {
+		t.Fatalf("stage run: %v (%v)", final["state"], final["error"])
+	}
+
+	// Ground truth before the crash.
+	wantState := getJSON(t, base1)
+	wantEvents := wantState["events"].([]any)
+	if len(wantEvents) != 5 {
+		t.Fatalf("pre-restart events = %d, want 5", len(wantEvents))
+	}
+	wantRun := getJSON(t, ts1.URL+loc)
+	wantRun2 := getJSON(t, ts1.URL+loc2)
+	_, wantResult := get(t, base1+"/result?limit=1000")
+
+	// Both terminal runs must be journaled — that is what kill -9 preserves.
+	jpath := filepath.Join(dir, id+journalExt)
+	waitJournalRun(t, jpath, rid)
+	waitJournalRun(t, jpath, rid2)
+
+	// The O(delta) shape on disk: the snapshot is still the creation-time
+	// baseline (no events) — completed runs appended, they did not rewrite.
+	f, err := os.Open(filepath.Join(dir, id+snapshotExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := vada.ReadSessionSnapshot(f)
+	f.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(baseline.Events) != 0 || len(baseline.Runs) != 0 {
+		t.Fatalf("snapshot was rewritten (%d events, %d runs) — journaling should append instead",
+			len(baseline.Events), len(baseline.Runs))
+	}
+	if recs := readJournal(t, jpath); len(recs) < 7 { // 5 stage + 2 run records
+		t.Fatalf("journal holds %d records, want >= 7", len(recs))
+	}
+
+	ts1.Close()
+	_ = s1 // deliberately never s1.Close(): this is the kill -9
+
+	// Restart over the same directory.
+	s2, ts2 := journalServer(t, dir, 10000, 1<<30)
+	t.Cleanup(s2.Close)
+	base2 := ts2.URL + "/api/v1/sessions/" + id
+
+	gotState := getJSON(t, base2)
+	if gotState["id"] != id || gotState["name"] != "journaled" {
+		t.Fatalf("restored identity: %v/%v", gotState["id"], gotState["name"])
+	}
+	if !reflect.DeepEqual(gotState["events"], wantEvents) {
+		t.Fatalf("events drifted across restart:\n got %v\nwant %v", gotState["events"], wantEvents)
+	}
+	if _, gotResult := get(t, base2+"/result?limit=1000"); gotResult != wantResult {
+		t.Fatalf("result drifted across restart:\n got %s\nwant %s", gotResult, wantResult)
+	}
+	if gotRun := getJSON(t, base2+"/runs/"+rid); !reflect.DeepEqual(gotRun, wantRun) {
+		t.Fatalf("plan run drifted across restart:\n got %v\nwant %v", gotRun, wantRun)
+	}
+	if gotRun2 := getJSON(t, base2+"/runs/"+rid2); !reflect.DeepEqual(gotRun2, wantRun2) {
+		t.Fatalf("stage run drifted across restart:\n got %v\nwant %v", gotRun2, wantRun2)
+	}
+
+	// The restored session keeps wrangling; Seq continues into the journal.
+	resp3, err := http.Post(base2+"/stages/user-context", "application/json",
+		strings.NewReader(`{"model":"crime"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp3.Body.Close()
+	var ev map[string]any
+	if err := json.NewDecoder(resp3.Body).Decode(&ev); err != nil {
+		t.Fatal(err)
+	}
+	if ev["seq"].(float64) != 6 {
+		t.Fatalf("post-restart seq = %v, want 6", ev["seq"])
+	}
+}
+
+// TestJournalCompaction drives the threshold path end to end over the
+// SYNCHRONOUS stage route (which completes no run, so compaction rides the
+// stage hook's hint, not run-completion): with a 1-record threshold the
+// persister folds the journal into a fresh snapshot, the journal is
+// truncated to its header, and a restart over the compacted pair restores
+// the full state.
+func TestJournalCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := journalServer(t, dir, 1, 0)
+
+	id := createSession(t, ts1, `{"name":"compacted"}`)
+	base1 := ts1.URL + "/api/v1/sessions/" + id
+	post(t, base1+"/stages/bootstrap")
+
+	// The persister compacts: snapshot gains the event, journal empties.
+	snapPath := filepath.Join(dir, id+snapshotExt)
+	jpath := filepath.Join(dir, id+journalExt)
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		f, err := os.Open(snapPath)
+		if err == nil {
+			snap, err := vada.ReadSessionSnapshot(f)
+			f.Close()
+			if err == nil && len(snap.Events) == 1 {
+				if recs := readJournal(t, jpath); len(recs) == 0 {
+					break
+				}
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("journal never compacted into the snapshot")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	ts1.Close()
+	_ = s1 // kill -9: no graceful close
+
+	s2, ts2 := journalServer(t, dir, 1, 0)
+	t.Cleanup(s2.Close)
+	gotState := getJSON(t, ts2.URL+"/api/v1/sessions/"+id)
+	if events := gotState["events"].([]any); len(events) != 1 {
+		t.Fatalf("restored events = %d, want 1", len(events))
+	}
+}
+
+// TestSnapshotGC covers snapshot retention: DELETE archives the pair under
+// closed/, a default restart does NOT resurrect the session, and
+// -restore-closed opts back in (moving the archive live again).
+func TestSnapshotGC(t *testing.T) {
+	dir := t.TempDir()
+	s1, ts1 := journalServer(t, dir, 10000, 1<<30)
+
+	id := createSession(t, ts1, `{"name":"gc"}`)
+	base1 := ts1.URL + "/api/v1/sessions/" + id
+	post(t, base1+"/bootstrap")
+	req, _ := http.NewRequest(http.MethodDelete, base1, nil)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusNoContent {
+		t.Fatalf("DELETE: %s", dresp.Status)
+	}
+	if _, err := os.Stat(filepath.Join(dir, id+snapshotExt)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("live snapshot survived DELETE: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, id+journalExt)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("live journal survived DELETE: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, closedDirName, id+snapshotExt)); err != nil {
+		t.Fatalf("archive missing: %v", err)
+	}
+	ts1.Close()
+	s1.Close()
+
+	// Default boot: the deleted session stays gone.
+	s2, ts2 := journalServer(t, dir, 10000, 1<<30)
+	if total := getJSON(t, ts2.URL+"/api/v1/sessions")["total"].(float64); total != 0 {
+		t.Fatalf("deleted session resurrected: %v sessions", total)
+	}
+	ts2.Close()
+	s2.Close()
+
+	// -restore-closed boot: the archive comes back live and is un-archived.
+	s3, err := newServer(serverConfig{
+		n: 50, maxN: 2000, seed: 1, maxSessions: 64,
+		runWorkers: 4, runQueue: 256, runSessionQueue: 16,
+		sseKeepAlive: 15 * time.Second, sseWriteTimeout: 10 * time.Second,
+		dataDir: dir, journal: true, journalMaxRecords: 10000, journalMaxBytes: 1 << 30,
+		restoreClosed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts3 := httptest.NewServer(s3.routes())
+	t.Cleanup(func() { ts3.Close(); s3.Close() })
+	gotState := getJSON(t, ts3.URL+"/api/v1/sessions/"+id)
+	if events := gotState["events"].([]any); len(events) != 1 {
+		t.Fatalf("restored archived events = %d, want 1", len(events))
+	}
+	if _, err := os.Stat(filepath.Join(dir, closedDirName, id+snapshotExt)); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("archive not moved live: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, id+snapshotExt)); err != nil {
+		t.Fatalf("unarchived session has no live snapshot: %v", err)
+	}
+	// And it wrangles on.
+	post(t, ts3.URL+"/api/v1/sessions/"+id+"/datacontext")
+}
+
+// TestHealthzPersistStats pins the new healthz section: journal mode,
+// journaled session count, record/byte totals and the last snapshot time.
+func TestHealthzPersistStats(t *testing.T) {
+	dir := t.TempDir()
+	s, ts := journalServer(t, dir, 10000, 1<<30)
+	t.Cleanup(s.Close)
+
+	id := createSession(t, ts, "")
+	post(t, ts.URL+"/api/v1/sessions/"+id+"/bootstrap") // sync: journaled via the stage hook
+
+	h := getJSON(t, ts.URL+"/api/v1/healthz")
+	persist, ok := h["persist"].(map[string]any)
+	if !ok {
+		t.Fatalf("healthz without persist stats: %v", h)
+	}
+	if persist["journal"] != true {
+		t.Fatalf("persist.journal = %v", persist["journal"])
+	}
+	if persist["journaled_sessions"].(float64) != 1 {
+		t.Fatalf("persist.journaled_sessions = %v", persist["journaled_sessions"])
+	}
+	if persist["journal_records"].(float64) < 1 {
+		t.Fatalf("persist.journal_records = %v", persist["journal_records"])
+	}
+	if persist["journal_bytes"].(float64) <= 0 {
+		t.Fatalf("persist.journal_bytes = %v", persist["journal_bytes"])
+	}
+	if _, ok := persist["last_snapshot"].(string); !ok {
+		t.Fatalf("persist.last_snapshot = %v", persist["last_snapshot"])
+	}
+
+	// Ephemeral servers carry no persist section.
+	_, ets := testServer(t)
+	if h := getJSON(t, ets.URL+"/api/v1/healthz"); h["persist"] != nil {
+		t.Fatalf("ephemeral healthz grew persist stats: %v", h["persist"])
+	}
+}
+
+// TestDrainHints pins the persister's burst coalescing: queued hints
+// collapse into unique session IDs in first-seen order.
+func TestDrainHints(t *testing.T) {
+	ch := make(chan string, 8)
+	for _, id := range []string{"a", "b", "a", "c", "b", "a"} {
+		ch <- id
+	}
+	got := drainHints(ch, "a")
+	want := []string{"a", "b", "c"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("drainHints = %v, want %v", got, want)
+	}
+	if len(ch) != 0 {
+		t.Fatalf("channel not drained: %d left", len(ch))
+	}
+	if got := drainHints(ch, "z"); !reflect.DeepEqual(got, []string{"z"}) {
+		t.Fatalf("empty-channel drain = %v", got)
 	}
 }

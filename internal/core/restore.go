@@ -2,6 +2,7 @@ package core
 
 import (
 	"vada/internal/feedback"
+	"vada/internal/kb"
 	"vada/internal/mcda"
 )
 
@@ -35,6 +36,19 @@ func (w *Wrangler) ChangeFingerprints() (exec map[string]uint64, fused uint64) {
 	}
 	return exec, w.lastFusedHash
 }
+
+// StartChangeLog begins lossless, synchronous recording of every
+// knowledge-base mutation the wrangler makes — the delta-capture substrate
+// of incremental durability. Call it once a restore (or creation) is
+// complete so the log's baseline is the state a snapshot already holds;
+// CutChangeLog then returns exactly what one wrangling stage changed.
+func (w *Wrangler) StartChangeLog() { w.KB.StartDeltaLog() }
+
+// CutChangeLog returns the knowledge-base mutations since the last cut (or
+// StartChangeLog) and resets the log. It returns nil when no log is active.
+// Cut once per completed stage: the returned delta is the O(changes)
+// payload a journal appends instead of rewriting the whole knowledge base.
+func (w *Wrangler) CutChangeLog() *kb.Delta { return w.KB.CutDelta() }
 
 // RestoreFingerprints reinstates change-detection state captured by
 // ChangeFingerprints on the pre-restart wrangler.

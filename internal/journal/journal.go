@@ -1,0 +1,386 @@
+// Package journal is the incremental half of the durability subsystem: a
+// per-session, append-only write-ahead journal that records what changed —
+// one framed record per completed stage or terminal run — so that making a
+// session durable costs O(delta) instead of rewriting the whole snapshot
+// envelope every time a run completes.
+//
+// On disk a journal is a sibling of the session's snapshot:
+//
+//	<data-dir>/<id>.vsnap     last full snapshot (persist envelope, format v1)
+//	<data-dir>/<id>.vjournal  mutations since that snapshot (this package)
+//
+// The journal file is an 8-byte magic and a format-version byte, followed
+// by records in the same frame wire form as the envelope's sections —
+// kind | u32 length | JSON payload | CRC-32(payload) — written with one
+// fsync per append. Recovery composes the snapshot with a replay of the
+// journal's valid prefix: a torn tail (the record being appended when the
+// power went) is truncated, not fatal, and a compaction pass folds the
+// journal back into a fresh snapshot and resets it to empty.
+//
+// Lifecycle:
+//
+//	append (per stage / terminal run)
+//	   └─ thresholds reached (records, bytes) or evict/shutdown
+//	       └─ compact: write fresh .vsnap, truncate .vjournal
+//	           └─ crash between the two? replay is convergent: records the
+//	              snapshot already folded in are skipped by sequence/ID.
+package journal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"time"
+
+	"vada/internal/feedback"
+	"vada/internal/kb"
+	"vada/internal/persist"
+	"vada/internal/runs"
+	"vada/internal/session"
+)
+
+// Journal header errors. Record-level damage is never an error — replay
+// falls back to the last valid prefix — but a file whose header is wrong
+// was never a journal, and pretending otherwise would silently discard it.
+var (
+	// ErrBadMagic reports a file that is not a VADA journal at all.
+	ErrBadMagic = errors.New("journal: bad magic")
+
+	// ErrBadVersion reports a journal written by an unknown format version.
+	ErrBadVersion = errors.New("journal: unsupported format version")
+)
+
+// FormatV1 is the current journal format version.
+const FormatV1 byte = 1
+
+// magic identifies a journal file; it never changes across versions.
+var magic = [8]byte{'V', 'A', 'D', 'A', 'J', 'R', 'N', 'L'}
+
+// HeaderLen is the byte length of the journal header (magic + version).
+const HeaderLen = int64(len(magic) + 1)
+
+// Record kinds of the v1 journal layout.
+const (
+	kindStage byte = 0x01
+	kindRun   byte = 0x02
+)
+
+// StageRecord is the mutation payload of one completed wrangling stage:
+// the typed event (oracle score included), the knowledge-base delta the
+// stage produced, the feedback items it added, and the wrangler's
+// change-detection fingerprints after it — everything RestoreSession needs
+// that a bare event would not carry.
+type StageRecord struct {
+	// Event is the stage event, Seq assigned.
+	Event session.Event `json:"event"`
+	// Delta is the knowledge-base mutation log of the stage.
+	Delta *kb.Delta `json:"delta,omitempty"`
+	// Feedback are the items appended to the wrangler's feedback store
+	// during the stage (observed values included), in store order.
+	// FeedbackAt is the store index the slice starts at: the store is
+	// append-only, so Compose can skip exactly the overlap with items a
+	// compaction snapshot already captured mid-stage.
+	Feedback   []feedback.Item `json:"feedback,omitempty"`
+	FeedbackAt int             `json:"feedback_at,omitempty"`
+	// ExecHashes and FusedHash are the change fingerprints after the stage.
+	ExecHashes map[string]uint64 `json:"exec_hashes,omitempty"`
+	// FusedHash is the fused-union hash after the stage.
+	FusedHash uint64 `json:"fused_hash,omitempty"`
+}
+
+// Record is one journal entry. Exactly one of Stage and Run is set,
+// matching the record's frame kind.
+type Record struct {
+	// Seq numbers records within one journal file, from 1, with no gaps;
+	// replay stops at the first sequence break (damage, not format skew).
+	Seq uint64 `json:"seq"`
+	// At is when the record was appended.
+	At time.Time `json:"at"`
+	// Stage is the payload of a stage record.
+	Stage *StageRecord `json:"stage,omitempty"`
+	// Run is the terminal run snapshot of a run record.
+	Run *runs.Run `json:"run,omitempty"`
+}
+
+// ReplayResult is what reading a journal yields: the records of the valid
+// prefix, where that prefix ends, and whether anything after it had to be
+// discarded.
+type ReplayResult struct {
+	// Records are the valid records, oldest first.
+	Records []Record
+	// Valid is the byte offset at which the valid prefix ends — the length
+	// a recovering writer truncates the file to.
+	Valid int64
+	// Damaged reports that bytes after Valid failed to parse: a torn tail
+	// from a crash mid-append, or corruption. Recovery keeps the prefix.
+	Damaged bool
+}
+
+// Replay reads a journal stream. Header problems (not a journal at all,
+// unknown version, header torn) are errors wrapping the package sentinels;
+// from the first record onwards every problem — truncation, checksum
+// mismatch, an undecodable payload, an unknown record kind, a sequence
+// break — ends the replay at the last valid record instead of failing,
+// because the append-only write path makes a damaged suffix expected
+// (kill -9 mid-append) while a damaged header means the file was never
+// written by this code. Hostile input cannot panic the reader or make it
+// allocate beyond the bytes actually presented.
+func Replay(r io.Reader) (*ReplayResult, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %w", persist.ErrTruncated, err)
+	}
+	if !bytes.Equal(hdr[:8], magic[:]) {
+		return nil, fmt.Errorf("%w: %q", ErrBadMagic, hdr[:8])
+	}
+	if hdr[8] != FormatV1 {
+		return nil, fmt.Errorf("%w: %d (supported: %d)", ErrBadVersion, hdr[8], FormatV1)
+	}
+	res := &ReplayResult{Valid: HeaderLen}
+	cr := &countingReader{r: r}
+	for {
+		kind, payload, err := persist.ReadFrame(cr)
+		if err == io.EOF {
+			return res, nil // clean end at a record boundary
+		}
+		if err != nil {
+			res.Damaged = true
+			return res, nil
+		}
+		rec, ok := decodeRecord(kind, payload)
+		if !ok || rec.Seq != uint64(len(res.Records))+1 {
+			res.Damaged = true
+			return res, nil
+		}
+		res.Records = append(res.Records, rec)
+		res.Valid = HeaderLen + cr.n
+	}
+}
+
+// decodeRecord validates one frame: the payload must be a well-formed
+// record whose populated side matches the frame kind.
+func decodeRecord(kind byte, payload []byte) (Record, bool) {
+	var rec Record
+	dec := json.NewDecoder(bytes.NewReader(payload))
+	if err := dec.Decode(&rec); err != nil {
+		return Record{}, false
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return Record{}, false
+	}
+	switch kind {
+	case kindStage:
+		return rec, rec.Stage != nil && rec.Run == nil
+	case kindRun:
+		return rec, rec.Run != nil && rec.Stage == nil
+	}
+	return Record{}, false
+}
+
+// countingReader tracks how many bytes of the underlying stream have been
+// consumed, so replay can report where the valid prefix ends.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// Writer appends records to one session's journal file, serialising
+// appends and fsyncing each one — the per-record fsync is the durability
+// point, and its cost is proportional to the record, not the session.
+type Writer struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	seq     uint64
+	records int
+	bytes   int64 // record bytes since the header (== bytes since compaction)
+	closed  bool
+	failed  bool // a partial write could not be rewound; appends refuse
+}
+
+// Open opens (creating if absent) the journal at path, recovers its valid
+// prefix, truncates any damaged tail so subsequent appends extend a clean
+// file, and returns the writer positioned at the end alongside the
+// recovered records. A file whose header is unreadable fails with a typed
+// error and is left untouched — the caller decides whether to quarantine
+// it; Open never destroys bytes it cannot prove are a journal's.
+func Open(path string) (*Writer, []Record, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w := &Writer{f: f, path: path}
+	if info.Size() == 0 {
+		if err := w.writeHeader(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return w, nil, nil
+	}
+	res, err := Replay(bufio.NewReader(io.NewSectionReader(f, 0, info.Size())))
+	if err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("recovering %s: %w", path, err)
+	}
+	if res.Damaged || res.Valid < info.Size() {
+		if err := f.Truncate(res.Valid); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		if err := f.Sync(); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(res.Valid, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w.records = len(res.Records)
+	w.bytes = res.Valid - HeaderLen
+	if n := len(res.Records); n > 0 {
+		w.seq = res.Records[n-1].Seq
+	}
+	return w, res.Records, nil
+}
+
+// writeHeader writes and syncs the magic and version at offset 0.
+func (w *Writer) writeHeader() error {
+	if _, err := w.f.WriteAt(append(append([]byte(nil), magic[:]...), FormatV1), 0); err != nil {
+		return fmt.Errorf("journal: writing header: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	_, err := w.f.Seek(HeaderLen, io.SeekStart)
+	return err
+}
+
+// Append assigns the record the next sequence number, frames it, writes it
+// in a single write call and fsyncs. When Append returns nil the record
+// survives kill -9. When the write or sync fails, the file is rewound to
+// the pre-append offset so a torn frame can never sit in the MIDDLE of the
+// file ahead of later successful appends (Replay heals tails, not middles);
+// if even the rewind fails, the writer marks itself failed and refuses
+// further appends rather than silently stranding them behind the damage.
+func (w *Writer) Append(rec *Record) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.appendLocked(rec)
+}
+
+func (w *Writer) appendLocked(rec *Record) error {
+	if w.closed {
+		return fmt.Errorf("journal: writer closed")
+	}
+	if w.failed {
+		return fmt.Errorf("journal: writer failed (unrewound partial append)")
+	}
+	kind := kindStage
+	switch {
+	case rec.Stage != nil && rec.Run == nil:
+	case rec.Run != nil && rec.Stage == nil:
+		kind = kindRun
+	default:
+		return fmt.Errorf("journal: record must carry exactly one of stage, run")
+	}
+	rec.Seq = w.seq + 1
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encoding record: %w", err)
+	}
+	var frame bytes.Buffer
+	if err := persist.WriteFrame(&frame, kind, payload); err != nil {
+		return err
+	}
+	start := HeaderLen + w.bytes
+	if _, err := w.f.Write(frame.Bytes()); err != nil {
+		w.rewindLocked(start)
+		return fmt.Errorf("journal: appending record: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		w.rewindLocked(start)
+		return fmt.Errorf("journal: syncing record: %w", err)
+	}
+	w.seq = rec.Seq
+	w.records++
+	w.bytes += int64(frame.Len())
+	return nil
+}
+
+// rewindLocked truncates a partial append away so the file ends at the last
+// durable record. Failure to rewind poisons the writer. Callers hold w.mu.
+func (w *Writer) rewindLocked(off int64) {
+	if w.f.Truncate(off) != nil {
+		w.failed = true
+		return
+	}
+	if _, err := w.f.Seek(off, io.SeekStart); err != nil {
+		w.failed = true
+		return
+	}
+	w.f.Sync() // best-effort: the truncate is what restores the invariant
+}
+
+// Reset truncates the journal back to its header — the step that follows a
+// successful compaction snapshot. Sequence numbering restarts at 1, and a
+// writer poisoned by an unrewindable partial append recovers: the truncate
+// discards the damage along with everything else.
+func (w *Writer) Reset() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return fmt.Errorf("journal: writer closed")
+	}
+	if err := w.f.Truncate(HeaderLen); err != nil {
+		return err
+	}
+	if err := w.f.Sync(); err != nil {
+		return err
+	}
+	if _, err := w.f.Seek(HeaderLen, io.SeekStart); err != nil {
+		return err
+	}
+	w.seq, w.records, w.bytes = 0, 0, 0
+	w.failed = false
+	return nil
+}
+
+// Stats reports the journal's current length and record bytes since the
+// last compaction (or creation).
+func (w *Writer) Stats() (records int, bytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records, w.bytes
+}
+
+// Path returns the journal's file path.
+func (w *Writer) Path() string { return w.path }
+
+// Close closes the underlying file. Further appends fail; Close is
+// idempotent.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	w.closed = true
+	return w.f.Close()
+}

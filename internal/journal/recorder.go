@@ -1,0 +1,133 @@
+package journal
+
+import (
+	"sync"
+	"time"
+
+	"vada/internal/runs"
+	"vada/internal/session"
+)
+
+// Recorder ties one live session to its journal writer: it turns completed
+// stages into stage records (cutting the wrangler's knowledge-base change
+// log, diffing the feedback store, snapshotting the fingerprints) and
+// terminal runs into run records, and it arbitrates the one genuine race of
+// incremental durability — a compaction snapshot folding the journal away
+// while a finishing stage is about to append to it.
+//
+// All mutation capture is serialised on the recorder's lock. RecordStage is
+// called from the session's stage hook (under the session's run mutex), so
+// a stage's delta is cut before the next stage can write; Compact holds the
+// same lock across capture-snapshot → write → truncate, so an append can
+// never land in the window where it would be truncated without being in the
+// snapshot — it either precedes the capture (folded in, then truncated) or
+// waits and lands in the fresh, empty journal.
+type Recorder struct {
+	w    *Writer
+	sess *session.Session
+
+	// mu orders appends against compaction; fbCount and runSeen track what
+	// is already durable so records stay deltas.
+	mu      sync.Mutex
+	fbCount int
+	runSeen map[string]bool
+}
+
+// NewRecorder wires a recorder over an open journal writer and a live (or
+// just-restored) session. knownRuns seeds the already-journaled set —
+// the terminal runs the snapshot and the recovered journal records already
+// carry. The wrangler's change log starts (or restarts) here: the baseline
+// of the first cut is the state the snapshot+journal pair already holds.
+func NewRecorder(w *Writer, sess *session.Session, knownRuns []runs.Run) *Recorder {
+	r := &Recorder{
+		w:       w,
+		sess:    sess,
+		fbCount: len(sess.Wrangler().FeedbackItems()),
+		runSeen: runIDs(knownRuns),
+	}
+	sess.Wrangler().StartChangeLog()
+	return r
+}
+
+// RecordStage appends the mutation record of one completed stage: the
+// event, the knowledge-base delta since the previous record, the feedback
+// items the stage added, and the post-stage fingerprints. Call it from the
+// session's stage hook so the capture is race-free with the next stage.
+func (r *Recorder) RecordStage(ev session.Event) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.sess.Wrangler()
+	rec := &Record{At: ev.At, Stage: &StageRecord{
+		Event: ev,
+		Delta: w.CutChangeLog(),
+	}}
+	items := w.FeedbackItems()
+	if len(items) > r.fbCount {
+		rec.Stage.Feedback = items[r.fbCount:]
+		// The store index the slice starts at: a compaction snapshot taken
+		// mid-stage may already hold a prefix of these items, and Compose
+		// uses the index to append only the suffix the snapshot missed.
+		rec.Stage.FeedbackAt = r.fbCount
+	}
+	r.fbCount = len(items)
+	exec, fused := w.ChangeFingerprints()
+	if len(exec) > 0 {
+		rec.Stage.ExecHashes = exec
+	}
+	rec.Stage.FusedHash = fused
+	return r.w.Append(rec)
+}
+
+// RecordRuns appends run records for every given run that is terminal and
+// not yet journaled, returning the first append error. The caller passes
+// the engine's ListTerminal snapshot; redundant calls are cheap no-ops.
+func (r *Recorder) RecordRuns(list []runs.Run) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for i := range list {
+		run := list[i]
+		if !run.State.Terminal() || r.runSeen[run.ID] {
+			continue
+		}
+		if err := r.w.Append(&Record{At: time.Now(), Run: &run}); err != nil {
+			return err
+		}
+		r.runSeen[run.ID] = true
+	}
+	return nil
+}
+
+// ShouldCompact reports whether the journal has crossed either compaction
+// threshold (0 disables that threshold; both 0 means never).
+func (r *Recorder) ShouldCompact(maxRecords int, maxBytes int64) bool {
+	records, bytes := r.w.Stats()
+	return (maxRecords > 0 && records >= maxRecords) ||
+		(maxBytes > 0 && bytes >= maxBytes)
+}
+
+// Compact folds the journal into a fresh full snapshot and truncates it:
+// writeSnapshot must atomically persist the session's current full state
+// (the server's capture+tmp+rename path). The recorder lock is held across
+// both steps, so no record can be appended between the capture and the
+// truncate and then lost; a crash between writeSnapshot succeeding and the
+// truncate leaves already-folded records in the journal, which recovery
+// skips by sequence and run ID.
+func (r *Recorder) Compact(writeSnapshot func() error) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := writeSnapshot(); err != nil {
+		return err
+	}
+	return r.w.Reset()
+}
+
+// Stats reports the journal's record count and bytes since compaction.
+func (r *Recorder) Stats() (records int, bytes int64) { return r.w.Stats() }
+
+// Close stops the wrangler's change log and closes the journal file.
+func (r *Recorder) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.sess.Wrangler().KB.StopDeltaLog()
+	return r.w.Close()
+}

@@ -1,0 +1,141 @@
+package kb
+
+import (
+	"vada/internal/relation"
+)
+
+// DeltaKind names one replayable knowledge-base mutation. The five kinds
+// cover the KB's whole write surface, so a Delta replayed over the KB state
+// it was cut from reproduces the post-mutation state exactly.
+type DeltaKind string
+
+const (
+	// DeltaAssert records one fact assertion.
+	DeltaAssert DeltaKind = "assert"
+	// DeltaRetract records one fact retraction.
+	DeltaRetract DeltaKind = "retract"
+	// DeltaRetractPredicate records a whole predicate being dropped.
+	DeltaRetractPredicate DeltaKind = "retract-pred"
+	// DeltaPutRelation records a bulk relation being stored or replaced
+	// wholesale; the op carries the full relation (relations are replaced,
+	// never patched, so this is still the delta).
+	DeltaPutRelation DeltaKind = "put-rel"
+	// DeltaDropRelation records a bulk relation being removed.
+	DeltaDropRelation DeltaKind = "drop-rel"
+)
+
+// DeltaOp is one mutation of a Delta, in the order it was applied.
+type DeltaOp struct {
+	// Kind is the mutation type.
+	Kind DeltaKind `json:"kind"`
+	// Name is the fact predicate or relation name affected.
+	Name string `json:"name"`
+	// Tuple is the affected fact for DeltaAssert/DeltaRetract.
+	Tuple relation.Tuple `json:"tuple,omitempty"`
+	// Relation is the stored relation for DeltaPutRelation.
+	Relation *relation.Relation `json:"relation,omitempty"`
+}
+
+// Delta is the ordered mutation log between two knowledge-base versions —
+// the O(changes) alternative to a full snapshot. Cut one with CutDelta and
+// replay it with ApplyDelta; the journal subsystem serialises Deltas as the
+// KB payload of its stage records.
+type Delta struct {
+	// From is the KB version the first op applied on top of.
+	From uint64 `json:"from"`
+	// To is the KB version after the last op.
+	To uint64 `json:"to"`
+	// Ops are the mutations, oldest first.
+	Ops []DeltaOp `json:"ops,omitempty"`
+}
+
+// Empty reports whether the delta carries no mutations.
+func (d *Delta) Empty() bool { return d == nil || len(d.Ops) == 0 }
+
+// StartDeltaLog begins recording every subsequent mutation, synchronously
+// and losslessly (unlike watchers, which drop under backpressure). The log
+// grows until the next CutDelta, so callers cut at natural boundaries —
+// once per completed wrangling stage, in the journal's case. Starting an
+// already-started log resets it.
+func (k *KB) StartDeltaLog() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.deltaOn = true
+	k.deltaOps = nil
+	k.deltaFrom = k.version
+}
+
+// StopDeltaLog stops recording and discards any uncut ops.
+func (k *KB) StopDeltaLog() {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.deltaOn = false
+	k.deltaOps = nil
+}
+
+// DeltaLogging reports whether a delta log is active.
+func (k *KB) DeltaLogging() bool {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.deltaOn
+}
+
+// CutDelta returns the mutations recorded since StartDeltaLog (or the
+// previous cut) and resets the log so the next cut starts from here. It
+// returns nil when the log is not active.
+func (k *KB) CutDelta() *Delta {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if !k.deltaOn {
+		return nil
+	}
+	d := &Delta{From: k.deltaFrom, To: k.version, Ops: k.deltaOps}
+	k.deltaOps = nil
+	k.deltaFrom = k.version
+	return d
+}
+
+// ApplyDelta replays a delta's mutations in order through the public write
+// surface (watchers observe them as ordinary changes, an active delta log
+// records them) and raises the version to at least d.To, so a snapshot KB
+// plus the journal's deltas converges on the live KB's version. Replay is
+// convergent: asserting a fact already present and retracting one already
+// gone are no-ops, and relation puts replace wholesale — so re-applying a
+// prefix that a snapshot already folded in cannot corrupt state (the
+// version counter may advance further; content converges).
+func (k *KB) ApplyDelta(d *Delta) {
+	if d == nil {
+		return
+	}
+	for _, op := range d.Ops {
+		switch op.Kind {
+		case DeltaAssert:
+			k.Assert(op.Name, op.Tuple)
+		case DeltaRetract:
+			k.Retract(op.Name, op.Tuple)
+		case DeltaRetractPredicate:
+			k.RetractPredicate(op.Name)
+		case DeltaPutRelation:
+			if op.Relation != nil {
+				k.PutRelation(op.Name, op.Relation)
+			}
+		case DeltaDropRelation:
+			k.DropRelation(op.Name)
+		}
+	}
+	k.mu.Lock()
+	if d.To > k.version {
+		k.version = d.To
+	}
+	k.mu.Unlock()
+}
+
+// logLocked appends one op to the active delta log. Callers hold k.mu and
+// call it only after the mutation actually changed state (no-op writes are
+// not logged, mirroring the version counter).
+func (k *KB) logLocked(op DeltaOp) {
+	if !k.deltaOn {
+		return
+	}
+	k.deltaOps = append(k.deltaOps, op)
+}

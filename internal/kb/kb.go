@@ -78,6 +78,13 @@ type KB struct {
 	version   uint64
 	watchers  map[int]chan Event
 	nextWatch int
+
+	// deltaOn/deltaOps/deltaFrom are the opt-in synchronous mutation log
+	// behind StartDeltaLog/CutDelta (see delta.go). Unlike watchers, the
+	// log never drops: it is the durability layer's source of truth.
+	deltaOn   bool
+	deltaOps  []DeltaOp
+	deltaFrom uint64
 }
 
 type factSet struct {
@@ -120,6 +127,7 @@ func (k *KB) Assert(pred string, t relation.Tuple) bool {
 	k.version++
 	ev := Event{Version: k.version, Op: OpAssert, Predicate: pred, Tuple: t.Clone()}
 	k.notifyLocked(ev)
+	k.logLocked(DeltaOp{Kind: DeltaAssert, Name: pred, Tuple: t.Clone()})
 	k.mu.Unlock()
 	return true
 }
@@ -157,6 +165,7 @@ func (k *KB) Retract(pred string, t relation.Tuple) bool {
 	delete(fs.keys, key)
 	k.version++
 	k.notifyLocked(Event{Version: k.version, Op: OpRetract, Predicate: pred, Tuple: t.Clone()})
+	k.logLocked(DeltaOp{Kind: DeltaRetract, Name: pred, Tuple: t.Clone()})
 	return true
 }
 
@@ -172,6 +181,7 @@ func (k *KB) RetractPredicate(pred string) int {
 	delete(k.facts, pred)
 	k.version++
 	k.notifyLocked(Event{Version: k.version, Op: OpRetract, Predicate: pred})
+	k.logLocked(DeltaOp{Kind: DeltaRetractPredicate, Name: pred})
 	return n
 }
 
@@ -270,6 +280,7 @@ func (k *KB) PutRelation(name string, r *relation.Relation) {
 	k.relations[name] = r.Clone()
 	k.version++
 	k.notifyLocked(Event{Version: k.version, Op: OpAssert, Predicate: name})
+	k.logLocked(DeltaOp{Kind: DeltaPutRelation, Name: name, Relation: r.Clone()})
 	k.mu.Unlock()
 }
 
@@ -314,6 +325,7 @@ func (k *KB) DropRelation(name string) bool {
 	delete(k.relations, name)
 	k.version++
 	k.notifyLocked(Event{Version: k.version, Op: OpRetract, Predicate: name})
+	k.logLocked(DeltaOp{Kind: DeltaDropRelation, Name: name})
 	return true
 }
 

@@ -121,12 +121,14 @@ func (k *KB) Merge(src *KB) {
 			dst.tuples = append(dst.tuples, t.Clone())
 			k.version++
 			k.notifyLocked(Event{Version: k.version, Op: OpAssert, Predicate: pred, Tuple: t.Clone()})
+			k.logLocked(DeltaOp{Kind: DeltaAssert, Name: pred, Tuple: t.Clone()})
 		}
 	}
 	for name, r := range src.relations {
 		k.relations[name] = r.Clone()
 		k.version++
 		k.notifyLocked(Event{Version: k.version, Op: OpAssert, Predicate: name})
+		k.logLocked(DeltaOp{Kind: DeltaPutRelation, Name: name, Relation: r.Clone()})
 	}
 	if src.version > k.version {
 		k.version = src.version

@@ -78,8 +78,83 @@ type section struct {
 	data []byte
 }
 
-// writeEnvelope frames the sections: magic, version, each section as
-// kind | u32 length | payload | CRC-32(payload), then the end marker.
+// WriteFrame emits one framed payload — kind | u32 length | payload |
+// CRC-32(payload) — the record unit shared by the snapshot envelope's
+// sections and the journal's appended records.
+func WriteFrame(w io.Writer, kind byte, payload []byte) error {
+	if uint64(len(payload)) > uint64(MaxSectionBytes) {
+		return fmt.Errorf("%w: frame 0x%02x is %d bytes (max %d)",
+			ErrTooLarge, kind, len(payload), MaxSectionBytes)
+	}
+	var hdr [5]byte
+	hdr[0] = kind
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("persist: writing frame header: %w", err)
+	}
+	if _, err := w.Write(payload); err != nil {
+		return fmt.Errorf("persist: writing frame payload: %w", err)
+	}
+	var crc [4]byte
+	binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(payload))
+	if _, err := w.Write(crc[:]); err != nil {
+		return fmt.Errorf("persist: writing frame checksum: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one frame written by WriteFrame. A stream that ends
+// cleanly before the frame's first byte returns io.EOF untouched, so
+// callers iterating records can distinguish "no more frames" from a frame
+// torn mid-structure (ErrTruncated). All other failures wrap the package's
+// typed sentinels.
+func ReadFrame(r io.Reader) (byte, []byte, error) {
+	var kind [1]byte
+	if _, err := io.ReadFull(r, kind[:]); err != nil {
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, fmt.Errorf("%w: reading frame kind: %w", ErrTruncated, err)
+	}
+	payload, err := readFrameBody(r, kind[0])
+	if err != nil {
+		return 0, nil, err
+	}
+	return kind[0], payload, nil
+}
+
+// readFrameBody reads a frame's length, payload and checksum, after the
+// kind byte has been consumed. It allocates only in proportion to the bytes
+// actually present, so truncated streams with hostile length prefixes stay
+// cheap.
+func readFrameBody(r io.Reader, kind byte) ([]byte, error) {
+	var lenb [4]byte
+	if _, err := io.ReadFull(r, lenb[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading frame length: %w", ErrTruncated, err)
+	}
+	length := binary.BigEndian.Uint32(lenb[:])
+	if length > MaxSectionBytes {
+		return nil, fmt.Errorf("%w: frame 0x%02x declares %d bytes (max %d)",
+			ErrTooLarge, kind, length, MaxSectionBytes)
+	}
+	// CopyN into a growing buffer: a truncated stream allocates only what is
+	// actually present, whatever the length prefix claims.
+	var payload bytes.Buffer
+	if _, err := io.CopyN(&payload, r, int64(length)); err != nil {
+		return nil, fmt.Errorf("%w: reading frame payload: %w", ErrTruncated, err)
+	}
+	var crcb [4]byte
+	if _, err := io.ReadFull(r, crcb[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading frame checksum: %w", ErrTruncated, err)
+	}
+	if got := crc32.ChecksumIEEE(payload.Bytes()); got != binary.BigEndian.Uint32(crcb[:]) {
+		return nil, fmt.Errorf("%w: frame 0x%02x", ErrChecksum, kind)
+	}
+	return payload.Bytes(), nil
+}
+
+// writeEnvelope frames the sections: magic, version, each section as one
+// WriteFrame record, then the end marker.
 func writeEnvelope(w io.Writer, version byte, sections []section) error {
 	if _, err := w.Write(magic[:]); err != nil {
 		return fmt.Errorf("persist: writing magic: %w", err)
@@ -87,24 +162,9 @@ func writeEnvelope(w io.Writer, version byte, sections []section) error {
 	if _, err := w.Write([]byte{version}); err != nil {
 		return fmt.Errorf("persist: writing version: %w", err)
 	}
-	var hdr [5]byte
 	for _, s := range sections {
-		if uint64(len(s.data)) > uint64(MaxSectionBytes) {
-			return fmt.Errorf("%w: section 0x%02x is %d bytes (max %d)",
-				ErrTooLarge, s.kind, len(s.data), MaxSectionBytes)
-		}
-		hdr[0] = s.kind
-		binary.BigEndian.PutUint32(hdr[1:], uint32(len(s.data)))
-		if _, err := w.Write(hdr[:]); err != nil {
-			return fmt.Errorf("persist: writing section header: %w", err)
-		}
-		if _, err := w.Write(s.data); err != nil {
-			return fmt.Errorf("persist: writing section payload: %w", err)
-		}
-		var crc [4]byte
-		binary.BigEndian.PutUint32(crc[:], crc32.ChecksumIEEE(s.data))
-		if _, err := w.Write(crc[:]); err != nil {
-			return fmt.Errorf("persist: writing section checksum: %w", err)
+		if err := WriteFrame(w, s.kind, s.data); err != nil {
+			return err
 		}
 	}
 	if _, err := w.Write([]byte{sectionEnd}); err != nil {
@@ -140,28 +200,10 @@ func readEnvelope(r io.Reader) (byte, []section, error) {
 			}
 			return version, sections, nil
 		}
-		var lenb [4]byte
-		if _, err := io.ReadFull(r, lenb[:]); err != nil {
-			return 0, nil, fmt.Errorf("%w: reading section length: %w", ErrTruncated, err)
+		payload, err := readFrameBody(r, kind[0])
+		if err != nil {
+			return 0, nil, err
 		}
-		length := binary.BigEndian.Uint32(lenb[:])
-		if length > MaxSectionBytes {
-			return 0, nil, fmt.Errorf("%w: section 0x%02x declares %d bytes (max %d)",
-				ErrTooLarge, kind[0], length, MaxSectionBytes)
-		}
-		// CopyN into a growing buffer: a truncated stream allocates only
-		// what is actually present, whatever the length prefix claims.
-		var payload bytes.Buffer
-		if _, err := io.CopyN(&payload, r, int64(length)); err != nil {
-			return 0, nil, fmt.Errorf("%w: reading section payload: %w", ErrTruncated, err)
-		}
-		var crcb [4]byte
-		if _, err := io.ReadFull(r, crcb[:]); err != nil {
-			return 0, nil, fmt.Errorf("%w: reading section checksum: %w", ErrTruncated, err)
-		}
-		if got := crc32.ChecksumIEEE(payload.Bytes()); got != binary.BigEndian.Uint32(crcb[:]) {
-			return 0, nil, fmt.Errorf("%w: section 0x%02x", ErrChecksum, kind[0])
-		}
-		sections = append(sections, section{kind: kind[0], data: payload.Bytes()})
+		sections = append(sections, section{kind: kind[0], data: payload})
 	}
 }

@@ -387,6 +387,20 @@ func (e *Engine) List(sessionID string) []Run {
 	return out
 }
 
+// ListTerminal returns snapshots of every retained run of a session that
+// has reached a terminal state, in submission order — the set a durability
+// journal records after a run completes.
+func (e *Engine) ListTerminal(sessionID string) []Run {
+	all := e.List(sessionID)
+	out := all[:0]
+	for _, r := range all {
+		if r.State.Terminal() {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
 // Cancel requests cancellation of a run. A queued run is removed from its
 // session queue and finalised as cancelled immediately; a running run has
 // its context cancelled and reaches StateCancelled when the stage observes

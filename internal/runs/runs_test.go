@@ -743,3 +743,53 @@ func TestWaitSession(t *testing.T) {
 	// Waiting on a session with no runs returns immediately.
 	e.WaitSession("nope")
 }
+
+// TestListTerminal pins the journal persister's view: only terminal runs of
+// the named session, in submission order, live runs excluded.
+func TestListTerminal(t *testing.T) {
+	e := New(WithWorkers(1))
+	defer e.Close()
+
+	ok := func(ctx context.Context) (session.Event, error) { return session.Event{}, nil }
+	r1, err := e.Submit("s1", "a", ok)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := e.Submit("s1", "b", func(ctx context.Context) (session.Event, error) {
+		return session.Event{}, errors.New("boom")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit("other", "c", ok); err != nil {
+		t.Fatal(err)
+	}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	live, err := e.Submit("s1", "blocker", func(ctx context.Context) (session.Event, error) {
+		close(started)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return session.Event{}, ctx.Err()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-started // r1 and r2 are terminal, the blocker is running
+	got := e.ListTerminal("s1")
+	if len(got) != 2 || got[0].ID != r1.ID || got[1].ID != r2.ID {
+		t.Fatalf("terminal runs = %+v", got)
+	}
+	for _, r := range got {
+		if !r.State.Terminal() {
+			t.Fatalf("non-terminal run listed: %+v", r)
+		}
+	}
+	close(release)
+	waitTerminal(t, e, live.ID)
+	if got := e.ListTerminal("s1"); len(got) != 3 {
+		t.Fatalf("after blocker finished: %d terminal runs, want 3", len(got))
+	}
+}

@@ -124,6 +124,11 @@ type Session struct {
 	// paginated reads stop re-projecting an unchanged relation.
 	resultCache   *relation.Relation
 	resultVersion uint64
+
+	// stageHook, when set, observes every completed stage while the session
+	// still holds its run mutex — the mutation hook the durability journal
+	// feeds on (see WithStageHook).
+	stageHook func(*Session, Event)
 }
 
 // Option configures a Session at creation.
@@ -151,6 +156,17 @@ func WithScenario(sc *datagen.Scenario, seed int64) Option {
 // DefaultRegistry per session.
 func WithRegistry(r *Registry) Option {
 	return func(s *Session) { s.registry = r }
+}
+
+// WithStageHook installs a callback invoked after every completed stage,
+// with the session's run mutex still held: no later stage can start (and no
+// knowledge-base write can land) before the hook returns, which is exactly
+// the window an incremental-durability journal needs to capture the stage's
+// mutation delta race-free. The hook runs on the wrangling path — keep it
+// short and never call back into the session's stage methods (Step would
+// self-deadlock). One hook per session; later options replace earlier ones.
+func WithStageHook(hook func(*Session, Event)) Option {
+	return func(s *Session) { s.stageHook = hook }
 }
 
 // WithRestored stamps a session with its pre-restart identity: the creation
@@ -331,6 +347,11 @@ func (s *Session) Step(ctx context.Context, stage string, action func(w *core.Wr
 		}
 	}
 	s.mu.Unlock()
+	// Under runMu, after the event is appended: the hook observes the
+	// session exactly as this stage left it, before any later stage runs.
+	if s.stageHook != nil {
+		s.stageHook(s, ev)
+	}
 	return ev, nil
 }
 

@@ -608,3 +608,54 @@ func TestTeardownHookOrdering(t *testing.T) {
 		t.Fatalf("teardown order = %v, want [stop evict:1]", order)
 	}
 }
+
+// TestStageHook proves the mutation hook's contract: it fires once per
+// completed stage, after the event is appended (Seq assigned, history
+// visible), while the run mutex still excludes the next stage — so a
+// knowledge-base version read inside the hook is exactly the stage's final
+// version.
+func TestStageHook(t *testing.T) {
+	ctx := context.Background()
+	sc := testScenario(t, 40, 1)
+	var calls []Event
+	var versions []uint64
+	var sess *Session
+	sess = New("hooked", core.BuildScenarioWrangler(sc),
+		WithScenario(sc, 1),
+		WithStageHook(func(s *Session, ev Event) {
+			if s != sess {
+				t.Error("hook got a different session")
+			}
+			calls = append(calls, ev)
+			versions = append(versions, s.Wrangler().KB.Version())
+			if got := s.Events(); len(got) != ev.Seq {
+				t.Errorf("hook sees %d events, want %d", len(got), ev.Seq)
+			}
+		}))
+	if _, err := sess.Bootstrap(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.AddDataContext(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != 2 || calls[0].Seq != 1 || calls[1].Seq != 2 {
+		t.Fatalf("hook calls = %+v", calls)
+	}
+	if calls[0].Stage != StageBootstrap || calls[1].Stage != StageDataContext {
+		t.Fatalf("hook stages = %q, %q", calls[0].Stage, calls[1].Stage)
+	}
+	// The version captured inside the hook is the stage's final version:
+	// nothing ran between the stage completing and the hook observing it.
+	if versions[1] != sess.Wrangler().KB.Version() {
+		t.Fatalf("hook version %d, final version %d", versions[1], sess.Wrangler().KB.Version())
+	}
+	// A failing stage records no event and fires no hook.
+	if _, err := sess.Step(ctx, "explode", func(w *core.Wrangler) error {
+		return errors.New("no")
+	}); err == nil {
+		t.Fatal("failing action should fail the stage")
+	}
+	if len(calls) != 2 {
+		t.Fatalf("failed stage fired the hook: %d calls", len(calls))
+	}
+}

@@ -78,6 +78,7 @@ import (
 	"vada/internal/extract"
 	"vada/internal/feedback"
 	"vada/internal/fusion"
+	"vada/internal/journal"
 	"vada/internal/kb"
 	"vada/internal/mapping"
 	"vada/internal/match"
@@ -176,6 +177,7 @@ var (
 	WithStopHook      = session.WithStopHook
 	WithEvictHook     = session.WithEvictHook
 	WithRestored      = session.WithRestored
+	WithStageHook     = session.WithStageHook
 )
 
 // ---- durable sessions ------------------------------------------------------
@@ -199,6 +201,41 @@ var (
 	ReadSessionSnapshot  = persist.ReadSessionSnapshot
 	RestoreSession       = persist.RestoreSession
 	RestoreSessionInto   = persist.RestoreInto
+)
+
+// ---- incremental durability (journal) --------------------------------------
+
+// JournalRecord is one entry of a session's append-only journal — a
+// completed stage's mutation delta (JournalStageRecord) or a terminal run.
+// JournalWriter appends fsynced records to the per-session .vjournal file;
+// JournalRecorder ties a live session to its writer (stage hook → stage
+// records, terminal runs → run records, compaction); JournalReplayResult is
+// the torn-tail-tolerant read of a journal's valid prefix. KBDelta/KBDeltaOp
+// are the knowledge-base mutation log journaled per stage.
+type (
+	JournalRecord       = journal.Record
+	JournalStageRecord  = journal.StageRecord
+	JournalWriter       = journal.Writer
+	JournalRecorder     = journal.Recorder
+	JournalReplayResult = journal.ReplayResult
+	KBDelta             = kb.Delta
+	KBDeltaOp           = kb.DeltaOp
+)
+
+// Journal lifecycle: open (recovering the valid prefix and truncating any
+// torn tail), replay a stream, compose replayed records over a decoded
+// snapshot, and record a live session's mutations.
+var (
+	OpenJournal        = journal.Open
+	ReplayJournal      = journal.Replay
+	ComposeJournal     = journal.Compose
+	NewJournalRecorder = journal.NewRecorder
+)
+
+// Journal header errors; record-level damage is recovered, not surfaced.
+var (
+	ErrJournalMagic   = journal.ErrBadMagic
+	ErrJournalVersion = journal.ErrBadVersion
 )
 
 // UserContextByName resolves the demonstration user contexts ("crime",
