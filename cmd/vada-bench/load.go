@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"vada/internal/loadgen"
+)
+
+// runLoad is the service benchmark: a closed-loop workload over the
+// self-hosted server, reported as the BENCH_<n>.json schema. strict turns
+// any error-class count (op errors, 5xx, recovery failures) into a
+// non-zero exit — the CI smoke gate.
+func runLoad(preset string, seed int64, workers int, duration time.Duration, recovery, strict bool, out string) error {
+	cfg := loadgen.Preset(preset)
+	cfg.Seed = seed
+	if workers > 0 {
+		cfg.Workers = workers
+	}
+	if duration > 0 {
+		cfg.Duration = duration
+	}
+	cfg.Recovery = recovery
+
+	fmt.Printf("load benchmark: preset %s, %d workers, %s steady state, seed %d, recovery %v\n",
+		cfg.Name, cfg.Workers, cfg.Duration, cfg.Seed, cfg.Recovery)
+	rep, err := loadgen.Run(cfg)
+	if err != nil {
+		return err
+	}
+	printLoadReport(rep)
+	if out != "" {
+		if err := loadgen.WriteReport(rep, out); err != nil {
+			return fmt.Errorf("writing %s: %w", out, err)
+		}
+		fmt.Printf("\nreport written to %s\n", out)
+	}
+	if strict {
+		bad := rep.Totals.Errors + rep.HTTP5xx
+		if rep.Recovery != nil {
+			bad += rep.Recovery.Errors
+		}
+		if rep.Recovery != nil && !rep.Recovery.Verified {
+			return fmt.Errorf("load: recovery verification failed: %+v", rep.Recovery)
+		}
+		if bad != 0 {
+			return fmt.Errorf("load: %d error-class events (op errors %d, 5xx %d)",
+				bad, rep.Totals.Errors, rep.HTTP5xx)
+		}
+	}
+	return nil
+}
+
+// printLoadReport renders the human-readable table next to the JSON.
+func printLoadReport(rep *loadgen.Report) {
+	fmt.Printf("\n%-16s %8s %7s %9s %9s %9s %7s\n",
+		"op", "count", "errors", "ops/s", "p50 ms", "p99 ms", "max ms")
+	ops := make([]string, 0, len(rep.Ops))
+	for op := range rep.Ops {
+		ops = append(ops, op)
+	}
+	sort.Strings(ops)
+	for _, op := range ops {
+		st := rep.Ops[op]
+		fmt.Printf("%-16s %8d %7d %9.1f %9.2f %9.2f %7.0f\n",
+			op, st.Count, st.Errors, st.ThroughputPerS, st.P50Ms, st.P99Ms, st.MaxMs)
+	}
+	fmt.Printf("%-16s %8d %7d %9.1f\n", "total", rep.Totals.Count, rep.Totals.Errors, rep.Totals.ThroughputPerS)
+	fmt.Printf("\nhttp 5xx: %d   runs completed: %d   disk bytes/run: %.0f   sse drops: %d\n",
+		rep.HTTP5xx, rep.RunsCompleted, rep.DiskBytesPerRun, rep.SSEDropped)
+	if rep.Recovery != nil {
+		fmt.Printf("recovery: killed=%v restart=%.1fms sessions %d -> %d verified=%v errors=%d\n",
+			rep.Recovery.Killed, rep.Recovery.RestartMs, rep.Recovery.SessionsBefore,
+			rep.Recovery.SessionsRestored, rep.Recovery.Verified, rep.Recovery.Errors)
+	}
+}

@@ -7,7 +7,15 @@
 //	vada-bench -exp costcurve     # E-A1: user effort vs result quality (§1 motivation)
 //	vada-bench -exp usercontext   # E-A2: user contexts change selection (§2.2)
 //	vada-bench -exp scenario      # E-F2: the demonstration scenario (Figure 2)
-//	vada-bench -exp all           # everything
+//	vada-bench -exp all           # everything (except load)
+//
+// Beyond the paper exhibits, -exp load drives the closed-loop service
+// benchmark: it self-hosts the full vada-server wiring in-process via
+// internal/loadgen, runs the configured preset (-load-preset smoke|standard,
+// overridable with -load-workers/-load-duration), and writes the
+// machine-readable BENCH report to -out. -seed makes the workload
+// reproducible; -load-strict exits non-zero on any error-class counter
+// (the CI smoke gate).
 package main
 
 import (
@@ -23,11 +31,25 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment: payg|table1|orchestration|costcurve|usercontext|scenario|all")
+	exp := flag.String("exp", "all", "experiment: payg|table1|orchestration|costcurve|usercontext|scenario|load|all")
 	n := flag.Int("n", 400, "number of ground-truth properties")
-	seed := flag.Int64("seed", 1, "scenario seed")
+	seed := flag.Int64("seed", 1, "scenario seed (also roots the -exp load workload PRNG)")
 	budget := flag.Int("budget", 120, "feedback budget (payg)")
+	loadPreset := flag.String("load-preset", "standard", "load scenario preset: smoke|standard (-exp load)")
+	loadWorkers := flag.Int("load-workers", 0, "override the preset's worker count (-exp load)")
+	loadDuration := flag.Duration("load-duration", 0, "override the preset's steady-state duration (-exp load)")
+	loadRecovery := flag.Bool("load-recovery", true, "include the kill-9/restart phase (-exp load)")
+	loadStrict := flag.Bool("load-strict", false, "exit non-zero on any op error or 5xx (-exp load)")
+	out := flag.String("out", "", "write the load report JSON here (-exp load; \"\" = stdout only)")
 	flag.Parse()
+
+	if *exp == "load" {
+		if err := runLoad(*loadPreset, *seed, *loadWorkers, *loadDuration, *loadRecovery, *loadStrict, *out); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	runners := map[string]func(int, int64, int) error{
 		"payg":          runPayg,

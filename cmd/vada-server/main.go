@@ -1,548 +1,59 @@
-// Command vada-server is the multi-tenant wrangling service: any number of
-// concurrent pay-as-you-go sessions (each the four-panel demonstration of
-// Figure 3) behind a versioned JSON API, plus the single-page UI and the
-// browsable orchestration trace.
-//
-//	vada-server -addr :8080 -max-sessions 64 -idle-timeout 30m -run-workers 8
-//
-// Endpoints:
-//
-//	GET    /                                     the single-page UI
-//	GET    /api/v1/healthz                       server health: sessions, run-engine load, persist stats
-//	GET    /api/v1/stages                        stage discovery: every registered stage
-//	POST   /api/v1/sessions                      create a session {"name","n","seed"}
-//	GET    /api/v1/sessions                      list session states
-//	GET    /api/v1/sessions/{id}                 session state
-//	DELETE /api/v1/sessions/{id}                 close the session (cancels its runs)
-//	POST   /api/v1/sessions/{id}/stages/{name}   invoke any registered stage (body = JSON payload)
-//	POST   /api/v1/sessions/{id}/plans           run an ordered stage plan as one run (always async)
-//	POST   /api/v1/sessions/{id}/bootstrap       legacy alias of stages/bootstrap
-//	POST   /api/v1/sessions/{id}/datacontext     legacy alias of stages/data-context
-//	POST   /api/v1/sessions/{id}/feedback        legacy alias of stages/feedback (?budget=N or JSON items)
-//	POST   /api/v1/sessions/{id}/usercontext     legacy alias of stages/user-context (?model=crime|size)
-//	GET    /api/v1/sessions/{id}/result          result rows (?limit=&offset=, paginated)
-//	GET    /api/v1/sessions/{id}/trace           orchestration trace (text)
-//	GET    /api/v1/sessions/{id}/state           session state (alias)
-//	GET    /api/v1/sessions/{id}/runs            list the session's async runs
-//	GET    /api/v1/sessions/{id}/runs/{rid}      poll one run
-//	DELETE /api/v1/sessions/{id}/runs/{rid}      cancel a queued or in-flight run
-//	GET    /api/v1/sessions/{id}/events          stage events + run transitions over SSE
-//	GET    /api/v1/sessions/{id}/export          download the session as a snapshot envelope
-//	POST   /api/v1/sessions/import               restore a session from a snapshot envelope
-//
-// With -data-dir the service is durable, and with -journal (the default)
-// durability is incremental: each session keeps an append-only
-// <data-dir>/<id>.vjournal beside its <data-dir>/<id>.vsnap, and a
-// completed stage or run appends one CRC-framed, fsynced record carrying
-// only the mutation delta — O(delta) bytes instead of rewriting the whole
-// snapshot envelope. When the journal crosses -journal-max-records or
-// -journal-max-bytes (and on evict and graceful shutdown) it is compacted:
-// folded into a fresh full snapshot and truncated. Boot recovery composes
-// the last snapshot with the journal's valid prefix; a record torn by
-// kill -9 mid-append is truncated, never fatal. With -journal=false the
-// PR-4 behaviour remains: a full snapshot per completed run.
-//
-// Either way, every persisted session is restored at boot — event history,
-// result and terminal run resources included — so a server killed outright
-// (kill -9) loses at most the work since the last completed stage, and a
-// restarted server answers GET .../result and GET .../runs/{rid} for
-// pre-restart sessions identically.
-//
-// DELETE /api/v1/sessions/{id} garbage-collects the session's durable
-// state: its snapshot is archived under <data-dir>/closed/ and the live
-// .vsnap/.vjournal pair is removed, so explicitly closed sessions no
-// longer resurrect on boot (opt back in with -restore-closed, which
-// restores archived sessions and moves them live again). Idle-evicted
-// sessions stay restorable. GET /api/v1/healthz reports persist stats:
-// journaled sessions, journal records and bytes since compaction, and the
-// last snapshot time.
-//
-// Stages are registry-driven: the four paper stages are pre-registered and
-// any stage added to the server's registry is immediately invocable through
-// the generic stages/{name} route, listable via stage discovery, and usable
-// in plans — no per-stage handler exists any more; the legacy per-stage
-// routes are thin aliases that translate their old wire formats onto the
-// same path.
-//
-// Every stage POST accepts ?async=1: instead of blocking until the stage
-// quiesces, the server enqueues it on the run engine and answers
-// 202 Accepted with a Location header naming the run resource to poll.
-// Plans are always asynchronous: the run resource carries per-stage
-// progress (plan, stage_index, events) and the session's SSE stream
-// carries every state transition (queued → running → stage k/n →
-// terminal) as `transition` events alongside the `stage` events.
-// Runs of one session execute in submission order; runs of independent
-// sessions spread across the worker pool, and a per-session pending cap
-// (-run-session-queue) answers 429 with Retry-After before one session can
-// monopolise the global queue.
-//
-// Sessions are independent: each wraps its own Wrangler and scenario, holds
-// its own lock, and wrangles fully in parallel with every other session.
+// Command vada-server is the thin binary over internal/server: flag
+// parsing, the idle-eviction ticker and graceful signal-driven shutdown.
+// All service behaviour — routes, durability, metrics — lives in the
+// package, so tests and the load generator host the identical wiring
+// in-process.
 package main
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
 	"errors"
 	"flag"
-	"fmt"
-	"io"
 	"log"
-	"mime"
 	"net/http"
 	"os"
 	"os/signal"
-	"path/filepath"
-	"strconv"
-	"strings"
-	"sync"
 	"syscall"
 	"time"
 
-	"vada"
+	"vada/internal/server"
 )
-
-// maxResultPageSize bounds one result page; larger limits are clamped.
-const maxResultPageSize = 1000
-
-// maxPayloadBytes bounds one stage payload or plan body.
-const maxPayloadBytes = 8 << 20
-
-// maxSnapshotBytes bounds one imported session snapshot.
-const maxSnapshotBytes = 64 << 20
-
-// snapshotExt is the on-disk suffix of persisted session snapshots.
-const snapshotExt = ".vsnap"
-
-// journalExt is the on-disk suffix of per-session append-only journals.
-const journalExt = ".vjournal"
-
-// closedDirName is the -data-dir subdirectory explicitly deleted sessions
-// are archived under (see -restore-closed).
-const closedDirName = "closed"
-
-// server holds the stage registry, the session manager, the async run
-// engine, the per-session scenario defaults and the durability wiring.
-type server struct {
-	registry    *vada.StageRegistry
-	mgr         *vada.SessionManager
-	runs        *vada.RunEngine
-	defaultN    int
-	defaultSeed int64
-	maxN        int
-	started     time.Time
-
-	// sseKeepAlive is the idle interval between SSE keep-alive comments;
-	// sseWriteTimeout is the per-write deadline that reaps dead client
-	// connections behind proxies that never RST.
-	sseKeepAlive    time.Duration
-	sseWriteTimeout time.Duration
-
-	// dataDir is where session snapshots live ("" = ephemeral). The
-	// persister goroutine drains persistCh — session IDs whose runs just
-	// completed — so snapshot writes never run under the engine lock.
-	// persistCh is never closed (late notify hooks must not panic);
-	// persistDone stops the persister, and Close's persistAll sweep covers
-	// whatever hints were still queued.
-	dataDir     string
-	persistCh   chan string
-	persistDone chan struct{}
-	persistWG   sync.WaitGroup
-	closeOnce   sync.Once
-
-	// persistMu makes each capture+write atomic with respect to other
-	// snapshot writers: without it, the persister's capture of a session's
-	// second-to-last state could rename over the evict hook's final
-	// snapshot and strand the last event until the next write.
-	// lastSnapshotAt (guarded by persistMu) is surfaced in healthz.
-	persistMu      sync.Mutex
-	lastSnapshotAt time.Time
-
-	// journal configuration: with journaling on, completed stages and runs
-	// append O(delta) records to per-session .vjournal files instead of
-	// rewriting the snapshot, and the journal is folded back into a fresh
-	// snapshot at the compaction thresholds.
-	journal           bool
-	journalMaxRecords int
-	journalMaxBytes   int64
-	restoreClosed     bool
-
-	// recorders maps live session IDs to their journal recorders; deleting
-	// refcounts sessions being explicitly DELETEd so the evict hook
-	// garbage-collects their durable state instead of persisting it (a
-	// racing duplicate DELETE must not clear the mark mid-teardown); gone
-	// tombstones IDs whose files gcSession removed, so a persist already in
-	// flight cannot resurrect them (cleared when the ID is re-registered).
-	recMu     sync.Mutex
-	recorders map[string]*vada.JournalRecorder
-	delMu     sync.Mutex
-	deleting  map[string]int
-	gone      map[string]bool
-}
-
-// serverConfig is main's flag set in struct form, so tests can build the
-// full server wiring — durability included — without a process.
-type serverConfig struct {
-	n, maxN         int
-	seed            int64
-	maxSessions     int
-	runWorkers      int
-	runQueue        int
-	runSessionQueue int
-	sseKeepAlive    time.Duration
-	sseWriteTimeout time.Duration
-	dataDir         string
-
-	journal           bool
-	journalMaxRecords int
-	journalMaxBytes   int64
-	restoreClosed     bool
-}
-
-// newServer wires registry, run engine, session manager and — when a data
-// directory is configured — the durability paths: restore every snapshot in
-// the directory, then persist sessions on run completion, close, evict and
-// Close.
-func newServer(cfg serverConfig) (*server, error) {
-	s := &server{
-		registry:          vada.DefaultStageRegistry(),
-		defaultN:          cfg.n,
-		defaultSeed:       cfg.seed,
-		maxN:              cfg.maxN,
-		started:           time.Now(),
-		sseKeepAlive:      cfg.sseKeepAlive,
-		sseWriteTimeout:   cfg.sseWriteTimeout,
-		dataDir:           cfg.dataDir,
-		journal:           cfg.journal,
-		journalMaxRecords: cfg.journalMaxRecords,
-		journalMaxBytes:   cfg.journalMaxBytes,
-		restoreClosed:     cfg.restoreClosed,
-		recorders:         map[string]*vada.JournalRecorder{},
-		deleting:          map[string]int{},
-		gone:              map[string]bool{},
-	}
-	s.runs = vada.NewRunEngine(
-		vada.WithRunWorkers(cfg.runWorkers),
-		vada.WithRunQueueDepth(cfg.runQueue),
-		vada.WithRunSessionQueue(cfg.runSessionQueue),
-		vada.WithRunNotify(s.publishTransition),
-	)
-	s.mgr = vada.NewSessionManager(
-		vada.WithMaxSessions(cfg.maxSessions),
-		// Stop hook: interrupt outstanding work the moment the session is
-		// marked closed, so the manager's quiesce wait is short.
-		vada.WithStopHook(func(sess *vada.Session) {
-			if n := s.runs.CancelSession(sess.ID()); n > 0 {
-				log.Printf("vada-server: session %s closing (%d runs cancelled)", sess.ID(), n)
-			}
-		}),
-		// Evict hook: runs post-quiescence, so the durable state written
-		// here carries the final KB version, event history and run records.
-		// Explicit DELETEs garbage-collect instead of persisting; evicted
-		// journaled sessions compact (snapshot + truncated journal) so a
-		// restart replays nothing.
-		vada.WithEvictHook(func(sess *vada.Session) {
-			id := sess.ID()
-			if s.dataDir != "" {
-				s.runs.WaitSession(id)
-				switch {
-				case s.isDeleting(id):
-					s.gcSession(sess)
-				default:
-					if rec := s.recorder(id); rec != nil {
-						if err := rec.Compact(func() error { return s.persistSession(sess) }); err != nil {
-							log.Printf("vada-server: compacting session %s on evict: %v", id, err)
-						}
-						s.dropRecorder(id)
-					} else if err := s.persistSession(sess); err != nil {
-						log.Printf("vada-server: persisting session %s: %v", id, err)
-					}
-				}
-			}
-			log.Printf("vada-server: session %s closed", id)
-		}),
-	)
-	if s.dataDir != "" {
-		if err := os.MkdirAll(s.dataDir, 0o755); err != nil {
-			return nil, fmt.Errorf("creating -data-dir: %w", err)
-		}
-		s.restoreAll()
-		if s.restoreClosed {
-			s.restoreClosedAll()
-		}
-		s.persistCh = make(chan string, 256)
-		s.persistDone = make(chan struct{})
-		s.persistWG.Add(1)
-		go s.persister()
-	}
-	return s, nil
-}
-
-// journalOn reports whether incremental durability is active.
-func (s *server) journalOn() bool { return s.dataDir != "" && s.journal }
-
-// sessionOpts are the options every session — created, imported or
-// restored — gets: the shared stage registry and, with journaling on, the
-// stage hook that appends each completed stage's mutation record.
-func (s *server) sessionOpts() []vada.SessionOption {
-	opts := []vada.SessionOption{vada.WithStageRegistry(s.registry)}
-	if s.journalOn() {
-		opts = append(opts, vada.WithStageHook(s.journalStage))
-	}
-	return opts
-}
-
-// journalStage is the session stage hook: one fsynced O(delta) append per
-// completed stage. It runs under the session's run mutex, so the delta cut
-// inside RecordStage cannot race the next stage's writes. An append failure
-// is logged, not fatal — the compaction and evict snapshots backstop it.
-func (s *server) journalStage(sess *vada.Session, ev vada.SessionEvent) {
-	rec := s.recorder(sess.ID())
-	if rec == nil {
-		return
-	}
-	if err := rec.RecordStage(ev); err != nil {
-		log.Printf("vada-server: journaling stage %s of session %s: %v", ev.Stage, sess.ID(), err)
-	}
-	// Synchronous stages never complete a run, so they would never reach
-	// the persister's threshold check — hint it here (non-blocking, off the
-	// wrangling path) so sync-only workloads compact too.
-	if s.persistCh != nil && rec.ShouldCompact(s.journalMaxRecords, s.journalMaxBytes) {
-		select {
-		case s.persistCh <- sess.ID():
-		default:
-		}
-	}
-}
-
-// recorder returns the session's journal recorder, or nil.
-func (s *server) recorder(id string) *vada.JournalRecorder {
-	s.recMu.Lock()
-	defer s.recMu.Unlock()
-	return s.recorders[id]
-}
-
-// dropRecorder unregisters and closes the session's journal recorder.
-func (s *server) dropRecorder(id string) {
-	s.recMu.Lock()
-	rec := s.recorders[id]
-	delete(s.recorders, id)
-	s.recMu.Unlock()
-	if rec != nil {
-		if err := rec.Close(); err != nil {
-			log.Printf("vada-server: closing journal of session %s: %v", id, err)
-		}
-	}
-}
-
-// startJournal makes a new (created or imported) session incrementally
-// durable: write the baseline snapshot the journal layers onto, open a
-// fresh journal (resetting any stale file a re-imported ID left behind —
-// the baseline just captured everything), and register the recorder. The
-// returned error reports the session is NOT durable on disk; callers that
-// are about to destroy another durable copy (the archive-restore path)
-// must not proceed on failure.
-func (s *server) startJournal(sess *vada.Session) error {
-	if !s.journalOn() || !safeSnapshotID(sess.ID()) {
-		return nil
-	}
-	if err := s.persistSession(sess); err != nil {
-		log.Printf("vada-server: writing baseline snapshot of session %s: %v", sess.ID(), err)
-		return err
-	}
-	w, recovered, err := vada.OpenJournal(filepath.Join(s.dataDir, sess.ID()+journalExt))
-	if err != nil {
-		log.Printf("vada-server: opening journal of session %s: %v", sess.ID(), err)
-		return err
-	}
-	if len(recovered) > 0 {
-		if err := w.Reset(); err != nil {
-			log.Printf("vada-server: resetting stale journal of session %s: %v", sess.ID(), err)
-			w.Close()
-			return err
-		}
-	}
-	s.adoptJournal(sess, w, nil)
-	return nil
-}
-
-// adoptJournal registers a recorder over an open journal writer, closing
-// any recorder a superseded session left under the same ID.
-func (s *server) adoptJournal(sess *vada.Session, w *vada.JournalWriter, knownRuns []vada.Run) {
-	rec := vada.NewJournalRecorder(w, sess, knownRuns)
-	s.recMu.Lock()
-	if s.recorders == nil {
-		s.recorders = map[string]*vada.JournalRecorder{}
-	}
-	old := s.recorders[sess.ID()]
-	s.recorders[sess.ID()] = rec
-	s.recMu.Unlock()
-	if old != nil {
-		old.Close()
-	}
-}
-
-// isDeleting reports whether the session is being explicitly DELETEd (as
-// opposed to idle-evicted), which switches the evict hook from persist to
-// garbage-collect.
-func (s *server) isDeleting(id string) bool {
-	s.delMu.Lock()
-	defer s.delMu.Unlock()
-	return s.deleting[id] > 0
-}
-
-// beginDelete/endDelete refcount in-flight DELETE handlers for one session:
-// a duplicate DELETE (client retry) returns 404 immediately and must not
-// clear the mark while the first handler is still inside the (possibly
-// slow) teardown whose evict hook consults it.
-func (s *server) beginDelete(id string) {
-	s.delMu.Lock()
-	if s.deleting == nil {
-		s.deleting = map[string]int{}
-	}
-	s.deleting[id]++
-	s.delMu.Unlock()
-}
-
-func (s *server) endDelete(id string) {
-	s.delMu.Lock()
-	if s.deleting[id]--; s.deleting[id] <= 0 {
-		delete(s.deleting, id)
-	}
-	s.delMu.Unlock()
-}
-
-// markGone/clearGone/isGone tombstone garbage-collected session IDs so a
-// persist racing the DELETE (the persister goroutine already holds the
-// *Session) cannot re-create the files gcSession just removed. gcSession
-// marks while holding persistMu; persistSession checks under persistMu; so
-// every write ordered after the GC observes the tombstone.
-func (s *server) markGone(id string) {
-	s.delMu.Lock()
-	if s.gone == nil {
-		s.gone = map[string]bool{}
-	}
-	s.gone[id] = true
-	s.delMu.Unlock()
-}
-
-func (s *server) clearGone(id string) {
-	s.delMu.Lock()
-	delete(s.gone, id)
-	s.delMu.Unlock()
-}
-
-func (s *server) isGone(id string) bool {
-	s.delMu.Lock()
-	defer s.delMu.Unlock()
-	return s.gone[id]
-}
-
-// gcSession is the DELETE path of snapshot retention: the session's final
-// state is archived under <data-dir>/closed/ and the live .vsnap/.vjournal
-// pair is removed, so the session no longer resurrects on boot (unless the
-// server opts back in with -restore-closed).
-func (s *server) gcSession(sess *vada.Session) {
-	id := sess.ID()
-	// Supersession guard: the teardown runs after Manager.Close removed the
-	// ID from the map, so an import can have registered a NEW session under
-	// the same ID by now — its recorder and fresh files must not be
-	// clobbered by the old session's GC.
-	if cur, err := s.mgr.Get(id); err == nil && cur != sess {
-		log.Printf("vada-server: session %s re-registered during delete; skipping GC", id)
-		return
-	}
-	s.dropRecorder(id)
-	if !safeSnapshotID(id) {
-		return
-	}
-	s.persistMu.Lock()
-	defer s.persistMu.Unlock()
-	closed := filepath.Join(s.dataDir, closedDirName)
-	if err := os.MkdirAll(closed, 0o755); err != nil {
-		log.Printf("vada-server: creating %s: %v", closed, err)
-		return
-	}
-	tmp, err := os.CreateTemp(closed, ".tmp-*")
-	if err != nil {
-		log.Printf("vada-server: archiving session %s: %v", id, err)
-		return
-	}
-	defer os.Remove(tmp.Name())
-	err = vada.ExportSession(tmp, sess, s.runs)
-	if err == nil {
-		err = tmp.Sync()
-	}
-	if cerr := tmp.Close(); err == nil {
-		err = cerr
-	}
-	if err == nil {
-		err = os.Rename(tmp.Name(), filepath.Join(closed, id+snapshotExt))
-	}
-	if err != nil {
-		log.Printf("vada-server: archiving session %s: %v", id, err)
-		return
-	}
-	for _, stale := range []string{id + snapshotExt, id + journalExt} {
-		if err := os.Remove(filepath.Join(s.dataDir, stale)); err != nil && !errors.Is(err, os.ErrNotExist) {
-			log.Printf("vada-server: removing %s: %v", stale, err)
-		}
-	}
-	// Tombstone while still holding persistMu: any persist that acquires
-	// the lock after this point sees it and declines to resurrect the pair.
-	s.markGone(id)
-	log.Printf("vada-server: session %s archived under %s/", id, closedDirName)
-}
-
-// Close drains the run engine, stops the persister and snapshots every live
-// session — the graceful-shutdown path. Idempotent.
-func (s *server) Close() {
-	s.closeOnce.Do(func() {
-		s.runs.Close() // cancels live runs and waits for workers to drain
-		if s.persistDone != nil {
-			close(s.persistDone)
-			s.persistWG.Wait()
-		}
-		s.persistAll()
-	})
-}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	cfg := serverConfig{}
-	flag.IntVar(&cfg.n, "n", 300, "default scenario size for new sessions")
-	flag.IntVar(&cfg.maxN, "max-n", 2000, "largest scenario size a client may request")
-	flag.Int64Var(&cfg.seed, "seed", 1, "default scenario seed for new sessions")
-	flag.IntVar(&cfg.maxSessions, "max-sessions", 64, "live session cap (0 = unlimited)")
+	cfg := server.Config{}
+	flag.IntVar(&cfg.N, "n", 300, "default scenario size for new sessions")
+	flag.IntVar(&cfg.MaxN, "max-n", 2000, "largest scenario size a client may request")
+	flag.Int64Var(&cfg.Seed, "seed", 1, "default scenario seed for new sessions")
+	flag.IntVar(&cfg.MaxSessions, "max-sessions", 64, "live session cap (0 = unlimited)")
 	idleTimeout := flag.Duration("idle-timeout", 30*time.Minute, "evict sessions idle this long (0 = never)")
-	flag.IntVar(&cfg.runWorkers, "run-workers", 8, "async run engine worker-pool size")
-	flag.IntVar(&cfg.runQueue, "run-queue", 256, "async run queue depth (0 = unlimited)")
-	flag.IntVar(&cfg.runSessionQueue, "run-session-queue", 16, "pending async runs one session may hold (0 = unlimited)")
-	flag.DurationVar(&cfg.sseKeepAlive, "sse-keepalive", 15*time.Second, "SSE keep-alive comment interval (0 = disabled)")
-	flag.DurationVar(&cfg.sseWriteTimeout, "sse-write-timeout", 10*time.Second, "SSE per-write deadline (0 = none)")
-	flag.StringVar(&cfg.dataDir, "data-dir", "", "persist sessions to this directory and restore them on boot (\"\" = ephemeral)")
-	flag.BoolVar(&cfg.journal, "journal", true, "incremental durability: append per-stage/per-run records to <id>.vjournal instead of rewriting the snapshot (requires -data-dir)")
-	flag.IntVar(&cfg.journalMaxRecords, "journal-max-records", 512, "compact a session's journal into a fresh snapshot after this many records (0 = no record threshold)")
-	flag.Int64Var(&cfg.journalMaxBytes, "journal-max-bytes", 8<<20, "compact a session's journal after this many bytes since the last compaction (0 = no byte threshold)")
-	flag.BoolVar(&cfg.restoreClosed, "restore-closed", false, "restore explicitly DELETEd sessions archived under <data-dir>/closed/ at boot")
+	flag.IntVar(&cfg.RunWorkers, "run-workers", 8, "async run engine worker-pool size")
+	flag.IntVar(&cfg.RunQueue, "run-queue", 256, "async run queue depth (0 = unlimited)")
+	flag.IntVar(&cfg.RunSessionQueue, "run-session-queue", 16, "pending async runs one session may hold (0 = unlimited)")
+	flag.DurationVar(&cfg.SSEKeepAlive, "sse-keepalive", 15*time.Second, "SSE keep-alive comment interval (0 = disabled)")
+	flag.DurationVar(&cfg.SSEWriteTimeout, "sse-write-timeout", 10*time.Second, "SSE per-write deadline (0 = none)")
+	flag.StringVar(&cfg.DataDir, "data-dir", "", "persist sessions to this directory and restore them on boot (\"\" = ephemeral)")
+	flag.BoolVar(&cfg.Journal, "journal", true, "incremental durability: append per-stage/per-run records to <id>.vjournal instead of rewriting the snapshot (requires -data-dir)")
+	flag.IntVar(&cfg.JournalMaxRecords, "journal-max-records", 512, "compact a session's journal into a fresh snapshot after this many records (0 = no record threshold)")
+	flag.Int64Var(&cfg.JournalMaxBytes, "journal-max-bytes", 8<<20, "compact a session's journal after this many bytes since the last compaction (0 = no byte threshold)")
+	flag.BoolVar(&cfg.RestoreClosed, "restore-closed", false, "restore explicitly DELETEd sessions archived under <data-dir>/closed/ at boot")
 	flag.Parse()
 
-	s, err := newServer(cfg)
+	s, err := server.New(cfg)
 	if err != nil {
 		log.Fatalf("vada-server: %v", err)
 	}
 	if *idleTimeout > 0 {
 		go func() {
 			for range time.Tick(*idleTimeout / 4) {
-				for _, id := range s.mgr.EvictIdle(*idleTimeout) {
+				for _, id := range s.EvictIdle(*idleTimeout) {
 					log.Printf("vada-server: session %s evicted (idle)", id)
 				}
 			}
 		}()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: s.routes()}
+	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	drained := make(chan struct{})
 	go func() {
 		defer close(drained)
@@ -557,7 +68,7 @@ func main() {
 		}
 	}()
 	log.Printf("vada-server: serving /api/v1/sessions on %s (cap %d, data-dir %q)",
-		*addr, cfg.maxSessions, cfg.dataDir)
+		*addr, cfg.MaxSessions, cfg.DataDir)
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
 		log.Fatal(err)
 	}
@@ -567,1139 +78,3 @@ func main() {
 	s.Close() // drain runs, snapshot every session
 	log.Printf("vada-server: shutdown complete")
 }
-
-// persister serialises durability writes triggered by completed runs onto
-// one goroutine, off the engine's notify path. Hints are coalesced: a burst
-// of back-to-back run completions on one session collapses into a single
-// persist pass instead of redundant full snapshots. Sessions already
-// removed from the manager were (or will be) persisted by the evict hook
-// instead.
-func (s *server) persister() {
-	defer s.persistWG.Done()
-	for {
-		select {
-		case <-s.persistDone:
-			return
-		case id := <-s.persistCh:
-			for _, sid := range drainHints(s.persistCh, id) {
-				s.persistHinted(sid)
-			}
-		}
-	}
-}
-
-// drainHints collapses every queued persist hint into unique session IDs in
-// first-seen order, starting from the hint already in hand.
-func drainHints(ch <-chan string, first string) []string {
-	ids := []string{first}
-	seen := map[string]bool{first: true}
-	for {
-		select {
-		case id := <-ch:
-			if !seen[id] {
-				seen[id] = true
-				ids = append(ids, id)
-			}
-		default:
-			return ids
-		}
-	}
-}
-
-// persistHinted makes one session's recent run completions durable: with a
-// journal, append run records for the not-yet-journaled terminal runs and
-// compact if the journal crossed its thresholds; without one, write the
-// full snapshot (the -journal=false path).
-func (s *server) persistHinted(id string) {
-	sess, err := s.mgr.Get(id)
-	if err != nil {
-		return
-	}
-	rec := s.recorder(id)
-	if rec == nil {
-		if err := s.persistSession(sess); err != nil {
-			log.Printf("vada-server: persisting session %s: %v", id, err)
-		}
-		return
-	}
-	if err := rec.RecordRuns(s.runs.ListTerminal(id)); err != nil {
-		log.Printf("vada-server: journaling runs of session %s: %v", id, err)
-	}
-	if rec.ShouldCompact(s.journalMaxRecords, s.journalMaxBytes) {
-		records, bytes := rec.Stats()
-		if err := rec.Compact(func() error { return s.persistSession(sess) }); err != nil {
-			log.Printf("vada-server: compacting session %s: %v", id, err)
-			return
-		}
-		log.Printf("vada-server: session %s compacted (%d records, %d journal bytes folded into snapshot)",
-			id, records, bytes)
-	}
-}
-
-// persistSession atomically writes one session's snapshot envelope to
-// <data-dir>/<id>.vsnap (write to a temp file, fsync, rename). Writers are
-// serialised, so a later capture always lands later on disk.
-func (s *server) persistSession(sess *vada.Session) error {
-	if s.dataDir == "" {
-		return nil
-	}
-	s.persistMu.Lock()
-	defer s.persistMu.Unlock()
-	id := sess.ID()
-	if s.isGone(id) {
-		// The session's durable state was garbage-collected while this
-		// persist was in flight; writing now would resurrect it on the
-		// next boot.
-		return nil
-	}
-	if !safeSnapshotID(id) {
-		return fmt.Errorf("session ID %q is not filesystem-safe", id)
-	}
-	tmp, err := os.CreateTemp(s.dataDir, ".tmp-*")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if err := vada.ExportSession(tmp, sess, s.runs); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Rename(tmp.Name(), filepath.Join(s.dataDir, id+snapshotExt)); err != nil {
-		return err
-	}
-	s.lastSnapshotAt = time.Now()
-	return nil
-}
-
-// persistAll makes every live session durable at rest; the graceful
-// shutdown path. Journaled sessions compact — a restart after a clean
-// shutdown replays nothing.
-func (s *server) persistAll() {
-	if s.dataDir == "" {
-		return
-	}
-	for _, sess := range s.mgr.List() {
-		id := sess.ID()
-		if rec := s.recorder(id); rec != nil {
-			if err := rec.Compact(func() error { return s.persistSession(sess) }); err != nil {
-				log.Printf("vada-server: compacting session %s at shutdown: %v", id, err)
-			}
-			s.dropRecorder(id)
-			continue
-		}
-		if err := s.persistSession(sess); err != nil {
-			log.Printf("vada-server: persisting session %s: %v", id, err)
-		}
-	}
-}
-
-// restoreAll loads every persisted session in the data directory into the
-// manager and run engine: each snapshot is decoded, its journal's valid
-// prefix (if one exists) is replayed over it — torn tails truncated, never
-// fatal — and the composed state is restored. A file that fails to decode
-// or register is logged and skipped; one corrupt file must not take the
-// service down.
-func (s *server) restoreAll() {
-	entries, err := os.ReadDir(s.dataDir)
-	if err != nil {
-		log.Printf("vada-server: reading -data-dir: %v", err)
-		return
-	}
-	restored := 0
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), snapshotExt) {
-			continue
-		}
-		if s.restoreOne(s.dataDir, e.Name(), true) {
-			restored++
-		}
-	}
-	if restored > 0 {
-		log.Printf("vada-server: restored %d session(s) from %s", restored, s.dataDir)
-	}
-}
-
-// restoreOne restores a single <dir>/<name> snapshot (plus its journal, if
-// any) and reports success. adoptJournal re-opens the session's journal for
-// appending; callers that will start a fresh journal themselves (the
-// archive-restore path) pass false.
-func (s *server) restoreOne(dir, name string, adoptJournal bool) bool {
-	path := filepath.Join(dir, name)
-	f, err := os.Open(path)
-	if err != nil {
-		log.Printf("vada-server: opening snapshot %s: %v", name, err)
-		return false
-	}
-	snap, err := vada.ReadSessionSnapshot(f)
-	f.Close()
-	if err != nil {
-		log.Printf("vada-server: skipping snapshot %s: %v", name, err)
-		return false
-	}
-	// Journal recovery: compose the valid prefix over the snapshot. An
-	// unreadable journal (not one of ours, unknown version) is skipped and
-	// the snapshot restores on its own.
-	jname := strings.TrimSuffix(name, snapshotExt) + journalExt
-	jpath := filepath.Join(dir, jname)
-	replayed := 0
-	if data, err := os.ReadFile(jpath); err == nil {
-		res, jerr := vada.ReplayJournal(bytes.NewReader(data))
-		if jerr != nil {
-			log.Printf("vada-server: skipping journal %s: %v", jname, jerr)
-		} else {
-			snap = vada.ComposeJournal(snap, res.Records)
-			replayed = len(res.Records)
-			if res.Damaged {
-				log.Printf("vada-server: journal %s had a damaged tail; recovered %d record(s)",
-					jname, replayed)
-			}
-		}
-	}
-	sess, err := vada.RestoreSessionInto(s.mgr, s.runs, snap, s.sessionOpts()...)
-	if err != nil {
-		log.Printf("vada-server: restoring snapshot %s: %v", name, err)
-		return false
-	}
-	if adoptJournal && s.journalOn() && safeSnapshotID(sess.ID()) {
-		// Re-open for appending (truncating any damaged tail on disk); the
-		// recovered records are already composed into the live session.
-		w, _, err := vada.OpenJournal(filepath.Join(s.dataDir, sess.ID()+journalExt))
-		if err != nil {
-			log.Printf("vada-server: opening journal of session %s: %v", sess.ID(), err)
-		} else {
-			s.adoptJournal(sess, w, snap.Runs)
-		}
-	}
-	log.Printf("vada-server: restored session %s (%d events, %d runs, %d journal records)",
-		sess.ID(), len(snap.Events), len(snap.Runs), replayed)
-	return true
-}
-
-// restoreClosedAll is the -restore-closed opt-in: archived sessions under
-// <data-dir>/closed/ come back live. A successfully restored archive is
-// persisted at the top level again and removed from the archive.
-func (s *server) restoreClosedAll() {
-	closed := filepath.Join(s.dataDir, closedDirName)
-	entries, err := os.ReadDir(closed)
-	if err != nil {
-		if !errors.Is(err, os.ErrNotExist) {
-			log.Printf("vada-server: reading %s: %v", closed, err)
-		}
-		return
-	}
-	restored := 0
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), snapshotExt) {
-			continue
-		}
-		if !s.restoreOne(closed, e.Name(), false) {
-			continue
-		}
-		// The archive is removed only once a live top-level copy exists —
-		// a failed baseline write must not delete the only durable copy.
-		id := strings.TrimSuffix(e.Name(), snapshotExt)
-		if sess, err := s.mgr.Get(id); err == nil {
-			if s.journalOn() {
-				if err := s.startJournal(sess); err != nil {
-					continue
-				}
-			} else if err := s.persistSession(sess); err != nil {
-				log.Printf("vada-server: persisting unarchived session %s: %v", id, err)
-				continue
-			}
-		}
-		if err := os.Remove(filepath.Join(closed, e.Name())); err != nil {
-			log.Printf("vada-server: removing archived snapshot %s: %v", e.Name(), err)
-		}
-		restored++
-	}
-	if restored > 0 {
-		log.Printf("vada-server: restored %d archived session(s) from %s", restored, closed)
-	}
-}
-
-// safeSnapshotID accepts session IDs that map onto a single path element:
-// letters, digits, dot, dash and underscore, not starting with a dot. This
-// is the guard between imported snapshot metadata and the filesystem.
-func safeSnapshotID(id string) bool {
-	if id == "" || len(id) > 128 || id[0] == '.' {
-		return false
-	}
-	for _, c := range id {
-		switch {
-		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
-			c == '.', c == '-', c == '_':
-		default:
-			return false
-		}
-	}
-	return true
-}
-
-// routes wires the versioned API. The UI is registered as "GET /{$}" (the
-// root path only), so requests for a known path with the wrong verb fall
-// through to ServeMux's 405 + Allow handling instead of the catch-all —
-// every /api/v1 route answers a correct 405 for unmatched methods.
-func (s *server) routes() *http.ServeMux {
-	mux := http.NewServeMux()
-	mux.HandleFunc("GET /{$}", s.handleIndex)
-	mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
-	mux.HandleFunc("GET /api/v1/stages", s.handleStages)
-	mux.HandleFunc("POST /api/v1/sessions", s.handleCreate)
-	mux.HandleFunc("GET /api/v1/sessions", s.handleList)
-	mux.HandleFunc("GET /api/v1/sessions/{id}", s.handleState)
-	mux.HandleFunc("GET /api/v1/sessions/{id}/state", s.handleState)
-	mux.HandleFunc("DELETE /api/v1/sessions/{id}", s.handleClose)
-	mux.HandleFunc("POST /api/v1/sessions/{id}/stages/{name}", s.handleStage)
-	mux.HandleFunc("POST /api/v1/sessions/{id}/plans", s.handlePlan)
-	mux.HandleFunc("POST /api/v1/sessions/{id}/bootstrap", s.handleBootstrap)
-	mux.HandleFunc("POST /api/v1/sessions/{id}/datacontext", s.handleDataContext)
-	mux.HandleFunc("POST /api/v1/sessions/{id}/feedback", s.handleFeedback)
-	mux.HandleFunc("POST /api/v1/sessions/{id}/usercontext", s.handleUserContext)
-	mux.HandleFunc("GET /api/v1/sessions/{id}/result", s.handleResult)
-	mux.HandleFunc("GET /api/v1/sessions/{id}/trace", s.handleTrace)
-	mux.HandleFunc("GET /api/v1/sessions/{id}/runs", s.handleRunList)
-	mux.HandleFunc("GET /api/v1/sessions/{id}/runs/{rid}", s.handleRunGet)
-	mux.HandleFunc("DELETE /api/v1/sessions/{id}/runs/{rid}", s.handleRunCancel)
-	mux.HandleFunc("GET /api/v1/sessions/{id}/events", s.handleEvents)
-	mux.HandleFunc("GET /api/v1/sessions/{id}/export", s.handleExport)
-	mux.HandleFunc("POST /api/v1/sessions/import", s.handleImport)
-	return mux
-}
-
-// publishTransition is the run engine's notify hook: every run state
-// change is pushed to the owning session's subscribers so SSE clients see
-// queued → running → stage k/n → terminal live. Sessions already gone
-// (evicted mid-run) simply drop the signal. Terminal transitions also
-// schedule a durability snapshot: the hook runs under the engine lock, so
-// the write itself happens on the persister goroutine. A full channel
-// drops the hint — the close/evict/shutdown snapshots are the backstop.
-func (s *server) publishTransition(run vada.Run) {
-	if sess, err := s.mgr.Get(run.SessionID); err == nil {
-		sess.PublishTransition(run.Transition())
-	}
-	if s.persistCh != nil && run.State.Terminal() {
-		select {
-		case s.persistCh <- run.SessionID:
-		default:
-		}
-	}
-}
-
-// createRequest is the POST /api/v1/sessions body; zero values take the
-// server defaults.
-type createRequest struct {
-	Name string `json:"name"`
-	N    int    `json:"n"`
-	Seed int64  `json:"seed"`
-}
-
-func (s *server) handleCreate(rw http.ResponseWriter, r *http.Request) {
-	req := createRequest{N: s.defaultN, Seed: s.defaultSeed}
-	if r.Body != nil && r.ContentLength != 0 {
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			http.Error(rw, "bad session config JSON: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-	}
-	if req.N <= 0 {
-		req.N = s.defaultN
-	}
-	if s.maxN > 0 && req.N > s.maxN {
-		http.Error(rw, fmt.Sprintf("scenario size %d exceeds the server limit %d", req.N, s.maxN),
-			http.StatusBadRequest)
-		return
-	}
-	// Cheap pre-check so a full server rejects before scenario generation;
-	// Create remains the authoritative (race-free) gate.
-	if s.mgr.AtCap() {
-		writeError(rw, vada.ErrSessionLimit)
-		return
-	}
-	cfg := vada.DefaultScenarioConfig()
-	cfg.NProperties = req.N
-	cfg.Seed = req.Seed
-	sc := vada.GenerateScenario(cfg)
-	sess, err := s.mgr.Create(vada.BuildScenarioWrangler(sc),
-		append([]vada.SessionOption{vada.WithSessionName(req.Name), vada.WithScenario(sc, req.Seed)},
-			s.sessionOpts()...)...)
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	s.clearGone(sess.ID())
-	s.startJournal(sess)
-	writeJSONStatus(rw, http.StatusCreated, sess.State())
-}
-
-func (s *server) handleList(rw http.ResponseWriter, _ *http.Request) {
-	sessions := s.mgr.List()
-	states := make([]vada.SessionState, len(sessions))
-	for i, sess := range sessions {
-		states[i] = sess.State()
-	}
-	writeJSON(rw, map[string]any{"total": len(states), "sessions": states})
-}
-
-func (s *server) handleState(rw http.ResponseWriter, r *http.Request) {
-	sess, err := s.mgr.Get(r.PathValue("id"))
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	writeJSON(rw, sess.State())
-}
-
-func (s *server) handleClose(rw http.ResponseWriter, r *http.Request) {
-	// Manager.Close fires the evict hook, which cancels the session's
-	// in-flight and queued runs — the same path idle eviction takes. The
-	// deleting marker switches the evict hook from persist to
-	// garbage-collect: an explicit DELETE archives the session's durable
-	// state instead of leaving it to resurrect on the next boot.
-	id := r.PathValue("id")
-	s.beginDelete(id)
-	defer s.endDelete(id)
-	if err := s.mgr.Close(id); err != nil {
-		writeError(rw, err)
-		return
-	}
-	rw.WriteHeader(http.StatusNoContent)
-}
-
-// asyncRequested reports whether a stage POST opts into the 202 run flow.
-func asyncRequested(r *http.Request) bool {
-	switch r.URL.Query().Get("async") {
-	case "1", "true", "yes":
-		return true
-	}
-	return false
-}
-
-// handleStages serves stage discovery: every stage registered on the
-// server, in registration order.
-func (s *server) handleStages(rw http.ResponseWriter, _ *http.Request) {
-	info := s.registry.Info()
-	writeJSON(rw, map[string]any{"total": len(info), "stages": info})
-}
-
-// handleStage is the uniform stage route: any registered stage is invoked
-// as POST .../stages/{name} with the stage's JSON payload as the body.
-// Adding a stage to the registry extends the HTTP surface with no new
-// handler.
-func (s *server) handleStage(rw http.ResponseWriter, r *http.Request) {
-	sess, err := s.mgr.Get(r.PathValue("id"))
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	payload, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, maxPayloadBytes))
-	if err != nil {
-		writeBodyError(rw, err)
-		return
-	}
-	s.dispatchStage(rw, r, sess, vada.StageRequest{Stage: r.PathValue("name"), Payload: payload})
-}
-
-// dispatchStage resolves and applies one stage request, either
-// synchronously (block until quiescence, answer the stage event) or, with
-// ?async=1, as a run resource: enqueue on the engine and answer
-// 202 Accepted with the run snapshot and its Location to poll. The stage
-// and payload are resolved against the registry before anything runs, so
-// unknown stages and undecodable payloads are a 400 on both paths.
-func (s *server) dispatchStage(rw http.ResponseWriter, r *http.Request, sess *vada.Session, req vada.StageRequest) {
-	st, payload, err := s.registry.Resolve(req)
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	fn := func(ctx context.Context) (vada.SessionEvent, error) {
-		return st.Apply(ctx, sess, payload)
-	}
-	if !asyncRequested(r) {
-		ev, err := fn(r.Context())
-		writeEvent(rw, ev, err)
-		return
-	}
-	run, err := s.runs.Submit(sess.ID(), st.Name, fn)
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	s.writeRunAccepted(rw, sess.ID(), run)
-}
-
-// writeRunAccepted answers 202 with the run snapshot and its poll URL.
-func (s *server) writeRunAccepted(rw http.ResponseWriter, sessionID string, run vada.Run) {
-	rw.Header().Set("Location", fmt.Sprintf("/api/v1/sessions/%s/runs/%s", sessionID, run.ID))
-	writeJSONStatus(rw, http.StatusAccepted, run)
-}
-
-// handlePlan submits a declarative multi-stage plan as one cancellable run.
-// Plans are always asynchronous: the response is 202 with the run resource,
-// whose per-stage progress streams over the session's SSE channel as
-// transition events. Every stage is resolved and decoded before submission,
-// so a malformed plan is rejected whole — no partial execution.
-func (s *server) handlePlan(rw http.ResponseWriter, r *http.Request) {
-	sess, err := s.mgr.Get(r.PathValue("id"))
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	var plan vada.Plan
-	dec := json.NewDecoder(http.MaxBytesReader(rw, r.Body, maxPayloadBytes))
-	// Strict, like the stage payload codecs: a misspelled "payload" key
-	// must be a 400, not a silently-defaulted stage run.
-	dec.DisallowUnknownFields()
-	if err := dec.Decode(&plan); err != nil {
-		writeBodyError(rw, err)
-		return
-	}
-	if _, err := dec.Token(); err != io.EOF {
-		http.Error(rw, "trailing data after plan JSON", http.StatusBadRequest)
-		return
-	}
-	run, err := s.runs.SubmitSessionPlan(sess, plan)
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	s.writeRunAccepted(rw, sess.ID(), run)
-}
-
-// The legacy per-stage routes are thin aliases: each translates its old
-// wire format (query parameters, bare JSON bodies) into a StageRequest and
-// funnels through the same registry dispatch as stages/{name}.
-
-func (s *server) stageAlias(rw http.ResponseWriter, r *http.Request, req vada.StageRequest) {
-	sess, err := s.mgr.Get(r.PathValue("id"))
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	s.dispatchStage(rw, r, sess, req)
-}
-
-func (s *server) handleBootstrap(rw http.ResponseWriter, r *http.Request) {
-	s.stageAlias(rw, r, vada.StageRequest{Stage: vada.StageBootstrap})
-}
-
-func (s *server) handleDataContext(rw http.ResponseWriter, r *http.Request) {
-	// Empty payload: the session defaults to its scenario's reference data.
-	s.stageAlias(rw, r, vada.StageRequest{Stage: vada.StageDataContext})
-}
-
-func (s *server) handleFeedback(rw http.ResponseWriter, r *http.Request) {
-	payload := map[string]any{"budget": intQuery(r, "budget", 100)}
-	if mt, _, _ := mime.ParseMediaType(r.Header.Get("Content-Type")); mt == "application/json" {
-		body, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, maxPayloadBytes))
-		if err != nil {
-			writeBodyError(rw, err)
-			return
-		}
-		// The legacy route decoded item bodies leniently (unknown fields
-		// ignored); keep those semantics on the alias by normalising here
-		// and handing the strict stage codec only canonical fields.
-		var items []vada.FeedbackItem
-		if err := json.NewDecoder(bytes.NewReader(body)).Decode(&items); err != nil {
-			http.Error(rw, "bad feedback JSON: "+err.Error(), http.StatusBadRequest)
-			return
-		}
-		payload["items"] = items
-	}
-	raw, err := json.Marshal(payload)
-	if err != nil {
-		http.Error(rw, "bad feedback JSON: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	s.stageAlias(rw, r, vada.StageRequest{Stage: vada.StageFeedback, Payload: raw})
-}
-
-func (s *server) handleUserContext(rw http.ResponseWriter, r *http.Request) {
-	raw, _ := json.Marshal(map[string]string{"model": r.URL.Query().Get("model")})
-	s.stageAlias(rw, r, vada.StageRequest{Stage: vada.StageUserContext, Payload: raw})
-}
-
-func (s *server) handleRunList(rw http.ResponseWriter, r *http.Request) {
-	id := r.PathValue("id")
-	list := s.runs.List(id)
-	if len(list) == 0 {
-		// No retained runs: distinguish a live session without runs (empty
-		// 200) from an unknown session ID (404). Closed sessions keep their
-		// retained runs listable, matching GET .../runs/{rid}.
-		if _, err := s.mgr.Get(id); err != nil {
-			writeError(rw, err)
-			return
-		}
-	}
-	writeJSON(rw, map[string]any{"total": len(list), "runs": list})
-}
-
-// sessionRun resolves a run scoped to its session path, so run IDs cannot
-// be probed across sessions.
-func (s *server) sessionRun(r *http.Request) (vada.Run, error) {
-	run, err := s.runs.Get(r.PathValue("rid"))
-	if err != nil {
-		return vada.Run{}, err
-	}
-	if run.SessionID != r.PathValue("id") {
-		return vada.Run{}, fmt.Errorf("%w: %q", vada.ErrRunNotFound, r.PathValue("rid"))
-	}
-	return run, nil
-}
-
-func (s *server) handleRunGet(rw http.ResponseWriter, r *http.Request) {
-	run, err := s.sessionRun(r)
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	writeJSON(rw, run)
-}
-
-func (s *server) handleRunCancel(rw http.ResponseWriter, r *http.Request) {
-	if _, err := s.sessionRun(r); err != nil {
-		writeError(rw, err)
-		return
-	}
-	run, err := s.runs.Cancel(r.PathValue("rid"))
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	// 202: cancellation of a running stage completes when the stage next
-	// observes its context; poll the resource for the terminal state.
-	writeJSONStatus(rw, http.StatusAccepted, run)
-}
-
-// sseWriter couples a response writer with its flusher and per-write
-// deadline so every SSE write detects dead client connections instead of
-// blocking a goroutine forever behind a proxy that never RSTs.
-type sseWriter struct {
-	rw      http.ResponseWriter
-	flusher http.Flusher
-	ctl     *http.ResponseController
-	timeout time.Duration
-}
-
-// write sends one pre-rendered SSE frame and flushes it, under the
-// per-write deadline. The deadline is cleared again right after the write,
-// while still unexpired: idle gaps between events are unbounded by design,
-// and extending an already-exceeded write deadline is documented as
-// unsupported (on HTTP/2 an expired deadline resets the stream even while
-// idle). A write or flush error means the client is gone.
-func (w *sseWriter) write(frame string) error {
-	if err := w.setDeadline(time.Now().Add(w.timeout)); err != nil {
-		return err
-	}
-	if _, err := io.WriteString(w.rw, frame); err != nil {
-		return err
-	}
-	w.flusher.Flush()
-	return w.setDeadline(time.Time{})
-}
-
-// setDeadline arms or clears the write deadline, tolerating transports
-// without deadline support.
-func (w *sseWriter) setDeadline(t time.Time) error {
-	if w.timeout <= 0 {
-		return nil
-	}
-	if err := w.ctl.SetWriteDeadline(t); err != nil && !errors.Is(err, http.ErrNotSupported) {
-		return err
-	}
-	return nil
-}
-
-// event renders and sends one session event. Stage events carry their
-// sequence number as the SSE id (so reconnecting clients resume via
-// Last-Event-ID); transition events are id-less progress signals.
-func (w *sseWriter) event(ev vada.SessionEvent) error {
-	data, err := json.Marshal(ev)
-	if err != nil {
-		log.Printf("encoding SSE event: %v", err)
-		return nil
-	}
-	if ev.Type == vada.EventTransition {
-		return w.write(fmt.Sprintf("event: transition\ndata: %s\n\n", data))
-	}
-	return w.write(fmt.Sprintf("id: %d\nevent: stage\ndata: %s\n\n", ev.Seq, data))
-}
-
-// handleEvents streams the session's stage events and run state
-// transitions as server-sent events: stage history is replayed on connect
-// (resumable via Last-Event-ID or ?after=seq), then live events flow until
-// the client disconnects or the session closes. Idle periods carry
-// keep-alive comments so intermediaries hold the connection open and dead
-// peers are detected by the per-write deadline.
-func (s *server) handleEvents(rw http.ResponseWriter, r *http.Request) {
-	sess, err := s.mgr.Get(r.PathValue("id"))
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	flusher, ok := rw.(http.Flusher)
-	if !ok {
-		http.Error(rw, "streaming unsupported", http.StatusInternalServerError)
-		return
-	}
-	w := &sseWriter{rw: rw, flusher: flusher, ctl: http.NewResponseController(rw), timeout: s.sseWriteTimeout}
-	after := intQuery(r, "after", 0)
-	if v := r.Header.Get("Last-Event-ID"); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			after = n
-		}
-	}
-	history, events, cancel := sess.Subscribe(64)
-	defer cancel()
-	rw.Header().Set("Content-Type", "text/event-stream")
-	rw.Header().Set("Cache-Control", "no-cache")
-	rw.Header().Set("Connection", "keep-alive")
-	rw.WriteHeader(http.StatusOK)
-	for _, ev := range history {
-		if ev.Seq > after {
-			if err := w.event(ev); err != nil {
-				return
-			}
-		}
-	}
-	if err := w.write(": connected\n\n"); err != nil {
-		return
-	}
-	// 0 disables keep-alives (a nil channel never fires).
-	var tick <-chan time.Time
-	if s.sseKeepAlive > 0 {
-		ticker := time.NewTicker(s.sseKeepAlive)
-		defer ticker.Stop()
-		tick = ticker.C
-	}
-	for {
-		select {
-		case <-r.Context().Done():
-			return
-		case <-tick:
-			if err := w.write(": keep-alive\n\n"); err != nil {
-				return
-			}
-		case ev, ok := <-events:
-			if !ok { // session closed
-				w.write("event: close\ndata: {}\n\n")
-				return
-			}
-			if err := w.event(ev); err != nil {
-				return
-			}
-		}
-	}
-}
-
-// handleExport streams the session as a snapshot envelope — the same bytes
-// -data-dir persists, so an export re-imports on any server. The capture is
-// point-in-time: a stage still running is simply not in it yet.
-func (s *server) handleExport(rw http.ResponseWriter, r *http.Request) {
-	sess, err := s.mgr.Get(r.PathValue("id"))
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	rw.Header().Set("Content-Type", "application/octet-stream")
-	rw.Header().Set("Content-Disposition",
-		fmt.Sprintf("attachment; filename=%q", sess.ID()+snapshotExt))
-	if err := vada.ExportSession(rw, sess, s.runs); err != nil {
-		// Headers are gone; all we can do is log and drop the connection.
-		log.Printf("vada-server: exporting session %s: %v", sess.ID(), err)
-	}
-}
-
-// handleImport restores a session from an uploaded snapshot envelope:
-// 201 with the restored state on success, 400 for malformed envelopes,
-// 409 when the session ID is already live, 429 at the session cap. With a
-// data directory the imported session is persisted immediately, so it
-// survives a crash that follows the import.
-func (s *server) handleImport(rw http.ResponseWriter, r *http.Request) {
-	snap, err := vada.ReadSessionSnapshot(http.MaxBytesReader(rw, r.Body, maxSnapshotBytes))
-	if err != nil {
-		var tooLarge *http.MaxBytesError
-		if errors.As(err, &tooLarge) {
-			http.Error(rw, err.Error(), http.StatusRequestEntityTooLarge)
-			return
-		}
-		writeError(rw, err)
-		return
-	}
-	if !safeSnapshotID(snap.Meta.ID) {
-		http.Error(rw, fmt.Sprintf("snapshot session ID %q is not importable", snap.Meta.ID),
-			http.StatusBadRequest)
-		return
-	}
-	// Imported snapshots must respect the same scenario-size policy as
-	// session creation: restoring regenerates the scenario, and an
-	// unbounded NProperties/NPostcodes would let one upload allocate
-	// arbitrarily (negative sizes are rejected by RestoreSession itself).
-	if cfg := snap.Meta.Scenario; cfg != nil && s.maxN > 0 &&
-		(cfg.NProperties > s.maxN || cfg.NPostcodes > s.maxN) {
-		http.Error(rw, fmt.Sprintf("snapshot scenario size (%d properties, %d postcodes) exceeds the server limit %d",
-			cfg.NProperties, cfg.NPostcodes, s.maxN), http.StatusBadRequest)
-		return
-	}
-	sess, err := vada.RestoreSessionInto(s.mgr, s.runs, snap, s.sessionOpts()...)
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	s.clearGone(sess.ID())
-	if s.journalOn() {
-		// startJournal writes the baseline snapshot, so the import survives
-		// a crash that follows it.
-		s.startJournal(sess)
-	} else if s.dataDir != "" {
-		if err := s.persistSession(sess); err != nil {
-			log.Printf("vada-server: persisting imported session %s: %v", sess.ID(), err)
-		}
-	}
-	log.Printf("vada-server: imported session %s (%d events, %d runs)",
-		sess.ID(), len(snap.Events), len(snap.Runs))
-	rw.Header().Set("Location", "/api/v1/sessions/"+sess.ID())
-	writeJSONStatus(rw, http.StatusCreated, sess.State())
-}
-
-func (s *server) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
-	out := map[string]any{
-		"status":    "ok",
-		"uptime_s":  int(time.Since(s.started).Seconds()),
-		"sessions":  s.mgr.Len(),
-		"run_stats": s.runs.Stats(),
-	}
-	if s.dataDir != "" {
-		out["persist"] = s.persistStats()
-	}
-	writeJSON(rw, out)
-}
-
-// persistStats summarises the durability layer for healthz: whether
-// journaling is on, how many sessions hold a journal, the total journal
-// length and bytes accumulated since their last compactions, and when the
-// last full snapshot was written.
-func (s *server) persistStats() map[string]any {
-	// Copy the recorder set first: Stats takes each writer's mutex, which
-	// an in-flight append holds across its fsync — reading them under
-	// recMu would let one slow disk stall every session's stage hook.
-	s.recMu.Lock()
-	recs := make([]*vada.JournalRecorder, 0, len(s.recorders))
-	for _, rec := range s.recorders {
-		recs = append(recs, rec)
-	}
-	s.recMu.Unlock()
-	sessions := len(recs)
-	records := 0
-	var bytes int64
-	for _, rec := range recs {
-		r, b := rec.Stats()
-		records += r
-		bytes += b
-	}
-	out := map[string]any{
-		"journal":            s.journal,
-		"journaled_sessions": sessions,
-		"journal_records":    records,
-		"journal_bytes":      bytes,
-	}
-	s.persistMu.Lock()
-	if !s.lastSnapshotAt.IsZero() {
-		out["last_snapshot"] = s.lastSnapshotAt.UTC().Format(time.RFC3339Nano)
-	}
-	s.persistMu.Unlock()
-	return out
-}
-
-func (s *server) handleResult(rw http.ResponseWriter, r *http.Request) {
-	sess, err := s.mgr.Get(r.PathValue("id"))
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	res, err := sess.Result()
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	limit := intQuery(r, "limit", 100)
-	offset := intQuery(r, "offset", 0)
-	if limit <= 0 {
-		limit = 100
-	}
-	if limit > maxResultPageSize {
-		limit = maxResultPageSize
-	}
-	if offset < 0 {
-		offset = 0
-	}
-	total := res.Cardinality()
-	rows := make([]map[string]string, 0, min(limit, max(0, total-offset)))
-	for i := offset; i < total && len(rows) < limit; i++ {
-		row := map[string]string{}
-		for j, a := range res.Schema.Attrs {
-			row[a.Name] = res.Tuples[i][j].String()
-		}
-		rows = append(rows, row)
-	}
-	out := map[string]any{"total": total, "offset": offset, "limit": limit, "rows": rows}
-	if next := offset + len(rows); next < total {
-		out["next_offset"] = next
-	}
-	writeJSON(rw, out)
-}
-
-func (s *server) handleTrace(rw http.ResponseWriter, r *http.Request) {
-	sess, err := s.mgr.Get(r.PathValue("id"))
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	rw.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(rw, vada.TraceString(sess.Trace()))
-}
-
-func (s *server) handleIndex(rw http.ResponseWriter, _ *http.Request) {
-	rw.Header().Set("Content-Type", "text/html; charset=utf-8")
-	fmt.Fprint(rw, indexHTML)
-}
-
-// writeEvent renders a stage outcome or maps its error onto a status code.
-func writeEvent(rw http.ResponseWriter, ev vada.SessionEvent, err error) {
-	if err != nil {
-		writeError(rw, err)
-		return
-	}
-	writeJSON(rw, ev)
-}
-
-// writeBodyError maps a request-body read failure onto a status code:
-// bodies over the payload cap are 413, everything else 400.
-func writeBodyError(rw http.ResponseWriter, err error) {
-	var tooLarge *http.MaxBytesError
-	if errors.As(err, &tooLarge) {
-		http.Error(rw, err.Error(), http.StatusRequestEntityTooLarge)
-		return
-	}
-	http.Error(rw, "reading request body: "+err.Error(), http.StatusBadRequest)
-}
-
-// writeError maps the API's sentinel errors onto HTTP status codes.
-// Load-shedding rejections (session cap, run queue full) carry a
-// Retry-After hint so well-behaved clients back off instead of hammering.
-func writeError(rw http.ResponseWriter, err error) {
-	status := http.StatusInternalServerError
-	switch {
-	case errors.Is(err, vada.ErrSessionNotFound), errors.Is(err, vada.ErrNoResult),
-		errors.Is(err, vada.ErrRunNotFound):
-		status = http.StatusNotFound
-	case errors.Is(err, vada.ErrUnknownUserContext), errors.Is(err, vada.ErrNoDataContext),
-		errors.Is(err, vada.ErrUnknownStage), errors.Is(err, vada.ErrBadStagePayload),
-		errors.Is(err, vada.ErrBadPlan), errors.Is(err, vada.ErrBadSnapshot),
-		errors.Is(err, vada.ErrSnapshotMagic), errors.Is(err, vada.ErrSnapshotVersion),
-		errors.Is(err, vada.ErrSnapshotTruncated), errors.Is(err, vada.ErrSnapshotChecksum),
-		errors.Is(err, vada.ErrSnapshotTooLarge):
-		status = http.StatusBadRequest
-	case errors.Is(err, vada.ErrSessionExists):
-		status = http.StatusConflict
-	case errors.Is(err, vada.ErrSessionLimit), errors.Is(err, vada.ErrRunQueueFull):
-		status = http.StatusTooManyRequests
-		rw.Header().Set("Retry-After", "1")
-	case errors.Is(err, vada.ErrSessionClosed):
-		status = http.StatusGone
-	case errors.Is(err, vada.ErrRunEngineClosed):
-		status = http.StatusServiceUnavailable
-	}
-	http.Error(rw, err.Error(), status)
-}
-
-func intQuery(r *http.Request, key string, def int) int {
-	if v := r.URL.Query().Get(key); v != "" {
-		if n, err := strconv.Atoi(v); err == nil {
-			return n
-		}
-	}
-	return def
-}
-
-func writeJSON(rw http.ResponseWriter, v any) {
-	writeJSONStatus(rw, http.StatusOK, v)
-}
-
-func writeJSONStatus(rw http.ResponseWriter, status int, v any) {
-	rw.Header().Set("Content-Type", "application/json")
-	rw.WriteHeader(status)
-	enc := json.NewEncoder(rw)
-	enc.SetIndent("", "  ")
-	if err := enc.Encode(v); err != nil {
-		log.Printf("encoding response: %v", err)
-	}
-}
-
-// indexHTML is the single-page mirror of Figure 3, now registry- and
-// push-driven: it creates a session via /api/v1, invokes stages through the
-// uniform stages/{name} route (or submits all four as one declarative
-// plan), and drives every refresh off the session's SSE stream — stage
-// events re-render the panels, transition events animate run progress.
-const indexHTML = `<!DOCTYPE html>
-<html><head><title>VADA — pay-as-you-go data wrangling</title>
-<style>
- body { font-family: system-ui, sans-serif; margin: 1.5em; max-width: 72em; }
- h1 { font-size: 1.3em; } h2 { font-size: 1.05em; margin-top: 1.2em; }
- button { margin-right: .5em; padding: .4em .8em; }
- table { border-collapse: collapse; font-size: .85em; margin-top: .5em; }
- td, th { border: 1px solid #ccc; padding: .2em .5em; text-align: left; }
- pre { background: #f6f6f6; padding: .8em; overflow-x: auto; font-size: .8em; }
- .row { display: flex; gap: 2em; flex-wrap: wrap; }
- .col { flex: 1; min-width: 24em; }
- #sid, #plan { color: #666; font-size: .85em; }
-</style></head>
-<body>
-<h1>VADA — pay-as-you-go data wrangling (SIGMOD'17 demonstration)</h1>
-<p>Work through the four steps of the demonstration one at a time, or submit
-them as a single declarative plan: one cancellable run whose per-stage
-progress streams back over the session's event channel. Every stage is a
-registry entry behind the uniform stages/{name} route. Every browser tab
-gets its own wrangling session.</p>
-<p id="sid">(creating session…)</p>
-<div>
- <button onclick="step('bootstrap')">1&nbsp;Bootstrap</button>
- <button onclick="step('data-context')">2&nbsp;Add data context</button>
- <button onclick="step('feedback', {budget: 100})">3&nbsp;Give feedback</button>
- <button onclick="step('user-context', {model: 'crime'})">4a&nbsp;Crime user context</button>
- <button onclick="step('user-context', {model: 'size'})">4b&nbsp;Size user context</button>
- <button onclick="runPlan()">▶&nbsp;Run all four as a plan</button>
- <button onclick="closeSession()">Close session</button>
-</div>
-<p id="plan"></p>
-<div class="row">
- <div class="col"><h2>Stages</h2><pre id="stages">(none yet)</pre>
-  <h2>Selected mappings</h2><pre id="selected"></pre></div>
- <div class="col"><h2>Runs</h2><pre id="runs">(none yet)</pre>
-  <h2>Sessions on this server</h2><pre id="sessions"></pre></div>
-</div>
-<h2>Result (first rows)</h2>
-<div id="result">(bootstrap first)</div>
-<h2>Orchestration trace</h2>
-<pre id="trace"></pre>
-<script>
-let sid = null, es = null;
-const api = p => '/api/v1/sessions' + p;
-async function ensureSession() {
-  if (sid) return sid;
-  const resp = await fetch(api(''), {method: 'POST', headers: {'Content-Type': 'application/json'},
-    body: JSON.stringify({name: 'ui'})});
-  sid = (await resp.json()).id;
-  document.getElementById('sid').textContent = 'session ' + sid;
-  es = new EventSource(api('/' + sid + '/events'));
-  es.addEventListener('stage', () => refresh());
-  es.addEventListener('transition', e => onTransition(JSON.parse(e.data)));
-  es.addEventListener('close', () => es.close());
-  return sid;
-}
-function onTransition(ev) {
-  const t = ev.run || {};
-  let text = 'run ' + t.run_id + ': ' + t.state;
-  if (t.stage_count > 1) text += ' — stage ' + (t.stage_index + 1) + '/' + t.stage_count + ' (' + t.stage + ')';
-  else if (t.stage) text += ' (' + t.stage + ')';
-  if (t.error) text += ' — ' + t.error;
-  document.getElementById('plan').textContent = text;
-  refreshRuns();
-  // Failed and cancelled runs emit no stage event, so terminal transitions
-  // also refresh the panels.
-  if (t.state === 'failed' || t.state === 'cancelled') refresh();
-}
-// Transitions drive the page, but they are lossy by design (live-only,
-// dropped for slow subscribers); while any run is still live, a slow poll
-// backstop guarantees the panels eventually resolve even if the terminal
-// transition was missed.
-let runTimer = null;
-async function refreshRuns() {
-  if (!sid) return;
-  const resp = await fetch(api('/' + sid + '/runs'));
-  if (!resp.ok) return;
-  const data = await resp.json();
-  document.getElementById('runs').textContent = (data.runs||[]).map(r => {
-     let line = r.id + '  ' + r.stage.padEnd(14) + r.state;
-     if (r.plan) line += ' [' + ((r.events||[]).length) + '/' + r.plan.length + ' stages]';
-     if (r.error) line += ' (' + r.error + ')';
-     return line;
-  }).join('\n') || '(none yet)';
-  const live = (data.runs||[]).some(r => r.state === 'queued' || r.state === 'running');
-  if (live && !runTimer) {
-    runTimer = setTimeout(() => { runTimer = null; refresh(); }, 2000);
-  }
-}
-async function refresh() {
-  if (!sid) return;
-  const st = await (await fetch(api('/' + sid))).json();
-  document.getElementById('selected').textContent = (st.selected_mappings||[]).join('\n');
-  document.getElementById('stages').textContent = (st.events||[]).map(e =>
-     e.stage.padEnd(14) + (e.score ? ' F1=' + e.score.F1.toFixed(3) +
-     ' val-acc=' + e.score.ValueAccuracy.toFixed(3) : '')).join('\n') || '(none yet)';
-  document.getElementById('trace').textContent = await (await fetch(api('/' + sid + '/trace'))).text();
-  const all = await (await fetch(api(''))).json();
-  document.getElementById('sessions').textContent = (all.sessions||[]).map(s =>
-     s.id + (s.name ? ' (' + s.name + ')' : '') + ' — ' + (s.events||[]).length + ' stages, ' +
-     s.result_rows + ' rows').join('\n');
-  await refreshRuns();
-  const res = await fetch(api('/' + sid + '/result?limit=25'));
-  if (res.ok) {
-    const data = await res.json();
-    if (data.rows.length) {
-      const cols = Object.keys(data.rows[0]).sort();
-      let html = '<table><tr>' + cols.map(c => '<th>'+c+'</th>').join('') + '</tr>';
-      for (const r of data.rows)
-        html += '<tr>' + cols.map(c => '<td>'+(r[c]||'∅')+'</td>').join('') + '</tr>';
-      html += '</table><p>' + data.total + ' rows total</p>';
-      document.getElementById('result').innerHTML = html;
-    }
-  }
-}
-function rejected(resp, text) {
-  document.getElementById('runs').textContent = 'submit rejected: ' + resp.status + ' ' + text.trim();
-}
-async function step(name, payload) {
-  await ensureSession();
-  // Invoke through the uniform stage route as an async run; the SSE
-  // transition and stage events drive every refresh from here.
-  const resp = await fetch(api('/' + sid + '/stages/' + name + '?async=1'),
-    {method: 'POST', headers: {'Content-Type': 'application/json'},
-     body: payload ? JSON.stringify(payload) : null});
-  if (!resp.ok) { rejected(resp, await resp.text()); return; }
-  await refreshRuns();
-}
-async function runPlan() {
-  await ensureSession();
-  // The whole demonstration as one declarative plan: a single cancellable
-  // run whose queued → running → stage k/n → terminal transitions arrive
-  // over the event stream.
-  const plan = {stages: [
-    {stage: 'bootstrap'},
-    {stage: 'data-context'},
-    {stage: 'feedback', payload: {budget: 100}},
-    {stage: 'user-context', payload: {model: 'crime'}},
-  ]};
-  const resp = await fetch(api('/' + sid + '/plans'),
-    {method: 'POST', headers: {'Content-Type': 'application/json'}, body: JSON.stringify(plan)});
-  if (!resp.ok) { rejected(resp, await resp.text()); return; }
-  await refreshRuns();
-}
-async function closeSession() {
-  if (!sid) return;
-  if (es) { es.close(); es = null; }
-  await fetch(api('/' + sid), {method: 'DELETE'});
-  sid = null;
-  document.getElementById('sid').textContent = '(session closed — reload to start another)';
-}
-ensureSession().then(refresh);
-</script>
-</body></html>
-`

@@ -39,6 +39,7 @@ import (
 
 	"vada/internal/feedback"
 	"vada/internal/kb"
+	"vada/internal/metrics"
 	"vada/internal/persist"
 	"vada/internal/runs"
 	"vada/internal/session"
@@ -207,6 +208,19 @@ type Writer struct {
 	bytes   int64 // record bytes since the header (== bytes since compaction)
 	closed  bool
 	failed  bool // a partial write could not be rewound; appends refuse
+	reg     *metrics.Registry
+}
+
+// SetMetrics instruments the writer: appended-record fsyncs are counted
+// and timed (persist_fsync_total{path="journal"},
+// persist_fsync_seconds{path="journal"}), appended bytes accumulate in
+// persist_journal_bytes_total, and each Reset — the post-compaction
+// truncate — bumps persist_compactions_total. Safe to call at any time;
+// the service registers every writer it opens or adopts.
+func (w *Writer) SetMetrics(reg *metrics.Registry) {
+	w.mu.Lock()
+	w.reg = reg
+	w.mu.Unlock()
 }
 
 // Open opens (creating if absent) the journal at path, recovers its valid
@@ -314,9 +328,15 @@ func (w *Writer) appendLocked(rec *Record) error {
 		w.rewindLocked(start)
 		return fmt.Errorf("journal: appending record: %w", err)
 	}
+	t0 := time.Now()
 	if err := w.f.Sync(); err != nil {
 		w.rewindLocked(start)
 		return fmt.Errorf("journal: syncing record: %w", err)
+	}
+	if w.reg != nil {
+		w.reg.Counter(metrics.Name("persist_fsync_total", "path", "journal")).Inc()
+		w.reg.Histogram(metrics.Name("persist_fsync_seconds", "path", "journal"), nil).ObserveSince(t0)
+		w.reg.Counter("persist_journal_bytes_total").Add(int64(frame.Len()))
 	}
 	w.seq = rec.Seq
 	w.records++
@@ -359,6 +379,9 @@ func (w *Writer) Reset() error {
 	}
 	w.seq, w.records, w.bytes = 0, 0, 0
 	w.failed = false
+	if w.reg != nil {
+		w.reg.Counter("persist_compactions_total").Inc()
+	}
 	return nil
 }
 

@@ -1,0 +1,813 @@
+// Package loadgen is the closed-loop workload driver behind vada-bench
+// -exp load: it self-hosts the full internal/server wiring (durability
+// included) in-process, drives it over real HTTP with a pool of workers —
+// session churn, synchronous stages, concurrent multi-stage plans, SSE
+// fan-out with Last-Event-ID resume, export/delete/import round-trips —
+// optionally kills the server abruptly (no graceful shutdown, the in-process
+// kill -9) and measures the restart, and reports client-side latency
+// histograms per op class alongside the server's own metricz delta as a
+// machine-readable BENCH report.
+//
+// Runs are deterministic per seed: every worker derives its own PRNG from
+// Config.Seed, which chooses the scenario sizes, session seeds and the op
+// mix, so a BENCH_<n>.json regenerated on the same machine exercises the
+// identical request sequence per worker.
+package loadgen
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"vada"
+	"vada/internal/metrics"
+	"vada/internal/server"
+)
+
+// Config parameterises one load run.
+type Config struct {
+	// Name labels the run in the report ("smoke", "standard", ...).
+	Name string `json:"name"`
+	// Workers is the closed-loop worker count: each keeps exactly one
+	// operation in flight at a time.
+	Workers int `json:"workers"`
+	// Duration bounds the steady-state phase (the recovery phase, when
+	// enabled, follows it).
+	Duration time.Duration `json:"-"`
+	// DurationS mirrors Duration in the JSON report.
+	DurationS float64 `json:"duration_s"`
+	// Seed roots every worker's deterministic PRNG (op mix, scenario
+	// sizes, session seeds).
+	Seed int64 `json:"seed"`
+	// Sessions is the live-session pool the workers churn towards.
+	Sessions int `json:"sessions"`
+	// Sizes are the scenario sizes (n) the PRNG picks among at session
+	// creation.
+	Sizes []int `json:"sizes"`
+	// Recovery adds the kill-9/restart phase after the steady state.
+	Recovery bool `json:"recovery"`
+	// DataDir is the durability directory; empty means a fresh temp dir,
+	// removed when the run finishes.
+	DataDir string `json:"-"`
+	// Server overrides the hosted server's wiring; the zero value gets
+	// production-like defaults sized to Workers.
+	Server server.Config `json:"-"`
+}
+
+// Preset returns a named scenario preset: "smoke" is the short
+// low-concurrency CI gate, "standard" the default benchmark shape. Unknown
+// names fall back to "standard".
+func Preset(name string) Config {
+	switch name {
+	case "smoke":
+		return Config{Name: "smoke", Workers: 2, Duration: 3 * time.Second,
+			Seed: 1, Sessions: 3, Sizes: []int{30, 60}, Recovery: true}
+	default:
+		return Config{Name: "standard", Workers: 8, Duration: 15 * time.Second,
+			Seed: 1, Sessions: 12, Sizes: []int{30, 60, 120}, Recovery: true}
+	}
+}
+
+// OpStats is the per-op-class section of a report, latencies in
+// milliseconds.
+type OpStats struct {
+	Count          int64   `json:"count"`
+	Errors         int64   `json:"errors"`
+	ThroughputPerS float64 `json:"throughput_per_s"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+	MaxMs          float64 `json:"max_ms"`
+}
+
+// Recovery is the kill-9/restart section of a report.
+type Recovery struct {
+	Killed           bool    `json:"killed"`
+	RestartMs        float64 `json:"restart_ms"`
+	SessionsBefore   int     `json:"sessions_before"`
+	SessionsRestored int     `json:"sessions_restored"`
+	Verified         bool    `json:"verified"`
+	Errors           int64   `json:"errors"`
+}
+
+// Report is the machine-readable outcome of a load run — the BENCH_<n>.json
+// schema.
+type Report struct {
+	Config   Config             `json:"config"`
+	At       time.Time          `json:"at"`
+	ElapsedS float64            `json:"elapsed_s"`
+	Ops      map[string]OpStats `json:"ops"`
+	Totals   OpStats            `json:"totals"`
+	HTTP5xx  int64              `json:"http_5xx"`
+	// ServerDelta is the server-side counter movement over the run (from
+	// /api/v1/metricz snapshots): fsyncs, journal/snapshot bytes, run
+	// completions, SSE drops — the numbers client latencies cannot see.
+	ServerDelta     map[string]int64 `json:"server_delta"`
+	RunsCompleted   int64            `json:"runs_completed"`
+	DiskBytesPerRun float64          `json:"disk_bytes_per_run"`
+	SSEDropped      int64            `json:"sse_dropped_events"`
+	Recovery        *Recovery        `json:"recovery,omitempty"`
+}
+
+// driver is the shared state of one load run.
+type driver struct {
+	cfg    Config
+	client *metrics.Registry // client-side op histograms and counters
+	http   *http.Client
+
+	mu   sync.Mutex
+	pool []string // live session IDs
+
+	srv *server.Server
+	ts  *httptest.Server
+}
+
+// Run executes the configured workload and returns its report. The server
+// is hosted in-process; nothing listens beyond the loopback listener of
+// net/http/httptest.
+func Run(cfg Config) (*Report, error) {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	cfg.DurationS = cfg.Duration.Seconds()
+	if cfg.Sessions <= 0 {
+		cfg.Sessions = cfg.Workers
+	}
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = []int{30, 60}
+	}
+	if cfg.Name == "" {
+		cfg.Name = "custom"
+	}
+	dataDir := cfg.DataDir
+	if dataDir == "" {
+		tmp, err := os.MkdirTemp("", "vada-loadgen-*")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(tmp)
+		dataDir = tmp
+	}
+
+	d := &driver{
+		cfg:    cfg,
+		client: metrics.NewRegistry(),
+		http:   &http.Client{Timeout: 30 * time.Second},
+	}
+	if err := d.boot(dataDir); err != nil {
+		return nil, err
+	}
+	defer func() {
+		if d.ts != nil {
+			d.ts.Close()
+		}
+		if d.srv != nil {
+			d.srv.Close()
+		}
+	}()
+
+	before, err := d.metricz()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: initial metricz: %w", err)
+	}
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			d.worker(rand.New(rand.NewSource(cfg.Seed+int64(id))), deadline)
+		}(w)
+	}
+	wg.Wait()
+
+	// Snapshot the server delta BEFORE any kill: the restart boots a fresh
+	// registry, so a post-recovery snapshot would zero every counter.
+	after, err := d.metricz()
+	if err != nil {
+		return nil, fmt.Errorf("loadgen: final metricz: %w", err)
+	}
+	var rec *Recovery
+	if cfg.Recovery {
+		rec = d.recover(dataDir)
+	}
+	return d.report(start, before, after, rec), nil
+}
+
+// WriteReport writes the report as indented JSON to path.
+func WriteReport(r *Report, path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// serverConfig fills production-like defaults over the user's overrides.
+func (d *driver) serverConfig() server.Config {
+	sc := d.cfg.Server
+	if sc.N == 0 {
+		sc.N = d.cfg.Sizes[0]
+	}
+	if sc.MaxN == 0 {
+		sc.MaxN = 2000
+	}
+	if sc.Seed == 0 {
+		sc.Seed = d.cfg.Seed
+	}
+	if sc.MaxSessions == 0 {
+		sc.MaxSessions = d.cfg.Sessions * 4
+	}
+	if sc.RunWorkers == 0 {
+		sc.RunWorkers = max(4, d.cfg.Workers)
+	}
+	if sc.RunQueue == 0 {
+		sc.RunQueue = 256
+	}
+	if sc.RunSessionQueue == 0 {
+		sc.RunSessionQueue = 16
+	}
+	if sc.SSEKeepAlive == 0 {
+		sc.SSEKeepAlive = 15 * time.Second
+	}
+	if sc.SSEWriteTimeout == 0 {
+		sc.SSEWriteTimeout = 10 * time.Second
+	}
+	if sc.JournalMaxRecords == 0 {
+		sc.JournalMaxRecords = 64
+	}
+	if sc.JournalMaxBytes == 0 {
+		sc.JournalMaxBytes = 4 << 20
+	}
+	sc.Journal = true
+	return sc
+}
+
+// boot starts (or restarts) the hosted server over dataDir.
+func (d *driver) boot(dataDir string) error {
+	sc := d.serverConfig()
+	sc.DataDir = dataDir
+	s, err := server.New(sc)
+	if err != nil {
+		return err
+	}
+	d.srv = s
+	d.ts = httptest.NewServer(s.Handler())
+	return nil
+}
+
+// base returns the server's URL root.
+func (d *driver) base() string { return d.ts.URL + "/api/v1" }
+
+// worker is one closed-loop client: it keeps exactly one operation in
+// flight, choosing the next by weighted draw from its own PRNG.
+func (d *driver) worker(rng *rand.Rand, deadline time.Time) {
+	for time.Now().Before(deadline) {
+		switch p := rng.Intn(100); {
+		case p < 20:
+			d.opCreate(rng)
+		case p < 35:
+			d.opPlan(rng)
+		case p < 50:
+			d.opStageSync(rng)
+		case p < 70:
+			d.opRead(rng)
+		case p < 80:
+			d.opSSE(rng)
+		case p < 90:
+			d.opExportImport(rng)
+		default:
+			d.opDelete(rng)
+		}
+	}
+}
+
+// observe records one operation's latency and outcome under its op class.
+func (d *driver) observe(op string, t0 time.Time, err error) {
+	d.client.Counter(metrics.Name("ops_total", "op", op)).Inc()
+	d.client.Histogram(metrics.Name("op_seconds", "op", op), nil).ObserveSince(t0)
+	if err != nil {
+		d.client.Counter(metrics.Name("op_errors_total", "op", op)).Inc()
+	}
+}
+
+// statusErr converts an unexpected HTTP status into an error, counting 5xx
+// separately — the error class the CI smoke gate fails on.
+func (d *driver) statusErr(resp *http.Response, want ...int) error {
+	if resp.StatusCode >= 500 {
+		d.client.Counter("http_5xx_total").Inc()
+	}
+	for _, w := range want {
+		if resp.StatusCode == w {
+			return nil
+		}
+	}
+	return fmt.Errorf("status %s", resp.Status)
+}
+
+// pickSession returns a random live session ID, or "".
+func (d *driver) pickSession(rng *rand.Rand) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.pool) == 0 {
+		return ""
+	}
+	return d.pool[rng.Intn(len(d.pool))]
+}
+
+func (d *driver) addSession(id string) {
+	d.mu.Lock()
+	d.pool = append(d.pool, id)
+	d.mu.Unlock()
+}
+
+// takeSession removes and returns a random session from the pool (for
+// delete and import round-trips), keeping the pool above a floor so read
+// ops always have targets.
+func (d *driver) takeSession(rng *rand.Rand) string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.pool) <= d.cfg.Sessions/2 {
+		return ""
+	}
+	i := rng.Intn(len(d.pool))
+	id := d.pool[i]
+	d.pool = append(d.pool[:i], d.pool[i+1:]...)
+	return id
+}
+
+// opCreate makes a session with a PRNG-chosen scenario size and seed,
+// keeping the pool near its target.
+func (d *driver) opCreate(rng *rand.Rand) {
+	d.mu.Lock()
+	full := len(d.pool) >= d.cfg.Sessions
+	d.mu.Unlock()
+	if full {
+		d.opRead(rng)
+		return
+	}
+	n := d.cfg.Sizes[rng.Intn(len(d.cfg.Sizes))]
+	seed := rng.Int63n(1 << 30)
+	body := fmt.Sprintf(`{"name":"load","n":%d,"seed":%d}`, n, seed)
+	t0 := time.Now()
+	resp, err := d.http.Post(d.base()+"/sessions", "application/json", strings.NewReader(body))
+	if err == nil {
+		var out struct {
+			ID string `json:"id"`
+		}
+		dec := json.NewDecoder(resp.Body)
+		// 429 is the session cap doing its job under churn, not a failure.
+		if err = d.statusErr(resp, http.StatusCreated, http.StatusTooManyRequests); err == nil &&
+			resp.StatusCode == http.StatusCreated {
+			if err = dec.Decode(&out); err == nil {
+				d.addSession(out.ID)
+			}
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	d.observe("create_session", t0, err)
+}
+
+// opPlan submits a multi-stage plan asynchronously and polls it to a
+// terminal state — the workhorse op that exercises the run engine.
+func (d *driver) opPlan(rng *rand.Rand) {
+	id := d.pickSession(rng)
+	if id == "" {
+		d.opCreate(rng)
+		return
+	}
+	plans := []string{
+		`{"stages":[{"stage":"bootstrap"},{"stage":"data-context"}]}`,
+		`{"stages":[{"stage":"bootstrap"},{"stage":"data-context"},{"stage":"feedback","payload":{"budget":20}}]}`,
+		`{"stages":[{"stage":"bootstrap"},{"stage":"user-context","payload":{"model":"crime"}}]}`,
+	}
+	body := plans[rng.Intn(len(plans))]
+	t0 := time.Now()
+	resp, err := d.http.Post(d.base()+"/sessions/"+id+"/plans", "application/json", strings.NewReader(body))
+	var loc string
+	if err == nil {
+		// A vanished session (deleted by a sibling worker) or a full
+		// per-session queue is expected churn, not a failure.
+		if err = d.statusErr(resp, http.StatusAccepted, http.StatusNotFound, http.StatusGone, http.StatusTooManyRequests, http.StatusConflict); err == nil && resp.StatusCode == http.StatusAccepted {
+			loc = resp.Header.Get("Location")
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil && loc != "" {
+		err = d.pollRun(loc)
+	}
+	d.observe("plan", t0, err)
+}
+
+// pollRun GETs a run resource until it is terminal.
+func (d *driver) pollRun(loc string) error {
+	for i := 0; i < 600; i++ {
+		resp, err := d.http.Get(d.ts.URL + loc)
+		if err != nil {
+			return err
+		}
+		var run struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		err = d.statusErr(resp, http.StatusOK, http.StatusNotFound)
+		if err == nil && resp.StatusCode == http.StatusOK {
+			err = json.NewDecoder(resp.Body).Decode(&run)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return err
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			return nil // session torn down underneath the run: churn, not failure
+		}
+		switch run.State {
+		case "succeeded", "cancelled":
+			return nil
+		case "failed":
+			return fmt.Errorf("run failed: %s", run.Error)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("run %s never reached a terminal state", loc)
+}
+
+// opStageSync invokes one stage synchronously through the generic route.
+func (d *driver) opStageSync(rng *rand.Rand) {
+	id := d.pickSession(rng)
+	if id == "" {
+		d.opCreate(rng)
+		return
+	}
+	stages := []struct{ name, body string }{
+		{"bootstrap", `{}`},
+		{"data-context", `{}`},
+		{"feedback", `{"budget":10}`},
+	}
+	st := stages[rng.Intn(len(stages))]
+	t0 := time.Now()
+	resp, err := d.http.Post(d.base()+"/sessions/"+id+"/stages/"+st.name, "application/json", strings.NewReader(st.body))
+	if err == nil {
+		err = d.statusErr(resp, http.StatusOK, http.StatusNotFound, http.StatusGone, http.StatusConflict)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	d.observe("stage_sync", t0, err)
+}
+
+// opRead fetches session state or a result page.
+func (d *driver) opRead(rng *rand.Rand) {
+	id := d.pickSession(rng)
+	if id == "" {
+		return
+	}
+	url := d.base() + "/sessions/" + id
+	if rng.Intn(2) == 0 {
+		url += "/result?limit=50"
+	}
+	t0 := time.Now()
+	resp, err := d.http.Get(url)
+	if err == nil {
+		err = d.statusErr(resp, http.StatusOK, http.StatusNotFound, http.StatusConflict)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	d.observe("read", t0, err)
+}
+
+// opSSE opens the session's event stream, reads until it has a stage event
+// id (or the history is empty), then reconnects with Last-Event-ID and
+// verifies the resumed stream only carries later events — the fan-out and
+// resume path under load.
+func (d *driver) opSSE(rng *rand.Rand) {
+	id := d.pickSession(rng)
+	if id == "" {
+		return
+	}
+	t0 := time.Now()
+	lastID, err := d.sseRead(id, "")
+	if err == nil && lastID != "" {
+		_, err = d.sseRead(id, lastID)
+	}
+	d.observe("sse", t0, err)
+}
+
+// sseRead opens one SSE connection (resuming after lastEventID when given)
+// and drains frames briefly, returning the last stage-event id seen.
+func (d *driver) sseRead(id, lastEventID string) (string, error) {
+	req, err := http.NewRequest(http.MethodGet, d.base()+"/sessions/"+id+"/events", nil)
+	if err != nil {
+		return "", err
+	}
+	if lastEventID != "" {
+		req.Header.Set("Last-Event-ID", lastEventID)
+	}
+	resp, err := d.http.Do(req)
+	if err != nil {
+		return "", err
+	}
+	// Close without draining: an idle SSE stream produces no bytes until
+	// the next keep-alive, so any "drain for reuse" read would block.
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusGone {
+		return "", nil
+	}
+	if err := d.statusErr(resp, http.StatusOK); err != nil {
+		return "", err
+	}
+	// Read the replayed history with a short deadline; the stream stays
+	// open for live events, so a quiet session simply times out the read.
+	type line struct {
+		s   string
+		err error
+	}
+	lines := make(chan line, 64)
+	go func() {
+		sc := bufio.NewScanner(resp.Body)
+		for sc.Scan() {
+			select {
+			case lines <- line{s: sc.Text()}:
+			default:
+				return
+			}
+		}
+		lines <- line{err: sc.Err()}
+	}()
+	last := ""
+	timeout := time.After(250 * time.Millisecond)
+	for {
+		select {
+		case l := <-lines:
+			if l.err != nil || l.s == "" && last != "" {
+				return last, nil
+			}
+			if strings.HasPrefix(l.s, "id: ") {
+				got := strings.TrimPrefix(l.s, "id: ")
+				if lastEventID != "" && got <= lastEventID && len(got) <= len(lastEventID) {
+					return last, fmt.Errorf("resume replayed id %s after Last-Event-ID %s", got, lastEventID)
+				}
+				last = got
+			}
+		case <-timeout:
+			return last, nil
+		}
+	}
+}
+
+// opExportImport downloads a session snapshot, deletes the session, and
+// restores it from the envelope — the full portability round-trip.
+func (d *driver) opExportImport(rng *rand.Rand) {
+	id := d.takeSession(rng)
+	if id == "" {
+		d.opRead(rng)
+		return
+	}
+	t0 := time.Now()
+	err := d.exportImport(id)
+	d.observe("export_import", t0, err)
+}
+
+func (d *driver) exportImport(id string) error {
+	resp, err := d.http.Get(d.base() + "/sessions/" + id + "/export")
+	if err != nil {
+		return err
+	}
+	snap, readErr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound || resp.StatusCode == http.StatusConflict {
+		return nil // deleted by a sibling: churn
+	}
+	if err := d.statusErr(resp, http.StatusOK); err != nil {
+		return err
+	}
+	if readErr != nil {
+		return readErr
+	}
+
+	del, err := d.http.Do(must(http.NewRequest(http.MethodDelete, d.base()+"/sessions/"+id, nil)))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, del.Body)
+	del.Body.Close()
+	if err := d.statusErr(del, http.StatusNoContent, http.StatusNotFound); err != nil {
+		return err
+	}
+
+	imp, err := d.http.Post(d.base()+"/sessions/import", "application/octet-stream", bytes.NewReader(snap))
+	if err != nil {
+		return err
+	}
+	io.Copy(io.Discard, imp.Body)
+	imp.Body.Close()
+	// 409 means another worker re-imported first; the session is live
+	// either way.
+	if err := d.statusErr(imp, http.StatusCreated, http.StatusConflict); err != nil {
+		return err
+	}
+	d.addSession(id)
+	return nil
+}
+
+// opDelete closes a session outright, shrinking the pool for opCreate to
+// refill — the churn that drives evict hooks and durable-state GC.
+func (d *driver) opDelete(rng *rand.Rand) {
+	id := d.takeSession(rng)
+	if id == "" {
+		d.opRead(rng)
+		return
+	}
+	t0 := time.Now()
+	resp, err := d.http.Do(must(http.NewRequest(http.MethodDelete, d.base()+"/sessions/"+id, nil)))
+	if err == nil {
+		err = d.statusErr(resp, http.StatusNoContent, http.StatusNotFound)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	d.observe("delete_session", t0, err)
+}
+
+// recover is the kill-9/restart phase: drop the listener and abandon the
+// server without any graceful shutdown (exactly what a SIGKILL leaves
+// behind), restart over the same data directory, and verify the restored
+// sessions answer state and result reads.
+func (d *driver) recover(dataDir string) *Recovery {
+	rec := &Recovery{Killed: true}
+	d.mu.Lock()
+	known := append([]string(nil), d.pool...)
+	d.mu.Unlock()
+	rec.SessionsBefore = len(known)
+
+	// The kill: no Server.Close, no snapshot sweep — recovery must work
+	// from whatever the journal and past snapshots already hold.
+	d.ts.CloseClientConnections()
+	d.ts.Close()
+	d.srv = nil
+	d.ts = nil
+
+	t0 := time.Now()
+	if err := d.boot(dataDir); err != nil {
+		rec.Errors++
+		return rec
+	}
+	rec.RestartMs = float64(time.Since(t0).Microseconds()) / 1000
+
+	var listing struct {
+		Sessions []struct {
+			ID string `json:"id"`
+		} `json:"sessions"`
+	}
+	resp, err := d.http.Get(d.base() + "/sessions")
+	if err != nil {
+		rec.Errors++
+		return rec
+	}
+	err = json.NewDecoder(resp.Body).Decode(&listing)
+	resp.Body.Close()
+	if err != nil {
+		rec.Errors++
+		return rec
+	}
+	restored := map[string]bool{}
+	for _, s := range listing.Sessions {
+		restored[s.ID] = true
+	}
+	rec.SessionsRestored = len(restored)
+
+	rec.Verified = true
+	for _, id := range known {
+		if !restored[id] {
+			// A session deleted by churn right before the kill is
+			// legitimately absent; only sessions the server claims to have
+			// restored are verified below.
+			continue
+		}
+		for _, p := range []struct {
+			path string
+			ok   []int
+		}{
+			{"/sessions/" + id, []int{http.StatusOK}},
+			// A session restored before its first bootstrap has no result
+			// yet; 404 is that state, not a recovery failure.
+			{"/sessions/" + id + "/result?limit=10", []int{http.StatusOK, http.StatusNotFound}},
+		} {
+			resp, err := d.http.Get(d.base() + p.path)
+			if err != nil {
+				rec.Errors++
+				rec.Verified = false
+				continue
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			good := false
+			for _, code := range p.ok {
+				good = good || resp.StatusCode == code
+			}
+			if !good {
+				rec.Errors++
+				rec.Verified = false
+			}
+		}
+	}
+	d.mu.Lock()
+	d.pool = d.pool[:0]
+	for id := range restored {
+		d.pool = append(d.pool, id)
+	}
+	d.mu.Unlock()
+	return rec
+}
+
+// metricz fetches the hosted server's metrics snapshot.
+func (d *driver) metricz() (vada.MetricsSnapshot, error) {
+	var snap vada.MetricsSnapshot
+	resp, err := d.http.Get(d.base() + "/metricz")
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("metricz: %s", resp.Status)
+	}
+	return snap, json.NewDecoder(resp.Body).Decode(&snap)
+}
+
+// report assembles the BENCH document from the client registry and the
+// server-side counter delta.
+func (d *driver) report(start time.Time, before, after vada.MetricsSnapshot, rec *Recovery) *Report {
+	elapsed := time.Since(start).Seconds()
+	snap := d.client.Snapshot()
+	r := &Report{
+		Config:   d.cfg,
+		At:       time.Now().UTC(),
+		ElapsedS: elapsed,
+		Ops:      map[string]OpStats{},
+		HTTP5xx:  snap.Counters["http_5xx_total"],
+		Recovery: rec,
+	}
+	for name, count := range snap.Counters {
+		op, ok := opLabel(name, "ops_total")
+		if !ok {
+			continue
+		}
+		hist := snap.Histograms[metrics.Name("op_seconds", "op", op)]
+		r.Ops[op] = OpStats{
+			Count:          count,
+			Errors:         snap.Counters[metrics.Name("op_errors_total", "op", op)],
+			ThroughputPerS: float64(count) / elapsed,
+			P50Ms:          hist.P50 * 1000,
+			P99Ms:          hist.P99 * 1000,
+			MaxMs:          hist.Max * 1000,
+		}
+		r.Totals.Count += count
+		r.Totals.Errors += r.Ops[op].Errors
+	}
+	r.Totals.ThroughputPerS = float64(r.Totals.Count) / elapsed
+
+	r.ServerDelta = vada.MetricsCounterDelta(before, after)
+	for name, v := range r.ServerDelta {
+		if strings.HasPrefix(name, "runs_completed_total") {
+			r.RunsCompleted += v
+		}
+		if strings.HasPrefix(name, "sse_dropped_events_total") {
+			r.SSEDropped += v
+		}
+	}
+	if r.RunsCompleted > 0 {
+		disk := r.ServerDelta["persist_journal_bytes_total"] + r.ServerDelta["persist_snapshot_bytes_total"]
+		r.DiskBytesPerRun = float64(disk) / float64(r.RunsCompleted)
+	}
+	return r
+}
+
+// opLabel extracts the op label from a `base{op="x"}` series name.
+func opLabel(series, base string) (string, bool) {
+	prefix := base + `{op="`
+	if !strings.HasPrefix(series, prefix) {
+		return "", false
+	}
+	return strings.TrimSuffix(strings.TrimPrefix(series, prefix), `"}`), true
+}
+
+// must panics on request-construction errors (static URLs only).
+func must(req *http.Request, err error) *http.Request {
+	if err != nil {
+		panic(err)
+	}
+	return req
+}

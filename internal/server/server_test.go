@@ -1,4 +1,4 @@
-package main
+package server
 
 import (
 	"bufio"
@@ -21,17 +21,18 @@ import (
 	"vada"
 )
 
-func testServer(t *testing.T, opts ...vada.ManagerOption) (*server, *httptest.Server) {
+func testServer(t *testing.T, opts ...vada.ManagerOption) (*Server, *httptest.Server) {
 	return testServerEngine(t, nil, opts...)
 }
 
 // testServerEngine mirrors main's wiring with extra run-engine options: the
 // notify hook publishes transitions to session subscribers, and closing or
 // evicting a session cancels its runs.
-func testServerEngine(t *testing.T, engineOpts []vada.RunEngineOption, opts ...vada.ManagerOption) (*server, *httptest.Server) {
+func testServerEngine(t *testing.T, engineOpts []vada.RunEngineOption, opts ...vada.ManagerOption) (*Server, *httptest.Server) {
 	t.Helper()
-	s := &server{
+	s := &Server{
 		registry:        vada.DefaultStageRegistry(),
+		metrics:         vada.NewMetricsRegistry(),
 		defaultN:        60,
 		defaultSeed:     1,
 		started:         time.Now(),
@@ -46,7 +47,7 @@ func testServerEngine(t *testing.T, engineOpts []vada.RunEngineOption, opts ...v
 		s.runs.CancelSession(sess.ID())
 	}))...)
 	t.Cleanup(s.runs.Close)
-	ts := httptest.NewServer(s.routes())
+	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
 }
@@ -1289,8 +1290,9 @@ func TestSessionRunQueue429(t *testing.T) {
 // TestSSEKeepAlive checks the proxy-hardening contract: an idle event
 // stream carries periodic keep-alive comments.
 func TestSSEKeepAlive(t *testing.T) {
-	s := &server{
+	s := &Server{
 		registry:        vada.DefaultStageRegistry(),
+		metrics:         vada.NewMetricsRegistry(),
 		defaultN:        30,
 		defaultSeed:     1,
 		started:         time.Now(),
@@ -1300,7 +1302,7 @@ func TestSSEKeepAlive(t *testing.T) {
 	s.runs = vada.NewRunEngine(vada.WithRunWorkers(1), vada.WithRunNotify(s.publishTransition))
 	s.mgr = vada.NewSessionManager()
 	t.Cleanup(s.runs.Close)
-	ts := httptest.NewServer(s.routes())
+	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 
 	id := createSession(t, ts, "")
@@ -1349,18 +1351,18 @@ func TestPayloadTooLarge(t *testing.T) {
 
 // durableServer builds the full production wiring — durability included —
 // against a data directory, exactly as main does.
-func durableServer(t *testing.T, dataDir string) (*server, *httptest.Server) {
+func durableServer(t *testing.T, dataDir string) (*Server, *httptest.Server) {
 	t.Helper()
-	s, err := newServer(serverConfig{
-		n: 50, maxN: 2000, seed: 1, maxSessions: 64,
-		runWorkers: 4, runQueue: 256, runSessionQueue: 16,
-		sseKeepAlive: 15 * time.Second, sseWriteTimeout: 10 * time.Second,
-		dataDir: dataDir,
+	s, err := New(Config{
+		N: 50, MaxN: 2000, Seed: 1, MaxSessions: 64,
+		RunWorkers: 4, RunQueue: 256, RunSessionQueue: 16,
+		SSEKeepAlive: 15 * time.Second, SSEWriteTimeout: 10 * time.Second,
+		DataDir: dataDir,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(s.routes())
+	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
 }
@@ -1731,19 +1733,19 @@ func TestImportScenarioBounds(t *testing.T) {
 // journalServer builds the full production wiring with incremental
 // durability on. Thresholds are set high so tests control compaction
 // explicitly unless they pass their own.
-func journalServer(t *testing.T, dataDir string, maxRecords int, maxBytes int64) (*server, *httptest.Server) {
+func journalServer(t *testing.T, dataDir string, maxRecords int, maxBytes int64) (*Server, *httptest.Server) {
 	t.Helper()
-	s, err := newServer(serverConfig{
-		n: 50, maxN: 2000, seed: 1, maxSessions: 64,
-		runWorkers: 4, runQueue: 256, runSessionQueue: 16,
-		sseKeepAlive: 15 * time.Second, sseWriteTimeout: 10 * time.Second,
-		dataDir: dataDir, journal: true,
-		journalMaxRecords: maxRecords, journalMaxBytes: maxBytes,
+	s, err := New(Config{
+		N: 50, MaxN: 2000, Seed: 1, MaxSessions: 64,
+		RunWorkers: 4, RunQueue: 256, RunSessionQueue: 16,
+		SSEKeepAlive: 15 * time.Second, SSEWriteTimeout: 10 * time.Second,
+		DataDir: dataDir, Journal: true,
+		JournalMaxRecords: maxRecords, JournalMaxBytes: maxBytes,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(s.routes())
+	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	return s, ts
 }
@@ -1988,17 +1990,17 @@ func TestSnapshotGC(t *testing.T) {
 	s2.Close()
 
 	// -restore-closed boot: the archive comes back live and is un-archived.
-	s3, err := newServer(serverConfig{
-		n: 50, maxN: 2000, seed: 1, maxSessions: 64,
-		runWorkers: 4, runQueue: 256, runSessionQueue: 16,
-		sseKeepAlive: 15 * time.Second, sseWriteTimeout: 10 * time.Second,
-		dataDir: dir, journal: true, journalMaxRecords: 10000, journalMaxBytes: 1 << 30,
-		restoreClosed: true,
+	s3, err := New(Config{
+		N: 50, MaxN: 2000, Seed: 1, MaxSessions: 64,
+		RunWorkers: 4, RunQueue: 256, RunSessionQueue: 16,
+		SSEKeepAlive: 15 * time.Second, SSEWriteTimeout: 10 * time.Second,
+		DataDir: dir, Journal: true, JournalMaxRecords: 10000, JournalMaxBytes: 1 << 30,
+		RestoreClosed: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts3 := httptest.NewServer(s3.routes())
+	ts3 := httptest.NewServer(s3.Handler())
 	t.Cleanup(func() { ts3.Close(); s3.Close() })
 	gotState := getJSON(t, ts3.URL+"/api/v1/sessions/"+id)
 	if events := gotState["events"].([]any); len(events) != 1 {

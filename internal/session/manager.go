@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"vada/internal/core"
+	"vada/internal/metrics"
 )
 
 // Manager serves many independent sessions: create, look up, list and close
@@ -20,6 +21,7 @@ type Manager struct {
 	maxSessions int
 	stopHooks   []func(*Session)
 	evictHooks  []func(*Session)
+	reg         *metrics.Registry
 
 	mu       sync.RWMutex
 	sessions map[string]*Session
@@ -58,6 +60,15 @@ func WithEvictHook(hook func(*Session)) ManagerOption {
 	return func(m *Manager) { m.evictHooks = append(m.evictHooks, hook) }
 }
 
+// WithManagerMetrics instruments the session population: the live-session
+// gauge (sessions_live) tracks Create/Restore/Close/EvictIdle, creations
+// and cap rejections are counted (sessions_created_total,
+// sessions_rejected_total), and removals are split by cause
+// (sessions_closed_total, sessions_evicted_total).
+func WithManagerMetrics(reg *metrics.Registry) ManagerOption {
+	return func(m *Manager) { m.reg = reg }
+}
+
 // NewManager builds an empty session manager.
 func NewManager(opts ...ManagerOption) *Manager {
 	m := &Manager{sessions: map[string]*Session{}, order: map[string]uint64{}}
@@ -73,13 +84,30 @@ func (m *Manager) Create(w *core.Wrangler, opts ...Option) (*Session, error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.maxSessions > 0 && len(m.sessions) >= m.maxSessions {
+		m.count("sessions_rejected_total")
 		return nil, fmt.Errorf("%w (max %d)", ErrLimit, m.maxSessions)
 	}
 	m.seq++
 	s := New(fmt.Sprintf("s%04d-%s", m.seq, randomSuffix()), w, opts...)
 	m.sessions[s.ID()] = s
 	m.order[s.ID()] = m.seq
+	m.count("sessions_created_total")
+	m.liveLocked()
 	return s, nil
+}
+
+// count increments a manager counter; no-op without a metrics registry.
+func (m *Manager) count(name string) {
+	if m.reg != nil {
+		m.reg.Counter(name).Inc()
+	}
+}
+
+// liveLocked refreshes the live-session gauge. Callers hold m.mu.
+func (m *Manager) liveLocked() {
+	if m.reg != nil {
+		m.reg.Gauge("sessions_live").Set(int64(len(m.sessions)))
+	}
 }
 
 // AtCap reports whether the session cap is currently reached — a cheap
@@ -141,6 +169,7 @@ func (m *Manager) Restore(s *Session) error {
 	m.seq++
 	m.sessions[s.ID()] = s
 	m.order[s.ID()] = m.seq
+	m.liveLocked()
 	return nil
 }
 
@@ -152,11 +181,13 @@ func (m *Manager) Close(id string) error {
 	if ok {
 		delete(m.sessions, id)
 		delete(m.order, id)
+		m.liveLocked()
 	}
 	m.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
+	m.count("sessions_closed_total")
 	m.teardown(s)
 	return nil
 }
@@ -197,10 +228,12 @@ func (m *Manager) EvictIdle(maxIdle time.Duration) []string {
 			evicted = append(evicted, s)
 		}
 	}
+	m.liveLocked()
 	m.mu.Unlock()
 	ids := make([]string, len(evicted))
 	for i, s := range evicted {
 		ids[i] = s.ID()
+		m.count("sessions_evicted_total")
 		m.teardown(s)
 	}
 	sort.Strings(ids)

@@ -17,6 +17,7 @@ import (
 	"vada/internal/datagen"
 	"vada/internal/feedback"
 	"vada/internal/mcda"
+	"vada/internal/metrics"
 	"vada/internal/relation"
 	"vada/internal/transducer"
 )
@@ -129,6 +130,11 @@ type Session struct {
 	// still holds its run mutex — the mutation hook the durability journal
 	// feeds on (see WithStageHook).
 	stageHook func(*Session, Event)
+
+	// reg, when set, counts the SSE fan-out: live subscribers
+	// (sse_subscribers) and events lost to slow consumers
+	// (sse_dropped_events_total) — the loss that was previously silent.
+	reg *metrics.Registry
 }
 
 // Option configures a Session at creation.
@@ -167,6 +173,15 @@ func WithRegistry(r *Registry) Option {
 // self-deadlock). One hook per session; later options replace earlier ones.
 func WithStageHook(hook func(*Session, Event)) Option {
 	return func(s *Session) { s.stageHook = hook }
+}
+
+// WithMetrics instruments the session's event fan-out: the subscriber
+// gauge (sse_subscribers) tracks Subscribe/cancel/Close, and every event a
+// full slow-consumer buffer forces the session to drop is counted
+// (sse_dropped_events_total{kind="stage"|"transition"}) instead of
+// vanishing silently. Services pass one shared registry to every session.
+func WithMetrics(reg *metrics.Registry) Option {
+	return func(s *Session) { s.reg = reg }
 }
 
 // WithRestored stamps a session with its pre-restart identity: the creation
@@ -251,9 +266,25 @@ func (s *Session) Close() {
 		for id, ch := range s.subs {
 			delete(s.subs, id)
 			close(ch)
+			s.subGauge(-1)
 		}
 	}
 	s.mu.Unlock()
+}
+
+// subGauge moves the shared subscriber gauge by delta; no-op without a
+// metrics registry.
+func (s *Session) subGauge(delta int64) {
+	if s.reg != nil {
+		s.reg.Gauge("sse_subscribers").Add(delta)
+	}
+}
+
+// countDrop records one event lost to a slow consumer's full buffer.
+func (s *Session) countDrop(kind string) {
+	if s.reg != nil {
+		s.reg.Counter(metrics.Name("sse_dropped_events_total", "kind", kind)).Inc()
+	}
 }
 
 // Quiesce blocks until no stage is executing on the session. A closed
@@ -291,12 +322,14 @@ func (s *Session) Subscribe(buf int) (history []Event, events <-chan Event, canc
 	id := s.nextSub
 	s.nextSub++
 	s.subs[id] = ch
+	s.subGauge(1)
 	cancel = func() {
 		s.mu.Lock()
 		defer s.mu.Unlock()
 		if c, ok := s.subs[id]; ok {
 			delete(s.subs, id)
 			close(c)
+			s.subGauge(-1)
 		}
 	}
 	return history, ch, cancel
@@ -344,6 +377,7 @@ func (s *Session) Step(ctx context.Context, stage string, action func(w *core.Wr
 		select {
 		case ch <- ev:
 		default: // slow consumer: drop rather than stall wrangling
+			s.countDrop("stage")
 		}
 	}
 	s.mu.Unlock()
@@ -408,6 +442,7 @@ func (s *Session) PublishTransition(tr RunTransition) {
 		select {
 		case ch <- ev:
 		default: // slow consumer: drop rather than stall the engine
+			s.countDrop("transition")
 		}
 	}
 }

@@ -9,6 +9,7 @@ import (
 
 	"vada/internal/core"
 	"vada/internal/datagen"
+	"vada/internal/metrics"
 	"vada/internal/relation"
 )
 
@@ -657,5 +658,89 @@ func TestStageHook(t *testing.T) {
 	}
 	if len(calls) != 2 {
 		t.Fatalf("failed stage fired the hook: %d calls", len(calls))
+	}
+}
+
+// TestSlowConsumerDropsCounted checks the previously-silent SSE loss is
+// now observable: a subscriber whose buffer is full loses events, and each
+// loss lands in sse_dropped_events_total by kind, while the subscriber
+// gauge tracks Subscribe, cancel and Close.
+func TestSlowConsumerDropsCounted(t *testing.T) {
+	reg := metrics.NewRegistry()
+	sc := testScenario(t, 30, 1)
+	sess := New("drops", core.BuildScenarioWrangler(sc), WithScenario(sc, 1), WithMetrics(reg))
+
+	_, _, cancel := sess.Subscribe(1) // never drained: fills after one event
+	if got := reg.Gauge("sse_subscribers").Value(); got != 1 {
+		t.Fatalf("sse_subscribers after Subscribe = %d, want 1", got)
+	}
+
+	tr := RunTransition{RunID: "r1", State: "running", Stage: StageBootstrap}
+	sess.PublishTransition(tr) // fills the buffer
+	sess.PublishTransition(tr) // dropped
+	sess.PublishTransition(tr) // dropped
+	name := metrics.Name("sse_dropped_events_total", "kind", "transition")
+	if got := reg.Counter(name).Value(); got != 2 {
+		t.Fatalf("%s = %d, want 2", name, got)
+	}
+
+	// Stage events through the same full buffer are dropped under their
+	// own kind.
+	if _, err := sess.Bootstrap(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	stage := metrics.Name("sse_dropped_events_total", "kind", "stage")
+	if got := reg.Counter(stage).Value(); got != 1 {
+		t.Fatalf("%s = %d, want 1", stage, got)
+	}
+
+	cancel()
+	if got := reg.Gauge("sse_subscribers").Value(); got != 0 {
+		t.Fatalf("sse_subscribers after cancel = %d, want 0", got)
+	}
+	// Close decrements whatever cancel has not already released.
+	sess.Subscribe(1)
+	sess.Close()
+	if got := reg.Gauge("sse_subscribers").Value(); got != 0 {
+		t.Fatalf("sse_subscribers after Close = %d, want 0", got)
+	}
+}
+
+// TestManagerMetrics checks the population series across create, cap
+// rejection, close and idle eviction.
+func TestManagerMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	mgr := NewManager(WithMaxSessions(1), WithManagerMetrics(reg))
+	sess, err := mgr.Create(core.NewWrangler())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.Create(core.NewWrangler()); !errors.Is(err, ErrLimit) {
+		t.Fatalf("expected ErrLimit, got %v", err)
+	}
+	if got := reg.Counter("sessions_rejected_total").Value(); got != 1 {
+		t.Fatalf("sessions_rejected_total = %d, want 1", got)
+	}
+	if got := reg.Gauge("sessions_live").Value(); got != 1 {
+		t.Fatalf("sessions_live = %d, want 1", got)
+	}
+	if err := mgr.Close(sess.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if got := reg.Counter("sessions_closed_total").Value(); got != 1 {
+		t.Fatalf("sessions_closed_total = %d, want 1", got)
+	}
+	if got := reg.Gauge("sessions_live").Value(); got != 0 {
+		t.Fatalf("sessions_live after close = %d, want 0", got)
+	}
+
+	if _, err := mgr.Create(core.NewWrangler()); err != nil {
+		t.Fatal(err)
+	}
+	if evicted := mgr.EvictIdle(0); len(evicted) != 1 {
+		t.Fatalf("evicted %v, want one", evicted)
+	}
+	if got := reg.Counter("sessions_evicted_total").Value(); got != 1 {
+		t.Fatalf("sessions_evicted_total = %d, want 1", got)
 	}
 }

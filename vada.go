@@ -83,6 +83,7 @@ import (
 	"vada/internal/mapping"
 	"vada/internal/match"
 	"vada/internal/mcda"
+	"vada/internal/metrics"
 	"vada/internal/persist"
 	"vada/internal/quality"
 	"vada/internal/relation"
@@ -506,4 +507,43 @@ var (
 type (
 	PayAsYouGoConfig = core.PayAsYouGoConfig
 	StageScore       = core.StageScore
+)
+
+// ---- observability (metrics) -----------------------------------------------
+
+// MetricsRegistry holds named Counter/Gauge/Histogram instruments;
+// MetricsSnapshot is its JSON-ready point-in-time projection (the
+// /api/v1/metricz payload). Histograms are fixed-bucket with p50/p90/p99
+// estimation; MetricsDefBuckets are the default latency bounds in seconds.
+type (
+	MetricsRegistry          = metrics.Registry
+	MetricsCounter           = metrics.Counter
+	MetricsGauge             = metrics.Gauge
+	MetricsHistogram         = metrics.Histogram
+	MetricsSnapshot          = metrics.Snapshot
+	MetricsHistogramSnapshot = metrics.HistogramSnapshot
+	MetricsBucket            = metrics.Bucket
+)
+
+// Metrics constructors and helpers: NewMetricsRegistry builds a registry,
+// MetricName composes `base{k="v"}` series names, MetricsCounterDelta diffs
+// two snapshots (interval activity), SumMetricsCounters rolls up a name
+// prefix.
+var (
+	NewMetricsRegistry  = metrics.NewRegistry
+	NewMetricsHistogram = metrics.NewHistogram
+	MetricName          = metrics.Name
+	MetricsCounterDelta = metrics.CounterDelta
+	SumMetricsCounters  = metrics.SumCounters
+	MetricsDefBuckets   = metrics.DefBuckets
+)
+
+// Instrumentation options: hand one shared registry to the run engine
+// (queue/stage/cancellation series), each session (SSE fan-out series) and
+// the session manager (population series); JournalWriter.SetMetrics covers
+// the durability series.
+var (
+	WithRunMetrics     = runs.WithMetrics
+	WithSessionMetrics = session.WithMetrics
+	WithManagerMetrics = session.WithManagerMetrics
 )
