@@ -8,41 +8,62 @@ import (
 	"vada/internal/loadgen"
 )
 
+// loadOptions bundles the -exp load flags.
+type loadOptions struct {
+	preset    string
+	seed      int64
+	workers   int
+	duration  time.Duration
+	recovery  bool
+	strict    bool
+	trace     bool
+	traceDump string
+	notes     string
+	out       string
+}
+
 // runLoad is the service benchmark: a closed-loop workload over the
 // self-hosted server, reported as the BENCH_<n>.json schema. strict turns
-// any error-class count (op errors, 5xx, recovery failures) into a
-// non-zero exit — the CI smoke gate.
-func runLoad(preset string, seed int64, workers int, duration time.Duration, recovery, strict bool, out string) error {
-	cfg := loadgen.Preset(preset)
-	cfg.Seed = seed
-	if workers > 0 {
-		cfg.Workers = workers
+// any error-class count (op errors, 5xx, recovery failures, missing
+// traces) into a non-zero exit — the CI smoke gate.
+func runLoad(o loadOptions) error {
+	cfg := loadgen.Preset(o.preset)
+	cfg.Seed = o.seed
+	if o.workers > 0 {
+		cfg.Workers = o.workers
 	}
-	if duration > 0 {
-		cfg.Duration = duration
+	if o.duration > 0 {
+		cfg.Duration = o.duration
 	}
-	cfg.Recovery = recovery
+	cfg.Recovery = o.recovery
+	cfg.Trace = o.trace
+	cfg.TraceDump = o.traceDump
+	cfg.Notes = o.notes
 
-	fmt.Printf("load benchmark: preset %s, %d workers, %s steady state, seed %d, recovery %v\n",
-		cfg.Name, cfg.Workers, cfg.Duration, cfg.Seed, cfg.Recovery)
+	fmt.Printf("load benchmark: preset %s, %d workers, %s steady state, seed %d, recovery %v, trace %v\n",
+		cfg.Name, cfg.Workers, cfg.Duration, cfg.Seed, cfg.Recovery, cfg.Trace)
 	rep, err := loadgen.Run(cfg)
 	if err != nil {
 		return err
 	}
 	printLoadReport(rep)
-	if out != "" {
-		if err := loadgen.WriteReport(rep, out); err != nil {
-			return fmt.Errorf("writing %s: %w", out, err)
+	if o.out != "" {
+		if err := loadgen.WriteReport(rep, o.out); err != nil {
+			return fmt.Errorf("writing %s: %w", o.out, err)
 		}
-		fmt.Printf("\nreport written to %s\n", out)
+		fmt.Printf("\nreport written to %s\n", o.out)
 	}
-	if strict {
+	if o.strict {
 		bad := rep.Totals.Errors + rep.HTTP5xx
 		if rep.Recovery != nil {
 			bad += rep.Recovery.Errors
 		}
 		if rep.Recovery != nil && !rep.Recovery.Verified {
 			return fmt.Errorf("load: recovery verification failed: %+v", rep.Recovery)
+		}
+		if cfg.Trace && rep.RunsMissingTrace > 0 {
+			return fmt.Errorf("load: %d of %d plan runs lost their trace",
+				rep.RunsMissingTrace, rep.RunsTraced+rep.RunsMissingTrace)
 		}
 		if bad != 0 {
 			return fmt.Errorf("load: %d error-class events (op errors %d, 5xx %d)",
@@ -69,6 +90,9 @@ func printLoadReport(rep *loadgen.Report) {
 	fmt.Printf("%-16s %8d %7d %9.1f\n", "total", rep.Totals.Count, rep.Totals.Errors, rep.Totals.ThroughputPerS)
 	fmt.Printf("\nhttp 5xx: %d   runs completed: %d   disk bytes/run: %.0f   sse drops: %d\n",
 		rep.HTTP5xx, rep.RunsCompleted, rep.DiskBytesPerRun, rep.SSEDropped)
+	if rep.Config.Trace {
+		fmt.Printf("traces: %d plan runs traced, %d missing\n", rep.RunsTraced, rep.RunsMissingTrace)
+	}
 	if rep.Recovery != nil {
 		fmt.Printf("recovery: killed=%v restart=%.1fms sessions %d -> %d verified=%v errors=%d\n",
 			rep.Recovery.Killed, rep.Recovery.RestartMs, rep.Recovery.SessionsBefore,

@@ -39,12 +39,20 @@ func main() {
 	loadWorkers := flag.Int("load-workers", 0, "override the preset's worker count (-exp load)")
 	loadDuration := flag.Duration("load-duration", 0, "override the preset's steady-state duration (-exp load)")
 	loadRecovery := flag.Bool("load-recovery", true, "include the kill-9/restart phase (-exp load)")
-	loadStrict := flag.Bool("load-strict", false, "exit non-zero on any op error or 5xx (-exp load)")
+	loadStrict := flag.Bool("load-strict", false, "exit non-zero on any op error, 5xx or missing trace (-exp load)")
+	loadTrace := flag.Bool("load-trace", false, "run the hosted server with tracing on and verify every plan run left a complete trace (-exp load)")
+	loadTraceDump := flag.String("load-trace-dump", "", "write the server's full span dump to this path after the steady state (-exp load)")
+	loadNotes := flag.String("load-notes", "", "free-form note copied into the report (-exp load)")
 	out := flag.String("out", "", "write the load report JSON here (-exp load; \"\" = stdout only)")
 	flag.Parse()
 
 	if *exp == "load" {
-		if err := runLoad(*loadPreset, *seed, *loadWorkers, *loadDuration, *loadRecovery, *loadStrict, *out); err != nil {
+		opts := loadOptions{
+			preset: *loadPreset, seed: *seed, workers: *loadWorkers,
+			duration: *loadDuration, recovery: *loadRecovery, strict: *loadStrict,
+			trace: *loadTrace, traceDump: *loadTraceDump, notes: *loadNotes, out: *out,
+		}
+		if err := runLoad(opts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

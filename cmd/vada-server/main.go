@@ -1,15 +1,16 @@
 // Command vada-server is the thin binary over internal/server: flag
-// parsing, the idle-eviction ticker and graceful signal-driven shutdown.
-// All service behaviour — routes, durability, metrics — lives in the
-// package, so tests and the load generator host the identical wiring
-// in-process.
+// parsing, structured-logger construction, the idle-eviction ticker and
+// graceful signal-driven shutdown. All service behaviour — routes,
+// durability, tracing, metrics — lives in the package, so tests and the
+// load generator host the identical wiring in-process.
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
-	"log"
+	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -37,17 +38,36 @@ func main() {
 	flag.IntVar(&cfg.JournalMaxRecords, "journal-max-records", 512, "compact a session's journal into a fresh snapshot after this many records (0 = no record threshold)")
 	flag.Int64Var(&cfg.JournalMaxBytes, "journal-max-bytes", 8<<20, "compact a session's journal after this many bytes since the last compaction (0 = no byte threshold)")
 	flag.BoolVar(&cfg.RestoreClosed, "restore-closed", false, "restore explicitly DELETEd sessions archived under <data-dir>/closed/ at boot")
+	flag.BoolVar(&cfg.Trace, "trace", true, "record per-request span trees, browsable via GET /api/v1/traces")
+	flag.IntVar(&cfg.TraceCapacity, "trace-max", 0, "traces retained in memory before the oldest is evicted (0 = default)")
+	flag.IntVar(&cfg.TraceMaxSpans, "trace-max-spans", 0, "spans retained per trace (0 = default)")
+	flag.DurationVar(&cfg.TraceSlowThreshold, "trace-slow-threshold", 2*time.Second, "log any span at or over this duration as a structured warning (0 = off)")
+	flag.BoolVar(&cfg.Pprof, "pprof", false, "serve net/http/pprof under /debug/pprof/")
+	flag.DurationVar(&cfg.RuntimeSampleEvery, "runtime-sample-every", 0, "runtime gauge (goroutines, heap, GC) sampling interval (0 = default)")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	logLevel := flag.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	flag.Parse()
+
+	logger, err := buildLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "vada-server: %v\n", err)
+		os.Exit(2)
+	}
+	// Default too, so free-standing helpers (response encoders) and any
+	// library slog use share the configured handler.
+	slog.SetDefault(logger)
+	cfg.Logger = logger
 
 	s, err := server.New(cfg)
 	if err != nil {
-		log.Fatalf("vada-server: %v", err)
+		logger.Error("startup failed", "error", err)
+		os.Exit(1)
 	}
 	if *idleTimeout > 0 {
 		go func() {
 			for range time.Tick(*idleTimeout / 4) {
 				for _, id := range s.EvictIdle(*idleTimeout) {
-					log.Printf("vada-server: session %s evicted (idle)", id)
+					logger.Info("session evicted (idle)", "session", id)
 				}
 			}
 		}()
@@ -60,21 +80,41 @@ func main() {
 		sig := make(chan os.Signal, 1)
 		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 		<-sig
-		log.Printf("vada-server: shutting down")
+		logger.Info("shutting down")
 		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Printf("vada-server: shutdown: %v", err)
+			logger.Error("shutdown", "error", err)
 		}
 	}()
-	log.Printf("vada-server: serving /api/v1/sessions on %s (cap %d, data-dir %q)",
-		*addr, cfg.MaxSessions, cfg.DataDir)
+	logger.Info("serving /api/v1/sessions", "addr", *addr,
+		"max_sessions", cfg.MaxSessions, "data_dir", cfg.DataDir,
+		"trace", cfg.Trace, "pprof", cfg.Pprof)
 	if err := srv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
-		log.Fatal(err)
+		logger.Error("listen failed", "error", err)
+		os.Exit(1)
 	}
 	// Wait for Shutdown to finish draining in-flight handlers before the
 	// final snapshot sweep — a stage a client got a 200 for must be in it.
 	<-drained
 	s.Close() // drain runs, snapshot every session
-	log.Printf("vada-server: shutdown complete")
+	logger.Info("shutdown complete")
+}
+
+// buildLogger constructs the process logger from the -log-format and
+// -log-level flags.
+func buildLogger(w *os.File, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("bad -log-format %q (want text or json)", format)
+	}
 }

@@ -26,7 +26,7 @@ func benchSession(b *testing.B, n int) (*session.Session, *Record) {
 	var captured *Record
 	sess := session.New("bench", core.BuildScenarioWrangler(sc),
 		session.WithScenario(sc, 11),
-		session.WithStageHook(func(s *session.Session, ev session.Event) {
+		session.WithStageHook(func(_ context.Context, s *session.Session, ev session.Event) {
 			w := s.Wrangler()
 			rec := &Record{At: ev.At, Stage: &StageRecord{Event: ev, Delta: w.CutChangeLog()}}
 			exec, fused := w.ChangeFingerprints()

@@ -389,8 +389,8 @@ func stageJournal(t *testing.T, dir string, n int) (*session.Session, *Recorder,
 	var rec *Recorder
 	sess := session.New("j1", core.BuildScenarioWrangler(sc),
 		session.WithScenario(sc, 7),
-		session.WithStageHook(func(s *session.Session, ev session.Event) {
-			if err := rec.RecordStage(ev); err != nil {
+		session.WithStageHook(func(ctx context.Context, s *session.Session, ev session.Event) {
+			if err := rec.RecordStage(ctx, ev); err != nil {
 				t.Errorf("journal stage: %v", err)
 			}
 		}))
@@ -457,10 +457,10 @@ func TestRecorderConformance(t *testing.T) {
 		{ID: "r1", SessionID: sess.ID(), Stage: session.StageBootstrap, State: runs.StateSucceeded},
 		{ID: "r2", SessionID: sess.ID(), Stage: session.StageFeedback, State: runs.StateCancelled},
 	}
-	if err := rec.RecordRuns(terminal); err != nil {
+	if err := rec.RecordRuns(ctx, terminal); err != nil {
 		t.Fatal(err)
 	}
-	if err := rec.RecordRuns(terminal); err != nil { // idempotent
+	if err := rec.RecordRuns(ctx, terminal); err != nil { // idempotent
 		t.Fatal(err)
 	}
 

@@ -1,11 +1,14 @@
 package journal
 
 import (
+	"context"
+	"fmt"
 	"sync"
 	"time"
 
 	"vada/internal/runs"
 	"vada/internal/session"
+	"vada/internal/trace"
 )
 
 // Recorder ties one live session to its journal writer: it turns completed
@@ -52,8 +55,10 @@ func NewRecorder(w *Writer, sess *session.Session, knownRuns []runs.Run) *Record
 // RecordStage appends the mutation record of one completed stage: the
 // event, the knowledge-base delta since the previous record, the feedback
 // items the stage added, and the post-stage fingerprints. Call it from the
-// session's stage hook so the capture is race-free with the next stage.
-func (r *Recorder) RecordStage(ev session.Event) error {
+// session's stage hook so the capture is race-free with the next stage;
+// the hook's context carries the stage's trace span, under which the
+// fsynced append is recorded as a `journal.append` child.
+func (r *Recorder) RecordStage(ctx context.Context, ev session.Event) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	w := r.sess.Wrangler()
@@ -75,13 +80,13 @@ func (r *Recorder) RecordStage(ev session.Event) error {
 		rec.Stage.ExecHashes = exec
 	}
 	rec.Stage.FusedHash = fused
-	return r.w.Append(rec)
+	return r.appendTraced(ctx, rec, "stage")
 }
 
 // RecordRuns appends run records for every given run that is terminal and
 // not yet journaled, returning the first append error. The caller passes
 // the engine's ListTerminal snapshot; redundant calls are cheap no-ops.
-func (r *Recorder) RecordRuns(list []runs.Run) error {
+func (r *Recorder) RecordRuns(ctx context.Context, list []runs.Run) error {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for i := range list {
@@ -89,12 +94,28 @@ func (r *Recorder) RecordRuns(list []runs.Run) error {
 		if !run.State.Terminal() || r.runSeen[run.ID] {
 			continue
 		}
-		if err := r.w.Append(&Record{At: time.Now(), Run: &run}); err != nil {
+		if err := r.appendTraced(ctx, &Record{At: time.Now(), Run: &run}, "run"); err != nil {
 			return err
 		}
 		r.runSeen[run.ID] = true
 	}
 	return nil
+}
+
+// appendTraced performs one fsynced journal append under a
+// `journal.append` span when ctx carries one — the persist leaf of a run's
+// trace tree. Callers hold r.mu.
+func (r *Recorder) appendTraced(ctx context.Context, rec *Record, kind string) error {
+	span := trace.ChildFromContext(ctx, "journal.append",
+		"kind", kind, "session", r.sess.ID())
+	err := r.w.Append(rec)
+	if span != nil {
+		if err == nil {
+			span.SetAttr("seq", fmt.Sprint(rec.Seq))
+		}
+		span.EndErr(err)
+	}
+	return err
 }
 
 // ShouldCompact reports whether the journal has crossed either compaction

@@ -20,6 +20,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -55,6 +56,17 @@ type Config struct {
 	Sizes []int `json:"sizes"`
 	// Recovery adds the kill-9/restart phase after the steady state.
 	Recovery bool `json:"recovery"`
+	// Trace runs the hosted server with the span recorder on and, after the
+	// steady state (before any kill — the restart wipes the in-memory
+	// store), verifies every accepted plan run left a retrievable trace.
+	Trace bool `json:"trace"`
+	// TraceDump, when non-empty, writes the server's full trace dump (every
+	// retained span, keyed by trace ID) to this path after the steady
+	// state — the artifact CI uploads when the completeness gate fails.
+	TraceDump string `json:"-"`
+	// Notes is free-form context copied into the report (e.g. "tracing
+	// overhead vs BENCH_1").
+	Notes string `json:"-"`
 	// DataDir is the durability directory; empty means a fresh temp dir,
 	// removed when the run finishes.
 	DataDir string `json:"-"`
@@ -114,7 +126,13 @@ type Report struct {
 	RunsCompleted   int64            `json:"runs_completed"`
 	DiskBytesPerRun float64          `json:"disk_bytes_per_run"`
 	SSEDropped      int64            `json:"sse_dropped_events"`
-	Recovery        *Recovery        `json:"recovery,omitempty"`
+	// RunsTraced/RunsMissingTrace are the trace-completeness tally (Trace
+	// runs only): every accepted plan run must still resolve to a span tree
+	// via GET /api/v1/traces/{id} at the end of the steady state.
+	RunsTraced       int64     `json:"runs_traced,omitempty"`
+	RunsMissingTrace int64     `json:"runs_missing_trace,omitempty"`
+	Notes            string    `json:"notes,omitempty"`
+	Recovery         *Recovery `json:"recovery,omitempty"`
 }
 
 // driver is the shared state of one load run.
@@ -125,6 +143,12 @@ type driver struct {
 
 	mu   sync.Mutex
 	pool []string // live session IDs
+
+	// traceMu guards traceIDs: the trace ID of every accepted plan run,
+	// captured from the Traceparent response header for the completeness
+	// check after the steady state.
+	traceMu  sync.Mutex
+	traceIDs []string
 
 	srv *server.Server
 	ts  *httptest.Server
@@ -199,11 +223,64 @@ func Run(cfg Config) (*Report, error) {
 	if err != nil {
 		return nil, fmt.Errorf("loadgen: final metricz: %w", err)
 	}
+	// Likewise the trace checks: the store is in-memory, so completeness is
+	// asserted against the server that ran the workload, not its restart.
+	traced, missing := d.verifyTraces()
+	if cfg.TraceDump != "" {
+		if err := d.writeTraceDump(cfg.TraceDump); err != nil {
+			return nil, fmt.Errorf("loadgen: writing trace dump: %w", err)
+		}
+	}
 	var rec *Recovery
 	if cfg.Recovery {
 		rec = d.recover(dataDir)
 	}
-	return d.report(start, before, after, rec), nil
+	r := d.report(start, before, after, rec)
+	r.RunsTraced, r.RunsMissingTrace = traced, missing
+	r.Notes = cfg.Notes
+	return r, nil
+}
+
+// verifyTraces resolves every captured plan-run trace ID against
+// GET /api/v1/traces/{id}: a 200 whose tree is non-empty counts as traced,
+// anything else as missing. No-op (0, 0) when tracing is off.
+func (d *driver) verifyTraces() (traced, missing int64) {
+	d.traceMu.Lock()
+	ids := append([]string(nil), d.traceIDs...)
+	d.traceMu.Unlock()
+	for _, id := range ids {
+		resp, err := d.http.Get(d.base() + "/traces/" + id)
+		if err != nil {
+			missing++
+			continue
+		}
+		var tree struct {
+			Spans []json.RawMessage `json:"spans"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&tree)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK && err == nil && len(tree.Spans) > 0 {
+			traced++
+		} else {
+			missing++
+		}
+	}
+	return traced, missing
+}
+
+// writeTraceDump writes the hosted server's full span store to path as
+// indented JSON.
+func (d *driver) writeTraceDump(path string) error {
+	dump := d.srv.TraceDump()
+	if dump == nil {
+		dump = map[string][]vada.TraceSpanData{}
+	}
+	data, err := json.MarshalIndent(dump, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // WriteReport writes the report as indented JSON to path.
@@ -252,6 +329,19 @@ func (d *driver) serverConfig() server.Config {
 		sc.JournalMaxBytes = 4 << 20
 	}
 	sc.Journal = true
+	if d.cfg.Trace {
+		sc.Trace = true
+		if sc.TraceCapacity == 0 {
+			// Hold every trace the run can produce: the completeness check
+			// must not race ring-buffer eviction.
+			sc.TraceCapacity = 65536
+		}
+	}
+	if sc.Logger == nil {
+		// The hosted server's operational log lines (restores, compactions,
+		// session churn) would swamp the benchmark output.
+		sc.Logger = slog.New(slog.DiscardHandler)
+	}
 	return sc
 }
 
@@ -403,6 +493,13 @@ func (d *driver) opPlan(rng *rand.Rand) {
 		// per-session queue is expected churn, not a failure.
 		if err = d.statusErr(resp, http.StatusAccepted, http.StatusNotFound, http.StatusGone, http.StatusTooManyRequests, http.StatusConflict); err == nil && resp.StatusCode == http.StatusAccepted {
 			loc = resp.Header.Get("Location")
+			// Every accepted plan must leave a complete trace behind; the
+			// response's Traceparent names it for the end-of-run check.
+			if tid, _, ok := vada.ParseTraceparent(resp.Header.Get("Traceparent")); ok {
+				d.traceMu.Lock()
+				d.traceIDs = append(d.traceIDs, tid)
+				d.traceMu.Unlock()
+			}
 		}
 		io.Copy(io.Discard, resp.Body)
 		resp.Body.Close()

@@ -1,0 +1,98 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// WritePrometheus renders a Snapshot in the Prometheus text exposition
+// format (version 0.0.4): one `# TYPE` header per metric family, then
+// one sample line per series, histograms expanded into cumulative
+// `_bucket{le=...}` series plus `_sum` and `_count`. Series names of
+// the form `base{k="v"}` produced by Name are split so the labels
+// carry over into the exposition; output is sorted (family, then
+// series) so it is diffable and testable byte-for-byte.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	type sample struct {
+		labels string // label body without braces, "" for none
+		line   string // fully rendered sample line(s)
+	}
+	type family struct {
+		typ     string
+		samples []sample
+	}
+	families := map[string]*family{}
+	add := func(base, typ string, smp sample) {
+		f, ok := families[base]
+		if !ok {
+			f = &family{typ: typ}
+			families[base] = f
+		}
+		f.samples = append(f.samples, smp)
+	}
+
+	for name, v := range s.Counters {
+		base, labels := splitSeries(name)
+		add(base, "counter", sample{labels, fmt.Sprintf("%s %d\n", renderSeries(base, labels), v)})
+	}
+	for name, v := range s.Gauges {
+		base, labels := splitSeries(name)
+		add(base, "gauge", sample{labels, fmt.Sprintf("%s %d\n", renderSeries(base, labels), v)})
+	}
+	for name, h := range s.Histograms {
+		base, labels := splitSeries(name)
+		var b strings.Builder
+		for _, bk := range h.Buckets {
+			le := fmt.Sprintf("le=%q", bk.LE)
+			fmt.Fprintf(&b, "%s %d\n", renderSeries(base+"_bucket", mergeLabels(labels, le)), bk.Count)
+		}
+		fmt.Fprintf(&b, "%s %g\n", renderSeries(base+"_sum", labels), h.Sum)
+		fmt.Fprintf(&b, "%s %d\n", renderSeries(base+"_count", labels), h.Count)
+		add(base, "histogram", sample{labels, b.String()})
+	}
+
+	bases := make([]string, 0, len(families))
+	for base := range families {
+		bases = append(bases, base)
+	}
+	sort.Strings(bases)
+	for _, base := range bases {
+		f := families[base]
+		sort.Slice(f.samples, func(i, j int) bool { return f.samples[i].labels < f.samples[j].labels })
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", base, f.typ); err != nil {
+			return err
+		}
+		for _, smp := range f.samples {
+			if _, err := io.WriteString(w, smp.line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// splitSeries separates a canonical `base{k="v",...}` series name into
+// its base and label body ("" when unlabelled).
+func splitSeries(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 {
+		return name, ""
+	}
+	return name[:i], strings.TrimSuffix(name[i+1:], "}")
+}
+
+func renderSeries(base, labels string) string {
+	if labels == "" {
+		return base
+	}
+	return base + "{" + labels + "}"
+}
+
+func mergeLabels(labels, extra string) string {
+	if labels == "" {
+		return extra
+	}
+	return labels + "," + extra
+}

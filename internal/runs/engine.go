@@ -5,11 +5,13 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"vada/internal/metrics"
 	"vada/internal/session"
+	"vada/internal/trace"
 )
 
 // Func is the work one stage of a run performs: a pay-as-you-go stage
@@ -18,13 +20,16 @@ type Func func(ctx context.Context) (session.Event, error)
 
 // task is the engine's mutable bookkeeping for one run; all fields are
 // guarded by the engine mutex except ctx/cancel, which are immutable
-// after creation, and fns, which only the owning worker indexes.
+// after creation, and fns, which only the owning worker indexes. span is
+// the run's trace span (nil when the submitter's context carried none);
+// it parents the queue-wait and per-stage spans and ends with the run.
 type task struct {
 	run    Run
 	seq    uint64
 	fns    []Func
 	ctx    context.Context
 	cancel context.CancelFunc
+	span   *trace.Span
 }
 
 // sessionQueue is the FIFO of pending tasks for one session. At most one
@@ -141,7 +146,16 @@ func New(opts ...Option) *Engine {
 // Submit enqueues one stage invocation against a session and returns the
 // queued Run snapshot. Runs of one session execute in submission order.
 func (e *Engine) Submit(sessionID, stage string, fn Func) (Run, error) {
-	return e.submit(sessionID, []string{stage}, []Func{fn}, false)
+	return e.SubmitContext(context.Background(), sessionID, stage, fn)
+}
+
+// SubmitContext is Submit with a caller context. The context is used for
+// trace propagation only — when it carries a span (the HTTP root), the run
+// records a child span covering queue wait and every stage — it does NOT
+// bound the run's lifetime: the run outlives the submitting request by
+// design and is cancelled via Cancel/CancelSession.
+func (e *Engine) SubmitContext(ctx context.Context, sessionID, stage string, fn Func) (Run, error) {
+	return e.submit(ctx, sessionID, []string{stage}, []Func{fn}, false)
 }
 
 // SubmitPlan enqueues an ordered multi-stage plan as one cancellable run:
@@ -149,10 +163,16 @@ func (e *Engine) Submit(sessionID, stage string, fn Func) (Run, error) {
 // a failing stage stops the remaining ones, and every transition (running,
 // stage k/n, terminal) is published through the notify hook.
 func (e *Engine) SubmitPlan(sessionID string, stages []string, fns []Func) (Run, error) {
+	return e.SubmitPlanContext(context.Background(), sessionID, stages, fns)
+}
+
+// SubmitPlanContext is SubmitPlan with a caller context for trace
+// propagation (see SubmitContext).
+func (e *Engine) SubmitPlanContext(ctx context.Context, sessionID string, stages []string, fns []Func) (Run, error) {
 	if len(stages) == 0 || len(stages) != len(fns) {
 		return Run{}, fmt.Errorf("%w: %d stages, %d functions", ErrBadPlan, len(stages), len(fns))
 	}
-	return e.submit(sessionID, stages, fns, true)
+	return e.submit(ctx, sessionID, stages, fns, true)
 }
 
 // SubmitSessionPlan resolves a declarative Plan against the session's
@@ -161,6 +181,12 @@ func (e *Engine) SubmitPlan(sessionID string, stages []string, fns []Func) (Run,
 // rejected whole (ErrBadPlan for an empty one, the registry's
 // ErrUnknownStage/ErrBadPayload otherwise) — no partial execution.
 func (e *Engine) SubmitSessionPlan(sess *session.Session, plan session.Plan) (Run, error) {
+	return e.SubmitSessionPlanContext(context.Background(), sess, plan)
+}
+
+// SubmitSessionPlanContext is SubmitSessionPlan with a caller context for
+// trace propagation (see SubmitContext).
+func (e *Engine) SubmitSessionPlanContext(ctx context.Context, sess *session.Session, plan session.Plan) (Run, error) {
 	if len(plan.Stages) == 0 {
 		return Run{}, fmt.Errorf("%w: empty plan", ErrBadPlan)
 	}
@@ -176,10 +202,10 @@ func (e *Engine) SubmitSessionPlan(sess *session.Session, plan session.Plan) (Ru
 			return st.Apply(ctx, sess, payload)
 		}
 	}
-	return e.SubmitPlan(sess.ID(), stages, fns)
+	return e.SubmitPlanContext(ctx, sess.ID(), stages, fns)
 }
 
-func (e *Engine) submit(sessionID string, stages []string, fns []Func, isPlan bool) (Run, error) {
+func (e *Engine) submit(ctx context.Context, sessionID string, stages []string, fns []Func, isPlan bool) (Run, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.closed {
@@ -200,7 +226,7 @@ func (e *Engine) submit(sessionID string, stages []string, fns []Func, isPlan bo
 		}
 	}
 	e.seq++
-	ctx, cancel := context.WithCancel(context.Background())
+	runCtx, cancel := context.WithCancel(context.Background())
 	t := &task{
 		run: Run{
 			ID:        fmt.Sprintf("r%04d-%s", e.seq, randomSuffix()),
@@ -211,11 +237,21 @@ func (e *Engine) submit(sessionID string, stages []string, fns []Func, isPlan bo
 		},
 		seq:    e.seq,
 		fns:    fns,
-		ctx:    ctx,
+		ctx:    runCtx,
 		cancel: cancel,
 	}
 	if isPlan {
 		t.run.Plan = append([]string(nil), stages...)
+	}
+	// The run span parents everything the run does. The submitter's span
+	// is its parent, but the run's *lifetime* context stays detached — a
+	// finished HTTP request must not cancel the run it enqueued.
+	if parent := trace.FromContext(ctx); parent != nil {
+		t.span = parent.Child("run", "run", t.run.ID, "session", sessionID)
+		if isPlan {
+			t.span.SetAttr("plan", strings.Join(stages, ","))
+		}
+		t.ctx = trace.NewContext(runCtx, t.span)
 	}
 	e.tasks[t.run.ID] = t
 	e.queued++
@@ -276,6 +312,9 @@ func (e *Engine) worker() {
 		if e.reg != nil {
 			e.reg.Histogram("runs_queue_wait_seconds", nil).Observe(now.Sub(t.run.CreatedAt).Seconds())
 		}
+		// Retroactive queue-wait span: the wait began at submission, and
+		// ends right now as the worker picks the run up.
+		t.span.ChildAt("queue-wait", t.run.CreatedAt).End()
 		e.gaugesLocked()
 		e.notifyLocked(t.run)
 		e.mu.Unlock()
@@ -378,10 +417,18 @@ func (e *Engine) finishLocked(t *task, ev session.Event, err error) {
 		t.run.Error = err.Error()
 	}
 	t.cancel()
+	if t.span != nil {
+		t.span.SetAttr("state", string(t.run.State))
+		if t.run.Error != "" {
+			t.span.EndErr(errors.New(t.run.Error))
+		} else {
+			t.span.End()
+		}
+	}
 	// Release the stage closures: they capture the session (and through it
 	// the whole wrangler/KB), which must not stay reachable for as long as
 	// the retention ring keeps the finished run pollable.
-	t.fns, t.ctx, t.cancel = nil, nil, nil
+	t.fns, t.ctx, t.cancel, t.span = nil, nil, nil, nil
 	e.done = append(e.done, t.run.ID)
 	for len(e.done) > e.retention {
 		delete(e.tasks, e.done[0])

@@ -91,9 +91,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"mime"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -135,6 +136,15 @@ type Server struct {
 	defaultSeed int64
 	maxN        int
 	started     time.Time
+
+	// tracer records per-request span trees (nil = tracing disabled; every
+	// span operation is nil-safe, so handlers never branch on it). logger is
+	// the structured request/operational logger; pprof gates the
+	// /debug/pprof/ routes; stopSampler stops the runtime-gauge sampler.
+	tracer      *vada.Tracer
+	logger      *slog.Logger
+	pprof       bool
+	stopSampler func()
 
 	// sseKeepAlive is the idle interval between SSE keep-alive comments;
 	// sseWriteTimeout is the per-write deadline that reaps dead client
@@ -211,6 +221,26 @@ type Config struct {
 	JournalMaxBytes   int64
 	// RestoreClosed restores explicitly DELETEd archived sessions at boot.
 	RestoreClosed bool
+
+	// Trace enables the span recorder: every mutating request (and any
+	// request carrying an inbound W3C traceparent) produces a span tree —
+	// HTTP root → run → queue-wait / per-stage → journal append —
+	// retrievable via GET /api/v1/traces. TraceCapacity bounds retained
+	// traces and TraceMaxSpans the spans kept per trace (0 = defaults);
+	// TraceSlowThreshold logs any span at or over it as a structured
+	// warning (0 = off).
+	Trace              bool
+	TraceCapacity      int
+	TraceMaxSpans      int
+	TraceSlowThreshold time.Duration
+	// Pprof registers net/http/pprof under /debug/pprof/.
+	Pprof bool
+	// Logger is the structured logger for request lines and operational
+	// events (nil = slog.Default()).
+	Logger *slog.Logger
+	// RuntimeSampleEvery is the interval of the runtime gauge sampler
+	// feeding goroutine/heap/GC gauges into metricz (0 = its default).
+	RuntimeSampleEvery time.Duration
 }
 
 // New wires registry, run engine, session manager and — when a data
@@ -232,10 +262,23 @@ func New(cfg Config) (*Server, error) {
 		journalMaxRecords: cfg.JournalMaxRecords,
 		journalMaxBytes:   cfg.JournalMaxBytes,
 		restoreClosed:     cfg.RestoreClosed,
+		pprof:             cfg.Pprof,
+		logger:            cfg.Logger,
 		recorders:         map[string]*vada.JournalRecorder{},
 		deleting:          map[string]int{},
 		gone:              map[string]bool{},
 	}
+	if s.logger == nil {
+		s.logger = slog.Default()
+	}
+	if cfg.Trace {
+		s.tracer = vada.NewTracer(
+			vada.NewTraceStore(cfg.TraceCapacity, cfg.TraceMaxSpans),
+			vada.WithTraceSlowSpans(cfg.TraceSlowThreshold),
+			vada.WithTraceLogger(s.logger),
+		)
+	}
+	s.stopSampler = vada.StartRuntimeSampler(s.metrics, cfg.RuntimeSampleEvery)
 	s.runs = vada.NewRunEngine(
 		vada.WithRunWorkers(cfg.RunWorkers),
 		vada.WithRunQueueDepth(cfg.RunQueue),
@@ -250,7 +293,7 @@ func New(cfg Config) (*Server, error) {
 		// marked closed, so the manager's quiesce wait is short.
 		vada.WithStopHook(func(sess *vada.Session) {
 			if n := s.runs.CancelSession(sess.ID()); n > 0 {
-				log.Printf("vada-server: session %s closing (%d runs cancelled)", sess.ID(), n)
+				s.logger.Info("session closing", "session", sess.ID(), "runs_cancelled", n)
 			}
 		}),
 		// Evict hook: runs post-quiescence, so the durable state written
@@ -268,15 +311,15 @@ func New(cfg Config) (*Server, error) {
 				default:
 					if rec := s.recorder(id); rec != nil {
 						if err := rec.Compact(func() error { return s.persistSession(sess) }); err != nil {
-							log.Printf("vada-server: compacting session %s on evict: %v", id, err)
+							s.logger.Error("compacting session on evict", "session", id, "error", err)
 						}
 						s.dropRecorder(id)
 					} else if err := s.persistSession(sess); err != nil {
-						log.Printf("vada-server: persisting session %s: %v", id, err)
+						s.logger.Error("persisting session", "session", id, "error", err)
 					}
 				}
 			}
-			log.Printf("vada-server: session %s closed", id)
+			s.logger.Info("session closed", "session", id)
 		}),
 	)
 	if s.dataDir != "" {
@@ -314,15 +357,17 @@ func (s *Server) sessionOpts() []vada.SessionOption {
 
 // journalStage is the session stage hook: one fsynced O(delta) append per
 // completed stage. It runs under the session's run mutex, so the delta cut
-// inside RecordStage cannot race the next stage's writes. An append failure
-// is logged, not fatal — the compaction and evict snapshots backstop it.
-func (s *Server) journalStage(sess *vada.Session, ev vada.SessionEvent) {
+// inside RecordStage cannot race the next stage's writes; ctx carries the
+// stage's trace span, making the append a `journal.append` child of it. An
+// append failure is logged, not fatal — the compaction and evict snapshots
+// backstop it.
+func (s *Server) journalStage(ctx context.Context, sess *vada.Session, ev vada.SessionEvent) {
 	rec := s.recorder(sess.ID())
 	if rec == nil {
 		return
 	}
-	if err := rec.RecordStage(ev); err != nil {
-		log.Printf("vada-server: journaling stage %s of session %s: %v", ev.Stage, sess.ID(), err)
+	if err := rec.RecordStage(ctx, ev); err != nil {
+		s.logger.Error("journaling stage", "stage", ev.Stage, "session", sess.ID(), "error", err)
 	}
 	// Synchronous stages never complete a run, so they would never reach
 	// the persister's threshold check — hint it here (non-blocking, off the
@@ -350,7 +395,7 @@ func (s *Server) dropRecorder(id string) {
 	s.recMu.Unlock()
 	if rec != nil {
 		if err := rec.Close(); err != nil {
-			log.Printf("vada-server: closing journal of session %s: %v", id, err)
+			s.logger.Error("closing journal", "session", id, "error", err)
 		}
 	}
 }
@@ -367,17 +412,17 @@ func (s *Server) startJournal(sess *vada.Session) error {
 		return nil
 	}
 	if err := s.persistSession(sess); err != nil {
-		log.Printf("vada-server: writing baseline snapshot of session %s: %v", sess.ID(), err)
+		s.logger.Error("writing baseline snapshot", "session", sess.ID(), "error", err)
 		return err
 	}
 	w, recovered, err := vada.OpenJournal(filepath.Join(s.dataDir, sess.ID()+journalExt))
 	if err != nil {
-		log.Printf("vada-server: opening journal of session %s: %v", sess.ID(), err)
+		s.logger.Error("opening journal", "session", sess.ID(), "error", err)
 		return err
 	}
 	if len(recovered) > 0 {
 		if err := w.Reset(); err != nil {
-			log.Printf("vada-server: resetting stale journal of session %s: %v", sess.ID(), err)
+			s.logger.Error("resetting stale journal", "session", sess.ID(), "error", err)
 			w.Close()
 			return err
 		}
@@ -470,7 +515,7 @@ func (s *Server) gcSession(sess *vada.Session) {
 	// the same ID by now — its recorder and fresh files must not be
 	// clobbered by the old session's GC.
 	if cur, err := s.mgr.Get(id); err == nil && cur != sess {
-		log.Printf("vada-server: session %s re-registered during delete; skipping GC", id)
+		s.logger.Warn("session re-registered during delete; skipping GC", "session", id)
 		return
 	}
 	s.dropRecorder(id)
@@ -481,12 +526,12 @@ func (s *Server) gcSession(sess *vada.Session) {
 	defer s.persistMu.Unlock()
 	closed := filepath.Join(s.dataDir, closedDirName)
 	if err := os.MkdirAll(closed, 0o755); err != nil {
-		log.Printf("vada-server: creating %s: %v", closed, err)
+		s.logger.Error("creating archive dir", "dir", closed, "error", err)
 		return
 	}
 	tmp, err := os.CreateTemp(closed, ".tmp-*")
 	if err != nil {
-		log.Printf("vada-server: archiving session %s: %v", id, err)
+		s.logger.Error("archiving session", "session", id, "error", err)
 		return
 	}
 	defer os.Remove(tmp.Name())
@@ -501,18 +546,18 @@ func (s *Server) gcSession(sess *vada.Session) {
 		err = os.Rename(tmp.Name(), filepath.Join(closed, id+snapshotExt))
 	}
 	if err != nil {
-		log.Printf("vada-server: archiving session %s: %v", id, err)
+		s.logger.Error("archiving session", "session", id, "error", err)
 		return
 	}
 	for _, stale := range []string{id + snapshotExt, id + journalExt} {
 		if err := os.Remove(filepath.Join(s.dataDir, stale)); err != nil && !errors.Is(err, os.ErrNotExist) {
-			log.Printf("vada-server: removing %s: %v", stale, err)
+			s.logger.Error("removing stale durable file", "file", stale, "error", err)
 		}
 	}
 	// Tombstone while still holding persistMu: any persist that acquires
 	// the lock after this point sees it and declines to resurrect the pair.
 	s.markGone(id)
-	log.Printf("vada-server: session %s archived under %s/", id, closedDirName)
+	s.logger.Info("session archived", "session", id, "dir", closedDirName)
 }
 
 // Close drains the run engine, stops the persister and snapshots every live
@@ -525,6 +570,9 @@ func (s *Server) Close() {
 			s.persistWG.Wait()
 		}
 		s.persistAll()
+		if s.stopSampler != nil {
+			s.stopSampler()
+		}
 	})
 }
 
@@ -589,21 +637,21 @@ func (s *Server) persistHinted(id string) {
 	rec := s.recorder(id)
 	if rec == nil {
 		if err := s.persistSession(sess); err != nil {
-			log.Printf("vada-server: persisting session %s: %v", id, err)
+			s.logger.Error("persisting session", "session", id, "error", err)
 		}
 		return
 	}
-	if err := rec.RecordRuns(s.runs.ListTerminal(id)); err != nil {
-		log.Printf("vada-server: journaling runs of session %s: %v", id, err)
+	if err := rec.RecordRuns(context.Background(), s.runs.ListTerminal(id)); err != nil {
+		s.logger.Error("journaling runs", "session", id, "error", err)
 	}
 	if rec.ShouldCompact(s.journalMaxRecords, s.journalMaxBytes) {
 		records, bytes := rec.Stats()
 		if err := rec.Compact(func() error { return s.persistSession(sess) }); err != nil {
-			log.Printf("vada-server: compacting session %s: %v", id, err)
+			s.logger.Error("compacting session", "session", id, "error", err)
 			return
 		}
-		log.Printf("vada-server: session %s compacted (%d records, %d journal bytes folded into snapshot)",
-			id, records, bytes)
+		s.logger.Info("session compacted", "session", id,
+			"journal_records", records, "journal_bytes", bytes)
 	}
 }
 
@@ -667,13 +715,13 @@ func (s *Server) persistAll() {
 		id := sess.ID()
 		if rec := s.recorder(id); rec != nil {
 			if err := rec.Compact(func() error { return s.persistSession(sess) }); err != nil {
-				log.Printf("vada-server: compacting session %s at shutdown: %v", id, err)
+				s.logger.Error("compacting session at shutdown", "session", id, "error", err)
 			}
 			s.dropRecorder(id)
 			continue
 		}
 		if err := s.persistSession(sess); err != nil {
-			log.Printf("vada-server: persisting session %s: %v", id, err)
+			s.logger.Error("persisting session", "session", id, "error", err)
 		}
 	}
 }
@@ -687,7 +735,7 @@ func (s *Server) persistAll() {
 func (s *Server) restoreAll() {
 	entries, err := os.ReadDir(s.dataDir)
 	if err != nil {
-		log.Printf("vada-server: reading -data-dir: %v", err)
+		s.logger.Error("reading -data-dir", "error", err)
 		return
 	}
 	restored := 0
@@ -700,7 +748,7 @@ func (s *Server) restoreAll() {
 		}
 	}
 	if restored > 0 {
-		log.Printf("vada-server: restored %d session(s) from %s", restored, s.dataDir)
+		s.logger.Info("restored sessions", "count", restored, "dir", s.dataDir)
 	}
 }
 
@@ -712,13 +760,13 @@ func (s *Server) restoreOne(dir, name string, adoptJournal bool) bool {
 	path := filepath.Join(dir, name)
 	f, err := os.Open(path)
 	if err != nil {
-		log.Printf("vada-server: opening snapshot %s: %v", name, err)
+		s.logger.Error("opening snapshot", "file", name, "error", err)
 		return false
 	}
 	snap, err := vada.ReadSessionSnapshot(f)
 	f.Close()
 	if err != nil {
-		log.Printf("vada-server: skipping snapshot %s: %v", name, err)
+		s.logger.Warn("skipping snapshot", "file", name, "error", err)
 		return false
 	}
 	// Journal recovery: compose the valid prefix over the snapshot. An
@@ -730,19 +778,18 @@ func (s *Server) restoreOne(dir, name string, adoptJournal bool) bool {
 	if data, err := os.ReadFile(jpath); err == nil {
 		res, jerr := vada.ReplayJournal(bytes.NewReader(data))
 		if jerr != nil {
-			log.Printf("vada-server: skipping journal %s: %v", jname, jerr)
+			s.logger.Warn("skipping journal", "file", jname, "error", jerr)
 		} else {
 			snap = vada.ComposeJournal(snap, res.Records)
 			replayed = len(res.Records)
 			if res.Damaged {
-				log.Printf("vada-server: journal %s had a damaged tail; recovered %d record(s)",
-					jname, replayed)
+				s.logger.Warn("journal had a damaged tail", "file", jname, "recovered_records", replayed)
 			}
 		}
 	}
 	sess, err := vada.RestoreSessionInto(s.mgr, s.runs, snap, s.sessionOpts()...)
 	if err != nil {
-		log.Printf("vada-server: restoring snapshot %s: %v", name, err)
+		s.logger.Error("restoring snapshot", "file", name, "error", err)
 		return false
 	}
 	if adoptJournal && s.journalOn() && safeSnapshotID(sess.ID()) {
@@ -750,13 +797,13 @@ func (s *Server) restoreOne(dir, name string, adoptJournal bool) bool {
 		// recovered records are already composed into the live session.
 		w, _, err := vada.OpenJournal(filepath.Join(s.dataDir, sess.ID()+journalExt))
 		if err != nil {
-			log.Printf("vada-server: opening journal of session %s: %v", sess.ID(), err)
+			s.logger.Error("opening journal", "session", sess.ID(), "error", err)
 		} else {
 			s.adoptJournal(sess, w, snap.Runs)
 		}
 	}
-	log.Printf("vada-server: restored session %s (%d events, %d runs, %d journal records)",
-		sess.ID(), len(snap.Events), len(snap.Runs), replayed)
+	s.logger.Info("restored session", "session", sess.ID(),
+		"events", len(snap.Events), "runs", len(snap.Runs), "journal_records", replayed)
 	return true
 }
 
@@ -768,7 +815,7 @@ func (s *Server) restoreClosedAll() {
 	entries, err := os.ReadDir(closed)
 	if err != nil {
 		if !errors.Is(err, os.ErrNotExist) {
-			log.Printf("vada-server: reading %s: %v", closed, err)
+			s.logger.Error("reading archive dir", "dir", closed, "error", err)
 		}
 		return
 	}
@@ -789,17 +836,17 @@ func (s *Server) restoreClosedAll() {
 					continue
 				}
 			} else if err := s.persistSession(sess); err != nil {
-				log.Printf("vada-server: persisting unarchived session %s: %v", id, err)
+				s.logger.Error("persisting unarchived session", "session", id, "error", err)
 				continue
 			}
 		}
 		if err := os.Remove(filepath.Join(closed, e.Name())); err != nil {
-			log.Printf("vada-server: removing archived snapshot %s: %v", e.Name(), err)
+			s.logger.Error("removing archived snapshot", "file", e.Name(), "error", err)
 		}
 		restored++
 	}
 	if restored > 0 {
-		log.Printf("vada-server: restored %d archived session(s) from %s", restored, closed)
+		s.logger.Info("restored archived sessions", "count", restored, "dir", closed)
 	}
 }
 
@@ -830,6 +877,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /{$}", s.handleIndex)
 	mux.HandleFunc("GET /api/v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /api/v1/metricz", s.handleMetricz)
+	mux.HandleFunc("GET /api/v1/traces", s.handleTraceList)
+	mux.HandleFunc("GET /api/v1/traces/{tid}", s.handleTraceGet)
 	mux.HandleFunc("GET /api/v1/stages", s.handleStages)
 	mux.HandleFunc("POST /api/v1/sessions", s.handleCreate)
 	mux.HandleFunc("GET /api/v1/sessions", s.handleList)
@@ -850,6 +899,13 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /api/v1/sessions/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/export", s.handleExport)
 	mux.HandleFunc("POST /api/v1/sessions/import", s.handleImport)
+	if s.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -1006,7 +1062,7 @@ func (s *Server) dispatchStage(rw http.ResponseWriter, r *http.Request, sess *va
 		writeEvent(rw, ev, err)
 		return
 	}
-	run, err := s.runs.Submit(sess.ID(), st.Name, fn)
+	run, err := s.runs.SubmitContext(r.Context(), sess.ID(), st.Name, fn)
 	if err != nil {
 		writeError(rw, err)
 		return
@@ -1044,7 +1100,7 @@ func (s *Server) handlePlan(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, "trailing data after plan JSON", http.StatusBadRequest)
 		return
 	}
-	run, err := s.runs.SubmitSessionPlan(sess, plan)
+	run, err := s.runs.SubmitSessionPlanContext(r.Context(), sess, plan)
 	if err != nil {
 		writeError(rw, err)
 		return
@@ -1165,6 +1221,7 @@ type sseWriter struct {
 	flusher http.Flusher
 	ctl     *http.ResponseController
 	timeout time.Duration
+	logger  *slog.Logger
 }
 
 // write sends one pre-rendered SSE frame and flushes it, under the
@@ -1202,7 +1259,7 @@ func (w *sseWriter) setDeadline(t time.Time) error {
 func (w *sseWriter) event(ev vada.SessionEvent) error {
 	data, err := json.Marshal(ev)
 	if err != nil {
-		log.Printf("encoding SSE event: %v", err)
+		w.logger.Warn("encoding SSE event", "error", err)
 		return nil
 	}
 	if ev.Type == vada.EventTransition {
@@ -1228,7 +1285,8 @@ func (s *Server) handleEvents(rw http.ResponseWriter, r *http.Request) {
 		http.Error(rw, "streaming unsupported", http.StatusInternalServerError)
 		return
 	}
-	w := &sseWriter{rw: rw, flusher: flusher, ctl: http.NewResponseController(rw), timeout: s.sseWriteTimeout}
+	w := &sseWriter{rw: rw, flusher: flusher, ctl: http.NewResponseController(rw),
+		timeout: s.sseWriteTimeout, logger: s.logger}
 	after := intQuery(r, "after", 0)
 	if v := r.Header.Get("Last-Event-ID"); v != "" {
 		if n, err := strconv.Atoi(v); err == nil {
@@ -1292,7 +1350,7 @@ func (s *Server) handleExport(rw http.ResponseWriter, r *http.Request) {
 		fmt.Sprintf("attachment; filename=%q", sess.ID()+snapshotExt))
 	if err := vada.ExportSession(rw, sess, s.runs); err != nil {
 		// Headers are gone; all we can do is log and drop the connection.
-		log.Printf("vada-server: exporting session %s: %v", sess.ID(), err)
+		s.logger.Error("exporting session", "session", sess.ID(), "error", err)
 	}
 }
 
@@ -1339,11 +1397,11 @@ func (s *Server) handleImport(rw http.ResponseWriter, r *http.Request) {
 		s.startJournal(sess)
 	} else if s.dataDir != "" {
 		if err := s.persistSession(sess); err != nil {
-			log.Printf("vada-server: persisting imported session %s: %v", sess.ID(), err)
+			s.logger.Error("persisting imported session", "session", sess.ID(), "error", err)
 		}
 	}
-	log.Printf("vada-server: imported session %s (%d events, %d runs)",
-		sess.ID(), len(snap.Events), len(snap.Runs))
+	s.logger.Info("imported session", "session", sess.ID(),
+		"events", len(snap.Events), "runs", len(snap.Runs))
 	rw.Header().Set("Location", "/api/v1/sessions/"+sess.ID())
 	writeJSONStatus(rw, http.StatusCreated, sess.State())
 }
@@ -1365,6 +1423,15 @@ func (s *Server) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
 			"sse_dropped_events_total": vada.SumMetricsCounters(snap, "sse_dropped_events_total"),
 			"persist_fsync_total":      vada.SumMetricsCounters(snap, "persist_fsync_total"),
 		},
+		// The runtime sampler's latest gauges: enough to spot a goroutine
+		// leak or heap growth from the same probe.
+		"runtime": map[string]int64{
+			"goroutines":       snap.Gauges[vada.MetricRuntimeGoroutines],
+			"heap_inuse_bytes": snap.Gauges[vada.MetricRuntimeHeapInuse],
+		},
+	}
+	if s.tracer != nil {
+		out["traces"] = s.tracer.Store().Len()
 	}
 	if s.dataDir != "" {
 		out["persist"] = s.persistStats()
@@ -1529,7 +1596,7 @@ func writeJSONStatus(rw http.ResponseWriter, status int, v any) {
 	enc := json.NewEncoder(rw)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		log.Printf("encoding response: %v", err)
+		slog.Default().Warn("encoding response", "error", err)
 	}
 }
 

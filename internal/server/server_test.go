@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -38,6 +39,7 @@ func testServerEngine(t *testing.T, engineOpts []vada.RunEngineOption, opts ...v
 		started:         time.Now(),
 		sseKeepAlive:    15 * time.Second,
 		sseWriteTimeout: 10 * time.Second,
+		logger:          slog.New(slog.DiscardHandler),
 	}
 	s.runs = vada.NewRunEngine(append([]vada.RunEngineOption{
 		vada.WithRunWorkers(4),
@@ -1298,6 +1300,7 @@ func TestSSEKeepAlive(t *testing.T) {
 		started:         time.Now(),
 		sseKeepAlive:    30 * time.Millisecond,
 		sseWriteTimeout: time.Second,
+		logger:          slog.New(slog.DiscardHandler),
 	}
 	s.runs = vada.NewRunEngine(vada.WithRunWorkers(1), vada.WithRunNotify(s.publishTransition))
 	s.mgr = vada.NewSessionManager()

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"net/http"
+	"time"
+
+	"vada"
+)
+
+// TraceDump returns every retained trace keyed by trace ID, or nil when
+// tracing is disabled — the machine-readable artifact the load harness (and
+// CI, on failure) writes out for post-mortem inspection.
+func (s *Server) TraceDump() map[string][]vada.TraceSpanData {
+	return s.tracer.Store().Dump()
+}
+
+// handleTraceList lists retained traces, newest first. Filters: ?session=
+// and ?run= match the span attributes the run engine and stage hooks stamp,
+// ?min_ms= keeps only traces whose root lasted at least that long, and
+// ?limit= caps the listing (default 100). With tracing disabled the listing
+// is empty but well-formed, so dashboards need not special-case the flag.
+func (s *Server) handleTraceList(rw http.ResponseWriter, r *http.Request) {
+	store := s.tracer.Store()
+	if store == nil {
+		writeJSON(rw, map[string]any{"enabled": false, "total": 0, "traces": []vada.TraceSummary{}})
+		return
+	}
+	f := vada.TraceFilter{
+		Session:     r.URL.Query().Get("session"),
+		Run:         r.URL.Query().Get("run"),
+		MinDuration: time.Duration(intQuery(r, "min_ms", 0)) * time.Millisecond,
+		Limit:       intQuery(r, "limit", 100),
+	}
+	list := store.List(f)
+	if list == nil {
+		list = []vada.TraceSummary{}
+	}
+	writeJSON(rw, map[string]any{"enabled": true, "total": store.Len(), "traces": list})
+}
+
+// handleTraceGet serves one trace as its span tree — the end-to-end answer
+// to "where did this run's time go": the HTTP root, the queue wait, each
+// plan stage and every fsynced journal append, nested and ordered by start
+// time. Unknown (or already-evicted) trace IDs are 404; so is every ID when
+// tracing is off.
+func (s *Server) handleTraceGet(rw http.ResponseWriter, r *http.Request) {
+	store := s.tracer.Store()
+	if store == nil {
+		http.Error(rw, "tracing disabled (start with -trace)", http.StatusNotFound)
+		return
+	}
+	tid := r.PathValue("tid")
+	tree := store.Tree(tid)
+	if len(tree) == 0 {
+		http.Error(rw, "trace not found: "+tid, http.StatusNotFound)
+		return
+	}
+	writeJSON(rw, map[string]any{"trace_id": tid, "spans": tree})
+}

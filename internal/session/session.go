@@ -19,6 +19,7 @@ import (
 	"vada/internal/mcda"
 	"vada/internal/metrics"
 	"vada/internal/relation"
+	"vada/internal/trace"
 	"vada/internal/transducer"
 )
 
@@ -129,7 +130,7 @@ type Session struct {
 	// stageHook, when set, observes every completed stage while the session
 	// still holds its run mutex — the mutation hook the durability journal
 	// feeds on (see WithStageHook).
-	stageHook func(*Session, Event)
+	stageHook func(context.Context, *Session, Event)
 
 	// reg, when set, counts the SSE fan-out: live subscribers
 	// (sse_subscribers) and events lost to slow consumers
@@ -168,10 +169,12 @@ func WithRegistry(r *Registry) Option {
 // with the session's run mutex still held: no later stage can start (and no
 // knowledge-base write can land) before the hook returns, which is exactly
 // the window an incremental-durability journal needs to capture the stage's
-// mutation delta race-free. The hook runs on the wrangling path — keep it
-// short and never call back into the session's stage methods (Step would
-// self-deadlock). One hook per session; later options replace earlier ones.
-func WithStageHook(hook func(*Session, Event)) Option {
+// mutation delta race-free. The hook receives the stage's context (carrying
+// the stage's trace span, so journal appends nest under it) and runs on the
+// wrangling path — keep it short and never call back into the session's
+// stage methods (Step would self-deadlock). One hook per session; later
+// options replace earlier ones.
+func WithStageHook(hook func(context.Context, *Session, Event)) Option {
 	return func(s *Session) { s.stageHook = hook }
 }
 
@@ -338,12 +341,20 @@ func (s *Session) Subscribe(buf int) (history []Event, events <-chan Event, canc
 // Step runs one pay-as-you-go stage: apply the context-adding action, drive
 // the orchestrator to quiescence, and record (and return) a typed event.
 // Steps of one session are serialised; independent sessions proceed in
-// parallel.
-func (s *Session) Step(ctx context.Context, stage string, action func(w *core.Wrangler) error) (Event, error) {
+// parallel. When ctx carries a trace span (the HTTP root on the sync path,
+// the run span on the engine path) the stage records a `stage:<name>` child
+// covering action, orchestration and scoring, and downstream journal
+// appends nest under it.
+func (s *Session) Step(ctx context.Context, stage string, action func(w *core.Wrangler) error) (_ Event, retErr error) {
 	s.runMu.Lock()
 	defer s.runMu.Unlock()
 	if err := s.touch(); err != nil {
 		return Event{}, err
+	}
+	span := trace.ChildFromContext(ctx, "stage:"+stage, "stage", stage, "session", s.id)
+	if span != nil {
+		ctx = trace.NewContext(ctx, span)
+		defer func() { span.EndErr(retErr) }()
 	}
 	if action != nil {
 		if err := action(s.w); err != nil {
@@ -384,7 +395,7 @@ func (s *Session) Step(ctx context.Context, stage string, action func(w *core.Wr
 	// Under runMu, after the event is appended: the hook observes the
 	// session exactly as this stage left it, before any later stage runs.
 	if s.stageHook != nil {
-		s.stageHook(s, ev)
+		s.stageHook(ctx, s, ev)
 	}
 	return ev, nil
 }

@@ -623,7 +623,7 @@ func TestStageHook(t *testing.T) {
 	var sess *Session
 	sess = New("hooked", core.BuildScenarioWrangler(sc),
 		WithScenario(sc, 1),
-		WithStageHook(func(s *Session, ev Event) {
+		WithStageHook(func(_ context.Context, s *Session, ev Event) {
 			if s != sess {
 				t.Error("hook got a different session")
 			}

@@ -1,0 +1,70 @@
+package trace
+
+import "strings"
+
+// W3C traceparent support (https://www.w3.org/TR/trace-context/):
+//
+//	version "-" trace-id "-" parent-id "-" trace-flags
+//	   00   -  32 lowhex  -  16 lowhex  -   2 lowhex
+//
+// We accept any non-ff version (per spec, unknown versions parse by
+// the version-00 rules as long as the field shapes hold) and reject
+// the all-zero trace and span IDs the spec declares invalid.
+
+// ParseTraceparent extracts (traceID, parentSpanID) from a
+// traceparent header value. ok is false for malformed or invalid
+// values, including empty strings.
+func ParseTraceparent(v string) (traceID, parentID string, ok bool) {
+	v = strings.TrimSpace(v)
+	parts := strings.Split(v, "-")
+	if len(parts) < 4 {
+		return "", "", false
+	}
+	version, tid, pid, flags := parts[0], parts[1], parts[2], parts[3]
+	if len(version) != 2 || !isLowerHex(version) || version == "ff" {
+		return "", "", false
+	}
+	// Version 00 has exactly four fields; future versions may append
+	// more, but never fewer.
+	if version == "00" && len(parts) != 4 {
+		return "", "", false
+	}
+	if len(tid) != 32 || !isLowerHex(tid) || isAllZero(tid) {
+		return "", "", false
+	}
+	if len(pid) != 16 || !isLowerHex(pid) || isAllZero(pid) {
+		return "", "", false
+	}
+	if len(flags) != 2 || !isLowerHex(flags) {
+		return "", "", false
+	}
+	return tid, pid, true
+}
+
+// FormatTraceparent renders a version-00 traceparent value with the
+// sampled flag set. Returns "" if either ID is empty.
+func FormatTraceparent(traceID, spanID string) string {
+	if traceID == "" || spanID == "" {
+		return ""
+	}
+	return "00-" + traceID + "-" + spanID + "-01"
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+func isAllZero(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return false
+		}
+	}
+	return true
+}

@@ -89,6 +89,7 @@ import (
 	"vada/internal/relation"
 	"vada/internal/runs"
 	"vada/internal/session"
+	"vada/internal/trace"
 	"vada/internal/transducer"
 	"vada/internal/vadalog"
 )
@@ -546,4 +547,61 @@ var (
 	WithRunMetrics     = runs.WithMetrics
 	WithSessionMetrics = session.WithMetrics
 	WithManagerMetrics = session.WithManagerMetrics
+)
+
+// WritePrometheus renders a MetricsSnapshot in the Prometheus text
+// exposition format (the /api/v1/metricz?format=prometheus payload);
+// StartRuntimeSampler feeds goroutine/heap/GC gauges into a registry on an
+// interval, returning its stop function.
+var (
+	WritePrometheus     = metrics.WritePrometheus
+	StartRuntimeSampler = metrics.StartRuntimeSampler
+)
+
+// Gauge names the runtime sampler maintains.
+const (
+	MetricRuntimeGoroutines  = metrics.RuntimeGoroutines
+	MetricRuntimeHeapAlloc   = metrics.RuntimeHeapAlloc
+	MetricRuntimeHeapInuse   = metrics.RuntimeHeapInuse
+	MetricRuntimeHeapObjects = metrics.RuntimeHeapObjects
+	MetricRuntimeGCCycles    = metrics.RuntimeGCCycles
+	MetricRuntimeGCPauseLast = metrics.RuntimeGCPauseLastNs
+)
+
+// ---- observability (tracing) -------------------------------------------------
+
+// Tracer mints per-request root spans and records finished spans;
+// TraceSpan is a live span handle (nil-safe: a nil span no-ops, so
+// instrumented code never branches on tracing being enabled); TraceSpanData
+// is the JSON form of a finished span; TraceStore is the bounded
+// ring-buffer retaining them grouped by trace; TraceNode is the span-tree
+// projection served by GET /api/v1/traces/{id}; TraceSummary and
+// TraceFilter list and filter retained traces.
+type (
+	Tracer        = trace.Tracer
+	TraceSpan     = trace.Span
+	TraceSpanData = trace.SpanData
+	TraceStore    = trace.Store
+	TraceNode     = trace.Node
+	TraceSummary  = trace.Summary
+	TraceFilter   = trace.Filter
+	TracerOption  = trace.Option
+)
+
+// Tracing construction, context propagation and W3C traceparent interop.
+// Spans flow through context.Context: the HTTP middleware stores the root
+// span with TraceNewContext, the run engine re-parents it across the async
+// boundary, and TraceFromContext/TraceChildFromContext pick it up at any
+// instrumentation site.
+var (
+	NewTracer             = trace.NewTracer
+	NewTraceStore         = trace.NewStore
+	WithTraceSlowSpans    = trace.WithSlowThreshold
+	WithTraceLogger       = trace.WithLogger
+	TraceNewContext       = trace.NewContext
+	TraceFromContext      = trace.FromContext
+	TraceChildFromContext = trace.ChildFromContext
+	ParseTraceparent      = trace.ParseTraceparent
+	FormatTraceparent     = trace.FormatTraceparent
+	NewRequestID          = trace.NewRequestID
 )
