@@ -18,6 +18,7 @@ type loadOptions struct {
 	strict    bool
 	trace     bool
 	traceDump string
+	connect   bool
 	notes     string
 	out       string
 }
@@ -38,10 +39,11 @@ func runLoad(o loadOptions) error {
 	cfg.Recovery = o.recovery
 	cfg.Trace = o.trace
 	cfg.TraceDump = o.traceDump
+	cfg.Connect = o.connect
 	cfg.Notes = o.notes
 
-	fmt.Printf("load benchmark: preset %s, %d workers, %s steady state, seed %d, recovery %v, trace %v\n",
-		cfg.Name, cfg.Workers, cfg.Duration, cfg.Seed, cfg.Recovery, cfg.Trace)
+	fmt.Printf("load benchmark: preset %s, %d workers, %s steady state, seed %d, recovery %v, trace %v, connect %v\n",
+		cfg.Name, cfg.Workers, cfg.Duration, cfg.Seed, cfg.Recovery, cfg.Trace, cfg.Connect)
 	rep, err := loadgen.Run(cfg)
 	if err != nil {
 		return err

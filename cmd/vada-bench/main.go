@@ -42,6 +42,7 @@ func main() {
 	loadStrict := flag.Bool("load-strict", false, "exit non-zero on any op error, 5xx or missing trace (-exp load)")
 	loadTrace := flag.Bool("load-trace", false, "run the hosted server with tracing on and verify every plan run left a complete trace (-exp load)")
 	loadTraceDump := flag.String("load-trace-dump", "", "write the server's full span dump to this path after the steady state (-exp load)")
+	loadConnect := flag.Bool("load-connect", false, "add the connector ingest/export round-trip op to the worker mix (-exp load)")
 	loadNotes := flag.String("load-notes", "", "free-form note copied into the report (-exp load)")
 	out := flag.String("out", "", "write the load report JSON here (-exp load; \"\" = stdout only)")
 	flag.Parse()
@@ -50,7 +51,8 @@ func main() {
 		opts := loadOptions{
 			preset: *loadPreset, seed: *seed, workers: *loadWorkers,
 			duration: *loadDuration, recovery: *loadRecovery, strict: *loadStrict,
-			trace: *loadTrace, traceDump: *loadTraceDump, notes: *loadNotes, out: *out,
+			trace: *loadTrace, traceDump: *loadTraceDump, connect: *loadConnect,
+			notes: *loadNotes, out: *out,
 		}
 		if err := runLoad(opts); err != nil {
 			fmt.Fprintln(os.Stderr, err)

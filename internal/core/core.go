@@ -60,6 +60,7 @@ const (
 	PredResult           = "md_result"        // md_result(rows)
 	PredAccuracy         = "md_accuracy"      // md_accuracy(source, attr, accuracy)
 	PredFeedback         = "fb_item"          // fb_item(street, postcode, attr, correct)
+	PredExport           = "md_export"        // md_export(relation, format, rows, bytes)
 )
 
 // Relation-name prefixes in the knowledge base.
@@ -211,6 +212,15 @@ func (w *Wrangler) SetTargetSchema(s relation.Schema) {
 	w.hasTarget = true
 	w.mu.Unlock()
 	w.KB.Assert(PredTargetSchema, relation.NewTuple(s.Name))
+}
+
+// TargetSchema returns the user-context target schema and whether one has
+// been set — the attribute vocabulary connector header-mapping inference
+// matches external columns against.
+func (w *Wrangler) TargetSchema() (relation.Schema, bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.target, w.hasTarget
 }
 
 // AddDataContext associates the target schema with reference/master/example

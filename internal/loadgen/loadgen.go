@@ -56,6 +56,10 @@ type Config struct {
 	Sizes []int `json:"sizes"`
 	// Recovery adds the kill-9/restart phase after the steady state.
 	Recovery bool `json:"recovery"`
+	// Connect adds the connector round-trip op to the mix: a deterministic
+	// generated CSV ingested through stages/ingest, streamed back through
+	// the relation export route.
+	Connect bool `json:"connect"`
 	// Trace runs the hosted server with the span recorder on and, after the
 	// steady state (before any kill — the restart wipes the in-memory
 	// store), verifies every accepted plan run left a retrievable trace.
@@ -376,6 +380,15 @@ func (d *driver) worker(rng *rand.Rand, deadline time.Time) {
 			d.opRead(rng)
 		case p < 80:
 			d.opSSE(rng)
+		case p < 85:
+			// The connector slot: without Connect the draw still consumes
+			// the same PRNG sequence, so enabling connectors perturbs only
+			// this op class, not the whole run.
+			if d.cfg.Connect {
+				d.opConnect(rng)
+			} else {
+				d.opExportImport(rng)
+			}
 		case p < 90:
 			d.opExportImport(rng)
 		default:
@@ -719,6 +732,50 @@ func (d *driver) exportImport(id string) error {
 	}
 	d.addSession(id)
 	return nil
+}
+
+// opConnect is the connector round-trip: ingest a deterministic generated
+// CSV (sized and filled by the worker's PRNG) through the generic stage
+// route, then stream the relation back out through the export route and
+// drain the bytes — source and sink under load.
+func (d *driver) opConnect(rng *rand.Rand) {
+	id := d.pickSession(rng)
+	if id == "" {
+		d.opCreate(rng)
+		return
+	}
+	name := fmt.Sprintf("load%d", rng.Intn(4))
+	rows := 5 + rng.Intn(20)
+	var sb strings.Builder
+	sb.WriteString("street,postcode,price\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "%d load lane,LD%d %dAA,%d\n", i, rng.Intn(90), 1+rng.Intn(9), 50000+rng.Intn(100000))
+	}
+	payload, err := json.Marshal(map[string]string{"relation": name, "data": sb.String()})
+	if err != nil {
+		d.observe("connect", time.Now(), err)
+		return
+	}
+	t0 := time.Now()
+	ingested := false
+	resp, err := d.http.Post(d.base()+"/sessions/"+id+"/stages/ingest", "application/json", bytes.NewReader(payload))
+	if err == nil {
+		// Vanished sessions are churn, exactly as in the other ops.
+		err = d.statusErr(resp, http.StatusOK, http.StatusNotFound, http.StatusGone, http.StatusConflict)
+		ingested = resp.StatusCode == http.StatusOK
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil && ingested {
+		var eresp *http.Response
+		eresp, err = d.http.Get(d.base() + "/sessions/" + id + "/export/" + name + "?format=csv")
+		if err == nil {
+			err = d.statusErr(eresp, http.StatusOK, http.StatusNotFound, http.StatusGone, http.StatusConflict)
+			io.Copy(io.Discard, eresp.Body)
+			eresp.Body.Close()
+		}
+	}
+	d.observe("connect", t0, err)
 }
 
 // opDelete closes a session outright, shrinking the pool for opCreate to

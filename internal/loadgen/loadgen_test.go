@@ -2,10 +2,15 @@ package loadgen
 
 import (
 	"encoding/json"
+	"math/rand"
+	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
+
+	"vada/internal/metrics"
 )
 
 // TestSmokeRun drives a short low-concurrency run end to end — steady
@@ -75,6 +80,56 @@ func TestSmokeRun(t *testing.T) {
 	}
 	if decoded.Totals.Count != rep.Totals.Count || decoded.Config.Seed != cfg.Seed {
 		t.Fatalf("report did not round-trip: %+v", decoded.Totals)
+	}
+}
+
+// TestConnectOp drives the connector round-trip op directly against a
+// booted driver — the mix draw is probabilistic, so short runs can't be
+// relied on to hit the 5% slot — and checks it runs cleanly and actually
+// pushes rows through the connector subsystem (the server-side connect
+// counters move).
+func TestConnectOp(t *testing.T) {
+	cfg := Preset("smoke")
+	cfg.Connect = true
+	d := &driver{
+		cfg:    cfg,
+		client: metrics.NewRegistry(),
+		http:   &http.Client{Timeout: 30 * time.Second},
+	}
+	if err := d.boot(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer d.srv.Close()
+	defer d.ts.Close()
+
+	// The first call finds an empty session pool and falls back to
+	// opCreate; the rest do the ingest/export round-trip.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < 5; i++ {
+		d.opConnect(rng)
+	}
+	snap := d.client.Snapshot()
+	if got := snap.Counters[metrics.Name("ops_total", "op", "connect")]; got != 4 {
+		t.Fatalf("connect ops = %d, want 4 (counters: %v)", got, snap.Counters)
+	}
+	if errs := snap.Counters[metrics.Name("op_errors_total", "op", "connect")]; errs != 0 {
+		t.Fatalf("connect op errors = %d, want 0", errs)
+	}
+	if fives := snap.Counters["http_5xx_total"]; fives != 0 {
+		t.Fatalf("5xx responses = %d, want 0", fives)
+	}
+	server, err := d.metricz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	moved := false
+	for name, v := range server.Counters {
+		if v > 0 && strings.HasPrefix(name, "connect_rows_total") {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Errorf("connector counters did not move: %+v", server.Counters)
 	}
 }
 

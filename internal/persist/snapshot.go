@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"strings"
 	"time"
 
 	"vada/internal/core"
 	"vada/internal/datagen"
 	"vada/internal/feedback"
 	"vada/internal/kb"
+	"vada/internal/relation"
 	"vada/internal/runs"
 	"vada/internal/session"
 )
@@ -49,6 +51,12 @@ type Meta struct {
 	// mappings over the repaired result relations.
 	ExecHashes map[string]uint64 `json:"exec_hashes,omitempty"`
 	FusedHash  uint64            `json:"fused_hash,omitempty"`
+	// TargetName and Target carry the user-context target schema of a
+	// scenario-free (blank/connector-fed) session as attribute specs
+	// ("name" or "name:kind"): scenario-backed restores rebuild the target
+	// from the scenario, but a blank session has nowhere else to keep it.
+	TargetName string   `json:"target_name,omitempty"`
+	Target     []string `json:"target,omitempty"`
 }
 
 // SessionSnapshot is the decoded form of one persisted session: identity
@@ -205,6 +213,9 @@ func CaptureSession(s *session.Session, eng *runs.Engine) *SessionSnapshot {
 	if sc := s.Scenario(); sc != nil {
 		cfg := sc.Config
 		snap.Meta.Scenario = &cfg
+	} else if target, ok := s.Wrangler().TargetSchema(); ok {
+		snap.Meta.TargetName = target.Name
+		snap.Meta.Target = attrSpecs(target)
 	}
 	opts := s.Wrangler().Options()
 	opts.Network = nil
@@ -264,6 +275,9 @@ func RestoreSession(snap *SessionSnapshot, opts ...session.Option) (*session.Ses
 		sessOpts = append(sessOpts, session.WithScenario(sc, snap.Meta.Seed))
 	} else {
 		w = core.NewWrangler(core.WithOptions(wopts))
+		if len(snap.Meta.Target) > 0 {
+			w.SetTargetSchema(targetSchema(snap.Meta.TargetName, snap.Meta.Target))
+		}
 	}
 	// Feedback first: with the store populated (observed values included),
 	// Rehydrate skips its facts-only fallback, and the KB merge dedupes the
@@ -296,4 +310,39 @@ func RestoreInto(mgr *session.Manager, eng *runs.Engine, snap *SessionSnapshot, 
 		eng.Adopt(snap.Runs)
 	}
 	return s, nil
+}
+
+// attrSpecs renders a schema's attributes in "name" / "name:kind" spec form —
+// the JSON-friendly shape Meta carries for blank-session target schemas.
+func attrSpecs(s relation.Schema) []string {
+	specs := make([]string, len(s.Attrs))
+	for i, a := range s.Attrs {
+		if a.Type == relation.KindString || a.Type == relation.KindNull {
+			specs[i] = a.Name
+			continue
+		}
+		specs[i] = a.Name + ":" + a.Type.String()
+	}
+	return specs
+}
+
+// targetSchema rebuilds a captured target schema from attribute specs. Unlike
+// relation.NewSchema it never panics: snapshots can arrive through the import
+// route, so an unknown kind in a hand-edited file degrades to string.
+func targetSchema(name string, specs []string) relation.Schema {
+	if name == "" {
+		name = "target"
+	}
+	attrs := make([]relation.Attribute, 0, len(specs))
+	for _, spec := range specs {
+		attrName, kindName, found := strings.Cut(spec, ":")
+		kind := relation.KindString
+		if found {
+			if k, err := relation.KindFromString(kindName); err == nil {
+				kind = k
+			}
+		}
+		attrs = append(attrs, relation.Attribute{Name: attrName, Type: kind})
+	}
+	return relation.Schema{Name: name, Attrs: attrs}
 }

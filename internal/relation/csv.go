@@ -63,7 +63,7 @@ func ReadCSV(name string, rd io.Reader, schema *Schema) (*Relation, error) {
 		}
 		sch = schema.WithName(name)
 	} else {
-		sch = inferSchema(name, header, body)
+		sch = InferSchema(name, header, body)
 	}
 
 	out := New(sch)
@@ -86,9 +86,11 @@ func ReadCSV(name string, rd io.Reader, schema *Schema) (*Relation, error) {
 	return out, nil
 }
 
-// inferSchema derives per-column kinds: the most specific of int, float,
-// bool, string shared by every non-empty cell; all-empty columns are strings.
-func inferSchema(name string, header []string, body [][]string) Schema {
+// InferSchema derives per-column kinds from tabular data: the most specific
+// of int, float, bool, string shared by every non-empty cell of the column;
+// all-empty columns are strings. Connectors reuse it to type rows decoded
+// from external files.
+func InferSchema(name string, header []string, body [][]string) Schema {
 	kinds := make([]Kind, len(header))
 	seen := make([]bool, len(header))
 	for _, rec := range body {

@@ -26,8 +26,18 @@ type Schema struct {
 // Each spec is "name" (string-typed by default) or "name:kind" with kind one
 // of string, int, float, bool. It panics on malformed specs: schemas are
 // built from literals in code and tests, so a malformed spec is a programming
-// error.
+// error. Callers holding untrusted specs use ParseSchema instead.
 func NewSchema(name string, attrSpecs ...string) Schema {
+	s, err := ParseSchema(name, attrSpecs...)
+	if err != nil {
+		panic(fmt.Sprintf("relation: %v", err))
+	}
+	return s
+}
+
+// ParseSchema is NewSchema for untrusted input: a malformed attribute spec
+// is an error, not a panic, so API handlers can turn it into a 400.
+func ParseSchema(name string, attrSpecs ...string) (Schema, error) {
 	attrs := make([]Attribute, 0, len(attrSpecs))
 	for _, spec := range attrSpecs {
 		attrName, kindName, found := strings.Cut(spec, ":")
@@ -35,13 +45,16 @@ func NewSchema(name string, attrSpecs ...string) Schema {
 		if found {
 			k, err := KindFromString(kindName)
 			if err != nil {
-				panic(fmt.Sprintf("relation: bad attribute spec %q: %v", spec, err))
+				return Schema{}, fmt.Errorf("bad attribute spec %q: %w", spec, err)
 			}
 			kind = k
 		}
+		if attrName == "" {
+			return Schema{}, fmt.Errorf("bad attribute spec %q: empty name", spec)
+		}
 		attrs = append(attrs, Attribute{Name: attrName, Type: kind})
 	}
-	return Schema{Name: name, Attrs: attrs}
+	return Schema{Name: name, Attrs: attrs}, nil
 }
 
 // Arity returns the number of attributes.

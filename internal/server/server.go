@@ -33,6 +33,14 @@
 //	GET    /api/v1/sessions/{id}/events          stage events + run transitions over SSE
 //	GET    /api/v1/sessions/{id}/export          download the session as a snapshot envelope
 //	POST   /api/v1/sessions/import               restore a session from a snapshot envelope
+//	POST   /api/v1/sessions/{id}/upload          multipart file upload into the ingest stage (?role=&format=&relation=)
+//	GET    /api/v1/sessions/{id}/export/{rel}    stream a relation as canonical CSV/JSONL (?format=csv|jsonl)
+//
+// The last two are the connector surface over real data: uploads feed CSV
+// and JSON-Lines files into the session as source (or data-context)
+// relations, the ingest/fetch/export/quality-report stages move data in
+// plans, and the relation export route streams any knowledge-base relation
+// — or the clean result — back out in canonical, byte-stable order.
 //
 // With -data-dir the service is durable, and with -journal (the default)
 // durability is incremental: each session keeps an append-only
@@ -97,6 +105,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -898,6 +907,8 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("DELETE /api/v1/sessions/{id}/runs/{rid}", s.handleRunCancel)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/export", s.handleExport)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/export/{relation}", s.handleExportRelation)
+	mux.HandleFunc("POST /api/v1/sessions/{id}/upload", s.handleUpload)
 	mux.HandleFunc("POST /api/v1/sessions/import", s.handleImport)
 	if s.pprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
@@ -929,11 +940,20 @@ func (s *Server) publishTransition(run vada.Run) {
 }
 
 // createRequest is the POST /api/v1/sessions body; zero values take the
-// server defaults.
+// server defaults. Blank sessions skip scenario generation entirely: an
+// empty wrangler with a target schema, fed real data through the connector
+// stages instead of datagen.
 type createRequest struct {
 	Name string `json:"name"`
 	N    int    `json:"n"`
 	Seed int64  `json:"seed"`
+	// Blank creates a scenario-free session: no synthetic sources, no
+	// oracle — sources arrive via upload or the ingest/fetch stages.
+	Blank bool `json:"blank,omitempty"`
+	// Target overrides the blank session's target schema as attribute
+	// specs ("name" or "name:int|float|bool|string"); empty keeps the
+	// standard property target schema.
+	Target []string `json:"target,omitempty"`
 }
 
 func (s *Server) handleCreate(rw http.ResponseWriter, r *http.Request) {
@@ -947,7 +967,7 @@ func (s *Server) handleCreate(rw http.ResponseWriter, r *http.Request) {
 	if req.N <= 0 {
 		req.N = s.defaultN
 	}
-	if s.maxN > 0 && req.N > s.maxN {
+	if !req.Blank && s.maxN > 0 && req.N > s.maxN {
 		http.Error(rw, fmt.Sprintf("scenario size %d exceeds the server limit %d", req.N, s.maxN),
 			http.StatusBadRequest)
 		return
@@ -958,13 +978,29 @@ func (s *Server) handleCreate(rw http.ResponseWriter, r *http.Request) {
 		writeError(rw, vada.ErrSessionLimit)
 		return
 	}
-	cfg := vada.DefaultScenarioConfig()
-	cfg.NProperties = req.N
-	cfg.Seed = req.Seed
-	sc := vada.GenerateScenario(cfg)
-	sess, err := s.mgr.Create(vada.BuildScenarioWrangler(sc),
-		append([]vada.SessionOption{vada.WithSessionName(req.Name), vada.WithScenario(sc, req.Seed)},
-			s.sessionOpts()...)...)
+	var w *vada.Wrangler
+	opts := []vada.SessionOption{vada.WithSessionName(req.Name)}
+	if req.Blank {
+		w = vada.New()
+		target := vada.TargetSchema()
+		if len(req.Target) > 0 {
+			t, err := vada.ParseSchema(target.Name, req.Target...)
+			if err != nil {
+				http.Error(rw, "bad target schema: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			target = t
+		}
+		w.SetTargetSchema(target)
+	} else {
+		cfg := vada.DefaultScenarioConfig()
+		cfg.NProperties = req.N
+		cfg.Seed = req.Seed
+		sc := vada.GenerateScenario(cfg)
+		w = vada.BuildScenarioWrangler(sc)
+		opts = append(opts, vada.WithScenario(sc, req.Seed))
+	}
+	sess, err := s.mgr.Create(w, append(opts, s.sessionOpts()...)...)
 	if err != nil {
 		writeError(rw, err)
 		return
@@ -1406,6 +1442,185 @@ func (s *Server) handleImport(rw http.ResponseWriter, r *http.Request) {
 	writeJSONStatus(rw, http.StatusCreated, sess.State())
 }
 
+// handleUpload feeds multipart files into the ingest stage: each file
+// becomes one source (or, with ?role=context, data-context) relation named
+// after its filename stem, decoded by extension (?format overrides). An
+// optional "mapping" form field carries a JSON header→attribute mapping
+// applied to every file; absent, headers are inferred against the session's
+// target schema and data context. Files are ingested in upload order and a
+// failure aborts the remainder — already-ingested files stay, mirroring the
+// stage-by-stage semantics of a plan.
+func (s *Server) handleUpload(rw http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	r.Body = http.MaxBytesReader(rw, r.Body, maxPayloadBytes)
+	if err := r.ParseMultipartForm(maxPayloadBytes); err != nil {
+		writeBodyError(rw, err)
+		return
+	}
+	defer r.MultipartForm.RemoveAll()
+	var mapping map[string]string
+	if ms := r.FormValue("mapping"); ms != "" {
+		if err := json.Unmarshal([]byte(ms), &mapping); err != nil {
+			http.Error(rw, "decoding mapping: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+	// Collect file parts across all field names in a deterministic order:
+	// sorted field name, then upload order within the field.
+	fields := make([]string, 0, len(r.MultipartForm.File))
+	total := 0
+	for name, parts := range r.MultipartForm.File {
+		fields = append(fields, name)
+		total += len(parts)
+	}
+	sort.Strings(fields)
+	if total == 0 {
+		http.Error(rw, "multipart body carries no files", http.StatusBadRequest)
+		return
+	}
+	explicit := r.URL.Query().Get("relation")
+	if explicit != "" && total > 1 {
+		http.Error(rw, "?relation names a single file; got "+strconv.Itoa(total), http.StatusBadRequest)
+		return
+	}
+	type ingested struct {
+		File     string            `json:"file"`
+		Relation string            `json:"relation"`
+		Event    vada.SessionEvent `json:"event"`
+	}
+	results := make([]ingested, 0, total)
+	for _, field := range fields {
+		for _, fh := range r.MultipartForm.File[field] {
+			f, err := fh.Open()
+			if err != nil {
+				http.Error(rw, "opening upload "+fh.Filename+": "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			data, err := io.ReadAll(f)
+			f.Close()
+			if err != nil {
+				writeBodyError(rw, err)
+				return
+			}
+			name := explicit
+			if name == "" {
+				name = uploadRelationName(fh.Filename)
+			}
+			payload, err := json.Marshal(vada.IngestPayload{
+				Relation: name,
+				Format:   uploadFormat(fh.Filename, r.URL.Query().Get("format")),
+				Role:     r.URL.Query().Get("role"),
+				Data:     string(data),
+				Mapping:  mapping,
+			})
+			if err != nil {
+				writeError(rw, err)
+				return
+			}
+			st, decoded, err := s.registry.Resolve(vada.StageRequest{Stage: vada.StageIngest, Payload: payload})
+			if err != nil {
+				writeError(rw, err)
+				return
+			}
+			ev, err := st.Apply(r.Context(), sess, decoded)
+			if err != nil {
+				writeError(rw, err)
+				return
+			}
+			results = append(results, ingested{File: fh.Filename, Relation: name, Event: ev})
+		}
+	}
+	writeJSON(rw, map[string]any{"files": len(results), "ingested": results})
+}
+
+// handleExportRelation streams one relation through the CSV/JSONL sink:
+// the clean wrangling result for "result", any knowledge-base relation by
+// (optionally src_/dc_-prefixed) name otherwise. Rows are rendered in
+// canonical order, so identical state exports identical bytes.
+func (s *Server) handleExportRelation(rw http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	format, err := vada.NormalizeFormat(r.URL.Query().Get("format"))
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	name := r.PathValue("relation")
+	rel, err := sess.Relation(name)
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	ctype, ext := "text/csv; charset=utf-8", ".csv"
+	if format == vada.FormatJSONL {
+		ctype, ext = "application/x-ndjson", ".jsonl"
+	}
+	rw.Header().Set("Content-Type", ctype)
+	rw.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", name+ext))
+	t0 := time.Now()
+	span := vada.TraceChildFromContext(r.Context(), "export.write",
+		"relation", name, "format", format, "session", sess.ID())
+	stats, err := vada.ConnectWrite(rw, rel, format)
+	if span != nil {
+		span.EndErr(err)
+	}
+	if err != nil {
+		// Headers are gone; log and drop the connection like handleExport.
+		s.logger.Error("exporting relation", "session", sess.ID(), "relation", name, "error", err)
+		return
+	}
+	s.metrics.Counter(vada.MetricName("connect_rows_total", "dir", "out", "format", stats.Format)).Add(int64(stats.Rows))
+	s.metrics.Counter(vada.MetricName("connect_bytes_total", "dir", "out", "format", stats.Format)).Add(stats.Bytes)
+	s.metrics.Histogram(vada.MetricName("connect_seconds", "dir", "out", "format", stats.Format), nil).ObserveSince(t0)
+}
+
+// uploadRelationName derives a relation name from an uploaded filename:
+// the base name without its extension, anything outside the relation-name
+// alphabet replaced by '_', prefixed with "f" when the result does not
+// start with a letter.
+func uploadRelationName(filename string) string {
+	base := filepath.Base(filename)
+	stem := strings.TrimSuffix(base, filepath.Ext(base))
+	var b strings.Builder
+	for _, r := range stem {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == '-':
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	name := b.String()
+	if name == "" || !(name[0] >= 'a' && name[0] <= 'z' || name[0] >= 'A' && name[0] <= 'Z') {
+		name = "f" + name
+	}
+	if len(name) > 128 {
+		name = name[:128]
+	}
+	return name
+}
+
+// uploadFormat picks a file's wire format: the explicit override when
+// given, else the filename extension, else the CSV default.
+func uploadFormat(filename, override string) string {
+	if override != "" {
+		return override
+	}
+	switch strings.ToLower(filepath.Ext(filename)) {
+	case ".jsonl", ".ndjson":
+		return vada.FormatJSONL
+	default:
+		return ""
+	}
+}
+
 func (s *Server) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
 	snap := s.metrics.Snapshot()
 	out := map[string]any{
@@ -1422,6 +1637,8 @@ func (s *Server) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
 			"runs_rejected_total":      vada.SumMetricsCounters(snap, "runs_queue_rejections_total"),
 			"sse_dropped_events_total": vada.SumMetricsCounters(snap, "sse_dropped_events_total"),
 			"persist_fsync_total":      vada.SumMetricsCounters(snap, "persist_fsync_total"),
+			"connect_rows_total":       vada.SumMetricsCounters(snap, "connect_rows_total"),
+			"connect_bytes_total":      vada.SumMetricsCounters(snap, "connect_bytes_total"),
 		},
 		// The runtime sampler's latest gauges: enough to spot a goroutine
 		// leak or heap growth from the same probe.
@@ -1555,20 +1772,25 @@ func writeError(rw http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	switch {
 	case errors.Is(err, vada.ErrSessionNotFound), errors.Is(err, vada.ErrNoResult),
-		errors.Is(err, vada.ErrRunNotFound):
+		errors.Is(err, vada.ErrRunNotFound), errors.Is(err, vada.ErrUnknownRelation):
 		status = http.StatusNotFound
 	case errors.Is(err, vada.ErrUnknownUserContext), errors.Is(err, vada.ErrNoDataContext),
 		errors.Is(err, vada.ErrUnknownStage), errors.Is(err, vada.ErrBadStagePayload),
 		errors.Is(err, vada.ErrBadPlan), errors.Is(err, vada.ErrBadSnapshot),
 		errors.Is(err, vada.ErrSnapshotMagic), errors.Is(err, vada.ErrSnapshotVersion),
 		errors.Is(err, vada.ErrSnapshotTruncated), errors.Is(err, vada.ErrSnapshotChecksum),
-		errors.Is(err, vada.ErrSnapshotTooLarge):
+		errors.Is(err, vada.ErrSnapshotTooLarge),
+		errors.Is(err, vada.ErrBadFormat), errors.Is(err, vada.ErrSchemaMismatch):
 		status = http.StatusBadRequest
 	case errors.Is(err, vada.ErrSessionExists):
 		status = http.StatusConflict
 	case errors.Is(err, vada.ErrSessionLimit), errors.Is(err, vada.ErrRunQueueFull):
 		status = http.StatusTooManyRequests
 		rw.Header().Set("Retry-After", "1")
+	case errors.Is(err, vada.ErrTooLarge):
+		status = http.StatusRequestEntityTooLarge
+	case errors.Is(err, vada.ErrFetchFailed):
+		status = http.StatusBadGateway
 	case errors.Is(err, vada.ErrSessionClosed):
 		status = http.StatusGone
 	case errors.Is(err, vada.ErrRunEngineClosed):

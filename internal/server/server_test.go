@@ -785,11 +785,12 @@ func TestStageDiscovery(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &out); err != nil {
 		t.Fatal(err)
 	}
-	if out["total"].(float64) != 4 {
+	if out["total"].(float64) != 8 {
 		t.Fatalf("discovery total = %v", out["total"])
 	}
 	stages := out["stages"].([]any)
-	want := []string{"bootstrap", "data-context", "feedback", "user-context"}
+	want := []string{"bootstrap", "data-context", "feedback", "user-context",
+		"ingest", "fetch", "export", "quality-report"}
 	for i, w := range want {
 		st := stages[i].(map[string]any)
 		if st["name"] != w || st["description"] == "" {

@@ -365,10 +365,12 @@ func TestEvictHooksCompose(t *testing.T) {
 }
 
 // TestDefaultRegistry checks the pre-populated registry: the four paper
-// stages in lifecycle order, discoverable with descriptions.
+// stages in lifecycle order, then the connector stages, discoverable with
+// descriptions.
 func TestDefaultRegistry(t *testing.T) {
 	reg := DefaultRegistry()
-	want := []string{StageBootstrap, StageDataContext, StageFeedback, StageUserContext}
+	want := []string{StageBootstrap, StageDataContext, StageFeedback, StageUserContext,
+		StageIngest, StageFetch, StageExport, StageQualityReport}
 	info := reg.Info()
 	if len(info) != len(want) {
 		t.Fatalf("registry has %d stages, want %d", len(info), len(want))

@@ -303,5 +303,6 @@ func DefaultRegistry() *Registry {
 			})
 		},
 	})
+	registerConnectorStages(r)
 	return r
 }

@@ -73,6 +73,7 @@ package vada
 
 import (
 	"vada/internal/cfd"
+	"vada/internal/connect"
 	"vada/internal/core"
 	"vada/internal/datagen"
 	"vada/internal/extract"
@@ -282,6 +283,57 @@ var (
 	WithStageRegistry    = session.WithRegistry
 )
 
+// ---- connectors ------------------------------------------------------------
+
+// Connector payloads: the typed wire forms of the ingest/fetch/export/
+// quality-report stages. ConnectStats reports rows/bytes/format through a
+// connector; ConnectReadOptions and ConnectFetchOptions parameterise the
+// library-level source readers.
+type (
+	IngestPayload       = connect.IngestPayload
+	FetchPayload        = connect.FetchPayload
+	ExportPayload       = connect.ExportPayload
+	QualityPayload      = connect.QualityPayload
+	ConnectStats        = connect.Stats
+	ConnectReadOptions  = connect.ReadOptions
+	ConnectFetchOptions = connect.FetchOptions
+)
+
+// Names of the connector stages, pre-registered by DefaultStageRegistry,
+// and the wire formats and ingest roles they speak.
+const (
+	StageIngest        = session.StageIngest
+	StageFetch         = session.StageFetch
+	StageExport        = session.StageExport
+	StageQualityReport = session.StageQualityReport
+	FormatCSV          = connect.FormatCSV
+	FormatJSONL        = connect.FormatJSONL
+	RoleSource         = connect.RoleSource
+	RoleContext        = connect.RoleContext
+)
+
+// Sentinel errors of the connector subsystem; branch with errors.Is.
+var (
+	ErrBadFormat       = connect.ErrBadFormat
+	ErrSchemaMismatch  = connect.ErrSchemaMismatch
+	ErrTooLarge        = connect.ErrTooLarge
+	ErrFetchFailed     = connect.ErrFetchFailed
+	ErrUnknownRelation = connect.ErrUnknownRelation
+)
+
+// Connector entry points: decode external bytes into relations, fetch over
+// HTTP, render relations canonically, and the header→attribute mapping
+// machinery behind them.
+var (
+	ConnectRead     = connect.Read
+	ConnectFetch    = connect.Fetch
+	ConnectWrite    = connect.Write
+	InferMapping    = connect.InferMapping
+	MapHeader       = connect.MapHeader
+	NormalizeFormat = connect.NormalizeFormat
+	QualityRelation = connect.QualityRelation
+)
+
 // ---- async runs ------------------------------------------------------------
 
 // RunEngine executes wrangling stages asynchronously on a worker pool; each
@@ -331,6 +383,7 @@ type (
 // Value constructors and schema helpers.
 var (
 	NewSchema   = relation.NewSchema
+	ParseSchema = relation.ParseSchema
 	NewRelation = relation.New
 	NewTuple    = relation.NewTuple
 	NullValue   = relation.Null
