@@ -10,17 +10,21 @@ import (
 
 // loadOptions bundles the -exp load flags.
 type loadOptions struct {
-	preset    string
-	seed      int64
-	workers   int
-	duration  time.Duration
-	recovery  bool
-	strict    bool
-	trace     bool
-	traceDump string
-	connect   bool
-	notes     string
-	out       string
+	preset      string
+	seed        int64
+	workers     int
+	duration    time.Duration
+	recovery    bool
+	strict      bool
+	trace       bool
+	traceDump   string
+	connect     bool
+	groupWindow time.Duration
+	groupMax    int
+	rowDiffs    bool
+	baseline    bool
+	notes       string
+	out         string
 }
 
 // runLoad is the service benchmark: a closed-loop workload over the
@@ -40,10 +44,14 @@ func runLoad(o loadOptions) error {
 	cfg.Trace = o.trace
 	cfg.TraceDump = o.traceDump
 	cfg.Connect = o.connect
+	cfg.GroupWindow = o.groupWindow
+	cfg.GroupMax = o.groupMax
+	cfg.RowDiffs = o.rowDiffs
+	cfg.CompareBaseline = o.baseline
 	cfg.Notes = o.notes
 
-	fmt.Printf("load benchmark: preset %s, %d workers, %s steady state, seed %d, recovery %v, trace %v, connect %v\n",
-		cfg.Name, cfg.Workers, cfg.Duration, cfg.Seed, cfg.Recovery, cfg.Trace, cfg.Connect)
+	fmt.Printf("load benchmark: preset %s, %d workers, %s steady state, seed %d, recovery %v, trace %v, connect %v, group window %s, row diffs %v\n",
+		cfg.Name, cfg.Workers, cfg.Duration, cfg.Seed, cfg.Recovery, cfg.Trace, cfg.Connect, cfg.GroupWindow, cfg.RowDiffs)
 	rep, err := loadgen.Run(cfg)
 	if err != nil {
 		return err
@@ -71,6 +79,18 @@ func runLoad(o loadOptions) error {
 			return fmt.Errorf("load: %d error-class events (op errors %d, 5xx %d)",
 				bad, rep.Totals.Errors, rep.HTTP5xx)
 		}
+		// The durability regression gate: with a baseline pass in the same
+		// run, the optimised configuration must not cost more per run.
+		if rep.Baseline != nil {
+			if rep.FsyncsPerRun > rep.Baseline.FsyncsPerRun {
+				return fmt.Errorf("load: fsyncs/run regressed: %.2f vs baseline %.2f",
+					rep.FsyncsPerRun, rep.Baseline.FsyncsPerRun)
+			}
+			if rep.DiskBytesPerRun > rep.Baseline.DiskBytesPerRun {
+				return fmt.Errorf("load: disk bytes/run regressed: %.0f vs baseline %.0f",
+					rep.DiskBytesPerRun, rep.Baseline.DiskBytesPerRun)
+			}
+		}
 	}
 	return nil
 }
@@ -90,8 +110,12 @@ func printLoadReport(rep *loadgen.Report) {
 			op, st.Count, st.Errors, st.ThroughputPerS, st.P50Ms, st.P99Ms, st.MaxMs)
 	}
 	fmt.Printf("%-16s %8d %7d %9.1f\n", "total", rep.Totals.Count, rep.Totals.Errors, rep.Totals.ThroughputPerS)
-	fmt.Printf("\nhttp 5xx: %d   runs completed: %d   disk bytes/run: %.0f   sse drops: %d\n",
-		rep.HTTP5xx, rep.RunsCompleted, rep.DiskBytesPerRun, rep.SSEDropped)
+	fmt.Printf("\nhttp 5xx: %d   runs completed: %d   fsyncs/run: %.2f   disk bytes/run: %.0f   sse drops: %d\n",
+		rep.HTTP5xx, rep.RunsCompleted, rep.FsyncsPerRun, rep.DiskBytesPerRun, rep.SSEDropped)
+	if b := rep.Baseline; b != nil {
+		fmt.Printf("baseline (%s): fsyncs/run %.2f -> %.2f, disk bytes/run %.0f -> %.0f\n",
+			b.Name, b.FsyncsPerRun, rep.FsyncsPerRun, b.DiskBytesPerRun, rep.DiskBytesPerRun)
+	}
 	if rep.Config.Trace {
 		fmt.Printf("traces: %d plan runs traced, %d missing\n", rep.RunsTraced, rep.RunsMissingTrace)
 	}

@@ -43,6 +43,10 @@ func main() {
 	loadTrace := flag.Bool("load-trace", false, "run the hosted server with tracing on and verify every plan run left a complete trace (-exp load)")
 	loadTraceDump := flag.String("load-trace-dump", "", "write the server's full span dump to this path after the steady state (-exp load)")
 	loadConnect := flag.Bool("load-connect", false, "add the connector ingest/export round-trip op to the worker mix (-exp load)")
+	loadGroupWindow := flag.Duration("load-group-window", 0, "journal group-commit window on the hosted server (0 = fsync per append; -exp load)")
+	loadGroupMax := flag.Int("load-group-max", 0, "group-commit batch cap (0 = default; -exp load)")
+	loadRowDiffs := flag.Bool("load-row-diffs", false, "journal relation replacements as row-level diffs on the hosted server (-exp load)")
+	loadBaseline := flag.Bool("load-baseline", false, "also run the snapshot-per-stage baseline pass (group commit and row diffs off) and embed its durability cost in the report (-exp load)")
 	loadNotes := flag.String("load-notes", "", "free-form note copied into the report (-exp load)")
 	out := flag.String("out", "", "write the load report JSON here (-exp load; \"\" = stdout only)")
 	flag.Parse()
@@ -52,6 +56,8 @@ func main() {
 			preset: *loadPreset, seed: *seed, workers: *loadWorkers,
 			duration: *loadDuration, recovery: *loadRecovery, strict: *loadStrict,
 			trace: *loadTrace, traceDump: *loadTraceDump, connect: *loadConnect,
+			groupWindow: *loadGroupWindow, groupMax: *loadGroupMax,
+			rowDiffs: *loadRowDiffs, baseline: *loadBaseline,
 			notes: *loadNotes, out: *out,
 		}
 		if err := runLoad(opts); err != nil {

@@ -27,6 +27,7 @@ func main() {
 	flag.IntVar(&cfg.MaxN, "max-n", 2000, "largest scenario size a client may request")
 	flag.Int64Var(&cfg.Seed, "seed", 1, "default scenario seed for new sessions")
 	flag.IntVar(&cfg.MaxSessions, "max-sessions", 64, "live session cap (0 = unlimited)")
+	flag.IntVar(&cfg.SessionShards, "session-shards", 0, "session store stripe count (0 = default)")
 	idleTimeout := flag.Duration("idle-timeout", 30*time.Minute, "evict sessions idle this long (0 = never)")
 	flag.IntVar(&cfg.RunWorkers, "run-workers", 8, "async run engine worker-pool size")
 	flag.IntVar(&cfg.RunQueue, "run-queue", 256, "async run queue depth (0 = unlimited)")
@@ -37,6 +38,9 @@ func main() {
 	flag.BoolVar(&cfg.Journal, "journal", true, "incremental durability: append per-stage/per-run records to <id>.vjournal instead of rewriting the snapshot (requires -data-dir)")
 	flag.IntVar(&cfg.JournalMaxRecords, "journal-max-records", 512, "compact a session's journal into a fresh snapshot after this many records (0 = no record threshold)")
 	flag.Int64Var(&cfg.JournalMaxBytes, "journal-max-bytes", 8<<20, "compact a session's journal after this many bytes since the last compaction (0 = no byte threshold)")
+	flag.DurationVar(&cfg.JournalGroupWindow, "journal-group-window", 0, "group-commit latency window: journal appends landing within it share one fsync (0 = fsync per append)")
+	flag.IntVar(&cfg.JournalGroupMax, "journal-group-max", 0, "appends one group-commit batch may absorb (0 = default)")
+	flag.BoolVar(&cfg.JournalRowDiffs, "journal-row-diffs", false, "journal relation replacements as row-level diffs instead of wholesale relation clones")
 	flag.BoolVar(&cfg.RestoreClosed, "restore-closed", false, "restore explicitly DELETEd sessions archived under <data-dir>/closed/ at boot")
 	flag.BoolVar(&cfg.Trace, "trace", true, "record per-request span trees, browsable via GET /api/v1/traces")
 	flag.IntVar(&cfg.TraceCapacity, "trace-max", 0, "traces retained in memory before the oldest is evicted (0 = default)")

@@ -1,0 +1,216 @@
+package journal
+
+import (
+	"os"
+	"sync"
+	"time"
+
+	"vada/internal/metrics"
+)
+
+// batchBuckets are the histogram bounds for persist_group_commit_batch_size:
+// batch sizes are small integers, so the default latency buckets would bin
+// them uselessly.
+var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64}
+
+// DefaultGroupMax is the batch-size cap used when NewGroupCommitter is
+// given a non-positive maximum.
+const DefaultGroupMax = 32
+
+// GroupCommitter amortises journal fsyncs across sessions: writers route
+// their per-append Sync through one coordinator, which collects the syncs
+// that arrive within a bounded latency window (or up to a batch-size cap)
+// and issues ONE fsync per distinct file for the whole batch. Every caller
+// still blocks until its own bytes are durable, so crash semantics are
+// exactly those of the direct per-append fsync — only the fsync count
+// changes. The trade is bounded: an append waits at most `window` longer
+// than it would alone.
+//
+// A committer is shared by many writers (Writer.SetGroupCommit) and owns
+// one background flusher goroutine; Close drains pending syncs and stops
+// it, after which callers degrade to direct fsyncs.
+type GroupCommitter struct {
+	window   time.Duration
+	maxBatch int
+	reg      *metrics.Registry
+
+	mu     sync.Mutex // guards closed and admission to reqs
+	closed bool
+
+	reqs   chan *commitReq
+	stopCh chan struct{}
+	doneCh chan struct{}
+}
+
+// commitReq is one pending durability point: the file whose written bytes
+// await fsync and the channel the waiter blocks on. Requests from a Writer
+// also carry the staged append's bookkeeping (w, start, frameLen) so the
+// flusher can resolve it in batch order via groupDone.
+type commitReq struct {
+	f        *os.File
+	w        *Writer
+	start    int64
+	frameLen int
+	done     chan error
+}
+
+// NewGroupCommitter starts a commit coordinator flushing at most maxBatch
+// pending syncs (<=0 means DefaultGroupMax) per batch, waiting at most
+// window for stragglers after the first sync of a batch arrives. The
+// registry, when non-nil, receives the durability series: actual fsyncs
+// (persist_fsync_total{path="journal"} and its latency histogram — counted
+// here, not in the writers), batches (persist_group_commits_total) and the
+// batch-size distribution (persist_group_commit_batch_size).
+func NewGroupCommitter(window time.Duration, maxBatch int, reg *metrics.Registry) *GroupCommitter {
+	if window <= 0 {
+		window = time.Millisecond
+	}
+	if maxBatch <= 0 {
+		maxBatch = DefaultGroupMax
+	}
+	g := &GroupCommitter{
+		window:   window,
+		maxBatch: maxBatch,
+		reg:      reg,
+		reqs:     make(chan *commitReq, 4*maxBatch),
+		stopCh:   make(chan struct{}),
+		doneCh:   make(chan struct{}),
+	}
+	go g.run()
+	return g
+}
+
+// Window returns the coordinator's latency window.
+func (g *GroupCommitter) Window() time.Duration { return g.window }
+
+// MaxBatch returns the coordinator's batch-size cap.
+func (g *GroupCommitter) MaxBatch() int { return g.maxBatch }
+
+// Sync makes f's written bytes durable, batched with whatever other syncs
+// the coordinator is collecting. It blocks until the batch containing this
+// request has fsynced f (or until that fsync fails). After Close it falls
+// back to a direct fsync, so a writer never loses its durability point.
+func (g *GroupCommitter) Sync(f *os.File) error {
+	return g.submit(&commitReq{f: f, done: make(chan error, 1)}, func() error {
+		return f.Sync()
+	})
+}
+
+// syncWriter is the Writer-integrated form of Sync: the batch verdict is
+// routed through the writer's groupDone so rewind/poison bookkeeping stays
+// ordered with the flusher. After Close it degrades to a direct fsync,
+// still resolved through groupDone so the pending count drains.
+func (g *GroupCommitter) syncWriter(w *Writer, f *os.File, start int64, frameLen int) error {
+	req := &commitReq{f: f, w: w, start: start, frameLen: frameLen, done: make(chan error, 1)}
+	return g.submit(req, func() error {
+		return w.groupDone(start, frameLen, f.Sync())
+	})
+}
+
+// submit admits a request to the flusher, or runs the caller's direct
+// fallback when the committer is closed. Admission happens under g.mu:
+// Close also takes g.mu before marking closed, so every admitted request is
+// visible to the flusher's drain and none is stranded.
+func (g *GroupCommitter) submit(req *commitReq, fallback func() error) error {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return fallback()
+	}
+	g.reqs <- req
+	g.mu.Unlock()
+	return <-req.done
+}
+
+// Close stops the coordinator after draining every admitted sync. Pending
+// callers are flushed, not failed. Idempotent.
+func (g *GroupCommitter) Close() {
+	g.mu.Lock()
+	if g.closed {
+		g.mu.Unlock()
+		return
+	}
+	g.closed = true
+	g.mu.Unlock()
+	close(g.stopCh)
+	<-g.doneCh
+}
+
+// run is the flusher loop: take the first pending sync, gather its batch,
+// flush, repeat. On stop it drains whatever was admitted before Close
+// marked the committer closed, then exits.
+func (g *GroupCommitter) run() {
+	for {
+		select {
+		case req := <-g.reqs:
+			g.flush(g.collect(req))
+		case <-g.stopCh:
+			for {
+				select {
+				case req := <-g.reqs:
+					g.flush(g.collect(req))
+				default:
+					close(g.doneCh)
+					return
+				}
+			}
+		}
+	}
+}
+
+// collect gathers one batch: the first request plus everything that arrives
+// within the latency window, capped at maxBatch. A stop signal ends the
+// wait early — the run loop's drain picks up anything still queued.
+func (g *GroupCommitter) collect(first *commitReq) []*commitReq {
+	batch := make([]*commitReq, 1, g.maxBatch)
+	batch[0] = first
+	timer := time.NewTimer(g.window)
+	defer timer.Stop()
+	for len(batch) < g.maxBatch {
+		select {
+		case req := <-g.reqs:
+			batch = append(batch, req)
+		case <-timer.C:
+			return batch
+		case <-g.stopCh:
+			return batch
+		}
+	}
+	return batch
+}
+
+// flush fsyncs each distinct file of the batch once and hands every waiter
+// its file's verdict. One bad file fails only its own waiters.
+func (g *GroupCommitter) flush(batch []*commitReq) {
+	verdict := make(map[*os.File]error, 1)
+	files := make([]*os.File, 0, 1)
+	for _, r := range batch {
+		if _, seen := verdict[r.f]; !seen {
+			verdict[r.f] = nil
+			files = append(files, r.f)
+		}
+	}
+	for _, f := range files {
+		t0 := time.Now()
+		err := f.Sync()
+		verdict[f] = err
+		if g.reg != nil && err == nil {
+			g.reg.Counter(metrics.Name("persist_fsync_total", "path", "journal")).Inc()
+			g.reg.Histogram(metrics.Name("persist_fsync_seconds", "path", "journal"), nil).ObserveSince(t0)
+		}
+	}
+	if g.reg != nil {
+		g.reg.Counter("persist_group_commits_total").Inc()
+		g.reg.Histogram("persist_group_commit_batch_size", batchBuckets).Observe(float64(len(batch)))
+	}
+	// Resolve in batch order, on this goroutine: groupDone's failure
+	// bookkeeping (rewind floors, poisoning) relies on sequential
+	// resolution across batches.
+	for _, r := range batch {
+		err := verdict[r.f]
+		if r.w != nil {
+			err = r.w.groupDone(r.start, r.frameLen, err)
+		}
+		r.done <- err
+	}
+}

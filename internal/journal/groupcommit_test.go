@@ -1,0 +1,260 @@
+package journal
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"vada/internal/metrics"
+	"vada/internal/session"
+)
+
+// stageRec builds a minimal deterministic stage record (At fixed so file
+// bytes are reproducible across writers).
+func stageRec(seq int) *Record {
+	at := time.Date(2026, 8, 1, 12, 0, 0, 0, time.UTC).Add(time.Duration(seq) * time.Second)
+	return &Record{At: at, Stage: &StageRecord{
+		Event: session.Event{Seq: seq, Type: session.EventStage,
+			Stage: session.StageBootstrap, Steps: seq, At: at},
+	}}
+}
+
+// TestGroupCommitAmortisesFsyncs drives several writers, each from several
+// concurrent appenders (the server shape: overlapping stage and run-record
+// appends per session, many sessions per node), and checks the whole
+// point: every append is durable and replayable, yet the actual fsync
+// count is well below one per append.
+func TestGroupCommitAmortisesFsyncs(t *testing.T) {
+	const writers, appenders, appends = 4, 4, 10
+	dir := t.TempDir()
+	reg := metrics.NewRegistry()
+	gc := NewGroupCommitter(5*time.Millisecond, 32, reg)
+	defer gc.Close()
+
+	ws := make([]*Writer, writers)
+	for i := range ws {
+		w, _, err := Open(filepath.Join(dir, fmt.Sprintf("s%d.vjournal", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.SetMetrics(reg)
+		w.SetGroupCommit(gc)
+		ws[i] = w
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, writers*appenders*appends)
+	for _, w := range ws {
+		for a := 0; a < appenders; a++ {
+			wg.Add(1)
+			go func(w *Writer) {
+				defer wg.Done()
+				for i := 1; i <= appends; i++ {
+					if err := w.Append(stageRec(i)); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(w)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	for i, w := range ws {
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		_, recs, err := Open(filepath.Join(dir, fmt.Sprintf("s%d.vjournal", i)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs) != appenders*appends {
+			t.Fatalf("writer %d: replayed %d records, want %d", i, len(recs), appenders*appends)
+		}
+	}
+
+	snap := reg.Snapshot()
+	fsyncs := snap.Counters[metrics.Name("persist_fsync_total", "path", "journal")]
+	total := int64(writers * appenders * appends)
+	if fsyncs == 0 || fsyncs >= total {
+		t.Fatalf("fsyncs = %d for %d appends; group commit did not amortise", fsyncs, total)
+	}
+	if snap.Counters["persist_group_commits_total"] == 0 {
+		t.Fatal("no group commits counted")
+	}
+	h, ok := snap.Histograms["persist_group_commit_batch_size"]
+	if !ok || h.Count == 0 {
+		t.Fatalf("batch-size histogram missing or empty: %+v", h)
+	}
+}
+
+// TestGroupCommitByteIdentical pins the acceptance requirement that group
+// committing changes only fsync scheduling, never bytes: the same records
+// produce byte-identical journal files with and without a coordinator.
+func TestGroupCommitByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, gc *GroupCommitter) []byte {
+		path := filepath.Join(dir, name)
+		w, _, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gc != nil {
+			w.SetGroupCommit(gc)
+		}
+		for i := 1; i <= 10; i++ {
+			if err := w.Append(stageRec(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	gc := NewGroupCommitter(2*time.Millisecond, 8, nil)
+	grouped := write("grouped.vjournal", gc)
+	gc.Close()
+	direct := write("direct.vjournal", nil)
+	if string(grouped) != string(direct) {
+		t.Fatalf("group-committed journal differs from direct journal (%d vs %d bytes)",
+			len(grouped), len(direct))
+	}
+}
+
+// TestGroupCommitCloseFallback pins the shutdown contract: a closed
+// coordinator degrades Sync to a direct fsync instead of stranding or
+// failing appends, and Close is idempotent.
+func TestGroupCommitCloseFallback(t *testing.T) {
+	w, _, err := Open(filepath.Join(t.TempDir(), "s.vjournal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	gc := NewGroupCommitter(time.Millisecond, 4, nil)
+	w.SetGroupCommit(gc)
+	if err := w.Append(stageRec(1)); err != nil {
+		t.Fatal(err)
+	}
+	gc.Close()
+	gc.Close() // idempotent
+	if err := w.Append(stageRec(2)); err != nil {
+		t.Fatalf("append after committer close: %v", err)
+	}
+}
+
+// TestGroupCommitDeferredWaitDrain pins the interaction between deferred
+// commit waits (plan batching) and the writer's drain points: a staged
+// append whose wait has not been invoked submits its fsync request lazily,
+// so Reset and Close must force-submit on its behalf — merely waiting for
+// the pending count to drain would deadlock the compaction path against a
+// plan that cannot flush until compaction releases the recorder lock.
+func TestGroupCommitDeferredWaitDrain(t *testing.T) {
+	dir := t.TempDir()
+	// Nothing resolves unless submitted; once submitted, resolution takes
+	// at most the batch window — far below the deadlock timeout.
+	gc := NewGroupCommitter(50*time.Millisecond, 64, nil)
+	defer gc.Close()
+
+	w, _, err := Open(filepath.Join(dir, "s.vjournal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.SetGroupCommit(gc)
+	wait1, err := w.AppendCommit(stageRec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wait2, err := w.AppendCommit(stageRec(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() { done <- w.Reset() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("reset: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Reset deadlocked on a deferred commit wait")
+	}
+	// The deferred waits still resolve (with the verdict of the forced
+	// fsync), and the post-Reset journal is empty.
+	if err := wait1(); err != nil {
+		t.Fatalf("wait1 after reset: %v", err)
+	}
+	if err := wait2(); err != nil {
+		t.Fatalf("wait2 after reset: %v", err)
+	}
+	if recs, bytes := w.Stats(); recs != 0 || bytes != 0 {
+		t.Fatalf("journal not empty after reset: %d records, %d bytes", recs, bytes)
+	}
+
+	// Close must force-submit too.
+	wait3, err := w.AppendCommit(stageRec(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { done <- w.Close() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("close: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close deadlocked on a deferred commit wait")
+	}
+	if err := wait3(); err != nil {
+		t.Fatalf("wait3 after close: %v", err)
+	}
+	// The record submitted during Close survived: reopen and replay.
+	_, recs, err := Open(filepath.Join(dir, "s.vjournal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records after close, want 1", len(recs))
+	}
+}
+
+// TestGroupCommitConcurrentClose races Close against in-flight Syncs: every
+// admitted sync must still complete (drain, not strand).
+func TestGroupCommitConcurrentClose(t *testing.T) {
+	f, err := os.Create(filepath.Join(t.TempDir(), "f"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	gc := NewGroupCommitter(time.Millisecond, 4, nil)
+
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if err := gc.Sync(f); err != nil {
+					t.Errorf("sync: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	time.Sleep(2 * time.Millisecond)
+	gc.Close()
+	wg.Wait()
+}

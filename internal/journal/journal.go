@@ -11,8 +11,11 @@
 //
 // The journal file is an 8-byte magic and a format-version byte, followed
 // by records in the same frame wire form as the envelope's sections —
-// kind | u32 length | JSON payload | CRC-32(payload) — written with one
-// fsync per append. Recovery composes the snapshot with a replay of the
+// kind | u32 length | JSON payload | CRC-32(payload) — with every append
+// fsynced before it returns. The fsync is either the writer's own (the
+// default) or batched across sessions by a GroupCommitter, which amortises
+// one fsync over the appends that land within a bounded latency window
+// without weakening the durability point. Recovery composes the snapshot with a replay of the
 // journal's valid prefix: a torn tail (the record being appended when the
 // power went) is truncated, not fatal, and a compaction pass folds the
 // journal back into a fresh snapshot and resets it to empty.
@@ -196,19 +199,65 @@ func (c *countingReader) Read(p []byte) (int, error) {
 	return n, err
 }
 
-// Writer appends records to one session's journal file, serialising
-// appends and fsyncing each one — the per-record fsync is the durability
-// point, and its cost is proportional to the record, not the session.
+// Writer appends records to one session's journal file. Every append is
+// fsynced before it is acknowledged — the per-record fsync is the
+// durability point, and its cost is proportional to the record, not the
+// session. In direct mode the whole append (write + fsync) runs under the
+// writer lock; with a GroupCommitter attached, the write still serialises
+// under the lock but the fsync wait happens outside it, so pending appends
+// batch into shared fsyncs (see AppendCommit).
 type Writer struct {
 	mu      sync.Mutex
+	cond    *sync.Cond // signalled when pending drops to zero
 	f       *os.File
 	path    string
 	seq     uint64
 	records int
 	bytes   int64 // record bytes since the header (== bytes since compaction)
 	closed  bool
-	failed  bool // a partial write could not be rewound; appends refuse
+	failed  bool // poisoned: unrewound partial write or failed group commit
 	reg     *metrics.Registry
+
+	gc *GroupCommitter // when set, append fsyncs batch across appends/writers
+
+	// pending counts staged appends whose group fsync has not resolved;
+	// Reset and Close wait for it to drain. staged holds the appends whose
+	// wait has not been invoked yet — callers may defer their waits (plan
+	// batching), so the drain must be able to submit on their behalf or it
+	// would wait forever on fsync requests nobody has issued. failFloor is
+	// the lowest file offset a failed group commit rewound to — staged
+	// appends at or above it were discarded even if their own batch fsync
+	// later succeeded.
+	pending   int
+	staged    map[*stagedAppend]struct{}
+	failFloor int64
+}
+
+// stagedAppend is one group-mode append between its write and its fsync
+// verdict. Its submission — handing the fsync request to the committer and
+// blocking for the verdict — runs exactly once, whether triggered by the
+// caller's wait or force-triggered by Reset/Close draining the writer.
+type stagedAppend struct {
+	w        *Writer
+	gc       *GroupCommitter
+	f        *os.File
+	start    int64
+	frameLen int
+	once     sync.Once
+	res      error
+}
+
+// submit issues the fsync request (first call) and returns the durable
+// verdict; concurrent and repeat calls block on the first and share its
+// result.
+func (sa *stagedAppend) submit() error {
+	sa.once.Do(func() {
+		sa.w.mu.Lock()
+		delete(sa.w.staged, sa)
+		sa.w.mu.Unlock()
+		sa.res = sa.gc.syncWriter(sa.w, sa.f, sa.start, sa.frameLen)
+	})
+	return sa.res
 }
 
 // SetMetrics instruments the writer: appended-record fsyncs are counted
@@ -220,6 +269,17 @@ type Writer struct {
 func (w *Writer) SetMetrics(reg *metrics.Registry) {
 	w.mu.Lock()
 	w.reg = reg
+	w.mu.Unlock()
+}
+
+// SetGroupCommit routes this writer's append fsyncs through the shared
+// commit coordinator: Append still blocks until its record is durable, but
+// the fsync itself is batched with other writers' pending appends. The
+// coordinator counts the actual fsyncs it issues, so the writer stops
+// counting its own. A nil committer restores the direct per-append fsync.
+func (w *Writer) SetGroupCommit(gc *GroupCommitter) {
+	w.mu.Lock()
+	w.gc = gc
 	w.mu.Unlock()
 }
 
@@ -240,6 +300,7 @@ func Open(path string) (*Writer, []Record, error) {
 		return nil, nil, err
 	}
 	w := &Writer{f: f, path: path}
+	w.cond = sync.NewCond(&w.mu)
 	if info.Size() == 0 {
 		if err := w.writeHeader(); err != nil {
 			f.Close()
@@ -287,24 +348,63 @@ func (w *Writer) writeHeader() error {
 }
 
 // Append assigns the record the next sequence number, frames it, writes it
-// in a single write call and fsyncs. When Append returns nil the record
-// survives kill -9. When the write or sync fails, the file is rewound to
-// the pre-append offset so a torn frame can never sit in the MIDDLE of the
-// file ahead of later successful appends (Replay heals tails, not middles);
-// if even the rewind fails, the writer marks itself failed and refuses
-// further appends rather than silently stranding them behind the damage.
+// in a single write call and fsyncs (directly, or batched through the
+// group committer). When Append returns nil the record survives kill -9.
+// When the write or sync fails, the file is rewound to the pre-append
+// offset so a torn frame can never sit in the MIDDLE of the file ahead of
+// later successful appends (Replay heals tails, not middles); if even the
+// rewind fails, the writer marks itself failed and refuses further appends
+// rather than silently stranding them behind the damage.
 func (w *Writer) Append(rec *Record) error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.appendLocked(rec)
+	wait, err := w.AppendCommit(rec)
+	if err != nil {
+		return err
+	}
+	return wait()
 }
 
-func (w *Writer) appendLocked(rec *Record) error {
+// AppendCommit splits an append into its two halves: the record is framed
+// and written (serialised under the writer lock, so offsets and sequence
+// numbers stay ordered), and the returned wait function blocks until the
+// record is durable. The caller acknowledges the record only after wait
+// returns nil — calling wait outside its own critical sections is what
+// lets consecutive appends overlap one batched fsync. wait is idempotent.
+//
+// Without a group committer the append is already durable when AppendCommit
+// returns and wait is a completed no-op.
+func (w *Writer) AppendCommit(rec *Record) (wait func() error, err error) {
+	w.mu.Lock()
+	if w.gc == nil {
+		err := w.appendLocked(rec)
+		w.mu.Unlock()
+		if err != nil {
+			return nil, err
+		}
+		return func() error { return nil }, nil
+	}
+	start, frameLen, err := w.stageLocked(rec)
+	if err != nil {
+		w.mu.Unlock()
+		return nil, err
+	}
+	sa := &stagedAppend{w: w, gc: w.gc, f: w.f, start: start, frameLen: frameLen}
+	w.pending++
+	if w.staged == nil {
+		w.staged = make(map[*stagedAppend]struct{})
+	}
+	w.staged[sa] = struct{}{}
+	w.mu.Unlock()
+	return sa.submit, nil
+}
+
+// frameRecord validates the record shape, assigns the next sequence number
+// and encodes the wire frame. Callers hold w.mu.
+func (w *Writer) frameRecord(rec *Record) (*bytes.Buffer, error) {
 	if w.closed {
-		return fmt.Errorf("journal: writer closed")
+		return nil, fmt.Errorf("journal: writer closed")
 	}
 	if w.failed {
-		return fmt.Errorf("journal: writer failed (unrewound partial append)")
+		return nil, fmt.Errorf("journal: writer failed (poisoned by earlier append failure)")
 	}
 	kind := kindStage
 	switch {
@@ -312,15 +412,24 @@ func (w *Writer) appendLocked(rec *Record) error {
 	case rec.Run != nil && rec.Stage == nil:
 		kind = kindRun
 	default:
-		return fmt.Errorf("journal: record must carry exactly one of stage, run")
+		return nil, fmt.Errorf("journal: record must carry exactly one of stage, run")
 	}
 	rec.Seq = w.seq + 1
 	payload, err := json.Marshal(rec)
 	if err != nil {
-		return fmt.Errorf("journal: encoding record: %w", err)
+		return nil, fmt.Errorf("journal: encoding record: %w", err)
 	}
 	var frame bytes.Buffer
 	if err := persist.WriteFrame(&frame, kind, payload); err != nil {
+		return nil, err
+	}
+	return &frame, nil
+}
+
+// appendLocked is the direct (ungrouped) append: write, fsync, account.
+func (w *Writer) appendLocked(rec *Record) error {
+	frame, err := w.frameRecord(rec)
+	if err != nil {
 		return err
 	}
 	start := HeaderLen + w.bytes
@@ -342,6 +451,62 @@ func (w *Writer) appendLocked(rec *Record) error {
 	w.records++
 	w.bytes += int64(frame.Len())
 	return nil
+}
+
+// stageLocked is the group-mode first half: write the frame's bytes and
+// commit the in-memory bookkeeping optimistically — the next staged append
+// must see the advanced offset — leaving durability to the group fsync. On
+// a group failure the file is rewound and the writer poisoned; the
+// optimistic counters are reconciled by the Reset that revives it.
+func (w *Writer) stageLocked(rec *Record) (start int64, frameLen int, err error) {
+	frame, err := w.frameRecord(rec)
+	if err != nil {
+		return 0, 0, err
+	}
+	start = HeaderLen + w.bytes
+	if _, err := w.f.Write(frame.Bytes()); err != nil {
+		w.rewindLocked(start)
+		return 0, 0, fmt.Errorf("journal: appending record: %w", err)
+	}
+	w.seq = rec.Seq
+	w.records++
+	w.bytes += int64(frame.Len())
+	return start, frame.Len(), nil
+}
+
+// groupDone resolves one staged append with its batch fsync verdict. It is
+// called exactly once per staged append, sequentially in batch order by the
+// committer's flusher (or inline by the closed-committer fallback), which
+// is what makes the failure bookkeeping race-free: a success is truthful
+// unless an earlier-resolved failure already rewound the file below this
+// append's bytes, and the first failure for the lowest offset wins the
+// rewind. Any group fsync failure poisons the writer — staged appends
+// beyond the rewind point may already sit in the file, so only Reset (which
+// discards everything) revives it.
+func (w *Writer) groupDone(start int64, frameLen int, syncErr error) error {
+	w.mu.Lock()
+	defer func() {
+		w.pending--
+		if w.pending == 0 {
+			w.cond.Broadcast()
+		}
+		w.mu.Unlock()
+	}()
+	if syncErr == nil {
+		if w.failed && start >= w.failFloor {
+			return fmt.Errorf("journal: append discarded by a failed group commit rewind")
+		}
+		if w.reg != nil {
+			w.reg.Counter("persist_journal_bytes_total").Add(int64(frameLen))
+		}
+		return nil
+	}
+	if !w.failed || start < w.failFloor {
+		w.failed = true
+		w.failFloor = start
+		w.rewindLocked(start)
+	}
+	return fmt.Errorf("journal: syncing record: %w", syncErr)
 }
 
 // rewindLocked truncates a partial append away so the file ends at the last
@@ -368,6 +533,12 @@ func (w *Writer) Reset() error {
 	if w.closed {
 		return fmt.Errorf("journal: writer closed")
 	}
+	// Staged appends whose group fsync is still pending must resolve first:
+	// truncating under them would acknowledge records the file no longer
+	// holds. Waits that were deferred (plan batching) are force-submitted —
+	// their records are already captured by the compaction snapshot that
+	// precedes this Reset, so resolving them early only strengthens them.
+	w.drainPendingLocked()
 	if err := w.f.Truncate(HeaderLen); err != nil {
 		return err
 	}
@@ -378,7 +549,7 @@ func (w *Writer) Reset() error {
 		return err
 	}
 	w.seq, w.records, w.bytes = 0, 0, 0
-	w.failed = false
+	w.failed, w.failFloor = false, 0
 	if w.reg != nil {
 		w.reg.Counter("persist_compactions_total").Inc()
 	}
@@ -396,14 +567,40 @@ func (w *Writer) Stats() (records int, bytes int64) {
 // Path returns the journal's file path.
 func (w *Writer) Path() string { return w.path }
 
-// Close closes the underlying file. Further appends fail; Close is
-// idempotent.
+// Close closes the underlying file after any pending group commits have
+// resolved. Further appends fail; Close is idempotent.
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.closed {
 		return nil
 	}
-	w.closed = true
+	w.closed = true // refuse new appends while the pending ones drain
+	w.drainPendingLocked()
 	return w.f.Close()
+}
+
+// drainPendingLocked blocks until every staged append has resolved,
+// force-submitting any whose wait has not been invoked yet: a deferred wait
+// (plan batching) submits its fsync request lazily, and a drain that merely
+// waited would deadlock against a plan blocked behind the very lock the
+// drain's caller holds (recorder compaction). Callers hold w.mu; it is
+// released while submissions run and re-held on return.
+func (w *Writer) drainPendingLocked() {
+	for w.pending > 0 {
+		if len(w.staged) > 0 {
+			staged := make([]*stagedAppend, 0, len(w.staged))
+			for sa := range w.staged {
+				staged = append(staged, sa)
+			}
+			clear(w.staged)
+			w.mu.Unlock()
+			for _, sa := range staged {
+				go sa.submit()
+			}
+			w.mu.Lock()
+			continue
+		}
+		w.cond.Wait()
+	}
 }

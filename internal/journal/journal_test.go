@@ -380,7 +380,7 @@ func TestComposeGuards(t *testing.T) {
 
 // stageJournal wires a scenario session whose stage hook records into the
 // given recorder, mirroring the server's wiring.
-func stageJournal(t *testing.T, dir string, n int) (*session.Session, *Recorder, *Writer) {
+func stageJournal(t *testing.T, dir string, n int, opts ...RecorderOption) (*session.Session, *Recorder, *Writer) {
 	t.Helper()
 	cfg := datagen.DefaultConfig()
 	cfg.NProperties = n
@@ -401,7 +401,7 @@ func stageJournal(t *testing.T, dir string, n int) (*session.Session, *Recorder,
 	if len(recovered) != 0 {
 		t.Fatalf("fresh journal recovered %d records", len(recovered))
 	}
-	rec = NewRecorder(w, sess, nil)
+	rec = NewRecorder(w, sess, nil, opts...)
 	return sess, rec, w
 }
 
@@ -607,5 +607,77 @@ func TestRecorderCompact(t *testing.T) {
 	after, _ := rec.Stats()
 	if before != after {
 		t.Fatalf("failed compaction changed the journal: %d -> %d records", before, after)
+	}
+}
+
+// TestRecorderDeferredBaseline pins the WithBaseline contract: the hook is
+// not called at construction, runs exactly once before the first record is
+// acknowledged, retries after a failure, and is satisfied by a compaction
+// snapshot.
+func TestRecorderDeferredBaseline(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	calls, fail := 0, true
+	sess, rec, w := stageJournal(t, dir, 40, WithBaseline(func() error {
+		calls++
+		if fail {
+			return errors.New("disk full")
+		}
+		return nil
+	}))
+	defer w.Close()
+
+	if calls != 0 {
+		t.Fatalf("baseline ran %d times at construction, want 0", calls)
+	}
+	// First stage: the commit fails because the baseline under it failed,
+	// and the failure is retried — not latched — on the next record.
+	ev := session.Event{Seq: 1, Type: session.EventStage,
+		Stage: session.StageBootstrap, At: time.Now()}
+	wait, err := rec.RecordStageCommit(ctx, ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err == nil {
+		t.Fatal("commit acknowledged without a baseline snapshot")
+	}
+	if calls != 1 {
+		t.Fatalf("baseline ran %d times, want 1", calls)
+	}
+	fail = false
+	if err := rec.RecordStage(ctx, session.Event{Seq: 2, Type: session.EventStage,
+		Stage: session.StageDataContext, At: time.Now()}); err != nil {
+		t.Fatalf("record after baseline recovery: %v", err)
+	}
+	if calls != 2 {
+		t.Fatalf("baseline ran %d times after retry, want 2", calls)
+	}
+	// Success latches: further records and run sweeps skip the hook.
+	if err := rec.RecordRuns(ctx, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.RecordStage(ctx, session.Event{Seq: 3, Type: session.EventStage,
+		Stage: session.StageFeedback, At: time.Now()}); err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 {
+		t.Fatalf("baseline ran %d times after success, want 2 (latched)", calls)
+	}
+
+	// A compaction snapshot is a superset of the baseline: a fresh recorder
+	// that compacts first never runs the hook.
+	_ = sess
+	calls2 := 0
+	_, rec2, w2 := stageJournal(t, t.TempDir(), 40,
+		WithBaseline(func() error { calls2++; return nil }))
+	defer w2.Close()
+	if err := rec2.Compact(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if err := rec2.RecordStage(ctx, ev); err != nil {
+		t.Fatal(err)
+	}
+	if calls2 != 0 {
+		t.Fatalf("baseline ran %d times after compaction, want 0", calls2)
 	}
 }

@@ -29,11 +29,49 @@ type Recorder struct {
 	w    *Writer
 	sess *session.Session
 
+	// rowDiffs switches the change log to row-level relation patches
+	// (WithRowDiffs); set once at construction.
+	rowDiffs bool
+
 	// mu orders appends against compaction; fbCount and runSeen track what
 	// is already durable so records stay deltas.
 	mu      sync.Mutex
 	fbCount int
 	runSeen map[string]bool
+
+	// baseline, when set (WithBaseline), writes the snapshot the journal
+	// layers onto — lazily, before the first record is acknowledged, so a
+	// session that never journals anything (created then deleted, or idle
+	// until evicted) never pays the snapshot write at all. blMu serialises
+	// it; baselineDone latches success (a failed attempt retries on the
+	// next record, and a compaction snapshot satisfies it too).
+	blMu         sync.Mutex
+	baseline     func() error
+	baselineDone bool
+}
+
+// RecorderOption customises a Recorder at construction.
+type RecorderOption func(*Recorder)
+
+// WithBaseline defers the baseline snapshot the journal composes onto:
+// instead of the caller writing it at session creation, fn runs before the
+// first journal record is acknowledged as durable. The crash contract is
+// unchanged — a record's commit wait returns nil only once both the
+// baseline and the record are on disk — but sessions that never complete a
+// stage or run skip the snapshot write (and its fsync) entirely. A journal
+// file orphaned by a crash between the record fsync and the baseline write
+// is ignored at boot: nothing it holds was ever acknowledged.
+func WithBaseline(fn func() error) RecorderOption {
+	return func(r *Recorder) { r.baseline = fn }
+}
+
+// WithRowDiffs makes the recorder's change log capture relation puts as
+// row-level patch ops (see kb.SetDeltaRowDiffs) instead of wholesale
+// clones. Safe here and only here: the recorder's deltas are replayed
+// exclusively through the journal's sequence-gated Compose, which applies
+// each record at most once — the condition patch ops require.
+func WithRowDiffs() RecorderOption {
+	return func(r *Recorder) { r.rowDiffs = true }
 }
 
 // NewRecorder wires a recorder over an open journal writer and a live (or
@@ -41,13 +79,17 @@ type Recorder struct {
 // the terminal runs the snapshot and the recovered journal records already
 // carry. The wrangler's change log starts (or restarts) here: the baseline
 // of the first cut is the state the snapshot+journal pair already holds.
-func NewRecorder(w *Writer, sess *session.Session, knownRuns []runs.Run) *Recorder {
+func NewRecorder(w *Writer, sess *session.Session, knownRuns []runs.Run, opts ...RecorderOption) *Recorder {
 	r := &Recorder{
 		w:       w,
 		sess:    sess,
 		fbCount: len(sess.Wrangler().FeedbackItems()),
 		runSeen: runIDs(knownRuns),
 	}
+	for _, opt := range opts {
+		opt(r)
+	}
+	sess.Wrangler().KB.SetDeltaRowDiffs(r.rowDiffs)
 	sess.Wrangler().StartChangeLog()
 	return r
 }
@@ -59,6 +101,21 @@ func NewRecorder(w *Writer, sess *session.Session, knownRuns []runs.Run) *Record
 // the hook's context carries the stage's trace span, under which the
 // fsynced append is recorded as a `journal.append` child.
 func (r *Recorder) RecordStage(ctx context.Context, ev session.Event) error {
+	wait, err := r.RecordStageCommit(ctx, ev)
+	if err != nil {
+		return err
+	}
+	return wait()
+}
+
+// RecordStageCommit is the two-phase form of RecordStage: the stage's
+// mutation record is captured and written under the recorder lock (so the
+// delta cut stays race-free with the next stage), and the returned wait
+// blocks until the record is durable. Callers that hold a coarser lock —
+// the session's run mutex in the stage hook — call wait after releasing
+// it, which is what lets the group committer batch one fsync across
+// consecutive stages and concurrent sessions.
+func (r *Recorder) RecordStageCommit(ctx context.Context, ev session.Event) (func() error, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	w := r.sess.Wrangler()
@@ -80,13 +137,65 @@ func (r *Recorder) RecordStage(ctx context.Context, ev session.Event) error {
 		rec.Stage.ExecHashes = exec
 	}
 	rec.Stage.FusedHash = fused
-	return r.appendTraced(ctx, rec, "stage")
+
+	span := trace.ChildFromContext(ctx, "journal.append",
+		"kind", "stage", "session", r.sess.ID())
+	wait, err := r.w.AppendCommit(rec)
+	if err != nil {
+		if span != nil {
+			span.EndErr(err)
+		}
+		return nil, err
+	}
+	return func() error {
+		// The baseline is written inside the wait, not the capture phase:
+		// the capture runs under the session's run mutex, which the
+		// snapshot's quiesce would deadlock against.
+		err := r.ensureBaseline()
+		if err == nil {
+			err = wait()
+		} else {
+			wait() // resolve the staged append; its verdict is moot
+		}
+		if span != nil {
+			if err == nil {
+				span.SetAttr("seq", fmt.Sprint(rec.Seq))
+			}
+			span.EndErr(err)
+		}
+		return err
+	}, nil
+}
+
+// ensureBaseline runs the deferred baseline-snapshot hook exactly once
+// before the first record is acknowledged. Failures are returned (the
+// record is not durable without the snapshot under it) and retried by the
+// next record's wait.
+func (r *Recorder) ensureBaseline() error {
+	if r.baseline == nil {
+		return nil
+	}
+	r.blMu.Lock()
+	defer r.blMu.Unlock()
+	if r.baselineDone {
+		return nil
+	}
+	if err := r.baseline(); err != nil {
+		return err
+	}
+	r.baselineDone = true
+	return nil
 }
 
 // RecordRuns appends run records for every given run that is terminal and
 // not yet journaled, returning the first append error. The caller passes
 // the engine's ListTerminal snapshot; redundant calls are cheap no-ops.
 func (r *Recorder) RecordRuns(ctx context.Context, list []runs.Run) error {
+	// Callers (the persister) hold no session lock here, so the deferred
+	// baseline can be written inline, before the records it underpins.
+	if err := r.ensureBaseline(); err != nil {
+		return err
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	for i := range list {
@@ -139,6 +248,10 @@ func (r *Recorder) Compact(writeSnapshot func() error) error {
 	if err := writeSnapshot(); err != nil {
 		return err
 	}
+	// A full snapshot is a superset of the deferred baseline.
+	r.blMu.Lock()
+	r.baselineDone = true
+	r.blMu.Unlock()
 	return r.w.Reset()
 }
 

@@ -4,9 +4,9 @@ import (
 	"vada/internal/relation"
 )
 
-// DeltaKind names one replayable knowledge-base mutation. The five kinds
-// cover the KB's whole write surface, so a Delta replayed over the KB state
-// it was cut from reproduces the post-mutation state exactly.
+// DeltaKind names one replayable knowledge-base mutation. The kinds cover
+// the KB's whole write surface, so a Delta replayed over the KB state it
+// was cut from reproduces the post-mutation state exactly.
 type DeltaKind string
 
 const (
@@ -17,11 +17,23 @@ const (
 	// DeltaRetractPredicate records a whole predicate being dropped.
 	DeltaRetractPredicate DeltaKind = "retract-pred"
 	// DeltaPutRelation records a bulk relation being stored or replaced
-	// wholesale; the op carries the full relation (relations are replaced,
-	// never patched, so this is still the delta).
+	// wholesale; the op carries the full relation.
 	DeltaPutRelation DeltaKind = "put-rel"
 	// DeltaDropRelation records a bulk relation being removed.
 	DeltaDropRelation DeltaKind = "drop-rel"
+	// DeltaPatchRelation records a bulk relation being replaced by a
+	// row-level diff: Removed tuples are taken out of the stored relation
+	// (one occurrence per listed tuple, matched by Tuple.Key), then Added
+	// tuples are inserted — at the final positions AddedAt names, or
+	// appended when AddedAt is nil — reproducing the replacement relation
+	// exactly, order included. It is logged (opt-in, see
+	// KB.SetDeltaRowDiffs) only when the reconstruction provably equals
+	// the wholesale put it replaces; anything else falls back to
+	// DeltaPutRelation. Unlike the other kinds a patch is not idempotent —
+	// re-applying one duplicates its Added rows — so it relies on the
+	// journal's replay gating (records a snapshot already folded in are
+	// skipped whole, by sequence) rather than on op-level convergence.
+	DeltaPatchRelation DeltaKind = "patch-rel"
 )
 
 // DeltaOp is one mutation of a Delta, in the order it was applied.
@@ -34,6 +46,14 @@ type DeltaOp struct {
 	Tuple relation.Tuple `json:"tuple,omitempty"`
 	// Relation is the stored relation for DeltaPutRelation.
 	Relation *relation.Relation `json:"relation,omitempty"`
+	// Added and Removed are the row diff of DeltaPatchRelation: tuples
+	// inserted into / removed from the named relation, in application
+	// order. AddedAt, when present, is Added's insertion positions in the
+	// patched relation (strictly increasing, one per added tuple); when
+	// nil the added tuples are appended at the end.
+	Added   []relation.Tuple `json:"added,omitempty"`
+	AddedAt []int            `json:"added_at,omitempty"`
+	Removed []relation.Tuple `json:"removed,omitempty"`
 }
 
 // Delta is the ordered mutation log between two knowledge-base versions —
@@ -63,6 +83,33 @@ func (k *KB) StartDeltaLog() {
 	k.deltaOn = true
 	k.deltaOps = nil
 	k.deltaFrom = k.version
+	k.deltaRelOp = nil
+	k.deltaRelBase = nil
+}
+
+// SetDeltaRowDiffs switches how an active delta log captures relation
+// puts. Off (the default), every put logs a wholesale DeltaPutRelation
+// clone. On, a put replacing an existing same-schema relation is captured
+// as a row-level DeltaPatchRelation — added and removed tuples only — when
+// that patch provably reproduces the replacement exactly, with wholesale
+// puts as the fallback and nothing logged for unchanged relations. Re-puts
+// of the same relation within one cut coalesce into a single op carrying
+// the net change against the cut-start state, so a stage that rewrites a
+// relation several times journals it once. Row diffs trade op-level
+// idempotency (see DeltaPatchRelation) for O(changed rows) journal
+// records; enable them only under a replay path that applies each record
+// at most once, like the journal's sequence-gated Compose.
+func (k *KB) SetDeltaRowDiffs(on bool) {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.rowDiffs = on
+}
+
+// DeltaRowDiffs reports whether relation puts are captured as row diffs.
+func (k *KB) DeltaRowDiffs() bool {
+	k.mu.RLock()
+	defer k.mu.RUnlock()
+	return k.rowDiffs
 }
 
 // StopDeltaLog stops recording and discards any uncut ops.
@@ -71,6 +118,8 @@ func (k *KB) StopDeltaLog() {
 	defer k.mu.Unlock()
 	k.deltaOn = false
 	k.deltaOps = nil
+	k.deltaRelOp = nil
+	k.deltaRelBase = nil
 }
 
 // DeltaLogging reports whether a delta log is active.
@@ -89,9 +138,19 @@ func (k *KB) CutDelta() *Delta {
 	if !k.deltaOn {
 		return nil
 	}
-	d := &Delta{From: k.deltaFrom, To: k.version, Ops: k.deltaOps}
+	// Re-puts that landed back on their base state leave zero-Kind
+	// tombstones (see logRelationPutLocked); filter them out of the cut.
+	ops := k.deltaOps[:0]
+	for _, op := range k.deltaOps {
+		if op.Kind != "" {
+			ops = append(ops, op)
+		}
+	}
+	d := &Delta{From: k.deltaFrom, To: k.version, Ops: ops}
 	k.deltaOps = nil
 	k.deltaFrom = k.version
+	k.deltaRelOp = nil
+	k.deltaRelBase = nil
 	return d
 }
 
@@ -99,10 +158,14 @@ func (k *KB) CutDelta() *Delta {
 // surface (watchers observe them as ordinary changes, an active delta log
 // records them) and raises the version to at least d.To, so a snapshot KB
 // plus the journal's deltas converges on the live KB's version. Replay is
-// convergent: asserting a fact already present and retracting one already
-// gone are no-ops, and relation puts replace wholesale — so re-applying a
-// prefix that a snapshot already folded in cannot corrupt state (the
-// version counter may advance further; content converges).
+// convergent at the op level for all kinds except DeltaPatchRelation:
+// asserting a fact already present and retracting one already gone are
+// no-ops, and relation puts replace wholesale — so re-applying a prefix
+// that a snapshot already folded in cannot corrupt state (the version
+// counter may advance further; content converges). Patch ops are the
+// exception: they must be applied exactly once over the state they were
+// cut from, which the journal guarantees by skipping already-folded
+// records whole (sequence-gated in Compose).
 func (k *KB) ApplyDelta(d *Delta) {
 	if d == nil {
 		return
@@ -121,6 +184,8 @@ func (k *KB) ApplyDelta(d *Delta) {
 			}
 		case DeltaDropRelation:
 			k.DropRelation(op.Name)
+		case DeltaPatchRelation:
+			k.PatchRelationAt(op.Name, op.Added, op.AddedAt, op.Removed)
 		}
 	}
 	k.mu.Lock()

@@ -85,6 +85,22 @@ type KB struct {
 	deltaOn   bool
 	deltaOps  []DeltaOp
 	deltaFrom uint64
+
+	// rowDiffs switches the delta log's relation-put capture from wholesale
+	// clones to row-level diffs where provably equivalent (see
+	// SetDeltaRowDiffs and DeltaPatchRelation).
+	rowDiffs bool
+
+	// deltaRelOp/deltaRelBase implement same-cut coalescing of relation
+	// puts in row-diff mode. deltaRelBase[name] is the relation's state
+	// when the current cut first replaced it (nil = absent) and
+	// deltaRelOp[name] is the index in deltaOps of the one op carrying the
+	// relation's net change; a re-put rewrites that op with the diff of the
+	// latest state against the base, so a stage that executes, repairs and
+	// re-executes a relation journals the net effect once instead of every
+	// intermediate state. Both reset at each cut.
+	deltaRelOp   map[string]int
+	deltaRelBase map[string]*relation.Relation
 }
 
 type factSet struct {
@@ -275,13 +291,236 @@ func (k *KB) Predicates() []string {
 
 // PutRelation stores (or replaces) a named bulk relation. The stored value
 // is a deep copy, so callers may keep mutating theirs.
+//
+// With an active delta log the mutation is recorded — by default as a
+// wholesale DeltaPutRelation clone. In row-diff mode (SetDeltaRowDiffs) a
+// replacement of an existing same-schema relation is captured as a
+// DeltaPatchRelation carrying only the added and removed rows (insertion
+// positions included, so mid-relation edits patch too), provided replaying
+// that patch reproduces the new relation exactly (order included); a
+// replacement the diff cannot prove equivalent — schema change, reordering
+// of surviving rows, or a diff no smaller than the relation — falls back
+// to the wholesale clone, and an unchanged relation logs nothing at all
+// (the version still advances; the delta's To covers it on replay).
 func (k *KB) PutRelation(name string, r *relation.Relation) {
 	k.mu.Lock()
-	k.relations[name] = r.Clone()
+	old := k.relations[name]
+	stored := r.Clone()
+	k.relations[name] = stored
 	k.version++
 	k.notifyLocked(Event{Version: k.version, Op: OpAssert, Predicate: name})
-	k.logLocked(DeltaOp{Kind: DeltaPutRelation, Name: name, Relation: r.Clone()})
+	k.logRelationPutLocked(name, old, stored)
 	k.mu.Unlock()
+}
+
+// logRelationPutLocked records a relation put in the active delta log.
+// Without row diffs every put logs independently, as before. With row
+// diffs, re-puts of the same relation within one cut coalesce: the op
+// logged at first touch is rewritten in place with the diff of the latest
+// state against deltaRelBase — the state the cut started from — so only
+// the net change ships in the journal record. Rewriting in place is sound
+// because replayed ops never read KB state; only the materialised result
+// matters, and DropRelation clears the coalescing entry so op order around
+// drops is preserved. A re-put that lands back on the base state
+// tombstones the op (Kind left zero; CutDelta filters it).
+func (k *KB) logRelationPutLocked(name string, old, stored *relation.Relation) {
+	if !k.deltaOn {
+		return
+	}
+	if !k.rowDiffs {
+		if op, logIt := k.relationPutOp(name, old, stored); logIt {
+			k.logLocked(op)
+		}
+		return
+	}
+	base, seen := k.deltaRelBase[name]
+	if !seen {
+		base = old // orphaned by this put, so safe to retain without cloning
+		if k.deltaRelBase == nil {
+			k.deltaRelBase = make(map[string]*relation.Relation)
+		}
+		k.deltaRelBase[name] = base
+	}
+	op, logIt := k.relationPutOp(name, base, stored)
+	if idx, ok := k.deltaRelOp[name]; ok {
+		if !logIt {
+			k.deltaOps[idx] = DeltaOp{}
+			delete(k.deltaRelOp, name)
+			return
+		}
+		k.deltaOps[idx] = op
+		return
+	}
+	if !logIt {
+		return
+	}
+	k.deltaOps = append(k.deltaOps, op)
+	if k.deltaRelOp == nil {
+		k.deltaRelOp = make(map[string]int)
+	}
+	k.deltaRelOp[name] = len(k.deltaOps) - 1
+}
+
+// relationPutOp decides how an active delta log records a relation put:
+// a row-level patch when row diffing is on and provably lossless, nothing
+// for an unchanged relation, a wholesale clone otherwise. Callers hold
+// k.mu; old is the previously stored relation (nil if absent) and stored
+// is the KB-owned clone just installed.
+func (k *KB) relationPutOp(name string, old, stored *relation.Relation) (DeltaOp, bool) {
+	if !k.rowDiffs || old == nil || !old.Schema.Equal(stored.Schema) {
+		return DeltaOp{Kind: DeltaPutRelation, Name: name, Relation: stored.Clone()}, true
+	}
+	added, addedAt, removed, ok := relationRowDiff(old, stored)
+	if !ok || len(added)+len(removed) >= len(stored.Tuples) {
+		return DeltaOp{Kind: DeltaPutRelation, Name: name, Relation: stored.Clone()}, true
+	}
+	if len(added) == 0 && len(removed) == 0 {
+		return DeltaOp{}, false
+	}
+	return DeltaOp{Kind: DeltaPatchRelation, Name: name,
+		Added: added, AddedAt: addedAt, Removed: removed}, true
+}
+
+// relationRowDiff computes the row-level diff turning old into new, in the
+// exact shape DeltaPatchRelation replays: remove one occurrence per removed
+// tuple (matched by Tuple.Key, earliest surplus occurrences first), then
+// insert the added tuples at their final positions. ok reports that this
+// reconstruction reproduces new exactly, order included, which requires the
+// surviving old rows to appear in new in their original order — an in-order
+// subsequence. Greedy earliest matching decides that completely: Tuple.Key
+// is injective, so tuples with equal keys are equal values and matching any
+// duplicate is equivalent. Replacements that reorder surviving rows fail
+// the check and fall back to a wholesale put. addedAt is nil when every
+// addition is a tail append (the pre-positional wire shape). The returned
+// tuples are clones, safe to retain.
+func relationRowDiff(old, new *relation.Relation) (added []relation.Tuple, addedAt []int, removed []relation.Tuple, ok bool) {
+	oldCount := make(map[string]int, len(old.Tuples))
+	for _, t := range old.Tuples {
+		oldCount[t.Key()]++
+	}
+	newCount := make(map[string]int, len(new.Tuples))
+	for _, t := range new.Tuples {
+		newCount[t.Key()]++
+	}
+	// Remove the earliest surplus occurrences of over-represented keys;
+	// what survives must then appear in new, in order, for the patch to be
+	// lossless.
+	surplus := map[string]int{}
+	for key, c := range oldCount {
+		if c > newCount[key] {
+			surplus[key] = c - newCount[key]
+		}
+	}
+	kept := make([]relation.Tuple, 0, len(old.Tuples))
+	for _, t := range old.Tuples {
+		key := t.Key()
+		if surplus[key] > 0 {
+			surplus[key]--
+			removed = append(removed, t.Clone())
+			continue
+		}
+		kept = append(kept, t)
+	}
+	j := 0
+	for i, t := range new.Tuples {
+		if j < len(kept) && t.Key() == kept[j].Key() {
+			j++
+			continue
+		}
+		added = append(added, t.Clone())
+		addedAt = append(addedAt, i)
+	}
+	if j != len(kept) {
+		return nil, nil, nil, false
+	}
+	// Positions are strictly increasing, so a first addition landing where
+	// the tail starts means all of them are tail appends: drop the
+	// positions and keep the smaller nil-AddedAt wire shape.
+	if len(added) > 0 && addedAt[0] == len(new.Tuples)-len(added) {
+		addedAt = nil
+	}
+	return added, addedAt, removed, true
+}
+
+// PatchRelation applies a row-level diff to a named bulk relation: one
+// occurrence per removed tuple is taken out (matched by Tuple.Key, earliest
+// first), then the added tuples are appended. It is PatchRelationAt with
+// tail insertion.
+func (k *KB) PatchRelation(name string, added, removed []relation.Tuple) bool {
+	return k.PatchRelationAt(name, added, nil, removed)
+}
+
+// PatchRelationAt applies a row-level diff to a named bulk relation: one
+// occurrence per removed tuple is taken out (matched by Tuple.Key, earliest
+// first), then the added tuples are inserted at the final positions addedAt
+// names — or appended at the end when addedAt is nil. It reports whether
+// the relation existed; patching an absent relation is a no-op — a patch is
+// only ever cut from a state where the relation was present, so an absent
+// target means the op belongs to an epoch already folded into a snapshot.
+// An empty patch is a no-op too. Malformed positions (short, out of range)
+// degrade deterministically: unplaceable additions keep their order and
+// flush to the tail. Inputs are deep-copied.
+func (k *KB) PatchRelationAt(name string, added []relation.Tuple, addedAt []int, removed []relation.Tuple) bool {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	r, ok := k.relations[name]
+	if !ok {
+		return false
+	}
+	if len(added) == 0 && len(removed) == 0 {
+		return true
+	}
+	surplus := make(map[string]int, len(removed))
+	for _, t := range removed {
+		surplus[t.Key()]++
+	}
+	kept := make([]relation.Tuple, 0, len(r.Tuples))
+	for _, t := range r.Tuples {
+		key := t.Key()
+		if surplus[key] > 0 {
+			surplus[key]--
+			continue
+		}
+		kept = append(kept, t)
+	}
+	next := make([]relation.Tuple, 0, len(kept)+len(added))
+	ai, ki := 0, 0
+	for ai < len(added) || ki < len(kept) {
+		if ai < len(added) &&
+			(ki == len(kept) || (ai < len(addedAt) && addedAt[ai] <= len(next))) {
+			next = append(next, added[ai].Clone())
+			ai++
+			continue
+		}
+		next = append(next, kept[ki])
+		ki++
+	}
+	r.Tuples = next
+	k.version++
+	k.notifyLocked(Event{Version: k.version, Op: OpAssert, Predicate: name})
+	k.logLocked(DeltaOp{Kind: DeltaPatchRelation, Name: name,
+		Added: cloneTuples(added), AddedAt: cloneInts(addedAt), Removed: cloneTuples(removed)})
+	return true
+}
+
+// cloneInts copies an int slice (nil in, nil out).
+func cloneInts(xs []int) []int {
+	if xs == nil {
+		return nil
+	}
+	return append([]int(nil), xs...)
+}
+
+// cloneTuples deep-copies a tuple slice (nil in, nil out).
+func cloneTuples(ts []relation.Tuple) []relation.Tuple {
+	if ts == nil {
+		return nil
+	}
+	out := make([]relation.Tuple, len(ts))
+	for i, t := range ts {
+		out[i] = t.Clone()
+	}
+	return out
 }
 
 // Relation returns a deep copy of a named bulk relation, or nil if absent.
@@ -326,6 +565,16 @@ func (k *KB) DropRelation(name string) bool {
 	k.version++
 	k.notifyLocked(Event{Version: k.version, Op: OpRetract, Predicate: name})
 	k.logLocked(DeltaOp{Kind: DeltaDropRelation, Name: name})
+	if k.deltaOn && k.rowDiffs {
+		// Later re-puts must not rewrite an op that precedes this drop, and
+		// must diff against "absent" (wholesale) since replay passes through
+		// the drop.
+		delete(k.deltaRelOp, name)
+		if k.deltaRelBase == nil {
+			k.deltaRelBase = make(map[string]*relation.Relation)
+		}
+		k.deltaRelBase[name] = nil
+	}
 	return true
 }
 

@@ -68,6 +68,25 @@ type Config struct {
 	// retained span, keyed by trace ID) to this path after the steady
 	// state — the artifact CI uploads when the completeness gate fails.
 	TraceDump string `json:"-"`
+	// GroupWindow enables journal group commit in the hosted server:
+	// appends landing within the window share one fsync. GroupMax caps the
+	// batch (0 = server default).
+	GroupWindow time.Duration `json:"-"`
+	// GroupWindowMs mirrors GroupWindow in the JSON report.
+	GroupWindowMs float64 `json:"group_window_ms,omitempty"`
+	GroupMax      int     `json:"group_max,omitempty"`
+	// RowDiffs journals relation replacements as row-level diffs.
+	RowDiffs bool `json:"row_diffs,omitempty"`
+	// SnapshotOnly disables the journal and persists the full snapshot
+	// envelope per completed stage instead — the same per-stage durability
+	// point, paid for wholesale. This is the mode CompareBaseline measures
+	// against.
+	SnapshotOnly bool `json:"snapshot_only,omitempty"`
+	// CompareBaseline runs a second, baseline pass — same workload in
+	// SnapshotOnly mode, every persist a full fsynced envelope — and embeds
+	// its durability cost in the report, so one run carries its own
+	// regression reference for the journal + group-commit + row-diff stack.
+	CompareBaseline bool `json:"-"`
 	// Notes is free-form context copied into the report (e.g. "tracing
 	// overhead vs BENCH_1").
 	Notes string `json:"-"`
@@ -104,6 +123,18 @@ type OpStats struct {
 	MaxMs          float64 `json:"max_ms"`
 }
 
+// Baseline is the durability cost of the comparison pass a
+// Config.CompareBaseline run embeds: the same workload in the pre-journal
+// snapshot-per-stage mode. The journalled run regresses when its per-run
+// fsync or disk-byte cost exceeds these numbers.
+type Baseline struct {
+	Name            string  `json:"name"`
+	RunsCompleted   int64   `json:"runs_completed"`
+	Fsyncs          int64   `json:"fsyncs"`
+	FsyncsPerRun    float64 `json:"fsyncs_per_run"`
+	DiskBytesPerRun float64 `json:"disk_bytes_per_run"`
+}
+
 // Recovery is the kill-9/restart section of a report.
 type Recovery struct {
 	Killed           bool    `json:"killed"`
@@ -128,8 +159,13 @@ type Report struct {
 	// completions, SSE drops — the numbers client latencies cannot see.
 	ServerDelta     map[string]int64 `json:"server_delta"`
 	RunsCompleted   int64            `json:"runs_completed"`
+	Fsyncs          int64            `json:"fsyncs"`
+	FsyncsPerRun    float64          `json:"fsyncs_per_run"`
 	DiskBytesPerRun float64          `json:"disk_bytes_per_run"`
 	SSEDropped      int64            `json:"sse_dropped_events"`
+	// Baseline is the comparison pass's durability cost (CompareBaseline
+	// runs only).
+	Baseline *Baseline `json:"baseline,omitempty"`
 	// RunsTraced/RunsMissingTrace are the trace-completeness tally (Trace
 	// runs only): every accepted plan run must still resolve to a span tree
 	// via GET /api/v1/traces/{id} at the end of the steady state.
@@ -169,6 +205,7 @@ func Run(cfg Config) (*Report, error) {
 		cfg.Duration = 5 * time.Second
 	}
 	cfg.DurationS = cfg.Duration.Seconds()
+	cfg.GroupWindowMs = float64(cfg.GroupWindow.Microseconds()) / 1000
 	if cfg.Sessions <= 0 {
 		cfg.Sessions = cfg.Workers
 	}
@@ -242,7 +279,40 @@ func Run(cfg Config) (*Report, error) {
 	r := d.report(start, before, after, rec)
 	r.RunsTraced, r.RunsMissingTrace = traced, missing
 	r.Notes = cfg.Notes
+	if cfg.CompareBaseline {
+		if err := attachBaseline(r, cfg); err != nil {
+			return nil, err
+		}
+	}
 	return r, nil
+}
+
+// attachBaseline runs the comparison pass — identical workload in
+// snapshot-per-stage mode (journal, group commit and row diffs all off, so
+// every persist is a full fsynced envelope), no recovery or trace phases
+// (the counters it exists for are steady-state) — and embeds its
+// durability cost in r.
+func attachBaseline(r *Report, cfg Config) error {
+	bcfg := cfg
+	bcfg.Name = cfg.Name + "-snapshot-baseline"
+	bcfg.CompareBaseline = false
+	bcfg.SnapshotOnly = true
+	bcfg.GroupWindow, bcfg.GroupMax, bcfg.RowDiffs = 0, 0, false
+	bcfg.Recovery, bcfg.Trace, bcfg.TraceDump = false, false, ""
+	bcfg.Notes = ""
+	bcfg.DataDir = ""
+	brep, err := Run(bcfg)
+	if err != nil {
+		return fmt.Errorf("loadgen: baseline pass: %w", err)
+	}
+	r.Baseline = &Baseline{
+		Name:            brep.Config.Name,
+		RunsCompleted:   brep.RunsCompleted,
+		Fsyncs:          brep.Fsyncs,
+		FsyncsPerRun:    brep.FsyncsPerRun,
+		DiskBytesPerRun: brep.DiskBytesPerRun,
+	}
+	return nil
 }
 
 // verifyTraces resolves every captured plan-run trace ID against
@@ -332,7 +402,17 @@ func (d *driver) serverConfig() server.Config {
 	if sc.JournalMaxBytes == 0 {
 		sc.JournalMaxBytes = 4 << 20
 	}
-	sc.Journal = true
+	sc.Journal = !d.cfg.SnapshotOnly
+	sc.SnapshotPerStage = d.cfg.SnapshotOnly
+	if d.cfg.GroupWindow > 0 {
+		sc.JournalGroupWindow = d.cfg.GroupWindow
+		if sc.JournalGroupMax == 0 {
+			sc.JournalGroupMax = d.cfg.GroupMax
+		}
+	}
+	if d.cfg.RowDiffs {
+		sc.JournalRowDiffs = true
+	}
 	if d.cfg.Trace {
 		sc.Trace = true
 		if sc.TraceCapacity == 0 {
@@ -941,10 +1021,14 @@ func (d *driver) report(start time.Time, before, after vada.MetricsSnapshot, rec
 		if strings.HasPrefix(name, "sse_dropped_events_total") {
 			r.SSEDropped += v
 		}
+		if strings.HasPrefix(name, "persist_fsync_total") {
+			r.Fsyncs += v
+		}
 	}
 	if r.RunsCompleted > 0 {
 		disk := r.ServerDelta["persist_journal_bytes_total"] + r.ServerDelta["persist_snapshot_bytes_total"]
 		r.DiskBytesPerRun = float64(disk) / float64(r.RunsCompleted)
+		r.FsyncsPerRun = float64(r.Fsyncs) / float64(r.RunsCompleted)
 	}
 	return r
 }

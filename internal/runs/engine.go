@@ -334,7 +334,16 @@ func (e *Engine) worker() {
 // event and the first error. Between stages it checks the run context (so
 // a mid-plan cancel stops the remaining stages), advances the run's stage
 // cursor, and publishes the stage k/n progress transition.
+//
+// The stages run under a DeferCommits scope: each stage's journal
+// durability wait is collected instead of blocking the next stage, and the
+// deferred flush — before this function returns, so before the run turns
+// terminal — lands all of the plan's records in one group-commit batch.
+// The acknowledgement contract is intact: a run observed terminal has every
+// stage record on disk.
 func (e *Engine) runTask(t *task) (session.Event, error) {
+	ctx, flush := session.DeferCommits(t.ctx)
+	defer flush()
 	var last session.Event
 	for i := range t.fns {
 		if i > 0 {
@@ -350,7 +359,7 @@ func (e *Engine) runTask(t *task) (session.Event, error) {
 			e.mu.Unlock()
 		}
 		t0 := time.Now()
-		ev, err := runStage(t, i)
+		ev, err := runStage(t, i, ctx)
 		if e.reg != nil {
 			e.mu.Lock()
 			stage := t.run.Stage
@@ -376,13 +385,13 @@ func (e *Engine) runTask(t *task) (session.Event, error) {
 // sync path gets per-connection panic recovery from net/http, so the async
 // path must not let a panicking stage unwind a worker goroutine and kill
 // the whole process — it becomes a failed run instead.
-func runStage(t *task, i int) (ev session.Event, err error) {
+func runStage(t *task, i int, ctx context.Context) (ev session.Event, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("runs: stage panicked: %v", r)
 		}
 	}()
-	return t.fns[i](t.ctx)
+	return t.fns[i](ctx)
 }
 
 // releaseLocked hands a worker's queue back: re-ready it if work remains,

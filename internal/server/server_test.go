@@ -1848,8 +1848,10 @@ func TestRestartRecoveryJournaled(t *testing.T) {
 	waitJournalRun(t, jpath, rid)
 	waitJournalRun(t, jpath, rid2)
 
-	// The O(delta) shape on disk: the snapshot is still the creation-time
-	// baseline (no events) — completed runs appended, they did not rewrite.
+	// The O(delta) shape on disk: the snapshot is the creation-time
+	// baseline (no events) — captured at creation, written lazily when the
+	// first record was acknowledged — and completed runs appended to the
+	// journal, they did not rewrite it.
 	f, err := os.Open(filepath.Join(dir, id+snapshotExt))
 	if err != nil {
 		t.Fatal(err)

@@ -4,18 +4,40 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"vada/internal/core"
 	"vada/internal/metrics"
 )
 
+// defaultShards is the stripe count used when WithShards is not given.
+// Sixteen stripes keep lock contention negligible for the session counts a
+// single node serves while costing sixteen empty maps at rest.
+const defaultShards = 16
+
+// maxConcurrentTeardowns bounds the teardown fan-out in EvictIdle so a
+// large eviction sweep cannot spawn an unbounded goroutine burst, while one
+// session stuck in quiesce or a slow evict hook no longer serialises the
+// rest of the sweep behind it.
+const maxConcurrentTeardowns = 8
+
+// shard is one stripe of the session table. Each shard has its own lock, so
+// operations on sessions that hash to different stripes never contend.
+type shard struct {
+	mu       sync.RWMutex
+	sessions map[string]*Session
+}
+
 // Manager serves many independent sessions: create, look up, list and close
 // by ID, concurrency-safe, with a configurable session cap and an idle
-// eviction hook. All operations take the manager lock only briefly —
-// wrangling work happens under the individual session's lock, so sessions
+// eviction hook. The session table is striped across N shards by session-ID
+// hash — each shard has its own mutex — and the cap and live gauge are
+// maintained on an atomic counter, so no operation takes a global lock.
+// Wrangling work happens under the individual session's lock, so sessions
 // proceed fully in parallel.
 type Manager struct {
 	maxSessions int
@@ -23,10 +45,9 @@ type Manager struct {
 	evictHooks  []func(*Session)
 	reg         *metrics.Registry
 
-	mu       sync.RWMutex
-	sessions map[string]*Session
-	order    map[string]uint64 // session ID -> creation sequence
-	seq      uint64
+	shards []shard
+	seq    atomic.Uint64 // creation sequence, monotonic across shards
+	live   atomic.Int64  // registered sessions; authoritative for the cap
 }
 
 // ManagerOption configures a Manager.
@@ -36,6 +57,18 @@ type ManagerOption func(*Manager)
 // Create fails with ErrLimit at the cap.
 func WithMaxSessions(n int) ManagerOption {
 	return func(m *Manager) { m.maxSessions = n }
+}
+
+// WithShards sets the stripe count of the session table (default 16,
+// minimum 1). More shards reduce lock contention between sessions whose IDs
+// hash together; the count is fixed at construction.
+func WithShards(n int) ManagerOption {
+	return func(m *Manager) {
+		if n < 1 {
+			return // keep the default stripe count
+		}
+		m.shards = make([]shard, n)
+	}
 }
 
 // WithStopHook installs a callback invoked (outside the manager lock) for
@@ -64,35 +97,75 @@ func WithEvictHook(hook func(*Session)) ManagerOption {
 // gauge (sessions_live) tracks Create/Restore/Close/EvictIdle, creations
 // and cap rejections are counted (sessions_created_total,
 // sessions_rejected_total), and removals are split by cause
-// (sessions_closed_total, sessions_evicted_total).
+// (sessions_closed_total, sessions_evicted_total). Cap rejections are
+// counted for Create and Restore alike, so boot-time restore rejections
+// show up in metricz.
 func WithManagerMetrics(reg *metrics.Registry) ManagerOption {
 	return func(m *Manager) { m.reg = reg }
 }
 
 // NewManager builds an empty session manager.
 func NewManager(opts ...ManagerOption) *Manager {
-	m := &Manager{sessions: map[string]*Session{}, order: map[string]uint64{}}
+	m := &Manager{}
 	for _, opt := range opts {
 		opt(m)
 	}
+	if m.shards == nil {
+		m.shards = make([]shard, defaultShards)
+	}
+	for i := range m.shards {
+		m.shards[i].sessions = map[string]*Session{}
+	}
 	return m
+}
+
+// Shards returns the stripe count of the session table.
+func (m *Manager) Shards() int { return len(m.shards) }
+
+// shardFor picks the stripe for a session ID (FNV-1a).
+func (m *Manager) shardFor(id string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(id))
+	return &m.shards[h.Sum32()%uint32(len(m.shards))]
+}
+
+// reserve claims one slot against the session cap, race-free via CAS on the
+// live counter. A rejection is counted; a successful reservation must be
+// followed by either a shard insert or a release.
+func (m *Manager) reserve() error {
+	for {
+		cur := m.live.Load()
+		if m.maxSessions > 0 && cur >= int64(m.maxSessions) {
+			m.count("sessions_rejected_total")
+			return fmt.Errorf("%w (max %d)", ErrLimit, m.maxSessions)
+		}
+		if m.live.CompareAndSwap(cur, cur+1) {
+			m.liveGauge()
+			return nil
+		}
+	}
+}
+
+// release undoes a reservation (failed Restore) or records a removal.
+func (m *Manager) release(n int64) {
+	m.live.Add(-n)
+	m.liveGauge()
 }
 
 // Create builds a session over the given Wrangler, assigns it a unique ID
 // and registers it. It fails with ErrLimit when the cap is reached.
 func (m *Manager) Create(w *core.Wrangler, opts ...Option) (*Session, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.maxSessions > 0 && len(m.sessions) >= m.maxSessions {
-		m.count("sessions_rejected_total")
-		return nil, fmt.Errorf("%w (max %d)", ErrLimit, m.maxSessions)
+	if err := m.reserve(); err != nil {
+		return nil, err
 	}
-	m.seq++
-	s := New(fmt.Sprintf("s%04d-%s", m.seq, randomSuffix()), w, opts...)
-	m.sessions[s.ID()] = s
-	m.order[s.ID()] = m.seq
+	seq := m.seq.Add(1)
+	s := New(fmt.Sprintf("s%04d-%s", seq, randomSuffix()), w, opts...)
+	s.mgrSeq = seq
+	sh := m.shardFor(s.ID())
+	sh.mu.Lock()
+	sh.sessions[s.ID()] = s
+	sh.mu.Unlock()
 	m.count("sessions_created_total")
-	m.liveLocked()
 	return s, nil
 }
 
@@ -103,10 +176,10 @@ func (m *Manager) count(name string) {
 	}
 }
 
-// liveLocked refreshes the live-session gauge. Callers hold m.mu.
-func (m *Manager) liveLocked() {
+// liveGauge refreshes the live-session gauge from the atomic counter.
+func (m *Manager) liveGauge() {
 	if m.reg != nil {
-		m.reg.Gauge("sessions_live").Set(int64(len(m.sessions)))
+		m.reg.Gauge("sessions_live").Set(m.live.Load())
 	}
 }
 
@@ -114,79 +187,86 @@ func (m *Manager) liveLocked() {
 // pre-check for callers doing expensive setup before Create (which remains
 // the authoritative, race-free gate).
 func (m *Manager) AtCap() bool {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return m.maxSessions > 0 && len(m.sessions) >= m.maxSessions
+	return m.maxSessions > 0 && m.live.Load() >= int64(m.maxSessions)
 }
 
 // Get returns the live session with the given ID, or ErrNotFound.
 func (m *Manager) Get(id string) (*Session, error) {
-	m.mu.RLock()
-	s, ok := m.sessions[id]
-	m.mu.RUnlock()
+	sh := m.shardFor(id)
+	sh.mu.RLock()
+	s, ok := sh.sessions[id]
+	sh.mu.RUnlock()
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
 	return s, nil
 }
 
-// List returns all live sessions in creation order.
+// List returns all live sessions in creation order. The creation sequence
+// lives on the session itself, so listing allocates only the result slice —
+// no per-call map snapshots.
 func (m *Manager) List() []*Session {
-	m.mu.RLock()
-	out := make([]*Session, 0, len(m.sessions))
-	for _, s := range m.sessions {
-		out = append(out, s)
+	out := make([]*Session, 0, m.live.Load())
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		for _, s := range sh.sessions {
+			out = append(out, s)
+		}
+		sh.mu.RUnlock()
 	}
-	seq := make(map[string]uint64, len(out))
-	for id, n := range m.order {
-		seq[id] = n
-	}
-	m.mu.RUnlock()
-	sort.Slice(out, func(i, j int) bool { return seq[out[i].ID()] < seq[out[j].ID()] })
+	sort.Slice(out, func(i, j int) bool { return out[i].mgrSeq < out[j].mgrSeq })
 	return out
 }
 
 // Len returns the number of live sessions.
 func (m *Manager) Len() int {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	return len(m.sessions)
+	n := 0
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.RLock()
+		n += len(sh.sessions)
+		sh.mu.RUnlock()
+	}
+	return n
 }
 
 // Restore registers an externally-constructed session — typically one
 // rebuilt from a persisted snapshot — under its existing ID. The session
-// cap applies as in Create; an ID a live session already holds fails with
-// ErrExists rather than silently replacing it.
+// cap applies as in Create, and a rejection is counted like one; an ID a
+// live session already holds fails with ErrExists rather than silently
+// replacing it.
 func (m *Manager) Restore(s *Session) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.maxSessions > 0 && len(m.sessions) >= m.maxSessions {
-		return fmt.Errorf("%w (max %d)", ErrLimit, m.maxSessions)
+	if err := m.reserve(); err != nil {
+		return err
 	}
-	if _, ok := m.sessions[s.ID()]; ok {
+	sh := m.shardFor(s.ID())
+	sh.mu.Lock()
+	if _, ok := sh.sessions[s.ID()]; ok {
+		sh.mu.Unlock()
+		m.release(1)
 		return fmt.Errorf("%w: %q", ErrExists, s.ID())
 	}
-	m.seq++
-	m.sessions[s.ID()] = s
-	m.order[s.ID()] = m.seq
-	m.liveLocked()
+	s.mgrSeq = m.seq.Add(1)
+	sh.sessions[s.ID()] = s
+	sh.mu.Unlock()
 	return nil
 }
 
 // Close removes and closes the session with the given ID, invoking the
 // stop and evict hooks; unknown IDs fail with ErrNotFound.
 func (m *Manager) Close(id string) error {
-	m.mu.Lock()
-	s, ok := m.sessions[id]
+	sh := m.shardFor(id)
+	sh.mu.Lock()
+	s, ok := sh.sessions[id]
 	if ok {
-		delete(m.sessions, id)
-		delete(m.order, id)
-		m.liveLocked()
+		delete(sh.sessions, id)
 	}
-	m.mu.Unlock()
+	sh.mu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %q", ErrNotFound, id)
 	}
+	m.release(1)
 	m.count("sessions_closed_total")
 	m.teardown(s)
 	return nil
@@ -209,8 +289,11 @@ func (m *Manager) teardown(s *Session) {
 }
 
 // EvictIdle removes and closes every session whose last activity is older
-// than maxIdle, returning the evicted IDs. Run it from a ticker to bound
-// the memory of abandoned sessions:
+// than maxIdle, returning the evicted IDs sorted ascending. Candidates are
+// collected shard by shard under that shard's lock; teardown then runs
+// concurrently (bounded by maxConcurrentTeardowns), so one session stuck in
+// quiesce or a slow persist hook does not delay eviction of the others.
+// Run it from a ticker to bound the memory of abandoned sessions:
 //
 //	go func() {
 //		for range time.Tick(time.Minute) {
@@ -219,23 +302,38 @@ func (m *Manager) teardown(s *Session) {
 //	}()
 func (m *Manager) EvictIdle(maxIdle time.Duration) []string {
 	cutoff := time.Now().Add(-maxIdle)
-	m.mu.Lock()
 	var evicted []*Session
-	for id, s := range m.sessions {
-		if s.LastActive().Before(cutoff) {
-			delete(m.sessions, id)
-			delete(m.order, id)
-			evicted = append(evicted, s)
+	for i := range m.shards {
+		sh := &m.shards[i]
+		sh.mu.Lock()
+		for id, s := range sh.sessions {
+			if s.LastActive().Before(cutoff) {
+				delete(sh.sessions, id)
+				evicted = append(evicted, s)
+			}
 		}
+		sh.mu.Unlock()
 	}
-	m.liveLocked()
-	m.mu.Unlock()
+	if len(evicted) == 0 {
+		return []string{}
+	}
+	m.release(int64(len(evicted)))
+
 	ids := make([]string, len(evicted))
+	sem := make(chan struct{}, maxConcurrentTeardowns)
+	var wg sync.WaitGroup
 	for i, s := range evicted {
 		ids[i] = s.ID()
 		m.count("sessions_evicted_total")
-		m.teardown(s)
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(s *Session) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			m.teardown(s)
+		}(s)
 	}
+	wg.Wait()
 	sort.Strings(ids)
 	return ids
 }

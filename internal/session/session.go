@@ -112,6 +112,13 @@ type Session struct {
 	seed      int64
 	registry  *Registry
 
+	// mgrSeq is the creation sequence assigned by the Manager when the
+	// session is registered (Create/Restore). It is written exactly once,
+	// under the owning shard's lock before the session is published, and
+	// lets Manager.List sort by creation order without a per-call index
+	// snapshot.
+	mgrSeq uint64
+
 	// runMu serialises stage execution; mu guards the cheap metadata so
 	// listings and state reads never block behind a running stage.
 	runMu      sync.Mutex
@@ -129,8 +136,11 @@ type Session struct {
 
 	// stageHook, when set, observes every completed stage while the session
 	// still holds its run mutex — the mutation hook the durability journal
-	// feeds on (see WithStageHook).
-	stageHook func(context.Context, *Session, Event)
+	// feeds on (see WithStageHook). stageCommitHook is its two-phase form:
+	// capture under the run mutex, durability wait after it is released
+	// (see WithStageCommitHook).
+	stageHook       func(context.Context, *Session, Event)
+	stageCommitHook func(context.Context, *Session, Event) func()
 
 	// reg, when set, counts the SSE fan-out: live subscribers
 	// (sse_subscribers) and events lost to slow consumers
@@ -176,6 +186,19 @@ func WithRegistry(r *Registry) Option {
 // options replace earlier ones.
 func WithStageHook(hook func(context.Context, *Session, Event)) Option {
 	return func(s *Session) { s.stageHook = hook }
+}
+
+// WithStageCommitHook installs the two-phase variant of WithStageHook: the
+// hook runs with the run mutex still held (same race-free capture window)
+// but may return a commit wait, which Step invokes AFTER releasing the run
+// mutex and before returning. The stage is still not acknowledged until
+// the wait returns — durability semantics are unchanged — but the next
+// stage can start while this one's fsync is in flight, which is what lets
+// a group-commit journal batch one fsync across consecutive stages. A nil
+// return means nothing to wait for. One hook per session; later options
+// replace earlier ones.
+func WithStageCommitHook(hook func(context.Context, *Session, Event) func()) Option {
+	return func(s *Session) { s.stageCommitHook = hook }
 }
 
 // WithMetrics instruments the session's event fan-out: the subscriber
@@ -346,25 +369,49 @@ func (s *Session) Subscribe(buf int) (history []Event, events <-chan Event, canc
 // covering action, orchestration and scoring, and downstream journal
 // appends nest under it.
 func (s *Session) Step(ctx context.Context, stage string, action func(w *core.Wrangler) error) (_ Event, retErr error) {
-	s.runMu.Lock()
-	defer s.runMu.Unlock()
-	if err := s.touch(); err != nil {
-		return Event{}, err
-	}
 	span := trace.ChildFromContext(ctx, "stage:"+stage, "stage", stage, "session", s.id)
 	if span != nil {
 		ctx = trace.NewContext(ctx, span)
 		defer func() { span.EndErr(retErr) }()
 	}
+	ev, commitWait, err := s.stepLocked(ctx, stage, action)
+	if err != nil {
+		return Event{}, err
+	}
+	if commitWait != nil {
+		// Block for the stage record's durability AFTER releasing the run
+		// mutex: the acknowledgement still waits for the fsync, but the
+		// next stage can already run — its own fsync batches with this one
+		// under a group-commit journal. Inside a DeferCommits scope (plan
+		// runs) the wait is handed to the collector instead, so the plan's
+		// stages flush together in one batch before the run is acknowledged.
+		if c := deferredFrom(ctx); c != nil {
+			c.add(commitWait)
+		} else {
+			commitWait()
+		}
+	}
+	return ev, nil
+}
+
+// stepLocked is the run-mutex-holding body of Step. It returns the commit
+// wait of the stage-commit hook (nil when there is nothing to wait for),
+// which the caller invokes after the run mutex is released.
+func (s *Session) stepLocked(ctx context.Context, stage string, action func(w *core.Wrangler) error) (Event, func(), error) {
+	s.runMu.Lock()
+	defer s.runMu.Unlock()
+	if err := s.touch(); err != nil {
+		return Event{}, nil, err
+	}
 	if action != nil {
 		if err := action(s.w); err != nil {
-			return Event{}, err
+			return Event{}, nil, err
 		}
 	}
 	start := time.Now()
 	steps, err := s.w.Run(ctx)
 	if err != nil {
-		return Event{}, err
+		return Event{}, nil, err
 	}
 	ev := Event{
 		Type:     EventStage,
@@ -392,12 +439,16 @@ func (s *Session) Step(ctx context.Context, stage string, action func(w *core.Wr
 		}
 	}
 	s.mu.Unlock()
-	// Under runMu, after the event is appended: the hook observes the
+	// Under runMu, after the event is appended: the hooks observe the
 	// session exactly as this stage left it, before any later stage runs.
+	var commitWait func()
+	if s.stageCommitHook != nil {
+		commitWait = s.stageCommitHook(ctx, s, ev)
+	}
 	if s.stageHook != nil {
 		s.stageHook(ctx, s, ev)
 	}
-	return ev, nil
+	return ev, commitWait, nil
 }
 
 // touch refreshes lastActive, failing on a closed session.

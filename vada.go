@@ -181,6 +181,13 @@ var (
 	WithEvictHook     = session.WithEvictHook
 	WithRestored      = session.WithRestored
 	WithStageHook     = session.WithStageHook
+
+	// WithStageCommitHook is the two-phase stage hook: capture under the
+	// run mutex, durability wait after it — the group-commit journal path.
+	WithStageCommitHook = session.WithStageCommitHook
+
+	// WithSessionShards stripes the manager's session table.
+	WithSessionShards = session.WithShards
 )
 
 // ---- durable sessions ------------------------------------------------------
@@ -234,6 +241,30 @@ var (
 	ComposeJournal     = journal.Compose
 	NewJournalRecorder = journal.NewRecorder
 )
+
+// GroupCommitter batches journal fsyncs across sessions: one coordinator
+// amortises one fsync over the appends that land within a bounded latency
+// window, with every append still blocking until its batch is durable.
+type GroupCommitter = journal.GroupCommitter
+
+// NewGroupCommitter starts a commit coordinator (window, max batch size,
+// metrics registry); wire it to writers with JournalWriter.SetGroupCommit.
+var NewGroupCommitter = journal.NewGroupCommitter
+
+// DefaultJournalGroupMax is the batch-size cap used when none is given.
+const DefaultJournalGroupMax = journal.DefaultGroupMax
+
+// JournalRecorderOption customises a JournalRecorder; WithJournalRowDiffs
+// switches its change log to row-level relation patches (added/removed
+// tuples instead of wholesale relation clones per stage record).
+type JournalRecorderOption = journal.RecorderOption
+
+// WithJournalRowDiffs enables row-level relation diffs in stage records.
+var WithJournalRowDiffs = journal.WithRowDiffs
+
+// WithJournalBaseline defers the baseline snapshot under a fresh journal
+// until the first record is acknowledged (see journal.WithBaseline).
+var WithJournalBaseline = journal.WithBaseline
 
 // Journal header errors; record-level damage is recovered, not surfaced.
 var (
