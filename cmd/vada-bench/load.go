@@ -19,6 +19,7 @@ type loadOptions struct {
 	trace       bool
 	traceDump   string
 	connect     bool
+	advise      bool
 	groupWindow time.Duration
 	groupMax    int
 	rowDiffs    bool
@@ -44,14 +45,15 @@ func runLoad(o loadOptions) error {
 	cfg.Trace = o.trace
 	cfg.TraceDump = o.traceDump
 	cfg.Connect = o.connect
+	cfg.Advise = o.advise
 	cfg.GroupWindow = o.groupWindow
 	cfg.GroupMax = o.groupMax
 	cfg.RowDiffs = o.rowDiffs
 	cfg.CompareBaseline = o.baseline
 	cfg.Notes = o.notes
 
-	fmt.Printf("load benchmark: preset %s, %d workers, %s steady state, seed %d, recovery %v, trace %v, connect %v, group window %s, row diffs %v\n",
-		cfg.Name, cfg.Workers, cfg.Duration, cfg.Seed, cfg.Recovery, cfg.Trace, cfg.Connect, cfg.GroupWindow, cfg.RowDiffs)
+	fmt.Printf("load benchmark: preset %s, %d workers, %s steady state, seed %d, recovery %v, trace %v, connect %v, advise %v, group window %s, row diffs %v\n",
+		cfg.Name, cfg.Workers, cfg.Duration, cfg.Seed, cfg.Recovery, cfg.Trace, cfg.Connect, cfg.Advise, cfg.GroupWindow, cfg.RowDiffs)
 	rep, err := loadgen.Run(cfg)
 	if err != nil {
 		return err

@@ -43,6 +43,7 @@ func main() {
 	loadTrace := flag.Bool("load-trace", false, "run the hosted server with tracing on and verify every plan run left a complete trace (-exp load)")
 	loadTraceDump := flag.String("load-trace-dump", "", "write the server's full span dump to this path after the steady state (-exp load)")
 	loadConnect := flag.Bool("load-connect", false, "add the connector ingest/export round-trip op to the worker mix (-exp load)")
+	loadAdvise := flag.Bool("load-advise", false, "add the advisor suggestion/acceptance loop op to the worker mix (-exp load)")
 	loadGroupWindow := flag.Duration("load-group-window", 0, "journal group-commit window on the hosted server (0 = fsync per append; -exp load)")
 	loadGroupMax := flag.Int("load-group-max", 0, "group-commit batch cap (0 = default; -exp load)")
 	loadRowDiffs := flag.Bool("load-row-diffs", false, "journal relation replacements as row-level diffs on the hosted server (-exp load)")
@@ -56,6 +57,7 @@ func main() {
 			preset: *loadPreset, seed: *seed, workers: *loadWorkers,
 			duration: *loadDuration, recovery: *loadRecovery, strict: *loadStrict,
 			trace: *loadTrace, traceDump: *loadTraceDump, connect: *loadConnect,
+			advise:      *loadAdvise,
 			groupWindow: *loadGroupWindow, groupMax: *loadGroupMax,
 			rowDiffs: *loadRowDiffs, baseline: *loadBaseline,
 			notes: *loadNotes, out: *out,

@@ -345,6 +345,14 @@ func (w *Wrangler) SelectedMappings() []string {
 	return out
 }
 
+// UserWeights derives the current MCDA criterion weights from the installed
+// user context, nil when none has been provided (or its comparisons are
+// inconsistent) — the selection signal the advisor reads to bias suggestions
+// toward attributes the user has declared they care about.
+func (w *Wrangler) UserWeights() map[mcda.Criterion]float64 {
+	return w.userWeights()
+}
+
 // userWeights derives the current criterion weights (nil when no user
 // context has been provided).
 func (w *Wrangler) userWeights() map[mcda.Criterion]float64 {

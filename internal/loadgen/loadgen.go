@@ -60,6 +60,10 @@ type Config struct {
 	// generated CSV ingested through stages/ingest, streamed back through
 	// the relation export route.
 	Connect bool `json:"connect"`
+	// Advise adds the advisor loop op to the mix: fetch the ranked
+	// suggestions for a session and, when one carries a feedback-batch
+	// action, accept it verbatim through the generic stage route.
+	Advise bool `json:"advise"`
 	// Trace runs the hosted server with the span recorder on and, after the
 	// steady state (before any kill — the restart wipes the in-memory
 	// store), verifies every accepted plan run left a retrievable trace.
@@ -470,7 +474,14 @@ func (d *driver) worker(rng *rand.Rand, deadline time.Time) {
 				d.opExportImport(rng)
 			}
 		case p < 90:
-			d.opExportImport(rng)
+			// The advisor slot works like the connector one: the draw is
+			// identical either way, so -load-advise perturbs only this op
+			// class, not the whole run.
+			if d.cfg.Advise {
+				d.opAdvise(rng)
+			} else {
+				d.opExportImport(rng)
+			}
 		default:
 			d.opDelete(rng)
 		}
@@ -856,6 +867,57 @@ func (d *driver) opConnect(rng *rand.Rand) {
 		}
 	}
 	d.observe("connect", t0, err)
+}
+
+// opAdvise is the mixed-initiative loop under load: fetch the advisor's
+// ranked suggestions for a live session and, when the top actionable one
+// targets the feedback-batch stage, accept it verbatim. Sessions vanishing
+// mid-loop are churn, exactly as in the other ops.
+func (d *driver) opAdvise(rng *rand.Rand) {
+	id := d.pickSession(rng)
+	if id == "" {
+		d.opCreate(rng)
+		return
+	}
+	t0 := time.Now()
+	resp, err := d.http.Get(d.base() + "/sessions/" + id + "/suggestions")
+	var body []byte
+	if err == nil {
+		err = d.statusErr(resp, http.StatusOK, http.StatusNotFound, http.StatusGone)
+		if resp.StatusCode == http.StatusOK {
+			body, _ = io.ReadAll(resp.Body)
+		} else {
+			io.Copy(io.Discard, resp.Body)
+		}
+		resp.Body.Close()
+	}
+	if err == nil && len(body) > 0 {
+		var out struct {
+			Suggestions []struct {
+				Action *struct {
+					Stage   string          `json:"stage"`
+					Payload json.RawMessage `json:"payload"`
+				} `json:"action"`
+			} `json:"suggestions"`
+		}
+		if jerr := json.Unmarshal(body, &out); jerr == nil {
+			for _, sg := range out.Suggestions {
+				if sg.Action == nil || sg.Action.Stage != "feedback-batch" {
+					continue
+				}
+				var aresp *http.Response
+				aresp, err = d.http.Post(d.base()+"/sessions/"+id+"/stages/"+sg.Action.Stage,
+					"application/json", bytes.NewReader(sg.Action.Payload))
+				if err == nil {
+					err = d.statusErr(aresp, http.StatusOK, http.StatusNotFound, http.StatusGone, http.StatusConflict)
+					io.Copy(io.Discard, aresp.Body)
+					aresp.Body.Close()
+				}
+				break
+			}
+		}
+	}
+	d.observe("advise", t0, err)
 }
 
 // opDelete closes a session outright, shrinking the pool for opCreate to

@@ -133,6 +133,48 @@ func TestConnectOp(t *testing.T) {
 	}
 }
 
+// TestAdviseOp drives the advisor loop op directly against a booted driver
+// and checks it runs cleanly and actually exercises the advisor surface
+// (the server-side advise ranking counters move).
+func TestAdviseOp(t *testing.T) {
+	cfg := Preset("smoke")
+	cfg.Advise = true
+	d := &driver{
+		cfg:    cfg,
+		client: metrics.NewRegistry(),
+		http:   &http.Client{Timeout: 30 * time.Second},
+	}
+	if err := d.boot(t.TempDir()); err != nil {
+		t.Fatal(err)
+	}
+	defer d.srv.Close()
+	defer d.ts.Close()
+
+	// First call falls back to opCreate on the empty pool; the rest fetch
+	// suggestions and accept any feedback-batch action they carry.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	for i := 0; i < 5; i++ {
+		d.opAdvise(rng)
+	}
+	snap := d.client.Snapshot()
+	if got := snap.Counters[metrics.Name("ops_total", "op", "advise")]; got != 4 {
+		t.Fatalf("advise ops = %d, want 4 (counters: %v)", got, snap.Counters)
+	}
+	if errs := snap.Counters[metrics.Name("op_errors_total", "op", "advise")]; errs != 0 {
+		t.Fatalf("advise op errors = %d, want 0", errs)
+	}
+	if fives := snap.Counters["http_5xx_total"]; fives != 0 {
+		t.Fatalf("5xx responses = %d, want 0", fives)
+	}
+	server, err := d.metricz()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if server.Counters["advise_rank_total"] == 0 {
+		t.Errorf("advisor counters did not move: %+v", server.Counters)
+	}
+}
+
 // TestDeterministicSeed checks two runs with the same seed draw the same
 // op sequence per worker (same op counts), which is what makes BENCH runs
 // comparable across PRs.

@@ -33,8 +33,12 @@ func Completeness(rel *relation.Relation, attr string) (float64, error) {
 	return float64(n) / float64(len(col)), nil
 }
 
-// CompletenessAll returns per-attribute completeness for the relation.
+// CompletenessAll returns per-attribute completeness for the relation; a
+// nil relation yields an empty map.
 func CompletenessAll(rel *relation.Relation) map[string]float64 {
+	if rel == nil {
+		return map[string]float64{}
+	}
 	out := make(map[string]float64, rel.Schema.Arity())
 	for _, a := range rel.Schema.Attrs {
 		c, err := Completeness(rel, a.Name)
@@ -45,9 +49,12 @@ func CompletenessAll(rel *relation.Relation) map[string]float64 {
 	return out
 }
 
-// Density is the overall fraction of non-null cells.
+// Density is the overall fraction of non-null cells. Nil and empty
+// relations are deterministically 0.0 — no cells means no evidence of
+// density — never NaN, so consumers assessing blank sessions (the advisor
+// before any ingest) need no guards of their own.
 func Density(rel *relation.Relation) float64 {
-	if rel.Cardinality() == 0 || rel.Schema.Arity() == 0 {
+	if rel == nil || rel.Cardinality() == 0 || rel.Schema.Arity() == 0 {
 		return 0
 	}
 	n := 0
@@ -64,8 +71,12 @@ func Density(rel *relation.Relation) float64 {
 // Consistency measures 1 − violation rate against the given CFDs. With no
 // CFDs available it is 1 by convention (no evidence of inconsistency) —
 // which is exactly why the paper's §2.3 notes that determining consistency
-// *needs* the data context.
+// *needs* the data context. Nil and empty relations are deterministically
+// 1.0, never NaN.
 func Consistency(rel *relation.Relation, cfds []cfd.CFD) float64 {
+	if rel == nil {
+		return 1
+	}
 	return cfd.ConsistencyRate(rel, cfds)
 }
 
@@ -147,11 +158,19 @@ type Report struct {
 	Accuracy map[string]float64
 }
 
-// Assess computes a Report. cfds and accuracy may be nil.
+// Assess computes a Report. cfds and accuracy may be nil, and so may rel: a
+// nil relation assesses as the zero-evidence report (0 rows, density 0.0,
+// consistency 1.0, no completeness entries).
 func Assess(rel *relation.Relation, cfds []cfd.CFD, accuracy map[string]float64) Report {
+	name := ""
+	rows := 0
+	if rel != nil {
+		name = rel.Schema.Name
+		rows = rel.Cardinality()
+	}
 	r := Report{
-		Relation:     rel.Schema.Name,
-		Rows:         rel.Cardinality(),
+		Relation:     name,
+		Rows:         rows,
 		Completeness: CompletenessAll(rel),
 		Density:      Density(rel),
 		Consistency:  Consistency(rel, cfds),

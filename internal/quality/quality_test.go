@@ -111,3 +111,32 @@ func TestAssessAndCriteria(t *testing.T) {
 		t.Fatalf("criteria accuracy unqualified = %v", v)
 	}
 }
+
+// TestEmptyAndNilRelationGuards pins the advisor-facing convention: on blank
+// sessions (nil result) and freshly-ingested empty relations the metrics are
+// exact constants — density 0.0, consistency 1.0 — never NaN.
+func TestEmptyAndNilRelationGuards(t *testing.T) {
+	someCFDs := []cfd.CFD{{LHS: []string{"postcode"}, RHS: "crimerank"}}
+	empty := relation.New(relation.NewSchema("res", "street", "postcode"))
+	for name, rel := range map[string]*relation.Relation{"nil": nil, "empty": empty} {
+		if d := Density(rel); d != 0.0 {
+			t.Fatalf("Density(%s) = %v, want exactly 0.0", name, d)
+		}
+		if c := Consistency(rel, nil); c != 1.0 {
+			t.Fatalf("Consistency(%s, no CFDs) = %v, want exactly 1.0", name, c)
+		}
+		if c := Consistency(rel, someCFDs); c != 1.0 {
+			t.Fatalf("Consistency(%s, CFDs) = %v, want exactly 1.0", name, c)
+		}
+		if math.IsNaN(Density(rel)) || math.IsNaN(Consistency(rel, someCFDs)) {
+			t.Fatalf("NaN leaked for %s relation", name)
+		}
+	}
+	if m := CompletenessAll(nil); len(m) != 0 || m == nil {
+		t.Fatalf("CompletenessAll(nil) = %v, want empty non-nil map", m)
+	}
+	rep := Assess(nil, someCFDs, nil)
+	if rep.Rows != 0 || rep.Density != 0.0 || rep.Consistency != 1.0 || len(rep.Completeness) != 0 {
+		t.Fatalf("Assess(nil) = %+v", rep)
+	}
+}

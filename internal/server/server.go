@@ -1018,6 +1018,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /api/v1/sessions/{id}/datacontext", s.handleDataContext)
 	mux.HandleFunc("POST /api/v1/sessions/{id}/feedback", s.handleFeedback)
 	mux.HandleFunc("POST /api/v1/sessions/{id}/usercontext", s.handleUserContext)
+	mux.HandleFunc("GET /api/v1/sessions/{id}/suggestions", s.handleSuggestions)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/result", s.handleResult)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/trace", s.handleTrace)
 	mux.HandleFunc("GET /api/v1/sessions/{id}/runs", s.handleRunList)
@@ -1758,6 +1759,8 @@ func (s *Server) handleHealthz(rw http.ResponseWriter, _ *http.Request) {
 			"persist_fsync_total":      vada.SumMetricsCounters(snap, "persist_fsync_total"),
 			"connect_rows_total":       vada.SumMetricsCounters(snap, "connect_rows_total"),
 			"connect_bytes_total":      vada.SumMetricsCounters(snap, "connect_bytes_total"),
+			"advise_suggestions_total": vada.SumMetricsCounters(snap, "advise_suggestions_total"),
+			"advise_accepted_total":    vada.SumMetricsCounters(snap, "advise_accepted_total"),
 		},
 		// The runtime sampler's latest gauges: enough to spot a goroutine
 		// leak or heap growth from the same probe.
@@ -1822,6 +1825,27 @@ func (s *Server) persistStats() map[string]any {
 	}
 	s.persistMu.Unlock()
 	return out
+}
+
+// handleSuggestions serves the advisor's ranked next actions for a session.
+// Each suggestion carries a rationale and — when actionable — a ready-to-POST
+// stage request, so a thin client can close the loop by replaying the action
+// against POST .../stages/{name} verbatim.
+func (s *Server) handleSuggestions(rw http.ResponseWriter, r *http.Request) {
+	sess, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	sugs, err := sess.Suggestions(r.Context())
+	if err != nil {
+		writeError(rw, err)
+		return
+	}
+	if sugs == nil {
+		sugs = []vada.Suggestion{}
+	}
+	writeJSON(rw, map[string]any{"total": len(sugs), "suggestions": sugs})
 }
 
 func (s *Server) handleResult(rw http.ResponseWriter, r *http.Request) {

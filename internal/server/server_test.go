@@ -785,16 +785,34 @@ func TestStageDiscovery(t *testing.T) {
 	if err := json.Unmarshal([]byte(body), &out); err != nil {
 		t.Fatal(err)
 	}
-	if out["total"].(float64) != 8 {
+	if out["total"].(float64) != 9 {
 		t.Fatalf("discovery total = %v", out["total"])
 	}
 	stages := out["stages"].([]any)
 	want := []string{"bootstrap", "data-context", "feedback", "user-context",
-		"ingest", "fetch", "export", "quality-report"}
+		"ingest", "fetch", "export", "quality-report", "feedback-batch"}
 	for i, w := range want {
 		st := stages[i].(map[string]any)
 		if st["name"] != w || st["description"] == "" {
 			t.Fatalf("stage %d = %v, want %q with description", i, st, w)
+		}
+		// Every payload-taking stage documents its fields; bootstrap is the
+		// only payload-less stage in the default registry.
+		if w == "bootstrap" {
+			if _, ok := st["payload"]; ok {
+				t.Fatalf("bootstrap documents a payload: %v", st)
+			}
+			continue
+		}
+		fields, ok := st["payload"].([]any)
+		if !ok || len(fields) == 0 {
+			t.Fatalf("stage %q has no payload field docs: %v", w, st)
+		}
+		for _, f := range fields {
+			fm := f.(map[string]any)
+			if fm["name"] == "" || fm["doc"] == "" {
+				t.Fatalf("stage %q field undocumented: %v", w, fm)
+			}
 		}
 	}
 

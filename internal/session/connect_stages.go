@@ -10,6 +10,7 @@ import (
 
 	"vada/internal/connect"
 	"vada/internal/core"
+	"vada/internal/feedback"
 	"vada/internal/metrics"
 	"vada/internal/quality"
 	"vada/internal/relation"
@@ -110,6 +111,13 @@ func registerConnectorStages(r *Registry) {
 	r.MustRegister(Stage{
 		Name:        StageIngest,
 		Description: "source: decode an inline CSV/JSONL body into a source or context relation ({\"relation\",\"data\",\"format\",\"role\",\"mapping\"})",
+		Fields: []StageField{
+			{Name: "relation", Doc: "identifier-safe name the rows land in"},
+			{Name: "data", Doc: "the raw file body"},
+			{Name: "format", Doc: "\"csv\" (default) or \"jsonl\""},
+			{Name: "role", Doc: "\"source\" (default) or \"context\""},
+			{Name: "mapping", Doc: "raw column → attribute renames; omitted infers against target/context schemas, {} disables"},
+		},
 		Decode: func(raw json.RawMessage) (any, error) {
 			var p connect.IngestPayload
 			if emptyPayload(raw) {
@@ -146,6 +154,15 @@ func registerConnectorStages(r *Registry) {
 	r.MustRegister(Stage{
 		Name:        StageFetch,
 		Description: "source: fetch an http(s) URL with timeout/retry/backoff and ingest the body ({\"url\",\"relation\",...})",
+		Fields: []StageField{
+			{Name: "url", Doc: "http(s) location of the body"},
+			{Name: "relation", Doc: "identifier-safe name the rows land in"},
+			{Name: "format", Doc: "\"csv\" (default) or \"jsonl\""},
+			{Name: "role", Doc: "\"source\" (default) or \"context\""},
+			{Name: "mapping", Doc: "raw column → attribute renames; omitted infers"},
+			{Name: "timeout_ms", Doc: "per-attempt bound in milliseconds (0 = 10000)"},
+			{Name: "retries", Doc: "re-attempts for retryable failures (0 = 2, negative = none)"},
+		},
 		Decode: func(raw json.RawMessage) (any, error) {
 			var p connect.FetchPayload
 			if emptyPayload(raw) {
@@ -189,6 +206,10 @@ func registerConnectorStages(r *Registry) {
 	r.MustRegister(Stage{
 		Name:        StageExport,
 		Description: "sink: render a relation as canonical CSV/JSONL and record the export fact ({\"relation\",\"format\"}; default: the result)",
+		Fields: []StageField{
+			{Name: "relation", Doc: "what to export: \"result\" (default) or a knowledge-base relation name"},
+			{Name: "format", Doc: "\"csv\" (default) or \"jsonl\""},
+		},
 		Decode: func(raw json.RawMessage) (any, error) {
 			var p connect.ExportPayload
 			if !emptyPayload(raw) {
@@ -240,6 +261,9 @@ func registerConnectorStages(r *Registry) {
 	r.MustRegister(Stage{
 		Name:        StageQualityReport,
 		Description: "sink: assess a relation and publish the report as relation qr_<name> ({\"relation\"}; default: the result)",
+		Fields: []StageField{
+			{Name: "relation", Doc: "what to assess: \"result\" (default) or a knowledge-base relation name"},
+		},
 		Decode: func(raw json.RawMessage) (any, error) {
 			var p connect.QualityPayload
 			if !emptyPayload(raw) {
@@ -263,7 +287,13 @@ func registerConnectorStages(r *Registry) {
 				if err != nil {
 					return err
 				}
-				rep := quality.Assess(rel, w.CFDs(), nil)
+				// Feedback accuracy is evidence about the wrangling result;
+				// reports over other relations carry no accuracy rows.
+				var acc map[string]float64
+				if name == core.RelResult {
+					acc = feedback.AccuracyByAttr(w.FeedbackItems())
+				}
+				rep := quality.Assess(rel, w.CFDs(), acc)
 				rep.Relation = name
 				w.KB.PutRelation("qr_"+name, connect.QualityRelation("qr_"+name, rep))
 				return nil

@@ -13,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"vada/internal/advise"
 	"vada/internal/core"
 	"vada/internal/datagen"
 	"vada/internal/feedback"
@@ -146,6 +147,10 @@ type Session struct {
 	// (sse_subscribers) and events lost to slow consumers
 	// (sse_dropped_events_total) — the loss that was previously silent.
 	reg *metrics.Registry
+
+	// advisor ranks next-action suggestions for Suggestions; the default
+	// heuristic unless WithAdvisor installs a different implementation.
+	advisor advise.Advisor
 }
 
 // Option configures a Session at creation.
@@ -210,6 +215,13 @@ func WithMetrics(reg *metrics.Registry) Option {
 	return func(s *Session) { s.reg = reg }
 }
 
+// WithAdvisor installs the advisor Suggestions ranks next actions with —
+// the pluggability seam that lets heuristic and model-backed advisors
+// interchange. The default is the built-in heuristic.
+func WithAdvisor(a advise.Advisor) Option {
+	return func(s *Session) { s.advisor = a }
+}
+
 // WithRestored stamps a session with its pre-restart identity: the creation
 // and last-activity times and the completed stage-event history of the
 // snapshot it was restored from. Stage numbering continues where the
@@ -237,6 +249,9 @@ func New(id string, w *core.Wrangler, opts ...Option) *Session {
 	}
 	if s.registry == nil {
 		s.registry = DefaultRegistry()
+	}
+	if s.advisor == nil {
+		s.advisor = advise.NewHeuristic()
 	}
 	return s
 }

@@ -370,7 +370,7 @@ func TestEvictHooksCompose(t *testing.T) {
 func TestDefaultRegistry(t *testing.T) {
 	reg := DefaultRegistry()
 	want := []string{StageBootstrap, StageDataContext, StageFeedback, StageUserContext,
-		StageIngest, StageFetch, StageExport, StageQualityReport}
+		StageIngest, StageFetch, StageExport, StageQualityReport, StageFeedbackBatch}
 	info := reg.Info()
 	if len(info) != len(want) {
 		t.Fatalf("registry has %d stages, want %d", len(info), len(want))

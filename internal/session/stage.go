@@ -53,6 +53,11 @@ type Stage struct {
 	Name string
 	// Description is the one-line summary served by stage discovery.
 	Description string
+	// Fields documents the stage's payload fields for discovery — the
+	// machine-readable stage docs advisors and thin LLM clients need to
+	// turn a suggestion into a request. Empty means the stage takes no
+	// payload.
+	Fields []StageField
 	// Decode turns the raw JSON payload of a StageRequest into the typed
 	// value Apply receives. nil means the stage takes no payload: empty,
 	// null and {} decode to nil, anything else is ErrBadPayload.
@@ -61,11 +66,20 @@ type Stage struct {
 	Apply func(ctx context.Context, s *Session, payload any) (Event, error)
 }
 
+// StageField documents one payload field of a stage.
+type StageField struct {
+	// Name is the JSON field name.
+	Name string `json:"name"`
+	// Doc is a one-line description of the field.
+	Doc string `json:"doc"`
+}
+
 // StageInfo is the JSON-ready description of a registered stage, served by
 // the discovery endpoint.
 type StageInfo struct {
-	Name        string `json:"name"`
-	Description string `json:"description"`
+	Name        string       `json:"name"`
+	Description string       `json:"description"`
+	Payload     []StageField `json:"payload,omitempty"`
 }
 
 // Registry maps stage names to descriptors. It is safe for concurrent use;
@@ -132,7 +146,7 @@ func (r *Registry) Info() []StageInfo {
 	stages := r.List()
 	out := make([]StageInfo, len(stages))
 	for i, st := range stages {
-		out[i] = StageInfo{Name: st.Name, Description: st.Description}
+		out[i] = StageInfo{Name: st.Name, Description: st.Description, Payload: st.Fields}
 	}
 	return out
 }
@@ -223,6 +237,9 @@ func DefaultRegistry() *Registry {
 	r.MustRegister(Stage{
 		Name:        StageDataContext,
 		Description: "step 2: associate reference data ({\"relation\": ...}; default: the scenario's reference)",
+		Fields: []StageField{
+			{Name: "relation", Doc: "the reference relation (schema + tuples); omit for the scenario's default reference data"},
+		},
 		Decode: func(raw json.RawMessage) (any, error) {
 			if emptyPayload(raw) {
 				return (*relation.Relation)(nil), nil
@@ -250,6 +267,10 @@ func DefaultRegistry() *Registry {
 	r.MustRegister(Stage{
 		Name:        StageFeedback,
 		Description: "step 3: correctness annotations ({\"items\": [...], \"budget\": n}; default: 100 oracle annotations)",
+		Fields: []StageField{
+			{Name: "items", Doc: "explicit feedback annotations keyed by (street, postcode, attr); empty asks the scenario oracle"},
+			{Name: "budget", Doc: "cap on oracle-synthesised annotations (default 100)"},
+		},
 		Decode: func(raw json.RawMessage) (any, error) {
 			p := &FeedbackPayload{}
 			if emptyPayload(raw) {
@@ -282,6 +303,9 @@ func DefaultRegistry() *Registry {
 	r.MustRegister(Stage{
 		Name:        StageUserContext,
 		Description: "step 4: priority model over quality criteria ({\"model\": \"crime\"|\"size\"})",
+		Fields: []StageField{
+			{Name: "model", Doc: "demonstration priority model name: \"crime\" (default) or \"size\""},
+		},
 		Decode: func(raw json.RawMessage) (any, error) {
 			var p userContextPayload
 			if !emptyPayload(raw) {
@@ -304,5 +328,6 @@ func DefaultRegistry() *Registry {
 		},
 	})
 	registerConnectorStages(r)
+	registerAdviseStages(r)
 	return r
 }

@@ -72,6 +72,7 @@
 package vada
 
 import (
+	"vada/internal/advise"
 	"vada/internal/cfd"
 	"vada/internal/connect"
 	"vada/internal/core"
@@ -363,6 +364,41 @@ var (
 	MapHeader       = connect.MapHeader
 	NormalizeFormat = connect.NormalizeFormat
 	QualityRelation = connect.QualityRelation
+)
+
+// ---- advisor ---------------------------------------------------------------
+
+// Advisor ranks candidate next actions over an AdvisorState snapshot of a
+// wrangling session; Suggestion is one ranked recommendation whose
+// SuggestionAction — when present — is a ready-to-POST stage request.
+// FeedbackBatchPayload is the typed payload of the feedback-batch stage.
+type (
+	Advisor              = advise.Advisor
+	Suggestion           = advise.Suggestion
+	SuggestionAction     = advise.Action
+	AdvisorState         = advise.State
+	StageField           = session.StageField
+	FeedbackBatchPayload = session.FeedbackBatchPayload
+)
+
+// Suggestion kinds.
+const (
+	SuggestionStage    = advise.KindStage
+	SuggestionFeedback = advise.KindFeedback
+	SuggestionMatch    = advise.KindMatch
+)
+
+// StageFeedbackBatch is the journaled batch-acceptance stage the advisor's
+// feedback suggestions target, pre-registered by DefaultStageRegistry.
+const StageFeedbackBatch = session.StageFeedbackBatch
+
+// Advisor construction and session wiring. AdvisorSnapshot derives the
+// ranking signals from a wrangler; WithAdvisor swaps the session's advisor
+// implementation (default: the heuristic one).
+var (
+	NewHeuristicAdvisor = advise.NewHeuristic
+	AdvisorSnapshot     = advise.Snapshot
+	WithAdvisor         = session.WithAdvisor
 )
 
 // ---- async runs ------------------------------------------------------------
